@@ -1,0 +1,128 @@
+use od_graph::Graph;
+use od_linalg::CsrMatrix;
+
+/// The DeGroot model (DeGroot 1974): synchronous repeated averaging
+/// `ξ(t+1) = W ξ(t)` with a row-stochastic trust matrix.
+///
+/// We use the lazy walk `W = ½I + ½D⁻¹A`, which converges on every
+/// connected graph (laziness removes bipartite oscillation) to the
+/// degree-weighted average `Σ π_u ξ_u(0)` — deterministically, unlike the
+/// paper's asynchronous NodeModel whose limit `F` is random with that same
+/// expectation.
+#[derive(Debug, Clone)]
+pub struct DeGroot {
+    trust: CsrMatrix,
+    pi: Vec<f64>,
+    values: Vec<f64>,
+    scratch: Vec<f64>,
+    round: u64,
+}
+
+impl DeGroot {
+    /// Creates the model with the lazy-walk trust matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected/too small or the value count
+    /// mismatches.
+    pub fn new(graph: &Graph, values: Vec<f64>) -> Self {
+        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert_eq!(values.len(), graph.n(), "one value per node");
+        DeGroot {
+            trust: CsrMatrix::lazy_walk(graph),
+            pi: graph.stationary_distribution(),
+            scratch: vec![0.0; values.len()],
+            values,
+            round: 0,
+        }
+    }
+
+    /// Current values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Synchronous rounds taken.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The deterministic limit `Σ π_u ξ_u(0)` (unchanged by rounds, since
+    /// `πᵀW = πᵀ`).
+    pub fn weighted_average(&self) -> f64 {
+        od_linalg::vector::weighted_mean(&self.pi, &self.values)
+    }
+
+    /// Discrepancy `max − min`.
+    pub fn discrepancy(&self) -> f64 {
+        od_linalg::vector::discrepancy(&self.values)
+    }
+
+    /// One synchronous round `ξ ← W ξ`.
+    pub fn step(&mut self) {
+        self.trust.matvec_into(&self.values, &mut self.scratch);
+        std::mem::swap(&mut self.values, &mut self.scratch);
+        self.round += 1;
+    }
+
+    /// Runs rounds until the discrepancy is below `tol` or `max_rounds`.
+    /// Returns rounds taken.
+    pub fn run(&mut self, tol: f64, max_rounds: u64) -> u64 {
+        while self.discrepancy() > tol && self.round < max_rounds {
+            self.step();
+        }
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+
+    #[test]
+    fn weighted_average_is_invariant() {
+        let g = generators::star(6).unwrap();
+        let mut m = DeGroot::new(&g, (0..6).map(f64::from).collect());
+        let w0 = m.weighted_average();
+        for _ in 0..100 {
+            m.step();
+            assert!((m.weighted_average() - w0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_degree_weighted_average() {
+        let g = generators::star(5).unwrap();
+        // π = (1/2, 1/8, 1/8, 1/8, 1/8); ξ(0) = (8, 0, 0, 0, 0)
+        // ⇒ limit = 4.
+        let mut m = DeGroot::new(&g, vec![8.0, 0.0, 0.0, 0.0, 0.0]);
+        m.run(1e-12, 100_000);
+        for &v in m.values() {
+            assert!((v - 4.0).abs() < 1e-10, "value {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_no_variance() {
+        // Two runs are bit-identical: the whole point of the comparison
+        // with the paper's random F.
+        let g = generators::petersen();
+        let xi0: Vec<f64> = (0..10).map(f64::from).collect();
+        let mut a = DeGroot::new(&g, xi0.clone());
+        let mut b = DeGroot::new(&g, xi0);
+        a.run(1e-12, 100_000);
+        b.run(1e-12, 100_000);
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.round(), b.round());
+    }
+
+    #[test]
+    fn lazy_walk_avoids_bipartite_oscillation() {
+        let g = generators::complete_bipartite(3, 3).unwrap();
+        let mut m = DeGroot::new(&g, vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+        let rounds = m.run(1e-9, 100_000);
+        assert!(rounds < 100_000, "must converge despite bipartiteness");
+        assert!(m.discrepancy() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+use od_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// The Friedkin–Johnsen model (1990) with the limited-information variant
+/// of Fotakis, Kandiros, Kontonis, Skoulakis (WINE 2018) — the model the
+/// paper cites as closest to its NodeModel.
+///
+/// Every agent holds a fixed *private* opinion `s_u` and an *expressed*
+/// opinion `z_u`. In each asynchronous round the chosen agent samples `k`
+/// neighbours and updates
+///
+/// `z_u ← α_u s_u + (1 − α_u) · (1/k) Σᵢ z_{vᵢ}`,
+///
+/// where `α_u ∈ (0, 1]` is the agent's stubbornness. Unlike the paper's
+/// NodeModel (which is the `α_u → 0`-stubbornness analogue with the agent's
+/// *expressed* value in place of `s_u`), FJ converges to a unique
+/// equilibrium `z* = (I − (1−A)P)⁻¹ A s` rather than to consensus.
+#[derive(Debug, Clone)]
+pub struct FriedkinJohnsen<'g> {
+    graph: &'g Graph,
+    private: Vec<f64>,
+    expressed: Vec<f64>,
+    stubbornness: Vec<f64>,
+    k: usize,
+    sample: Vec<NodeId>,
+    time: u64,
+}
+
+impl<'g> FriedkinJohnsen<'g> {
+    /// Creates the model. `stubbornness[u] ∈ (0, 1]` is `α_u`; `k` is the
+    /// per-round neighbour sample size (`k ≤ d_min`; use `k = d_min` and a
+    /// complete sample for the classical full-information FJ on regular
+    /// graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on disconnected graphs, length mismatches, `k` out of range
+    /// or stubbornness outside `(0, 1]`.
+    pub fn new(
+        graph: &'g Graph,
+        private: Vec<f64>,
+        stubbornness: Vec<f64>,
+        k: usize,
+    ) -> Self {
+        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert_eq!(private.len(), graph.n(), "one private opinion per node");
+        assert_eq!(stubbornness.len(), graph.n(), "one stubbornness per node");
+        assert!(
+            stubbornness.iter().all(|&a| a > 0.0 && a <= 1.0),
+            "stubbornness must lie in (0, 1]"
+        );
+        assert!(
+            k >= 1 && k <= graph.min_degree(),
+            "k must satisfy 1 <= k <= d_min"
+        );
+        FriedkinJohnsen {
+            graph,
+            expressed: private.clone(),
+            private,
+            stubbornness,
+            k,
+            sample: Vec::with_capacity(k),
+            time: 0,
+        }
+    }
+
+    /// Expressed opinions `z(t)`.
+    pub fn expressed(&self) -> &[f64] {
+        &self.expressed
+    }
+
+    /// Private opinions `s` (fixed).
+    pub fn private(&self) -> &[f64] {
+        &self.private
+    }
+
+    /// Steps taken.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// One asynchronous limited-information FJ step.
+    pub fn step(&mut self, rng: &mut dyn RngCore) {
+        self.time += 1;
+        let u = rng.gen_range(0..self.graph.n()) as NodeId;
+        let neighbors = self.graph.neighbors(u);
+        let d = neighbors.len();
+        self.sample.clear();
+        if self.k == d {
+            self.sample.extend_from_slice(neighbors);
+        } else {
+            while self.sample.len() < self.k {
+                let c = neighbors[rng.gen_range(0..d)];
+                if !self.sample.contains(&c) {
+                    self.sample.push(c);
+                }
+            }
+        }
+        let mean = self
+            .sample
+            .iter()
+            .map(|&v| self.expressed[v as usize])
+            .sum::<f64>()
+            / self.k as f64;
+        let a = self.stubbornness[u as usize];
+        self.expressed[u as usize] = a * self.private[u as usize] + (1.0 - a) * mean;
+    }
+
+    /// Exact synchronous full-information equilibrium `z*` solved by
+    /// fixed-point iteration (`z ← A s + (I − A) P z` with `P = D⁻¹A`),
+    /// for comparison against the asynchronous trajectory.
+    pub fn equilibrium(&self, tol: f64, max_rounds: usize) -> Vec<f64> {
+        let n = self.graph.n();
+        let mut z = self.private.clone();
+        let mut next = vec![0.0; n];
+        for _ in 0..max_rounds {
+            let mut delta: f64 = 0.0;
+            for u in 0..n as NodeId {
+                let neighbors = self.graph.neighbors(u);
+                let mean = neighbors
+                    .iter()
+                    .map(|&v| z[v as usize])
+                    .sum::<f64>()
+                    / neighbors.len() as f64;
+                let a = self.stubbornness[u as usize];
+                next[u as usize] = a * self.private[u as usize] + (1.0 - a) * mean;
+                delta = delta.max((next[u as usize] - z[u as usize]).abs());
+            }
+            std::mem::swap(&mut z, &mut next);
+            if delta <= tol {
+                break;
+            }
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fully_stubborn_agents_never_move() {
+        let g = generators::cycle(6).unwrap();
+        let s: Vec<f64> = (0..6).map(f64::from).collect();
+        let mut fj = FriedkinJohnsen::new(&g, s.clone(), vec![1.0; 6], 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            fj.step(&mut rng);
+        }
+        assert_eq!(fj.expressed(), s.as_slice());
+    }
+
+    #[test]
+    fn equilibrium_between_private_extremes() {
+        let g = generators::complete(5).unwrap();
+        let s = vec![0.0, 0.0, 0.0, 0.0, 10.0];
+        let fj = FriedkinJohnsen::new(&g, s, vec![0.3; 5], 4);
+        let z = fj.equilibrium(1e-12, 100_000);
+        for &v in &z {
+            assert!((0.0..=10.0).contains(&v));
+        }
+        // The stubborn-10 agent stays above the others.
+        assert!(z[4] > z[0]);
+        // No consensus: private opinions keep disagreement alive.
+        assert!(z[4] - z[0] > 0.1);
+    }
+
+    #[test]
+    fn asynchronous_limited_info_approaches_equilibrium() {
+        let g = generators::petersen();
+        let s: Vec<f64> = (0..10).map(|i| f64::from(i % 3)).collect();
+        let mut fj = FriedkinJohnsen::new(&g, s, vec![0.4; 10], 2);
+        let z_star = fj.equilibrium(1e-12, 100_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Average the trajectory tail to smooth sampling noise.
+        let mut tail_sum = vec![0.0; 10];
+        let tail = 40_000;
+        for step in 0..140_000 {
+            fj.step(&mut rng);
+            if step >= 100_000 {
+                for (acc, &z) in tail_sum.iter_mut().zip(fj.expressed()) {
+                    *acc += z;
+                }
+            }
+        }
+        for (u, (&avg_raw, &z)) in tail_sum.iter().zip(&z_star).enumerate() {
+            let avg = avg_raw / tail as f64;
+            assert!(
+                (avg - z).abs() < 0.15,
+                "node {u}: tail mean {avg} vs equilibrium {z}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stubbornness")]
+    fn rejects_zero_stubbornness() {
+        let g = generators::cycle(4).unwrap();
+        FriedkinJohnsen::new(&g, vec![0.0; 4], vec![0.0; 4], 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Baseline protocols against which *Distributed Averaging in Opinion
+//! Dynamics* (PODC 2023) positions its NodeModel/EdgeModel.
+//!
+//! The paper's introduction frames `Var(F)` as "the price of simplicity":
+//! stronger coordination guarantees exact average preservation, unilateral
+//! pull-based updates pay `Θ(‖ξ‖²/n²)` variance. These baselines make the
+//! comparison concrete:
+//!
+//! * [`PairwiseGossip`] — coordinated two-node averaging (Boyd et al.
+//!   2006): both endpoints of a random edge move to their mean, so `Avg` is
+//!   an *invariant*, not just a martingale.
+//! * [`PushSum`] — Kempe–Dobra–Gehrke (FOCS 2003) sum/weight gossip:
+//!   mass conservation gives exact average estimation at every node.
+//! * [`DeGroot`] — the classical synchronous repeated-averaging model
+//!   (DeGroot 1974), `ξ(t+1) = W ξ(t)` with the (lazy) walk matrix.
+//! * [`FriedkinJohnsen`] — opinions with stubborn private components
+//!   (Friedkin–Johnsen 1990), including the limited-information variant
+//!   (sample `k` neighbours per round) of Fotakis et al. (WINE 2018) that
+//!   the paper cites as closest to its NodeModel.
+//! * [`HegselmannKrause`] — bounded-confidence dynamics (HK 2002).
+//! * [`diffusion_round`] — synchronous neighbourhood load balancing
+//!   (Cybenko 1989 / Muthukrishnan et al.), the average-preserving
+//!   diffusion the paper's convergence bounds are compared against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod degroot;
+mod friedkin_johnsen;
+mod hegselmann_krause;
+mod load_balancing;
+mod pairwise;
+mod push_sum;
+
+pub use degroot::DeGroot;
+pub use friedkin_johnsen::FriedkinJohnsen;
+pub use hegselmann_krause::HegselmannKrause;
+pub use load_balancing::{diffusion_round, DiffusionBalancer};
+pub use pairwise::PairwiseGossip;
+pub use push_sum::PushSum;

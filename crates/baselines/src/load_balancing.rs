@@ -1,0 +1,156 @@
+use od_graph::{Graph, NodeId};
+
+/// One synchronous diffusion load-balancing round (Cybenko 1989):
+/// `x_u ← x_u + δ Σ_{v∼u} (x_v − x_u)` with uniform diffusion parameter
+/// `δ`. For `δ ≤ 1/(d_max + 1)` the iteration matrix `I − δL` is doubly
+/// stochastic with non-negative entries, so the total load (hence the
+/// average) is preserved exactly while the discrepancy contracts at rate
+/// governed by `λ₂(L)` — the synchronous, average-preserving counterpart
+/// the paper compares its asynchronous convergence bound against (§2).
+///
+/// # Panics
+///
+/// Panics on length mismatch or `δ ∉ (0, 1/d_max]`.
+pub fn diffusion_round(graph: &Graph, values: &mut [f64], delta: f64) {
+    assert_eq!(values.len(), graph.n(), "one value per node");
+    let d_max = graph.max_degree().max(1);
+    assert!(
+        delta > 0.0 && delta <= 1.0 / d_max as f64,
+        "delta must lie in (0, 1/d_max]"
+    );
+    let old = values.to_vec();
+    for u in 0..graph.n() as NodeId {
+        let mut flow = 0.0;
+        for &v in graph.neighbors(u) {
+            flow += old[v as usize] - old[u as usize];
+        }
+        values[u as usize] += delta * flow;
+    }
+}
+
+/// Convenience wrapper around [`diffusion_round`] tracking rounds and
+/// convergence.
+#[derive(Debug, Clone)]
+pub struct DiffusionBalancer<'g> {
+    graph: &'g Graph,
+    values: Vec<f64>,
+    delta: f64,
+    round: u64,
+}
+
+impl<'g> DiffusionBalancer<'g> {
+    /// Creates a balancer with the standard stable step `δ = 1/(d_max+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected/too small or the value count
+    /// mismatches.
+    pub fn new(graph: &'g Graph, values: Vec<f64>) -> Self {
+        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert_eq!(values.len(), graph.n(), "one value per node");
+        let delta = 1.0 / (graph.max_degree() as f64 + 1.0);
+        DiffusionBalancer {
+            graph,
+            values,
+            delta,
+            round: 0,
+        }
+    }
+
+    /// Current values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rounds taken.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Average (exactly invariant).
+    pub fn average(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Discrepancy `max − min`.
+    pub fn discrepancy(&self) -> f64 {
+        od_linalg::vector::discrepancy(&self.values)
+    }
+
+    /// One synchronous round.
+    pub fn step(&mut self) {
+        diffusion_round(self.graph, &mut self.values, self.delta);
+        self.round += 1;
+    }
+
+    /// Runs until the discrepancy is below `tol` or `max_rounds`. Returns
+    /// rounds taken.
+    pub fn run(&mut self, tol: f64, max_rounds: u64) -> u64 {
+        while self.discrepancy() > tol && self.round < max_rounds {
+            self.step();
+        }
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+
+    #[test]
+    fn average_exactly_preserved() {
+        let g = generators::star(7).unwrap();
+        let mut b = DiffusionBalancer::new(&g, (0..7).map(f64::from).collect());
+        let avg0 = b.average();
+        for _ in 0..200 {
+            b.step();
+            assert!((b.average() - avg0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_uniform_load() {
+        let g = generators::torus(4, 4).unwrap();
+        let mut values = vec![0.0; 16];
+        values[0] = 16.0;
+        let mut b = DiffusionBalancer::new(&g, values);
+        b.run(1e-10, 1_000_000);
+        for &v in b.values() {
+            assert!((v - 1.0).abs() < 1e-9, "load {v}");
+        }
+    }
+
+    #[test]
+    fn discrepancy_monotone_under_stable_step() {
+        let g = generators::cycle(10).unwrap();
+        let mut b = DiffusionBalancer::new(&g, (0..10).map(f64::from).collect());
+        let mut last = b.discrepancy();
+        for _ in 0..100 {
+            b.step();
+            let now = b.discrepancy();
+            assert!(now <= last + 1e-12);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn single_round_formula() {
+        // Path 0-1-2, δ = 1/3, x = (3, 0, 0):
+        // x0' = 3 + (0-3)/3 = 2; x1' = 0 + (3-0+0-0)/3 = 1; x2' = 0.
+        let g = generators::path(3).unwrap();
+        let mut x = vec![3.0, 0.0, 0.0];
+        diffusion_round(&g, &mut x, 1.0 / 3.0);
+        assert!((x[0] - 2.0).abs() < 1e-15);
+        assert!((x[1] - 1.0).abs() < 1e-15);
+        assert!(x[2].abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_unstable_delta() {
+        let g = generators::complete(5).unwrap();
+        let mut x = vec![0.0; 5];
+        diffusion_round(&g, &mut x, 0.5); // 1/d_max = 0.25
+    }
+}

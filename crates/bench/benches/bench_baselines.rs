@@ -1,0 +1,70 @@
+//! CMP-BASE: baseline protocol kernels next to the paper's models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_baselines::{DeGroot, DiffusionBalancer, HegselmannKrause, PairwiseGossip, PushSum};
+use od_bench::pm_one;
+use od_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn baseline_steps(c: &mut Criterion) {
+    let g = generators::torus(8, 8).unwrap();
+    let n = g.n();
+
+    let mut group = c.benchmark_group("baselines/step");
+    group.bench_function("pairwise_gossip", |b| {
+        let mut p = PairwiseGossip::new(&g, pm_one(n));
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| p.step(&mut rng));
+    });
+    group.bench_function("push_sum", |b| {
+        let mut p = PushSum::new(&g, pm_one(n));
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| p.step(&mut rng));
+    });
+    group.bench_function("degroot_round", |b| {
+        let mut p = DeGroot::new(&g, pm_one(n));
+        b.iter(|| p.step());
+    });
+    group.bench_function("diffusion_round", |b| {
+        let mut p = DiffusionBalancer::new(&g, pm_one(n));
+        b.iter(|| p.step());
+    });
+    group.bench_function("hegselmann_krause_round", |b| {
+        let opinions: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let mut p = HegselmannKrause::new(&g, opinions, 0.3);
+        b.iter(|| p.step());
+    });
+    group.finish();
+}
+
+fn baseline_full_runs(c: &mut Criterion) {
+    let g = generators::torus(6, 6).unwrap();
+    let n = g.n();
+    let mut group = c.benchmark_group("baselines/to_convergence");
+    group.sample_size(10);
+    group.bench_function("pairwise_gossip", |b| {
+        b.iter(|| {
+            let mut p = PairwiseGossip::new(&g, pm_one(n));
+            let mut rng = StdRng::seed_from_u64(3);
+            p.run(&mut rng, 1e-6, u64::MAX)
+        });
+    });
+    group.bench_function("push_sum", |b| {
+        b.iter(|| {
+            let mut p = PushSum::new(&g, pm_one(n));
+            let mut rng = StdRng::seed_from_u64(4);
+            p.run(&mut rng, 1e-6, u64::MAX)
+        });
+    });
+    group.bench_function("degroot", |b| {
+        b.iter(|| {
+            let mut p = DeGroot::new(&g, pm_one(n));
+            p.run(1e-6, u64::MAX)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baseline_steps, baseline_full_runs);
+criterion_main!(benches);

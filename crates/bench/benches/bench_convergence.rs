@@ -1,0 +1,75 @@
+//! Full ε-convergence runs — the workload behind T22-CONV / T22-K /
+//! T24-CONV / PB2 / CMP-VOTER.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_bench::pm_one;
+use od_core::{
+    run_until_converged, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, VoterModel,
+};
+use od_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn node_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence/node");
+    group.sample_size(10);
+    for (name, g) in [
+        ("complete32", generators::complete(32).unwrap()),
+        ("hypercube5", generators::hypercube(5).unwrap()),
+        ("torus6x6", generators::torus(6, 6).unwrap()),
+    ] {
+        for k in [1usize, 2] {
+            let params = NodeModelParams::new(0.5, k).unwrap();
+            group.bench_function(format!("{name}/k{k}"), |b| {
+                b.iter(|| {
+                    let mut m = NodeModel::new(&g, pm_one(g.n()), params).unwrap();
+                    let mut rng = StdRng::seed_from_u64(7);
+                    run_until_converged(&mut m, &mut rng, 1e-9, u64::MAX)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn edge_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence/edge");
+    group.sample_size(10);
+    for (name, g) in [
+        ("complete32", generators::complete(32).unwrap()),
+        ("star32", generators::star(32).unwrap()),
+        ("barbell8", generators::barbell(8).unwrap()),
+    ] {
+        let params = EdgeModelParams::new(0.5).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = EdgeModel::new(&g, pm_one(g.n()), params).unwrap();
+                let mut rng = StdRng::seed_from_u64(8);
+                run_until_converged(&mut m, &mut rng, 1e-9, u64::MAX)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn voter_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence/voter");
+    group.sample_size(10);
+    for (name, g) in [
+        ("complete32", generators::complete(32).unwrap()),
+        ("cycle24", generators::cycle(24).unwrap()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let opinions: Vec<u32> = (0..g.n() as u32).collect();
+                let mut v = VoterModel::new(&g, opinions).unwrap();
+                let mut rng = StdRng::seed_from_u64(9);
+                v.run_to_consensus(&mut rng, u64::MAX)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, node_convergence, edge_convergence, voter_consensus);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Duality machinery (FIG1 / FIG4 / DUAL): figure reproductions and the
+//! record + reversed-replay pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_core::{NodeModel, NodeModelParams, OpinionProcess, StepRecord};
+use od_dual::duality;
+use od_dual::DiffusionProcess;
+use od_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("duality/figures");
+    group.bench_function("figure1", |b| b.iter(duality::figure1));
+    group.bench_function("figure4", |b| b.iter(duality::figure4));
+    group.finish();
+}
+
+fn verify_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("duality/verify");
+    group.sample_size(20);
+    for steps in [100usize, 1_000] {
+        group.bench_function(format!("petersen/{steps}steps"), |b| {
+            let g = generators::petersen();
+            let xi0: Vec<f64> = (0..10).map(f64::from).collect();
+            b.iter(|| duality::verify_node_duality(&g, 0.5, 2, &xi0, steps, 3).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn diffusion_replay(c: &mut Criterion) {
+    // Isolate the diffusion side: applying records to the dense R matrix.
+    let mut group = c.benchmark_group("duality/diffusion_replay");
+    let g = generators::torus(8, 8).unwrap();
+    let xi0: Vec<f64> = (0..64).map(f64::from).collect();
+    let params = NodeModelParams::new(0.5, 2).unwrap();
+    let mut model = NodeModel::new(&g, xi0, params).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let records: Vec<StepRecord> = (0..1_000).map(|_| model.step_recorded(&mut rng)).collect();
+    group.sample_size(20);
+    group.bench_function("torus8x8/1000records", |b| {
+        b.iter(|| {
+            let mut d = DiffusionProcess::new(&g, 0.5).unwrap();
+            d.apply_reversed(&records);
+            d.r_matrix().sum()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figures, verify_pipeline, diffusion_replay);
+criterion_main!(benches);

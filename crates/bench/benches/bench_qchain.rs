@@ -1,0 +1,53 @@
+//! Q-chain machinery (L57): closed-form evaluation, balance-equation
+//! verification and the power-iteration stationary distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_dual::QChain;
+use od_graph::generators;
+
+fn closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qchain/closed_form");
+    for (name, g, k) in [
+        ("petersen/k2", generators::petersen(), 2usize),
+        ("cycle32/k2", generators::cycle(32).unwrap(), 2),
+        ("hypercube5/k3", generators::hypercube(5).unwrap(), 3),
+    ] {
+        group.bench_function(name, |b| {
+            let chain = QChain::new(&g, 0.5, k).unwrap();
+            b.iter(|| chain.closed_form_vector());
+        });
+    }
+    group.finish();
+}
+
+fn balance_residual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qchain/balance_residual");
+    for (name, g, k) in [
+        ("petersen/k2", generators::petersen(), 2usize),
+        ("cycle16/k2", generators::cycle(16).unwrap(), 2),
+    ] {
+        group.bench_function(name, |b| {
+            let chain = QChain::new(&g, 0.5, k).unwrap();
+            b.iter(|| chain.closed_form_balance_residual());
+        });
+    }
+    group.finish();
+}
+
+fn stationary_numeric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qchain/stationary_numeric");
+    group.sample_size(10);
+    for (name, g, k) in [
+        ("petersen/k2", generators::petersen(), 2usize),
+        ("cycle12/k1", generators::cycle(12).unwrap(), 1),
+    ] {
+        group.bench_function(name, |b| {
+            let chain = QChain::new(&g, 0.5, k).unwrap();
+            b.iter(|| chain.stationary_numeric(1e-12, 200_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, closed_form, balance_residual, stationary_numeric);
+criterion_main!(benches);

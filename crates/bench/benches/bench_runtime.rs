@@ -1,0 +1,67 @@
+//! RUNTIME: message-passing protocol overhead vs the state-vector kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_bench::pm_one;
+use od_core::{NodeModel, NodeModelParams, OpinionProcess};
+use od_graph::generators;
+use od_runtime::ProtocolNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn protocol_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/protocol_step");
+    for (name, g, k) in [
+        ("torus8x8/k1", generators::torus(8, 8).unwrap(), 1usize),
+        ("torus8x8/k4", generators::torus(8, 8).unwrap(), 4),
+        ("hypercube6/k3", generators::hypercube(6).unwrap(), 3),
+    ] {
+        group.bench_function(name, |b| {
+            let mut net = ProtocolNetwork::new(&g, pm_one(g.n()), 0.5, k);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| net.step(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn state_vector_step_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/state_vector_reference");
+    let g = generators::torus(8, 8).unwrap();
+    for k in [1usize, 4] {
+        let params = NodeModelParams::new(0.5, k).unwrap();
+        group.bench_function(format!("torus8x8/k{k}"), |b| {
+            let mut m = NodeModel::new(&g, pm_one(g.n()), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| m.step(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn replay_conformance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/replay");
+    group.sample_size(20);
+    let g = generators::petersen();
+    let params = NodeModelParams::new(0.5, 2).unwrap();
+    let mut source = NodeModel::new(&g, pm_one(10), params).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let records: Vec<_> = (0..1_000).map(|_| source.step_recorded(&mut rng)).collect();
+    group.bench_function("petersen/1000records", |b| {
+        b.iter(|| {
+            let mut net = ProtocolNetwork::new(&g, pm_one(10), 0.5, 2);
+            for r in &records {
+                net.apply(r);
+            }
+            net.stats().total_messages()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    protocol_step,
+    state_vector_step_reference,
+    replay_conformance
+);
+criterion_main!(benches);

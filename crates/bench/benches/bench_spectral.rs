@@ -1,0 +1,55 @@
+//! Spectral substrate: `λ₂(P)`, `λ₂(L)` and the dense Jacobi solver, which
+//! gate every convergence-time prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_graph::generators;
+use od_linalg::{eigen, CsrMatrix};
+
+fn lazy_walk_lambda2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral/lazy_walk_lambda2");
+    group.sample_size(10);
+    for (name, g) in [
+        ("cycle64", generators::cycle(64).unwrap()),
+        ("torus8x8", generators::torus(8, 8).unwrap()),
+        ("hypercube8", generators::hypercube(8).unwrap()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| eigen::lazy_walk_spectrum(&g, 1e-10, 2_000_000).lambda2);
+        });
+    }
+    group.finish();
+}
+
+fn laplacian_lambda2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral/laplacian_lambda2");
+    group.sample_size(10);
+    for (name, g) in [
+        ("cycle64", generators::cycle(64).unwrap()),
+        ("star128", generators::star(128).unwrap()),
+        ("barbell16", generators::barbell(16).unwrap()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| eigen::laplacian_spectrum(&g, 1e-10, 2_000_000).lambda2);
+        });
+    }
+    group.finish();
+}
+
+fn jacobi_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral/jacobi");
+    group.sample_size(10);
+    for (name, g) in [
+        ("petersen", generators::petersen()),
+        ("cycle32", generators::cycle(32).unwrap()),
+        ("hypercube6", generators::hypercube(6).unwrap()),
+    ] {
+        let a = CsrMatrix::adjacency(&g).to_dense();
+        group.bench_function(name, |b| {
+            b.iter(|| eigen::jacobi_eigen(&a, 1e-10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lazy_walk_lambda2, laplacian_lambda2, jacobi_dense);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Step kernels: one asynchronous update of each process (the unit of the
+//! paper's time axis). Covers the hot path behind L41 / PB1 / PD1 / EQUIV.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use od_bench::{bench_graphs, pm_one};
+use od_core::{
+    EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, VoterModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn node_model_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step/node_model");
+    for (name, g) in bench_graphs() {
+        for k in [1usize, 2, 4] {
+            if k > g.min_degree() {
+                continue;
+            }
+            let params = NodeModelParams::new(0.5, k).unwrap();
+            group.bench_function(format!("{name}/k{k}"), |b| {
+                let mut model = NodeModel::new(&g, pm_one(g.n()), params).unwrap();
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| model.step(&mut rng));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn edge_model_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step/edge_model");
+    for (name, g) in bench_graphs() {
+        let params = EdgeModelParams::new(0.5).unwrap();
+        group.bench_function(name, |b| {
+            let mut model = EdgeModel::new(&g, pm_one(g.n()), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| model.step(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn voter_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step/voter");
+    for (name, g) in bench_graphs() {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let opinions: Vec<u32> = (0..g.n() as u32).collect();
+                    (
+                        VoterModel::new(&g, opinions).unwrap(),
+                        StdRng::seed_from_u64(3),
+                    )
+                },
+                |(mut v, mut rng)| {
+                    for _ in 0..64 {
+                        v.step(&mut rng);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn recorded_steps(c: &mut Criterion) {
+    // The duality experiments pay for record allocation; measure the
+    // overhead vs the plain step.
+    let mut group = c.benchmark_group("step/recorded");
+    let (name, g) = &bench_graphs()[1];
+    let params = NodeModelParams::new(0.5, 2).unwrap();
+    group.bench_function(format!("{name}/k2"), |b| {
+        let mut model = NodeModel::new(g, pm_one(g.n()), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| model.step_recorded(&mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    node_model_steps,
+    edge_model_steps,
+    voter_steps,
+    recorded_steps
+);
+criterion_main!(benches);

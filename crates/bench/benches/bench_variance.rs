@@ -1,0 +1,52 @@
+//! Per-trial workload of the variance experiments (T22-VAR / T24-VAR /
+//! P58 / CE2): estimate one convergence value `F`, plus the analytic
+//! predictor itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_bench::pm_one;
+use od_core::{estimate_convergence_value, NodeModel, NodeModelParams};
+use od_dual::variance::predict_variance;
+use od_dual::QChain;
+use od_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn estimate_f_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variance/estimate_f");
+    group.sample_size(10);
+    for (name, g, k) in [
+        ("complete16/k1", generators::complete(16).unwrap(), 1usize),
+        ("cycle16/k1", generators::cycle(16).unwrap(), 1),
+        ("hypercube4/k2", generators::hypercube(4).unwrap(), 2),
+    ] {
+        let params = NodeModelParams::new(0.5, k).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = NodeModel::new(&g, pm_one(g.n()), params).unwrap();
+                let mut rng = StdRng::seed_from_u64(11);
+                estimate_convergence_value(&mut m, &mut rng, 1e-10, u64::MAX).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn analytic_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variance/predictor");
+    for (name, g, k) in [
+        ("cycle64/k1", generators::cycle(64).unwrap(), 1usize),
+        ("hypercube6/k3", generators::hypercube(6).unwrap(), 3),
+    ] {
+        let xi0 = pm_one(g.n());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let chain = QChain::new(&g, 0.5, k).unwrap();
+                predict_variance(&chain, &xi0).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimate_f_trial, analytic_predictor);
+criterion_main!(benches);

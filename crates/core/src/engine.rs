@@ -1,0 +1,155 @@
+//! Convergence engine: drives a process to ε-convergence, estimates the
+//! convergence value `F`, and records potential trajectories.
+
+use crate::process::OpinionProcess;
+use rand::RngCore;
+
+/// Result of driving a process towards ε-convergence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceReport {
+    /// Steps taken (including any before this call).
+    pub steps: u64,
+    /// Whether `φ(ξ(T)) ≤ ε` was reached within the budget.
+    pub converged: bool,
+    /// The potential `φ` at the end of the run.
+    pub potential: f64,
+}
+
+/// Runs `process` until the paper's ε-convergence (`φ(ξ(t)) ≤ ε`, Eq. 3)
+/// or until `max_steps` total steps.
+///
+/// The potential is maintained incrementally by the state, so the check is
+/// O(1) per step.
+pub fn run_until_converged<P: OpinionProcess + ?Sized>(
+    process: &mut P,
+    rng: &mut dyn RngCore,
+    epsilon: f64,
+    max_steps: u64,
+) -> ConvergenceReport {
+    while process.state().potential_pi() > epsilon && process.time() < max_steps {
+        process.step(rng);
+    }
+    ConvergenceReport {
+        steps: process.time(),
+        converged: process.state().potential_pi() <= epsilon,
+        potential: process.state().potential_pi(),
+    }
+}
+
+/// Estimates the convergence value `F` by running until the potential is
+/// negligible and returning `M(t) = Σ π_u ξ_u(t)` — the martingale that
+/// converges to `F` (Lemma 4.1). Returns `None` if the budget is exhausted
+/// before `φ ≤ ε`.
+pub fn estimate_convergence_value<P: OpinionProcess + ?Sized>(
+    process: &mut P,
+    rng: &mut dyn RngCore,
+    epsilon: f64,
+    max_steps: u64,
+) -> Option<f64> {
+    let report = run_until_converged(process, rng, epsilon, max_steps);
+    report.converged.then(|| process.state().weighted_average())
+}
+
+/// Runs `total_steps` steps, sampling `(t, φ(ξ(t)))` every `sample_every`
+/// steps (including `t = 0`). Used by the potential-drop experiments
+/// (Prop. B.1 / Prop. D.1).
+///
+/// # Panics
+///
+/// Panics if `sample_every == 0`.
+pub fn trace_potential<P: OpinionProcess + ?Sized>(
+    process: &mut P,
+    rng: &mut dyn RngCore,
+    total_steps: u64,
+    sample_every: u64,
+) -> Vec<(u64, f64)> {
+    assert!(sample_every > 0, "sample_every must be positive");
+    let mut trace = vec![(process.time(), process.state().potential_pi())];
+    for _ in 0..total_steps {
+        process.step(rng);
+        if process.time() % sample_every == 0 {
+            trace.push((process.time(), process.state().potential_pi()));
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeModel, EdgeModelParams, NodeModel, NodeModelParams};
+    use od_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_model_reaches_epsilon() {
+        let g = generators::complete(10).unwrap();
+        let params = NodeModelParams::new(0.5, 2).unwrap();
+        let mut m = NodeModel::new(&g, (0..10).map(f64::from).collect(), params).unwrap();
+        let mut r = StdRng::seed_from_u64(1);
+        let report = run_until_converged(&mut m, &mut r, 1e-10, 10_000_000);
+        assert!(report.converged);
+        assert!(report.potential <= 1e-10);
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_flagged() {
+        let g = generators::cycle(50).unwrap();
+        let params = NodeModelParams::new(0.5, 1).unwrap();
+        let mut m = NodeModel::new(&g, (0..50).map(f64::from).collect(), params).unwrap();
+        let mut r = StdRng::seed_from_u64(2);
+        let report = run_until_converged(&mut m, &mut r, 1e-30, 100);
+        assert!(!report.converged);
+        assert_eq!(report.steps, 100);
+    }
+
+    #[test]
+    fn estimate_f_close_to_initial_average_on_regular_graph() {
+        let g = generators::complete(12).unwrap();
+        let params = EdgeModelParams::new(0.5).unwrap();
+        let xi0: Vec<f64> = (0..12).map(f64::from).collect();
+        let avg0 = 5.5;
+        let mut m = EdgeModel::new(&g, xi0, params).unwrap();
+        let mut r = StdRng::seed_from_u64(3);
+        let f = estimate_convergence_value(&mut m, &mut r, 1e-16, 10_000_000).unwrap();
+        // Var(F) = Θ(‖ξ‖²/n²) ≈ 3.5 here, so F is within a few std devs.
+        assert!((f - avg0).abs() < 8.0, "F = {f}");
+    }
+
+    #[test]
+    fn estimate_none_when_budget_too_small() {
+        let g = generators::cycle(30).unwrap();
+        let params = EdgeModelParams::new(0.5).unwrap();
+        let mut m = EdgeModel::new(&g, (0..30).map(f64::from).collect(), params).unwrap();
+        let mut r = StdRng::seed_from_u64(4);
+        assert_eq!(
+            estimate_convergence_value(&mut m, &mut r, 1e-30, 10),
+            None
+        );
+    }
+
+    #[test]
+    fn trace_records_monotone_trend() {
+        let g = generators::complete(8).unwrap();
+        let params = NodeModelParams::new(0.5, 1).unwrap();
+        let mut m = NodeModel::new(&g, (0..8).map(f64::from).collect(), params).unwrap();
+        let mut r = StdRng::seed_from_u64(5);
+        let trace = trace_potential(&mut m, &mut r, 4_000, 500);
+        assert_eq!(trace.len(), 1 + 8);
+        assert_eq!(trace[0].0, 0);
+        // Potential decays substantially over 4000 steps on K_8.
+        assert!(trace.last().unwrap().1 < trace[0].1 * 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_every")]
+    fn trace_zero_interval_panics() {
+        let g = generators::cycle(4).unwrap();
+        let params = NodeModelParams::new(0.5, 1).unwrap();
+        let mut m = NodeModel::new(&g, vec![0.0; 4], params).unwrap();
+        let mut r = StdRng::seed_from_u64(6);
+        trace_potential(&mut m, &mut r, 10, 0);
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing a process.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// `α` outside the admissible range. Definition 2.1 allows
+    /// `α ∈ [0, 1)`; the convergence/concentration theorems additionally
+    /// assume a constant `α ∈ (0, 1)`.
+    InvalidAlpha {
+        /// The rejected value.
+        alpha: f64,
+    },
+    /// `k` must satisfy `1 ≤ k ≤ d_min` so every node can sample `k`
+    /// distinct neighbours.
+    InvalidSampleSize {
+        /// The rejected `k`.
+        k: usize,
+        /// The graph's minimum degree.
+        d_min: usize,
+    },
+    /// The paper's processes are defined on connected graphs (otherwise the
+    /// values converge per component, not globally).
+    Disconnected,
+    /// Initial value vector length differs from the node count.
+    LengthMismatch {
+        /// Number of initial values supplied.
+        values: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// Initial values must be finite.
+    NonFiniteValue {
+        /// Index of the offending value.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidAlpha { alpha } => {
+                write!(f, "alpha must lie in [0, 1), got {alpha}")
+            }
+            CoreError::InvalidSampleSize { k, d_min } => {
+                write!(f, "k must satisfy 1 <= k <= d_min = {d_min}, got {k}")
+            }
+            CoreError::Disconnected => write!(f, "graph must be connected"),
+            CoreError::LengthMismatch { values, nodes } => {
+                write!(f, "{values} initial values for {nodes} nodes")
+            }
+            CoreError::NonFiniteValue { index } => {
+                write!(f, "initial value at index {index} is not finite")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CoreError::InvalidAlpha { alpha: 1.5 }
+            .to_string()
+            .contains("alpha"));
+        assert!(CoreError::InvalidSampleSize { k: 9, d_min: 2 }
+            .to_string()
+            .contains("d_min = 2"));
+        assert!(CoreError::Disconnected.to_string().contains("connected"));
+        assert!(CoreError::LengthMismatch { values: 3, nodes: 4 }
+            .to_string()
+            .contains("3 initial values"));
+        assert!(CoreError::NonFiniteValue { index: 2 }
+            .to_string()
+            .contains("index 2"));
+    }
+}

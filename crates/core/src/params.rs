@@ -1,0 +1,145 @@
+use crate::error::CoreError;
+
+/// Whether the process runs its lazy variant.
+///
+/// Section 4 analyses the *lazy* NodeModel, in which each step performs no
+/// update with probability 1/2 (this couples the process to the lazy random
+/// walk matrix `P` with `p_ii = 1/2`). The definitions in Section 2 are
+/// non-lazy. Experiments measure both; predictions for the lazy variant are
+/// the non-lazy ones with time rescaled by 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Laziness {
+    /// Every step performs an update (Definitions 2.1 / 2.3).
+    #[default]
+    Active,
+    /// With probability 1/2 a step is skipped (Section 4's variant).
+    Lazy,
+}
+
+/// Validated parameters of the NodeModel (Definition 2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeModelParams {
+    alpha: f64,
+    k: usize,
+    laziness: Laziness,
+}
+
+impl NodeModelParams {
+    /// Creates parameters with `α ∈ [0, 1)` and sample size `k ≥ 1`.
+    ///
+    /// `k ≤ d_min` is validated against the graph at process construction,
+    /// not here.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidAlpha`] if `α ∉ [0, 1)` or not finite;
+    /// [`CoreError::InvalidSampleSize`] if `k == 0`.
+    pub fn new(alpha: f64, k: usize) -> Result<Self, CoreError> {
+        if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+            return Err(CoreError::InvalidAlpha { alpha });
+        }
+        if k == 0 {
+            return Err(CoreError::InvalidSampleSize { k, d_min: 0 });
+        }
+        Ok(NodeModelParams {
+            alpha,
+            k,
+            laziness: Laziness::Active,
+        })
+    }
+
+    /// Returns a copy with the given laziness.
+    #[must_use]
+    pub fn with_laziness(mut self, laziness: Laziness) -> Self {
+        self.laziness = laziness;
+        self
+    }
+
+    /// Self-weight `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Neighbour sample size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Laziness variant.
+    pub fn laziness(&self) -> Laziness {
+        self.laziness
+    }
+}
+
+/// Validated parameters of the EdgeModel (Definition 2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeModelParams {
+    alpha: f64,
+    laziness: Laziness,
+}
+
+impl EdgeModelParams {
+    /// Creates parameters with `α ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidAlpha`] if `α ∉ [0, 1)` or not finite.
+    pub fn new(alpha: f64) -> Result<Self, CoreError> {
+        if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+            return Err(CoreError::InvalidAlpha { alpha });
+        }
+        Ok(EdgeModelParams {
+            alpha,
+            laziness: Laziness::Active,
+        })
+    }
+
+    /// Returns a copy with the given laziness.
+    #[must_use]
+    pub fn with_laziness(mut self, laziness: Laziness) -> Self {
+        self.laziness = laziness;
+        self
+    }
+
+    /// Self-weight `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Laziness variant.
+    pub fn laziness(&self) -> Laziness {
+        self.laziness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_params_validation() {
+        assert!(NodeModelParams::new(0.5, 1).is_ok());
+        assert!(NodeModelParams::new(0.0, 2).is_ok()); // voter-style alpha
+        assert!(NodeModelParams::new(1.0, 1).is_err());
+        assert!(NodeModelParams::new(-0.1, 1).is_err());
+        assert!(NodeModelParams::new(f64::NAN, 1).is_err());
+        assert!(NodeModelParams::new(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn edge_params_validation() {
+        assert!(EdgeModelParams::new(0.25).is_ok());
+        assert!(EdgeModelParams::new(1.0).is_err());
+        assert!(EdgeModelParams::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn laziness_builder() {
+        let p = NodeModelParams::new(0.5, 2).unwrap();
+        assert_eq!(p.laziness(), Laziness::Active);
+        let lazy = p.with_laziness(Laziness::Lazy);
+        assert_eq!(lazy.laziness(), Laziness::Lazy);
+        assert_eq!(lazy.alpha(), 0.5);
+        assert_eq!(lazy.k(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+use crate::state::OpinionState;
+use od_graph::{Graph, NodeId};
+use rand::RngCore;
+
+/// The node-selection outcome of a single step — the `χ(t)` of
+/// Proposition 5.1's coupling.
+///
+/// The duality between the Averaging Process and the Diffusion Process is a
+/// statement about *selection sequences*: running the averaging process on
+/// `χ = (χ(1), …, χ(T))` and the diffusion process on the reversed sequence
+/// `χ^R` yields `W(T) = ξᵀ(T)` exactly (Lemma 5.2). Recording steps makes
+/// that coupling executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepRecord {
+    /// A lazy step that performed no update.
+    Noop,
+    /// NodeModel selection: node `u` and its sampled neighbours `S(t)`.
+    Node {
+        /// The updating node `u(t)`.
+        node: NodeId,
+        /// The `k` sampled distinct neighbours (order irrelevant).
+        sample: Vec<NodeId>,
+    },
+    /// EdgeModel selection: directed edge `(tail, head)`.
+    Edge {
+        /// The updating node.
+        tail: NodeId,
+        /// The observed neighbour.
+        head: NodeId,
+    },
+}
+
+/// Common interface of the paper's averaging processes.
+///
+/// `step` advances one time step without recording (the Monte-Carlo hot
+/// path — no allocation); `step_recorded` additionally returns the
+/// selection made, and `apply` replays a recorded selection
+/// deterministically (used by the duality experiments).
+pub trait OpinionProcess {
+    /// The underlying graph.
+    fn graph(&self) -> &Graph;
+
+    /// Current state `ξ(t)` with its aggregates.
+    fn state(&self) -> &OpinionState;
+
+    /// Number of steps taken so far.
+    fn time(&self) -> u64;
+
+    /// Advances one step using `rng` for all random choices.
+    fn step(&mut self, rng: &mut dyn RngCore);
+
+    /// Advances one step and returns the selection record.
+    fn step_recorded(&mut self, rng: &mut dyn RngCore) -> StepRecord;
+
+    /// Applies a recorded selection (deterministic replay).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the record kind does not match the process
+    /// or references invalid nodes.
+    fn apply(&mut self, record: &StepRecord);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_compare_by_value() {
+        let a = StepRecord::Node {
+            node: 1,
+            sample: vec![2, 3],
+        };
+        let b = StepRecord::Node {
+            node: 1,
+            sample: vec![2, 3],
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, StepRecord::Noop);
+        assert_ne!(
+            StepRecord::Edge { tail: 0, head: 1 },
+            StepRecord::Edge { tail: 1, head: 0 }
+        );
+    }
+}

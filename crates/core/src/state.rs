@@ -1,0 +1,303 @@
+use crate::error::CoreError;
+use od_graph::{Graph, NodeId};
+
+/// How many single-coordinate updates may elapse before the running sums
+/// are recomputed from scratch, bounding floating-point drift.
+const REFRESH_INTERVAL: u64 = 1 << 20;
+
+/// The value vector `ξ(t)` together with the running aggregates the paper's
+/// analysis uses, maintained in O(1) per update:
+///
+/// * `Avg(t) = (1/n) Σ_u ξ_u(t)` and `M(t) = Σ_u π_u ξ_u(t)` (Eq. 1);
+/// * the potential `φ(ξ) = ⟨ξ,ξ⟩_π − ⟨1,ξ⟩_π²` (Eq. 3), whose threshold
+///   defines ε-convergence;
+/// * the uniform-weight potential `φ̄_V(ξ) = Σξ² − (Σξ)²/n` of Prop. D.1.
+///
+/// Both potentials are *shift-invariant*, so the sums are maintained in
+/// coordinates centered at the initial weighted mean (the "gauge"). This
+/// avoids the catastrophic cancellation that computing `S₂ − S₁²` on raw
+/// values with a large common offset would incur — with a gauge, the
+/// summands scale with the opinion *spread*, not the opinion magnitude.
+/// Running sums are additionally refreshed from scratch every 2²⁰ updates
+/// to bound drift; tests verify incremental and direct values agree.
+#[derive(Debug, Clone)]
+pub struct OpinionState {
+    values: Vec<f64>,
+    /// Stationary distribution π_u = d_u/2m of the underlying graph.
+    pi: Vec<f64>,
+    /// Centering offset (the initial weighted mean).
+    gauge: f64,
+    /// Σ π_u (ξ_u − gauge).
+    weighted_sum_c: f64,
+    /// Σ π_u (ξ_u − gauge)².
+    weighted_sq_sum_c: f64,
+    /// Σ (ξ_u − gauge).
+    sum_c: f64,
+    /// Σ (ξ_u − gauge)².
+    sq_sum_c: f64,
+    updates_since_refresh: u64,
+}
+
+impl OpinionState {
+    /// Creates a state for `graph` with the given initial values.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LengthMismatch`] or [`CoreError::NonFiniteValue`].
+    pub fn new(graph: &Graph, values: Vec<f64>) -> Result<Self, CoreError> {
+        if values.len() != graph.n() {
+            return Err(CoreError::LengthMismatch {
+                values: values.len(),
+                nodes: graph.n(),
+            });
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteValue { index });
+        }
+        let pi = graph.stationary_distribution();
+        let gauge = pi.iter().zip(&values).map(|(w, v)| w * v).sum();
+        let mut state = OpinionState {
+            values,
+            pi,
+            gauge,
+            weighted_sum_c: 0.0,
+            weighted_sq_sum_c: 0.0,
+            sum_c: 0.0,
+            sq_sum_c: 0.0,
+            updates_since_refresh: 0,
+        };
+        state.refresh_sums();
+        Ok(state)
+    }
+
+    /// The current value vector `ξ(t)`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The value at node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn value(&self, u: NodeId) -> f64 {
+        self.values[u as usize]
+    }
+
+    /// The stationary distribution `π` used for the weighted aggregates.
+    pub fn pi(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sets `ξ_u` and updates the aggregates in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_value(&mut self, u: NodeId, new: f64) {
+        let idx = u as usize;
+        let old_c = self.values[idx] - self.gauge;
+        let new_c = new - self.gauge;
+        let w = self.pi[idx];
+        self.values[idx] = new;
+        self.weighted_sum_c += w * (new_c - old_c);
+        self.weighted_sq_sum_c += w * (new_c * new_c - old_c * old_c);
+        self.sum_c += new_c - old_c;
+        self.sq_sum_c += new_c * new_c - old_c * old_c;
+        self.updates_since_refresh += 1;
+        if self.updates_since_refresh >= REFRESH_INTERVAL {
+            self.refresh_sums();
+        }
+    }
+
+    /// `Avg(t) = (1/n) Σ_u ξ_u(t)` (Eq. 1).
+    pub fn average(&self) -> f64 {
+        self.sum_c / self.n() as f64 + self.gauge
+    }
+
+    /// `M(t) = Σ_u π_u ξ_u(t)` (Eq. 1) — the NodeModel martingale
+    /// (Lemma 4.1).
+    pub fn weighted_average(&self) -> f64 {
+        self.weighted_sum_c + self.gauge
+    }
+
+    /// The paper's potential `φ(ξ(t)) = ⟨ξ,ξ⟩_π − ⟨1,ξ⟩_π²` (Eq. 3),
+    /// clamped at 0 against rounding. The process is ε-converged when this
+    /// is at most ε.
+    pub fn potential_pi(&self) -> f64 {
+        (self.weighted_sq_sum_c - self.weighted_sum_c * self.weighted_sum_c).max(0.0)
+    }
+
+    /// The uniform-weight potential `φ̄_V(ξ) = Σξ² − (Σξ)²/n`
+    /// (Prop. D.1), clamped at 0.
+    pub fn potential_uniform(&self) -> f64 {
+        (self.sq_sum_c - self.sum_c * self.sum_c / self.n() as f64).max(0.0)
+    }
+
+    /// Whether `φ(ξ(t)) ≤ ε` (the paper's ε-convergence).
+    pub fn is_converged(&self, epsilon: f64) -> bool {
+        self.potential_pi() <= epsilon
+    }
+
+    /// Discrepancy `K = max ξ − min ξ` (Section 2). O(n).
+    pub fn discrepancy(&self) -> f64 {
+        od_linalg::vector::discrepancy(&self.values)
+    }
+
+    /// `‖ξ‖₂²`. O(n) (recomputed exactly, not from the running sum).
+    pub fn norm_sq(&self) -> f64 {
+        od_linalg::vector::norm2_sq(&self.values)
+    }
+
+    /// Recomputes all running sums from scratch.
+    pub fn refresh_sums(&mut self) {
+        self.weighted_sum_c = 0.0;
+        self.weighted_sq_sum_c = 0.0;
+        self.sum_c = 0.0;
+        self.sq_sum_c = 0.0;
+        for (v, w) in self.values.iter().zip(&self.pi) {
+            let c = v - self.gauge;
+            self.weighted_sum_c += w * c;
+            self.weighted_sq_sum_c += w * c * c;
+            self.sum_c += c;
+            self.sq_sum_c += c * c;
+        }
+        self.updates_since_refresh = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+
+    fn state_on(graph: &Graph, values: Vec<f64>) -> OpinionState {
+        OpinionState::new(graph, values).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::cycle(4).unwrap();
+        assert!(matches!(
+            OpinionState::new(&g, vec![1.0; 3]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            OpinionState::new(&g, vec![1.0, f64::NAN, 0.0, 0.0]),
+            Err(CoreError::NonFiniteValue { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn averages_regular_graph() {
+        let g = generators::cycle(4).unwrap();
+        let s = state_on(&g, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((s.average() - 2.5).abs() < 1e-15);
+        // Regular graph: weighted average equals plain average.
+        assert!((s.weighted_average() - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_average_star() {
+        // Star on 4 nodes: π = (1/2, 1/6, 1/6, 1/6).
+        let g = generators::star(4).unwrap();
+        let s = state_on(&g, vec![6.0, 0.0, 0.0, 3.0]);
+        assert!((s.weighted_average() - (3.0 + 0.5)).abs() < 1e-15);
+        assert!((s.average() - 2.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn potential_matches_pairwise_formula() {
+        // φ = ½ Σ_{u,v} π_u π_v (ξ_u − ξ_v)² (Eq. 3, second form).
+        let g = generators::star(5).unwrap();
+        let values = vec![2.0, -1.0, 0.5, 3.0, -2.0];
+        let s = state_on(&g, values.clone());
+        let pi = g.stationary_distribution();
+        let mut direct = 0.0;
+        for u in 0..5 {
+            for v in 0..5 {
+                direct += 0.5 * pi[u] * pi[v] * (values[u] - values[v]).powi(2);
+            }
+        }
+        assert!((s.potential_pi() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_potential_matches_direct() {
+        let g = generators::cycle(5).unwrap();
+        let values = vec![1.0, 4.0, -2.0, 0.0, 2.0];
+        let s = state_on(&g, values.clone());
+        let n = 5.0;
+        let mean = values.iter().sum::<f64>() / n;
+        let direct: f64 = values.iter().map(|v| (v - mean).powi(2)).sum();
+        assert!((s.potential_uniform() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_updates_match_refresh() {
+        let g = generators::petersen();
+        let mut s = state_on(&g, (0..10).map(f64::from).collect());
+        // Interleave updates, compare against fresh recomputation.
+        for step in 0..100u32 {
+            let u = (step * 7 % 10) as NodeId;
+            s.set_value(u, (step as f64) * 0.37 - 5.0);
+            let mut fresh = s.clone();
+            fresh.refresh_sums();
+            assert!((s.potential_pi() - fresh.potential_pi()).abs() < 1e-9);
+            assert!((s.average() - fresh.average()).abs() < 1e-10);
+            assert!((s.weighted_average() - fresh.weighted_average()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn potential_resolves_under_large_offsets() {
+        // The gauge keeps φ accurate even when opinions sit at a huge
+        // common offset — the regime where raw S₂ − S₁² cancels
+        // catastrophically.
+        let g = generators::cycle(6).unwrap();
+        let offset = 1.0e9;
+        let spread = [0.0, 1e-3, 2e-3, 0.0, -1e-3, -2e-3];
+        let values: Vec<f64> = spread.iter().map(|d| offset + d).collect();
+        let mut s = state_on(&g, values.clone());
+        // Direct φ on the representable spreads (shift-invariant): ~1e-6
+        // magnitude. Input quantization at offset 1e9 is ~1e-7 per value,
+        // so agreement to ~1e-9 is the best achievable.
+        let stored: Vec<f64> = values.iter().map(|v| v - offset).collect();
+        let mean: f64 = stored.iter().sum::<f64>() / 6.0;
+        let direct: f64 = stored.iter().map(|v| (v - mean) * (v - mean) / 6.0).sum();
+        assert!(
+            (s.potential_pi() - direct).abs() < 1e-9,
+            "{} vs {direct}",
+            s.potential_pi()
+        );
+        // And it keeps resolving after updates near the offset.
+        s.set_value(0, offset + 5e-4);
+        assert!(s.potential_pi() > 0.0);
+        assert!(s.potential_pi() < 1e-5);
+    }
+
+    #[test]
+    fn converged_iff_constant() {
+        let g = generators::cycle(6).unwrap();
+        let s = state_on(&g, vec![3.0; 6]);
+        assert!(s.is_converged(1e-15));
+        assert_eq!(s.discrepancy(), 0.0);
+
+        let s = state_on(&g, vec![3.0, 3.0, 3.0, 3.0, 3.0, 4.0]);
+        assert!(!s.is_converged(1e-6));
+        assert_eq!(s.discrepancy(), 1.0);
+    }
+
+    #[test]
+    fn norm_sq_exact() {
+        let g = generators::path(3).unwrap();
+        let s = state_on(&g, vec![1.0, 2.0, 2.0]);
+        assert_eq!(s.norm_sq(), 9.0);
+    }
+}

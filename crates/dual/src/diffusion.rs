@@ -1,0 +1,268 @@
+use crate::error::DualError;
+use od_core::StepRecord;
+use od_graph::{Graph, NodeId};
+use od_linalg::DenseMatrix;
+
+/// The Diffusion Process of §5.1 — the time-reversed dual of the Averaging
+/// Process.
+///
+/// The process maintains `R(t) = B(t)·B(t−1)···B(1)` where `B(t)` is the
+/// column-stochastic load-spreading matrix of Eq. (4): when node `u` with
+/// sample `S` (|S| = k) is selected, `u` keeps an `α`-fraction of each
+/// commodity load and sends `(1−α)/k` to every node of `S`. Column `u` of
+/// `R(t)` is the load vector of commodity `u` (the commodity that started
+/// as the unit load on `u`).
+///
+/// With cost vector `c = ξᵀ(0)`, the cost `W(t) = c · R(t)` satisfies the
+/// duality of Lemma 5.2: running the Averaging Process on a selection
+/// sequence `χ` and this process on the reversed sequence `χ^R` gives
+/// `W(T) = ξᵀ(T)` exactly.
+#[derive(Debug, Clone)]
+pub struct DiffusionProcess<'g> {
+    graph: &'g Graph,
+    alpha: f64,
+    /// `R(t)`, row-major; starts as the identity (`R(0) = I`).
+    r: DenseMatrix,
+    time: u64,
+}
+
+impl<'g> DiffusionProcess<'g> {
+    /// Creates the process with `R(0) = I` (unit load of commodity `u` at
+    /// node `u`, as in Proposition 5.1).
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::Disconnected`] for disconnected graphs;
+    /// [`DualError::InvalidAlpha`] for `α ∉ [0, 1)`.
+    pub fn new(graph: &'g Graph, alpha: f64) -> Result<Self, DualError> {
+        if !graph.is_connected() || graph.n() < 2 {
+            return Err(DualError::Disconnected);
+        }
+        if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+            return Err(DualError::InvalidAlpha { alpha });
+        }
+        Ok(DiffusionProcess {
+            graph,
+            alpha,
+            r: DenseMatrix::identity(graph.n()),
+            time: 0,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Steps taken.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The accumulated product `R(t)`.
+    pub fn r_matrix(&self) -> &DenseMatrix {
+        &self.r
+    }
+
+    /// Load vector of commodity `u` (column `u` of `R(t)`).
+    pub fn load(&self, u: NodeId) -> Vec<f64> {
+        self.r.col(u as usize)
+    }
+
+    /// The cost row vector `W(t) = c · R(t)` for cost `c` (Prop. 5.1 uses
+    /// `c = ξᵀ(0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost.len() != n`.
+    pub fn cost(&self, cost: &[f64]) -> Vec<f64> {
+        self.r.vecmat(cost)
+    }
+
+    /// Applies one diffusion step `R ← B·R` for the selection in `record`.
+    ///
+    /// `Node` records spread to the sampled neighbours with weight
+    /// `(1−α)/k`; `Edge` records are the `k = 1` special case; `Noop`
+    /// advances time only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record references a non-edge.
+    pub fn apply(&mut self, record: &StepRecord) {
+        match record {
+            StepRecord::Noop => {}
+            StepRecord::Node { node, sample } => {
+                assert!(
+                    sample
+                        .iter()
+                        .all(|&v| self.graph.has_edge(*node, v)),
+                    "record references a non-edge at node {node}"
+                );
+                self.spread(*node, sample);
+            }
+            StepRecord::Edge { tail, head } => {
+                assert!(
+                    self.graph.has_edge(*tail, *head),
+                    "record references non-edge ({tail}, {head})"
+                );
+                self.spread(*tail, std::slice::from_ref(head));
+            }
+        }
+        self.time += 1;
+    }
+
+    /// Applies a whole selection sequence **in reverse order** — the `χ^R`
+    /// of Proposition 5.1.
+    pub fn apply_reversed(&mut self, records: &[StepRecord]) {
+        for record in records.iter().rev() {
+            self.apply(record);
+        }
+    }
+
+    /// `B·R` for the matrix `B` of Eq. (4): row `u` scaled by `α`, rows of
+    /// `S` receive `(1−α)/k` of old row `u`.
+    fn spread(&mut self, u: NodeId, sample: &[NodeId]) {
+        let share = (1.0 - self.alpha) / sample.len() as f64;
+        let old_row_u = self.r.row(u as usize).to_vec();
+        for x in self.r.row_mut(u as usize) {
+            *x *= self.alpha;
+        }
+        for &s in sample {
+            assert_ne!(s, u, "sample may not contain the selected node");
+            let row_s = self.r.row_mut(s as usize);
+            for (dst, src) in row_s.iter_mut().zip(&old_row_u) {
+                *dst += share * src;
+            }
+        }
+    }
+
+    /// Total load of each commodity (column sums of `R(t)`); conserved at 1
+    /// by every step — `B(t)` is column-stochastic.
+    pub fn commodity_totals(&self) -> Vec<f64> {
+        let n = self.graph.n();
+        (0..n).map(|j| self.r.col(j).iter().sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+
+    #[test]
+    fn construction_validation() {
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            DiffusionProcess::new(&disconnected, 0.5).unwrap_err(),
+            DualError::Disconnected
+        );
+        let g = generators::cycle(4).unwrap();
+        assert!(matches!(
+            DiffusionProcess::new(&g, 1.0),
+            Err(DualError::InvalidAlpha { .. })
+        ));
+    }
+
+    #[test]
+    fn starts_at_identity() {
+        let g = generators::cycle(4).unwrap();
+        let d = DiffusionProcess::new(&g, 0.5).unwrap();
+        assert_eq!(*d.r_matrix(), DenseMatrix::identity(4));
+        assert_eq!(d.load(2), vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn single_spread_step_paper_figure1() {
+        // Figure 1(b), first diffusion step: u2 (index 1) sends 1/2 of its
+        // load to u1 (index 0) on the path u1-u2-u3; R(1) column 1 becomes
+        // [1/2, 1/2, 0].
+        let g = generators::path(3).unwrap();
+        let mut d = DiffusionProcess::new(&g, 0.5).unwrap();
+        d.apply(&StepRecord::Node {
+            node: 1,
+            sample: vec![0],
+        });
+        assert_eq!(d.load(1), vec![0.5, 0.5, 0.0]);
+        assert_eq!(d.load(0), vec![1.0, 0.0, 0.0]);
+        assert_eq!(d.load(2), vec![0.0, 0.0, 1.0]);
+        assert_eq!(d.time(), 1);
+    }
+
+    #[test]
+    fn figure1_two_steps_r_matrix() {
+        // Figure 1(b): after the reversed sequence (u2 step then u1 step),
+        // R(2) = [[1/2, 1/4, 0], [1/2, 3/4, 0], [0, 0, 1]].
+        let g = generators::path(3).unwrap();
+        let mut d = DiffusionProcess::new(&g, 0.5).unwrap();
+        d.apply(&StepRecord::Node {
+            node: 1,
+            sample: vec![0],
+        });
+        d.apply(&StepRecord::Node {
+            node: 0,
+            sample: vec![1],
+        });
+        let r = d.r_matrix();
+        let expected = DenseMatrix::from_rows(&[
+            vec![0.5, 0.25, 0.0],
+            vec![0.5, 0.75, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        assert!(r.max_abs_diff(&expected) < 1e-15, "R(2) =\n{r}");
+        // W(2) = ξᵀ(0)·R(2) = [6,8,9]·R = [7, 7.5, 9] = ξᵀ(2) from Fig 1(a).
+        let w = d.cost(&[6.0, 8.0, 9.0]);
+        assert!(od_linalg::vector::max_abs_diff(&w, &[7.0, 7.5, 9.0]) < 1e-15);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let g = generators::petersen();
+        let mut d = DiffusionProcess::new(&g, 0.3).unwrap();
+        // A few arbitrary valid spreads.
+        let records = [
+            StepRecord::Node {
+                node: 0,
+                sample: vec![1, 4],
+            },
+            StepRecord::Node {
+                node: 5,
+                sample: vec![7, 8],
+            },
+            StepRecord::Edge { tail: 2, head: 3 },
+            StepRecord::Noop,
+        ];
+        for r in &records {
+            d.apply(r);
+        }
+        assert_eq!(d.time(), 4);
+        for total in d.commodity_totals() {
+            assert!((total - 1.0).abs() < 1e-12, "commodity mass {total}");
+        }
+    }
+
+    #[test]
+    fn edge_record_is_k1_node_record() {
+        let g = generators::cycle(5).unwrap();
+        let mut a = DiffusionProcess::new(&g, 0.25).unwrap();
+        let mut b = DiffusionProcess::new(&g, 0.25).unwrap();
+        a.apply(&StepRecord::Edge { tail: 2, head: 3 });
+        b.apply(&StepRecord::Node {
+            node: 2,
+            sample: vec![3],
+        });
+        assert!(a.r_matrix().max_abs_diff(b.r_matrix()) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn rejects_invalid_record() {
+        let g = generators::path(4).unwrap();
+        let mut d = DiffusionProcess::new(&g, 0.5).unwrap();
+        d.apply(&StepRecord::Node {
+            node: 0,
+            sample: vec![3],
+        });
+    }
+
+    use od_graph::Graph;
+}

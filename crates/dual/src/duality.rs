@@ -1,0 +1,348 @@
+//! Executable duality couplings (Prop. 5.1 / Lemma 5.2) and the paper's
+//! worked examples (Figures 1 and 4).
+//!
+//! The coupling: fix a selection sequence `χ = (χ(1), …, χ(T))`. Run the
+//! Averaging Process forward on `χ` and the Diffusion Process on the
+//! reversed sequence `χ^R`. Then `W(T) = ξᵀ(T)` — not just in
+//! distribution, but **exactly**, step count for step count. This module
+//! turns that proof device into a checkable function.
+
+use crate::diffusion::DiffusionProcess;
+use crate::error::DualError;
+use od_core::{
+    EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, StepRecord,
+};
+use od_graph::Graph;
+use od_linalg::{vector, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of a duality verification run.
+#[derive(Debug, Clone)]
+pub struct DualityCheck {
+    /// Final averaging-process values `ξ(T)`.
+    pub xi_final: Vec<f64>,
+    /// Diffusion cost `W(T)` computed on the reversed sequence.
+    pub w_final: Vec<f64>,
+    /// `max_u |ξ_u(T) − W⁽ᵘ⁾(T)|` — zero (to rounding) iff the duality
+    /// holds.
+    pub max_abs_error: f64,
+    /// Number of steps `T`.
+    pub steps: usize,
+}
+
+/// Runs the NodeModel for `steps` steps on `graph` with seed `seed`,
+/// records the selection sequence, replays it reversed through the
+/// Diffusion Process, and compares `W(T)` against `ξᵀ(T)` (Lemma 5.2).
+///
+/// # Errors
+///
+/// Propagates construction errors from either process.
+pub fn verify_node_duality(
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    steps: usize,
+    seed: u64,
+) -> Result<DualityCheck, DualError> {
+    let params = NodeModelParams::new(alpha, k).map_err(|_| DualError::InvalidAlpha { alpha })?;
+    let mut model = NodeModel::new(graph, xi0.to_vec(), params).map_err(map_core_err)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records: Vec<StepRecord> = (0..steps).map(|_| model.step_recorded(&mut rng)).collect();
+    finish_duality(graph, alpha, xi0, model.state().values().to_vec(), &records)
+}
+
+/// Same coupling for the EdgeModel (the `k = 1` diffusion applies).
+///
+/// # Errors
+///
+/// Propagates construction errors from either process.
+pub fn verify_edge_duality(
+    graph: &Graph,
+    alpha: f64,
+    xi0: &[f64],
+    steps: usize,
+    seed: u64,
+) -> Result<DualityCheck, DualError> {
+    let params = EdgeModelParams::new(alpha).map_err(|_| DualError::InvalidAlpha { alpha })?;
+    let mut model = EdgeModel::new(graph, xi0.to_vec(), params).map_err(map_core_err)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records: Vec<StepRecord> = (0..steps).map(|_| model.step_recorded(&mut rng)).collect();
+    finish_duality(graph, alpha, xi0, model.state().values().to_vec(), &records)
+}
+
+fn finish_duality(
+    graph: &Graph,
+    alpha: f64,
+    xi0: &[f64],
+    xi_final: Vec<f64>,
+    records: &[StepRecord],
+) -> Result<DualityCheck, DualError> {
+    let mut diffusion = DiffusionProcess::new(graph, alpha)?;
+    diffusion.apply_reversed(records);
+    let w_final = diffusion.cost(xi0);
+    let max_abs_error = vector::max_abs_diff(&xi_final, &w_final);
+    Ok(DualityCheck {
+        xi_final,
+        w_final,
+        max_abs_error,
+        steps: records.len(),
+    })
+}
+
+fn map_core_err(err: od_core::CoreError) -> DualError {
+    match err {
+        od_core::CoreError::Disconnected => DualError::Disconnected,
+        od_core::CoreError::InvalidAlpha { alpha } => DualError::InvalidAlpha { alpha },
+        od_core::CoreError::InvalidSampleSize { k, d_min } => {
+            DualError::InvalidSampleSize { k, d: d_min }
+        }
+        od_core::CoreError::LengthMismatch { values, nodes } => DualError::LengthMismatch {
+            got: values,
+            expected: nodes,
+        },
+        // `CoreError` is non-exhaustive; anything else means invalid input.
+        _ => DualError::LengthMismatch {
+            got: 0,
+            expected: 0,
+        },
+    }
+}
+
+/// A reproduced worked example (Figure 1 or Figure 4).
+#[derive(Debug, Clone)]
+pub struct FigureReproduction {
+    /// Human-readable label.
+    pub label: &'static str,
+    /// Initial values `ξ(0)`.
+    pub xi0: Vec<f64>,
+    /// Computed `ξ(T)` from the Averaging Process.
+    pub xi_final: Vec<f64>,
+    /// The paper's expected `ξ(T)`.
+    pub expected: Vec<f64>,
+    /// Diffusion cost `W(T)` from the reversed replay.
+    pub w_final: Vec<f64>,
+    /// The final diffusion matrix `R(T)`.
+    pub r_final: DenseMatrix,
+    /// `max(|ξ−expected|, |W−expected|)`.
+    pub max_abs_error: f64,
+}
+
+fn reproduce_figure(
+    label: &'static str,
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: Vec<f64>,
+    records: Vec<StepRecord>,
+    expected: Vec<f64>,
+) -> FigureReproduction {
+    let params = NodeModelParams::new(alpha, k).expect("figure parameters are valid");
+    let mut model =
+        NodeModel::new(graph, xi0.clone(), params).expect("figure graph/values are valid");
+    for record in &records {
+        model.apply(record);
+    }
+    let xi_final = model.state().values().to_vec();
+
+    let mut diffusion = DiffusionProcess::new(graph, alpha).expect("figure graph is valid");
+    diffusion.apply_reversed(&records);
+    let w_final = diffusion.cost(&xi0);
+    let r_final = diffusion.r_matrix().clone();
+
+    let err_xi = vector::max_abs_diff(&xi_final, &expected);
+    let err_w = vector::max_abs_diff(&w_final, &expected);
+    FigureReproduction {
+        label,
+        xi0,
+        xi_final,
+        expected,
+        w_final,
+        r_final,
+        max_abs_error: err_xi.max(err_w),
+    }
+}
+
+/// Reproduces **Figure 1** (`k = 1`, `α = 1/2`): path `u1–u2–u3` with
+/// `ξ(0) = (6, 8, 9)`; step 1 updates `u1` from `u2`, step 2 updates `u2`
+/// from `u1`; expected `ξ(2) = (7, 15/2, 9)` and `W(2) = ξᵀ(2)`.
+pub fn figure1() -> FigureReproduction {
+    let graph = od_graph::generators::path(3).expect("3-path is valid");
+    reproduce_figure(
+        "Figure 1 (k=1, alpha=1/2)",
+        &graph,
+        0.5,
+        1,
+        vec![6.0, 8.0, 9.0],
+        vec![
+            StepRecord::Node {
+                node: 0,
+                sample: vec![1],
+            },
+            StepRecord::Node {
+                node: 1,
+                sample: vec![0],
+            },
+        ],
+        vec![7.0, 7.5, 9.0],
+    )
+}
+
+/// Reproduces **Figure 4** (`k = 2`, `α = 1/2`): triangle with
+/// `ξ(0) = (6, 8, 9)`; step 1 updates `u1` from `{u2, u3}`, step 2 updates
+/// `u2` from `{u1, u3}`; expected `ξ(2) = (29/4, 129/16, 9)`.
+pub fn figure4() -> FigureReproduction {
+    let graph = od_graph::generators::complete(3).expect("triangle is valid");
+    reproduce_figure(
+        "Figure 4 (k=2, alpha=1/2)",
+        &graph,
+        0.5,
+        2,
+        vec![6.0, 8.0, 9.0],
+        vec![
+            StepRecord::Node {
+                node: 0,
+                sample: vec![1, 2],
+            },
+            StepRecord::Node {
+                node: 1,
+                sample: vec![0, 2],
+            },
+        ],
+        vec![29.0 / 4.0, 129.0 / 16.0, 9.0],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+
+    #[test]
+    fn figure1_exact() {
+        let fig = figure1();
+        assert!(
+            fig.max_abs_error < 1e-15,
+            "Figure 1 mismatch: xi={:?}, W={:?}, expected={:?}",
+            fig.xi_final,
+            fig.w_final,
+            fig.expected
+        );
+        // R(2) matches the matrix printed in the paper.
+        let expected_r = DenseMatrix::from_rows(&[
+            vec![0.5, 0.25, 0.0],
+            vec![0.5, 0.75, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        assert!(fig.r_final.max_abs_diff(&expected_r) < 1e-15);
+    }
+
+    #[test]
+    fn figure4_exact() {
+        let fig = figure4();
+        assert!(
+            fig.max_abs_error < 1e-15,
+            "Figure 4 mismatch: xi={:?}, W={:?}",
+            fig.xi_final,
+            fig.w_final
+        );
+        // R(2) from the paper: [[1/2,1/8,0],[1/4,9/16,0],[1/4,5/16,1]].
+        let expected_r = DenseMatrix::from_rows(&[
+            vec![0.5, 0.125, 0.0],
+            vec![0.25, 9.0 / 16.0, 0.0],
+            vec![0.25, 5.0 / 16.0, 1.0],
+        ]);
+        assert!(
+            fig.r_final.max_abs_diff(&expected_r) < 1e-15,
+            "R(2) =\n{}",
+            fig.r_final
+        );
+    }
+
+    #[test]
+    fn node_duality_holds_on_random_runs() {
+        let graphs: Vec<(Graph, usize)> = vec![
+            (generators::cycle(7).unwrap(), 2),
+            (generators::petersen(), 3),
+            (generators::complete(6).unwrap(), 4),
+            (generators::hypercube(3).unwrap(), 1),
+        ];
+        for (g, k) in &graphs {
+            let xi0: Vec<f64> = (0..g.n()).map(|i| (i as f64) * 1.7 - 3.0).collect();
+            for seed in 0..3 {
+                let check =
+                    verify_node_duality(g, 0.5, *k, &xi0, 200, seed).expect("valid setup");
+                assert!(
+                    check.max_abs_error < 1e-10,
+                    "duality error {} on n={} k={k} seed={seed}",
+                    check.max_abs_error,
+                    g.n()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_duality_holds_including_irregular_graphs() {
+        let graphs = vec![
+            generators::star(8).unwrap(),
+            generators::barbell(4).unwrap(),
+            generators::path(6).unwrap(),
+        ];
+        for g in &graphs {
+            let xi0: Vec<f64> = (0..g.n()).map(|i| (i * i) as f64 * 0.3).collect();
+            let check = verify_edge_duality(g, 0.25, &xi0, 500, 7).expect("valid setup");
+            assert!(
+                check.max_abs_error < 1e-10,
+                "edge duality error {} on n={}",
+                check.max_abs_error,
+                g.n()
+            );
+        }
+    }
+
+    #[test]
+    fn duality_with_lazy_noops() {
+        // Noop records must replay as time-only steps on both sides.
+        use od_core::Laziness;
+        let g = generators::cycle(6).unwrap();
+        let xi0: Vec<f64> = (0..6).map(f64::from).collect();
+        let params = NodeModelParams::new(0.5, 1)
+            .unwrap()
+            .with_laziness(Laziness::Lazy);
+        let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let records: Vec<StepRecord> =
+            (0..300).map(|_| model.step_recorded(&mut rng)).collect();
+        assert!(records.iter().any(|r| *r == StepRecord::Noop));
+        let mut diffusion = DiffusionProcess::new(&g, 0.5).unwrap();
+        diffusion.apply_reversed(&records);
+        let w = diffusion.cost(&xi0);
+        let err = vector::max_abs_diff(model.state().values(), &w);
+        assert!(err < 1e-10, "lazy duality error {err}");
+    }
+
+    #[test]
+    fn forward_forward_breaks_duality() {
+        // Running the diffusion on the *unreversed* sequence should NOT
+        // reproduce ξ(T) in general (the paper stresses reversal is
+        // crucial).
+        let g = generators::petersen();
+        let xi0: Vec<f64> = (0..10).map(|i| f64::from(i) * 2.0).collect();
+        let params = NodeModelParams::new(0.5, 2).unwrap();
+        let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let records: Vec<StepRecord> =
+            (0..100).map(|_| model.step_recorded(&mut rng)).collect();
+        let mut diffusion = DiffusionProcess::new(&g, 0.5).unwrap();
+        for r in &records {
+            diffusion.apply(r); // forward, not reversed
+        }
+        let w = diffusion.cost(&xi0);
+        let err = vector::max_abs_diff(model.state().values(), &w);
+        assert!(err > 1e-6, "forward-forward should diverge, err = {err}");
+    }
+
+    use od_graph::Graph;
+}

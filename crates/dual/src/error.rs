@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the dual-process constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DualError {
+    /// The `Q`-chain analysis (§5.3, Lemma 5.7) applies to regular graphs.
+    NotRegular,
+    /// The graph must be connected for the chains to be irreducible.
+    Disconnected,
+    /// `α` must lie in `(0, 1)` for the stationary-distribution formulas
+    /// (at `α = 0` the chain loses aperiodicity guarantees used in §5.3;
+    /// at `α = 1` nothing moves).
+    InvalidAlpha {
+        /// The rejected value.
+        alpha: f64,
+    },
+    /// `k` must satisfy `1 ≤ k ≤ d` on a `d`-regular graph.
+    InvalidSampleSize {
+        /// The rejected `k`.
+        k: usize,
+        /// The regular degree.
+        d: usize,
+    },
+    /// Vector length mismatch against the node count.
+    LengthMismatch {
+        /// Supplied length.
+        got: usize,
+        /// Expected length (node count).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DualError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DualError::NotRegular => write!(f, "graph must be regular for the Q-chain analysis"),
+            DualError::Disconnected => write!(f, "graph must be connected"),
+            DualError::InvalidAlpha { alpha } => {
+                write!(f, "alpha must lie in (0, 1), got {alpha}")
+            }
+            DualError::InvalidSampleSize { k, d } => {
+                write!(f, "k must satisfy 1 <= k <= d = {d}, got {k}")
+            }
+            DualError::LengthMismatch { got, expected } => {
+                write!(f, "vector of length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for DualError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(DualError::NotRegular.to_string().contains("regular"));
+        assert!(DualError::InvalidAlpha { alpha: 0.0 }
+            .to_string()
+            .contains("(0, 1)"));
+        assert!(DualError::InvalidSampleSize { k: 5, d: 3 }
+            .to_string()
+            .contains("d = 3"));
+        assert!(DualError::LengthMismatch { got: 2, expected: 3 }
+            .to_string()
+            .contains("expected 3"));
+        assert!(DualError::Disconnected.to_string().contains("connected"));
+    }
+}

@@ -1,0 +1,41 @@
+//! The dual machinery of *Distributed Averaging in Opinion Dynamics*
+//! (PODC 2023), Section 5 — the paper's main technical novelty.
+//!
+//! The concentration result (Theorem 2.2(2)) is proved through a chain of
+//! process identities, each implemented and testable here:
+//!
+//! ```text
+//! Var(M(t))  ≈ Var(W(t))  ≈ Var(W̃(t))  ≈ Σ μ(u,v) ξ_u(0) ξ_v(0)
+//!  Averaging   Diffusion     Random walks    Q-chain stationary (Lemma 5.7)
+//!  (Lemma 5.2)  (Prop. 5.4)   (Lemma 5.5)
+//! ```
+//!
+//! * [`DiffusionProcess`] — the time-reversed dual (§5.1): `n` commodities
+//!   diffuse through the matrices `B(t)` of Eq. (4); running it on a
+//!   reversed selection sequence reproduces the Averaging Process *exactly*
+//!   (`W(T) = ξᵀ(T)`, Lemma 5.2).
+//! * [`RandomWalkProcess`] — `n` correlated random walks driven by the same
+//!   `B(t)` choices (§5.2).
+//! * [`QChain`] — the joint chain of two correlated walks (§5.3) with exact
+//!   transition probabilities (Eqs. 14–21), a numeric stationary
+//!   distribution (power iteration over the implicit operator) and the
+//!   closed form of Lemma 5.7.
+//! * [`variance`] — Prop. 5.8's exact variance prediction for the
+//!   convergence value `F`, plus the Θ-envelope of Theorem 2.2(2).
+//! * [`duality`] — executable couplings, including the worked examples of
+//!   Figure 1 (`k = 1`) and Figure 4 (`k = 2`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diffusion;
+pub mod duality;
+mod error;
+mod qchain;
+pub mod variance;
+mod walks;
+
+pub use diffusion::DiffusionProcess;
+pub use error::DualError;
+pub use qchain::{GeneralQChain, QChain, StationaryClasses, StateClass};
+pub use walks::{moment_via_walks, MultiWalks, RandomWalkProcess, TwoWalks};

@@ -1,0 +1,569 @@
+use crate::error::DualError;
+use od_graph::{Graph, NodeId};
+use od_linalg::markov::{self, StationaryResult};
+
+/// Distance class of a `Q`-chain state `(u, v)` (Definition 5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateClass {
+    /// `u = v` (distance 0).
+    S0,
+    /// `{u, v} ∈ E` (distance 1).
+    S1,
+    /// Distance at least 2.
+    SPlus,
+}
+
+/// The three stationary values of Lemma 5.7, together with the constants
+/// `γ = k(1+α) − (1−α)` and `ℓ` of the lemma.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationaryClasses {
+    /// `μ(u, u) = 2k(d−1)·ℓ` for diagonal states.
+    pub mu0: f64,
+    /// `μ(u, v) = (d−1)γ·ℓ` for adjacent pairs.
+    pub mu1: f64,
+    /// `μ(u, v) = (dγ − 2αk)·ℓ` for pairs at distance ≥ 2.
+    pub mu_plus: f64,
+    /// `γ = k(1+α) − (1−α)`.
+    pub gamma: f64,
+    /// `ℓ = 1 / ( n·( n(dγ − 2αk) + 2(1−α)(d−k) ) )`.
+    pub ell: f64,
+}
+
+/// The joint chain of two correlated random walks (§5.3) on a `d`-regular
+/// graph — state space `V × V`, transition probabilities Eqs. (14)–(21).
+///
+/// The chain is irreducible, aperiodic and (for `k > 1`) **not**
+/// reversible, yet its stationary distribution has the three-value closed
+/// form of Lemma 5.7 depending only on the distance class of the state.
+/// The variance of the convergence value `F` of the Averaging Process is a
+/// quadratic form in this distribution (Prop. 5.8).
+#[derive(Debug, Clone)]
+pub struct QChain<'g> {
+    graph: &'g Graph,
+    d: usize,
+    alpha: f64,
+    k: usize,
+}
+
+impl<'g> QChain<'g> {
+    /// Creates the chain for the NodeModel with parameters `(α, k)` on a
+    /// connected regular graph.
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::NotRegular`], [`DualError::Disconnected`],
+    /// [`DualError::InvalidAlpha`] (`α ∉ (0, 1)`), or
+    /// [`DualError::InvalidSampleSize`] (`k ∉ [1, d]`).
+    pub fn new(graph: &'g Graph, alpha: f64, k: usize) -> Result<Self, DualError> {
+        if !graph.is_connected() || graph.n() < 3 {
+            return Err(DualError::Disconnected);
+        }
+        let Some(d) = graph.regular_degree() else {
+            return Err(DualError::NotRegular);
+        };
+        if !alpha.is_finite() || !(alpha > 0.0 && alpha < 1.0) {
+            return Err(DualError::InvalidAlpha { alpha });
+        }
+        if k == 0 || k > d {
+            return Err(DualError::InvalidSampleSize { k, d });
+        }
+        Ok(QChain { graph, d, alpha, k })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The regular degree `d`.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// Number of joint states `n²`.
+    pub fn state_count(&self) -> usize {
+        self.graph.n() * self.graph.n()
+    }
+
+    /// Flat index of state `(u, v)`.
+    pub fn state_index(&self, u: NodeId, v: NodeId) -> usize {
+        u as usize * self.graph.n() + v as usize
+    }
+
+    /// Distance class of `(u, v)` (Definition 5.6). Only adjacency is
+    /// needed: distinct non-adjacent nodes of a connected graph are at
+    /// distance ≥ 2.
+    pub fn classify(&self, u: NodeId, v: NodeId) -> StateClass {
+        if u == v {
+            StateClass::S0
+        } else if self.graph.has_edge(u, v) {
+            StateClass::S1
+        } else {
+            StateClass::SPlus
+        }
+    }
+
+    /// Lemma 5.7's closed-form stationary values.
+    pub fn closed_form(&self) -> StationaryClasses {
+        let n = self.graph.n() as f64;
+        let d = self.d as f64;
+        let k = self.k as f64;
+        let alpha = self.alpha;
+        let gamma = k * (1.0 + alpha) - (1.0 - alpha);
+        let ell = 1.0
+            / (n * (n * (d * gamma - 2.0 * alpha * k) + 2.0 * (1.0 - alpha) * (d - k)));
+        StationaryClasses {
+            mu0: 2.0 * k * (d - 1.0) * ell,
+            mu1: (d - 1.0) * gamma * ell,
+            mu_plus: (d * gamma - 2.0 * alpha * k) * ell,
+            gamma,
+            ell,
+        }
+    }
+
+    /// The closed-form stationary distribution as a full `n²` vector
+    /// (flat index = [`Self::state_index`]).
+    pub fn closed_form_vector(&self) -> Vec<f64> {
+        let classes = self.closed_form();
+        let n = self.graph.n() as NodeId;
+        let mut mu = vec![0.0; self.state_count()];
+        for u in 0..n {
+            for v in 0..n {
+                mu[self.state_index(u, v)] = match self.classify(u, v) {
+                    StateClass::S0 => classes.mu0,
+                    StateClass::S1 => classes.mu1,
+                    StateClass::SPlus => classes.mu_plus,
+                };
+            }
+        }
+        mu
+    }
+
+    /// Left multiplication `y ← xQ` with the transition probabilities of
+    /// Eqs. (14)–(21), never materializing the `n² × n²` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn apply_left(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.graph.n();
+        assert_eq!(x.len(), n * n, "x must have n² entries");
+        assert_eq!(y.len(), n * n, "y must have n² entries");
+        y.fill(0.0);
+        let pi = 1.0 / n as f64; // uniform node selection on regular graphs
+        let alpha = self.alpha;
+        let d = self.d as f64;
+        let k = self.k as f64;
+
+        // Precomputed transition weights.
+        let w_same_self = alpha * alpha * pi + (1.0 - pi); // (18)
+        let w_same_to_uu = (1.0 - alpha) * (1.0 - alpha) * pi / (k * d); // (15)
+        let w_same_one_moves = alpha * (1.0 - alpha) * pi / d; // (16)/(17)
+        let w_same_to_uv = if self.k > 1 {
+            (1.0 - alpha) * (1.0 - alpha) * pi * (k - 1.0) / (k * d * (d - 1.0)) // (14)
+        } else {
+            0.0
+        };
+        let w_diff_self = (1.0 - 2.0 * pi) + 2.0 * pi * alpha; // (21)
+        let w_diff_move = (1.0 - alpha) * pi / d; // (19)/(20)
+
+        for a in 0..n as NodeId {
+            for b in 0..n as NodeId {
+                let mass = x[self.state_index(a, b)];
+                if mass == 0.0 {
+                    continue;
+                }
+                if a == b {
+                    let x_node = a;
+                    y[self.state_index(x_node, x_node)] += mass * w_same_self;
+                    let neighbors = self.graph.neighbors(x_node);
+                    for &u in neighbors {
+                        y[self.state_index(u, u)] += mass * w_same_to_uu;
+                        y[self.state_index(x_node, u)] += mass * w_same_one_moves;
+                        y[self.state_index(u, x_node)] += mass * w_same_one_moves;
+                    }
+                    if w_same_to_uv > 0.0 {
+                        for &u in neighbors {
+                            for &v in neighbors {
+                                if u != v {
+                                    y[self.state_index(u, v)] += mass * w_same_to_uv;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    y[self.state_index(a, b)] += mass * w_diff_self;
+                    for &v in self.graph.neighbors(b) {
+                        y[self.state_index(a, v)] += mass * w_diff_move;
+                    }
+                    for &u in self.graph.neighbors(a) {
+                        y[self.state_index(u, b)] += mass * w_diff_move;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Numeric stationary distribution by power iteration over the
+    /// implicit operator.
+    pub fn stationary_numeric(&self, tol: f64, max_iter: usize) -> StationaryResult {
+        let apply = |x: &[f64], y: &mut [f64]| self.apply_left(x, y);
+        markov::stationary_left(&apply, self.state_count(), tol, max_iter)
+    }
+
+    /// `max_s |(μQ)_s − μ_s|` for the closed-form `μ` — the certificate
+    /// that Lemma 5.7 solves the balance equations on this graph.
+    pub fn closed_form_balance_residual(&self) -> f64 {
+        let mu = self.closed_form_vector();
+        let apply = |x: &[f64], y: &mut [f64]| self.apply_left(x, y);
+        markov::balance_residual(&apply, &mu)
+    }
+}
+
+/// The two-walk chain on an **arbitrary** connected graph — the paper's
+/// second open question (§6) made computable.
+///
+/// The duality chain (Prop. 5.1 → Prop. 5.4 → Lemma 5.5) never uses
+/// regularity; only Lemma 5.7's closed form does. This struct implements
+/// the general transition probabilities (uniform node selection `1/n`,
+/// per-node degrees `d_x`) and computes the stationary distribution
+/// numerically, which yields an exact-up-to-mixing prediction of
+/// `Var(F) = Σ μ(u,v) ξ_u ξ_v` for the NodeModel on irregular graphs
+/// (with `ξ` centered at the *π-weighted* mean, since `F`'s expectation is
+/// the degree-weighted average).
+#[derive(Debug, Clone)]
+pub struct GeneralQChain<'g> {
+    graph: &'g Graph,
+    alpha: f64,
+    k: usize,
+}
+
+impl<'g> GeneralQChain<'g> {
+    /// Creates the chain for NodeModel parameters `(α, k)` on any
+    /// connected graph with `d_min ≥ k`.
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::Disconnected`], [`DualError::InvalidAlpha`]
+    /// (`α ∉ (0, 1)`) or [`DualError::InvalidSampleSize`].
+    pub fn new(graph: &'g Graph, alpha: f64, k: usize) -> Result<Self, DualError> {
+        if !graph.is_connected() || graph.n() < 3 {
+            return Err(DualError::Disconnected);
+        }
+        if !alpha.is_finite() || !(alpha > 0.0 && alpha < 1.0) {
+            return Err(DualError::InvalidAlpha { alpha });
+        }
+        let d_min = graph.min_degree();
+        if k == 0 || k > d_min {
+            return Err(DualError::InvalidSampleSize { k, d: d_min });
+        }
+        Ok(GeneralQChain { graph, alpha, k })
+    }
+
+    /// Number of joint states `n²`.
+    pub fn state_count(&self) -> usize {
+        self.graph.n() * self.graph.n()
+    }
+
+    /// Flat index of state `(u, v)`.
+    pub fn state_index(&self, u: NodeId, v: NodeId) -> usize {
+        u as usize * self.graph.n() + v as usize
+    }
+
+    /// Left multiplication `y ← xQ` with per-node degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn apply_left(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.graph.n();
+        assert_eq!(x.len(), n * n, "x must have n² entries");
+        assert_eq!(y.len(), n * n, "y must have n² entries");
+        y.fill(0.0);
+        let sel = 1.0 / n as f64;
+        let alpha = self.alpha;
+        let k = self.k as f64;
+
+        for a in 0..n as NodeId {
+            for b in 0..n as NodeId {
+                let mass = x[self.state_index(a, b)];
+                if mass == 0.0 {
+                    continue;
+                }
+                if a == b {
+                    let d = self.graph.degree(a) as f64;
+                    let w_self = alpha * alpha * sel + (1.0 - sel);
+                    let w_uu = (1.0 - alpha) * (1.0 - alpha) * sel / (k * d);
+                    let w_one = alpha * (1.0 - alpha) * sel / d;
+                    let w_uv = if self.k > 1 {
+                        (1.0 - alpha) * (1.0 - alpha) * sel * (k - 1.0)
+                            / (k * d * (d - 1.0))
+                    } else {
+                        0.0
+                    };
+                    y[self.state_index(a, a)] += mass * w_self;
+                    let neighbors = self.graph.neighbors(a);
+                    for &u in neighbors {
+                        y[self.state_index(u, u)] += mass * w_uu;
+                        y[self.state_index(a, u)] += mass * w_one;
+                        y[self.state_index(u, a)] += mass * w_one;
+                    }
+                    if w_uv > 0.0 {
+                        for &u in neighbors {
+                            for &v in neighbors {
+                                if u != v {
+                                    y[self.state_index(u, v)] += mass * w_uv;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    y[self.state_index(a, b)] +=
+                        mass * ((1.0 - 2.0 * sel) + 2.0 * sel * alpha);
+                    let db = self.graph.degree(b) as f64;
+                    for &v in self.graph.neighbors(b) {
+                        y[self.state_index(a, v)] += mass * (1.0 - alpha) * sel / db;
+                    }
+                    let da = self.graph.degree(a) as f64;
+                    for &u in self.graph.neighbors(a) {
+                        y[self.state_index(u, b)] += mass * (1.0 - alpha) * sel / da;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Numeric stationary distribution by power iteration.
+    pub fn stationary_numeric(&self, tol: f64, max_iter: usize) -> StationaryResult {
+        let apply = |x: &[f64], y: &mut [f64]| self.apply_left(x, y);
+        markov::stationary_left(&apply, self.state_count(), tol, max_iter)
+    }
+
+    /// Numeric variance prediction `Var(F) = Σ μ(u,v) ξ_u ξ_v` with `ξ`
+    /// centered at the π-weighted mean (the expectation of `F` on general
+    /// graphs, Lemma 4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::LengthMismatch`] on a wrong-sized `xi0`.
+    pub fn predict_variance_numeric(
+        &self,
+        xi0: &[f64],
+        tol: f64,
+        max_iter: usize,
+    ) -> Result<f64, DualError> {
+        let n = self.graph.n();
+        if xi0.len() != n {
+            return Err(DualError::LengthMismatch {
+                got: xi0.len(),
+                expected: n,
+            });
+        }
+        let pi = self.graph.stationary_distribution();
+        let m0: f64 = pi.iter().zip(xi0).map(|(w, v)| w * v).sum();
+        let xi: Vec<f64> = xi0.iter().map(|v| v - m0).collect();
+        let mu = self.stationary_numeric(tol, max_iter).distribution;
+        let mut var = 0.0;
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                var += mu[self.state_index(u, v)] * xi[u as usize] * xi[v as usize];
+            }
+        }
+        Ok(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+    use od_linalg::markov::total_variation;
+
+    fn chains() -> Vec<(&'static str, Graph, f64, usize)> {
+        vec![
+            ("cycle6/a.5/k1", generators::cycle(6).unwrap(), 0.5, 1),
+            ("cycle6/a.5/k2", generators::cycle(6).unwrap(), 0.5, 2),
+            ("cycle7/a.3/k1", generators::cycle(7).unwrap(), 0.3, 1),
+            ("K5/a.5/k2", generators::complete(5).unwrap(), 0.5, 2),
+            ("K5/a.7/k4", generators::complete(5).unwrap(), 0.7, 4),
+            ("petersen/a.5/k2", generators::petersen(), 0.5, 2),
+            ("petersen/a.25/k3", generators::petersen(), 0.25, 3),
+            ("Q3/a.5/k1", generators::hypercube(3).unwrap(), 0.5, 1),
+            ("Q3/a.6/k3", generators::hypercube(3).unwrap(), 0.6, 3),
+            ("torus3x3/a.5/k2", generators::torus(3, 3).unwrap(), 0.5, 2),
+        ]
+    }
+
+    #[test]
+    fn construction_validation() {
+        let star = generators::star(5).unwrap();
+        assert_eq!(QChain::new(&star, 0.5, 1).unwrap_err(), DualError::NotRegular);
+        let g = generators::cycle(5).unwrap();
+        assert!(matches!(
+            QChain::new(&g, 0.0, 1),
+            Err(DualError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            QChain::new(&g, 0.5, 3),
+            Err(DualError::InvalidSampleSize { .. })
+        ));
+    }
+
+    #[test]
+    fn classification() {
+        let g = generators::cycle(5).unwrap();
+        let q = QChain::new(&g, 0.5, 1).unwrap();
+        assert_eq!(q.classify(2, 2), StateClass::S0);
+        assert_eq!(q.classify(2, 3), StateClass::S1);
+        assert_eq!(q.classify(0, 2), StateClass::SPlus);
+    }
+
+    #[test]
+    fn closed_form_normalizes() {
+        // n·μ0 + 2|E|·μ1 + (n² − 2|E| − n)·μ+ = 1 (Eq. 56).
+        for (name, g, alpha, k) in chains() {
+            let q = QChain::new(&g, alpha, k).unwrap();
+            let mu = q.closed_form_vector();
+            let total: f64 = mu.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "{name}: sums to {total}");
+            assert!(mu.iter().all(|&p| p >= 0.0), "{name}: negative mass");
+        }
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        // Pushing a point mass through Q must conserve probability.
+        for (name, g, alpha, k) in chains() {
+            let q = QChain::new(&g, alpha, k).unwrap();
+            let n2 = q.state_count();
+            for s in [0, 1, n2 / 2, n2 - 1] {
+                let mut x = vec![0.0; n2];
+                x[s] = 1.0;
+                let mut y = vec![0.0; n2];
+                q.apply_left(&x, &mut y);
+                let total: f64 = y.iter().sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-12,
+                    "{name}: row {s} sums to {total}"
+                );
+                assert!(y.iter().all(|&p| p >= 0.0), "{name}: negative prob");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_satisfies_balance_equations() {
+        // The heart of Lemma 5.7: μQ = μ, with the common-neighbour count c
+        // cancelling on every graph. Petersen (c = 0 for adjacent pairs),
+        // K5 (c = n−2) and the torus (mixed) probe different c regimes.
+        for (name, g, alpha, k) in chains() {
+            let q = QChain::new(&g, alpha, k).unwrap();
+            let residual = q.closed_form_balance_residual();
+            assert!(residual < 1e-13, "{name}: residual {residual}");
+        }
+    }
+
+    #[test]
+    fn numeric_stationary_matches_closed_form() {
+        for (name, g, alpha, k) in chains() {
+            let q = QChain::new(&g, alpha, k).unwrap();
+            let numeric = q.stationary_numeric(1e-13, 200_000);
+            assert!(numeric.converged, "{name}: power iteration diverged");
+            let closed = q.closed_form_vector();
+            let tv = total_variation(&numeric.distribution, &closed);
+            assert!(tv < 1e-9, "{name}: TV distance {tv}");
+        }
+    }
+
+    #[test]
+    fn derived_class_gaps_match_algebra() {
+        // μ0 − μ+ = ℓ(1−α)(d(k+1) − 2k); μ1 − μ+ = −ℓ(1−α)(k−1).
+        for (name, g, alpha, k) in chains() {
+            let q = QChain::new(&g, alpha, k).unwrap();
+            let c = q.closed_form();
+            let d = q.degree() as f64;
+            let kf = k as f64;
+            let gap0 = c.ell * (1.0 - alpha) * (d * (kf + 1.0) - 2.0 * kf);
+            let gap1 = -c.ell * (1.0 - alpha) * (kf - 1.0);
+            assert!((c.mu0 - c.mu_plus - gap0).abs() < 1e-15, "{name} gap0");
+            assert!((c.mu1 - c.mu_plus - gap1).abs() < 1e-15, "{name} gap1");
+        }
+    }
+
+    #[test]
+    fn k1_collapses_adjacent_and_distant_classes() {
+        // For k = 1, μ1 = μ+ (the edge term of Prop. 5.8 vanishes).
+        let g = generators::petersen();
+        let q = QChain::new(&g, 0.5, 1).unwrap();
+        let c = q.closed_form();
+        assert!((c.mu1 - c.mu_plus).abs() < 1e-18);
+        assert!(c.mu0 > c.mu_plus);
+    }
+
+    #[test]
+    fn general_chain_matches_regular_chain_on_regular_graphs() {
+        // Cross-validation: on regular graphs the general chain's numeric
+        // stationary distribution must equal Lemma 5.7's closed form.
+        for (name, g, alpha, k) in [
+            ("cycle(8)", generators::cycle(8).unwrap(), 0.5, 2usize),
+            ("petersen", generators::petersen(), 0.3, 2),
+        ] {
+            let regular = QChain::new(&g, alpha, k).unwrap();
+            let general = GeneralQChain::new(&g, alpha, k).unwrap();
+            let numeric = general.stationary_numeric(1e-13, 400_000);
+            assert!(numeric.converged, "{name}");
+            let tv = total_variation(&numeric.distribution, &regular.closed_form_vector());
+            assert!(tv < 1e-9, "{name}: TV {tv}");
+        }
+    }
+
+    #[test]
+    fn general_chain_rows_are_stochastic_on_irregular_graphs() {
+        let g = generators::star(7).unwrap();
+        let q = GeneralQChain::new(&g, 0.5, 1).unwrap();
+        let n2 = q.state_count();
+        for s in [0usize, 5, n2 / 2, n2 - 1] {
+            let mut x = vec![0.0; n2];
+            x[s] = 1.0;
+            let mut y = vec![0.0; n2];
+            q.apply_left(&x, &mut y);
+            let total: f64 = y.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "row {s} sums to {total}");
+            assert!(y.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn general_chain_predicts_variance_invariant_to_shift() {
+        let g = generators::barbell(4).unwrap();
+        let q = GeneralQChain::new(&g, 0.5, 1).unwrap();
+        let xi0: Vec<f64> = (0..8).map(f64::from).collect();
+        let shifted: Vec<f64> = xi0.iter().map(|v| v + 50.0).collect();
+        let a = q.predict_variance_numeric(&xi0, 1e-12, 400_000).unwrap();
+        let b = q.predict_variance_numeric(&shifted, 1e-12, 400_000).unwrap();
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn chain_is_not_reversible_for_k_greater_1() {
+        // Lemma 5.7's remark: (x,x) -> (u,v) with dist(u,v) = 2 is possible
+        // but the reverse is not. Verify via one-step probabilities on the
+        // cycle: from (1,1), the pair can jump to (0,2).
+        let g = generators::cycle(6).unwrap();
+        let q = QChain::new(&g, 0.5, 2).unwrap();
+        let n2 = q.state_count();
+        let mut x = vec![0.0; n2];
+        x[q.state_index(1, 1)] = 1.0;
+        let mut y = vec![0.0; n2];
+        q.apply_left(&x, &mut y);
+        assert!(y[q.state_index(0, 2)] > 0.0, "forward transition exists");
+
+        let mut x = vec![0.0; n2];
+        x[q.state_index(0, 2)] = 1.0;
+        q.apply_left(&x, &mut y);
+        assert_eq!(y[q.state_index(1, 1)], 0.0, "reverse transition impossible");
+    }
+
+    use od_graph::Graph;
+}

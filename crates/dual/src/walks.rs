@@ -1,0 +1,534 @@
+use crate::error::DualError;
+use od_core::StepRecord;
+use od_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// The Random Walk Process of §5.2: `n` correlated walks, walk `u`
+/// starting at node `u`, all driven by the *same* selection sequence
+/// (the transition matrices `B(t)` of the Diffusion Process).
+///
+/// When a record selects node `w` with sample `S`, every walk currently at
+/// `w` independently moves to a uniform element of `S` with probability
+/// `1 − α` (and stays put otherwise). Walks at other nodes do not move.
+///
+/// The cost of walk `u` at time `t` is `W̃⁽ᵘ⁾(t) = ξ_{position(u)}(0)`;
+/// Lemma 5.3 states `E[W̃⁽ᵘ⁾(t) | χ] = W⁽ᵘ⁾(t)` (the diffusion cost), and
+/// Prop. 5.4 equates the second moments.
+#[derive(Debug, Clone)]
+pub struct RandomWalkProcess<'g> {
+    graph: &'g Graph,
+    alpha: f64,
+    positions: Vec<NodeId>,
+    time: u64,
+}
+
+impl<'g> RandomWalkProcess<'g> {
+    /// Creates `n` walks, walk `u` at node `u`.
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::Disconnected`] or [`DualError::InvalidAlpha`]
+    /// (`α ∉ [0, 1)`).
+    pub fn new(graph: &'g Graph, alpha: f64) -> Result<Self, DualError> {
+        if !graph.is_connected() || graph.n() < 2 {
+            return Err(DualError::Disconnected);
+        }
+        if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+            return Err(DualError::InvalidAlpha { alpha });
+        }
+        Ok(RandomWalkProcess {
+            graph,
+            alpha,
+            positions: (0..graph.n() as NodeId).collect(),
+            time: 0,
+        })
+    }
+
+    /// Current position of walk `u`.
+    pub fn position(&self, u: NodeId) -> NodeId {
+        self.positions[u as usize]
+    }
+
+    /// All positions, indexed by walk.
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// Steps taken.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Cost of walk `u` under initial values `xi0`:
+    /// `W̃⁽ᵘ⁾(t) = ξ_{X_u(t)}(0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi0.len() != n`.
+    pub fn cost(&self, xi0: &[f64], u: NodeId) -> f64 {
+        assert_eq!(xi0.len(), self.graph.n(), "xi0 length mismatch");
+        xi0[self.positions[u as usize] as usize]
+    }
+
+    /// Applies one selection record to all walks. The randomness (whether
+    /// each walk at the selected node moves, and where inside the sample)
+    /// comes from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record references a non-edge.
+    pub fn apply(&mut self, record: &StepRecord, rng: &mut dyn RngCore) {
+        match record {
+            StepRecord::Noop => {}
+            StepRecord::Node { node, sample } => {
+                assert!(
+                    sample.iter().all(|&v| self.graph.has_edge(*node, v)),
+                    "record references a non-edge at node {node}"
+                );
+                self.move_walks(*node, sample, rng);
+            }
+            StepRecord::Edge { tail, head } => {
+                assert!(
+                    self.graph.has_edge(*tail, *head),
+                    "record references non-edge ({tail}, {head})"
+                );
+                self.move_walks(*tail, std::slice::from_ref(head), rng);
+            }
+        }
+        self.time += 1;
+    }
+
+    fn move_walks(&mut self, selected: NodeId, sample: &[NodeId], rng: &mut dyn RngCore) {
+        for pos in self.positions.iter_mut() {
+            if *pos == selected && rng.gen_bool(1.0 - self.alpha) {
+                *pos = sample[rng.gen_range(0..sample.len())];
+            }
+        }
+    }
+}
+
+/// Two correlated walks evolving under the NodeModel's own randomness —
+/// exactly the `Q`-chain of §5.3 (state `(X(t), Y(t)) ∈ V × V`). Used to
+/// validate the closed-form stationary distribution empirically.
+#[derive(Debug, Clone)]
+pub struct TwoWalks<'g> {
+    graph: &'g Graph,
+    alpha: f64,
+    k: usize,
+    x: NodeId,
+    y: NodeId,
+    sample: Vec<NodeId>,
+    time: u64,
+}
+
+impl<'g> TwoWalks<'g> {
+    /// Creates the pair at starting positions `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::Disconnected`], [`DualError::InvalidAlpha`]
+    /// (`α ∉ [0, 1)`), or [`DualError::InvalidSampleSize`] if `k` exceeds
+    /// the minimum degree.
+    pub fn new(graph: &'g Graph, alpha: f64, k: usize, x: NodeId, y: NodeId) -> Result<Self, DualError> {
+        if !graph.is_connected() || graph.n() < 2 {
+            return Err(DualError::Disconnected);
+        }
+        if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+            return Err(DualError::InvalidAlpha { alpha });
+        }
+        let d_min = graph.min_degree();
+        if k == 0 || k > d_min {
+            return Err(DualError::InvalidSampleSize { k, d: d_min });
+        }
+        Ok(TwoWalks {
+            graph,
+            alpha,
+            k,
+            x,
+            y,
+            sample: Vec::with_capacity(k),
+            time: 0,
+        })
+    }
+
+    /// Current state `(X(t), Y(t))`.
+    pub fn state(&self) -> (NodeId, NodeId) {
+        (self.x, self.y)
+    }
+
+    /// Steps taken.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// One `Q`-chain step: select node `w` uniformly, sample `k` distinct
+    /// neighbours; each walk at `w` moves independently w.p. `1 − α` to an
+    /// independent uniform element of the (shared) sample.
+    pub fn step(&mut self, rng: &mut dyn RngCore) {
+        self.time += 1;
+        let w = rng.gen_range(0..self.graph.n()) as NodeId;
+        if self.x != w && self.y != w {
+            return;
+        }
+        // Sample k distinct neighbours of w (partial Fisher-Yates on a
+        // fresh index list; Q-chain experiments run on modest graphs).
+        let neighbors = self.graph.neighbors(w);
+        let d = neighbors.len();
+        self.sample.clear();
+        if self.k == d {
+            self.sample.extend_from_slice(neighbors);
+        } else {
+            let mut idx: Vec<u32> = (0..d as u32).collect();
+            for i in 0..self.k {
+                let j = rng.gen_range(i..d);
+                idx.swap(i, j);
+                self.sample.push(neighbors[idx[i] as usize]);
+            }
+        }
+        if self.x == w && rng.gen_bool(1.0 - self.alpha) {
+            self.x = self.sample[rng.gen_range(0..self.sample.len())];
+        }
+        if self.y == w && rng.gen_bool(1.0 - self.alpha) {
+            self.y = self.sample[rng.gen_range(0..self.sample.len())];
+        }
+    }
+}
+
+/// `M ≥ 2` correlated random walks under the NodeModel's own randomness —
+/// the generalization the paper's §6 proposes for bounding **higher
+/// moments** of the convergence value `F`.
+///
+/// The duality chain (Prop. 5.1 → Lemma 5.3 → Prop. 5.4) extends verbatim
+/// to products of `M` walk costs: conditioned on the selection sequence,
+/// the walks are independent, so
+/// `E[Π_j W̃^{(u_j)}(T)] = E[Π_j W^{(u_j)}(T)] = E[Π_j ξ_{u_j}(T)]`.
+/// Averaging over independent uniform starting nodes therefore estimates
+/// `E[Avg(T)^M] → E[F^M]` once `T` exceeds the joint mixing time. The
+/// HIGHER experiment cross-validates this against direct Monte Carlo over
+/// full averaging runs.
+#[derive(Debug, Clone)]
+pub struct MultiWalks<'g> {
+    graph: &'g Graph,
+    alpha: f64,
+    k: usize,
+    positions: Vec<NodeId>,
+    sample: Vec<NodeId>,
+    time: u64,
+}
+
+impl<'g> MultiWalks<'g> {
+    /// Creates `starts.len()` correlated walks at the given nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::Disconnected`], [`DualError::InvalidAlpha`]
+    /// (`α ∉ [0, 1)`), or [`DualError::InvalidSampleSize`].
+    pub fn new(
+        graph: &'g Graph,
+        alpha: f64,
+        k: usize,
+        starts: Vec<NodeId>,
+    ) -> Result<Self, DualError> {
+        if !graph.is_connected() || graph.n() < 2 {
+            return Err(DualError::Disconnected);
+        }
+        if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+            return Err(DualError::InvalidAlpha { alpha });
+        }
+        let d_min = graph.min_degree();
+        if k == 0 || k > d_min {
+            return Err(DualError::InvalidSampleSize { k, d: d_min });
+        }
+        if starts.iter().any(|&s| (s as usize) >= graph.n()) {
+            return Err(DualError::LengthMismatch {
+                got: starts.len(),
+                expected: graph.n(),
+            });
+        }
+        Ok(MultiWalks {
+            graph,
+            alpha,
+            k,
+            positions: starts,
+            sample: Vec::with_capacity(k),
+            time: 0,
+        })
+    }
+
+    /// Current walk positions.
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// Steps taken.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// One NodeModel-coupled step: select a node `w` uniformly, draw one
+    /// `k`-sample of its neighbours, and move every walk at `w`
+    /// independently with probability `1 − α` to an independent uniform
+    /// element of the shared sample.
+    pub fn step(&mut self, rng: &mut dyn RngCore) {
+        self.time += 1;
+        let w = rng.gen_range(0..self.graph.n()) as NodeId;
+        if !self.positions.contains(&w) {
+            return;
+        }
+        let neighbors = self.graph.neighbors(w);
+        let d = neighbors.len();
+        self.sample.clear();
+        if self.k == d {
+            self.sample.extend_from_slice(neighbors);
+        } else {
+            let mut idx: Vec<u32> = (0..d as u32).collect();
+            for i in 0..self.k {
+                let j = rng.gen_range(i..d);
+                idx.swap(i, j);
+                self.sample.push(neighbors[idx[i] as usize]);
+            }
+        }
+        for pos in self.positions.iter_mut() {
+            if *pos == w && rng.gen_bool(1.0 - self.alpha) {
+                *pos = self.sample[rng.gen_range(0..self.sample.len())];
+            }
+        }
+    }
+
+    /// Product of the walk costs `Π_j ξ₀[X_j(t)]` — one sample of the
+    /// `M`-point correlation whose expectation is `E[Π_j ξ_{u_j}(T)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi0.len() != n`.
+    pub fn cost_product(&self, xi0: &[f64]) -> f64 {
+        assert_eq!(xi0.len(), self.graph.n(), "xi0 length mismatch");
+        self.positions
+            .iter()
+            .map(|&p| xi0[p as usize])
+            .product()
+    }
+}
+
+/// Estimates the `M`-th moment `E[F^M]` of the convergence value by the
+/// §6 dual method: `trials` independent runs of `M` correlated walks from
+/// uniform random starts, each run `steps` long (choose `steps` well past
+/// the joint mixing time), averaging the cost products.
+///
+/// # Errors
+///
+/// Propagates [`MultiWalks::new`] errors.
+pub fn moment_via_walks<R: RngCore>(
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    order: usize,
+    steps: u64,
+    trials: usize,
+    rng: &mut R,
+) -> Result<f64, DualError> {
+    let n = graph.n();
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let starts: Vec<NodeId> = (0..order)
+            .map(|_| rng.gen_range(0..n) as NodeId)
+            .collect();
+        let mut walks = MultiWalks::new(graph, alpha, k, starts)?;
+        for _ in 0..steps {
+            walks.step(rng);
+        }
+        total += walks.cost_product(xi0);
+    }
+    Ok(total / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        let g = generators::cycle(5).unwrap();
+        assert!(RandomWalkProcess::new(&g, 1.5).is_err());
+        assert!(TwoWalks::new(&g, 0.5, 3, 0, 1).is_err()); // k > d_min = 2
+        assert!(TwoWalks::new(&g, 0.5, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn walks_only_move_from_selected_node() {
+        let g = generators::path(4).unwrap();
+        let mut w = RandomWalkProcess::new(&g, 0.0).unwrap(); // always move
+        let mut rng = StdRng::seed_from_u64(1);
+        // Select node 1 with sample {2}: only walks at node 1 move, and
+        // they must land on 2.
+        w.apply(
+            &StepRecord::Node {
+                node: 1,
+                sample: vec![2],
+            },
+            &mut rng,
+        );
+        assert_eq!(w.position(0), 0);
+        assert_eq!(w.position(1), 2);
+        assert_eq!(w.position(2), 2);
+        assert_eq!(w.position(3), 3);
+    }
+
+    #[test]
+    fn alpha_one_half_moves_about_half() {
+        let g = generators::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut moved = 0u32;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut w = RandomWalkProcess::new(&g, 0.5).unwrap();
+            w.apply(
+                &StepRecord::Node {
+                    node: 0,
+                    sample: vec![1],
+                },
+                &mut rng,
+            );
+            if w.position(0) == 1 {
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.02, "move fraction {frac}");
+    }
+
+    #[test]
+    fn expected_position_matches_diffusion_load() {
+        // Lemma 5.3: E[q̃(u)(t) | χ] = R(t) e(u). Empirically estimate the
+        // walk distribution under a fixed record sequence and compare to
+        // the diffusion load vector.
+        use crate::DiffusionProcess;
+        let g = generators::complete(4).unwrap();
+        let records = [
+            StepRecord::Node {
+                node: 0,
+                sample: vec![1, 2],
+            },
+            StepRecord::Node {
+                node: 1,
+                sample: vec![0, 3],
+            },
+            StepRecord::Node {
+                node: 2,
+                sample: vec![3, 0],
+            },
+        ];
+        let mut diff = DiffusionProcess::new(&g, 0.5).unwrap();
+        for r in &records {
+            diff.apply(r);
+        }
+        let expected = diff.load(0); // distribution of walk 0
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 200_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..trials {
+            let mut w = RandomWalkProcess::new(&g, 0.5).unwrap();
+            for r in &records {
+                w.apply(r, &mut rng);
+            }
+            counts[w.position(0) as usize] += 1;
+        }
+        for node in 0..4 {
+            let frac = counts[node] as f64 / trials as f64;
+            assert!(
+                (frac - expected[node]).abs() < 0.01,
+                "node {node}: empirical {frac} vs load {}",
+                expected[node]
+            );
+        }
+    }
+
+    #[test]
+    fn two_walks_stay_on_graph() {
+        let g = generators::petersen();
+        let mut tw = TwoWalks::new(&g, 0.5, 2, 0, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            tw.step(&mut rng);
+            let (x, y) = tw.state();
+            assert!((x as usize) < 10 && (y as usize) < 10);
+        }
+        assert_eq!(tw.time(), 10_000);
+    }
+
+    #[test]
+    fn multi_walks_validation_and_motion() {
+        let g = generators::cycle(6).unwrap();
+        assert!(MultiWalks::new(&g, 0.5, 1, vec![0, 9]).is_err()); // bad start
+        assert!(MultiWalks::new(&g, 0.5, 3, vec![0, 1]).is_err()); // k > d_min
+        let mut w = MultiWalks::new(&g, 0.0, 1, vec![2, 2, 2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            w.step(&mut rng);
+            for &p in w.positions() {
+                assert!((p as usize) < 6);
+            }
+        }
+        assert_eq!(w.time(), 200);
+    }
+
+    #[test]
+    fn multi_walks_second_moment_matches_two_walks_theory() {
+        // Sanity for the §6 extension: the M = 2 case must agree with the
+        // Q-chain's stationary prediction E[F²] = Σ μ(u,v) ξ_u ξ_v.
+        use crate::QChain;
+        let g = generators::complete(6).unwrap();
+        let xi0: Vec<f64> = (0..6).map(|i| f64::from(i) - 2.5).collect();
+        let chain = QChain::new(&g, 0.5, 1).unwrap();
+        let mu = chain.closed_form_vector();
+        let mut predicted = 0.0;
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                predicted +=
+                    mu[chain.state_index(u, v)] * xi0[u as usize] * xi0[v as usize];
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let estimated =
+            moment_via_walks(&g, 0.5, 1, &xi0, 2, 2_000, 60_000, &mut rng).unwrap();
+        assert!(
+            (estimated - predicted).abs() < 0.08,
+            "estimated {estimated} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn cost_product_multiplies_positions() {
+        let g = generators::path(4).unwrap();
+        let w = MultiWalks::new(&g, 0.5, 1, vec![0, 2, 3]).unwrap();
+        let xi0 = [2.0, 5.0, 3.0, 7.0];
+        assert_eq!(w.cost_product(&xi0), 2.0 * 3.0 * 7.0);
+    }
+
+    #[test]
+    fn two_walks_can_meet_and_separate() {
+        let g = generators::complete(4).unwrap();
+        let mut tw = TwoWalks::new(&g, 0.5, 2, 0, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut met = false;
+        let mut separated = false;
+        for _ in 0..10_000 {
+            tw.step(&mut rng);
+            let (x, y) = tw.state();
+            if x == y {
+                met = true;
+            }
+            if met && x != y {
+                separated = true;
+                break;
+            }
+        }
+        assert!(met, "walks should meet on K4");
+        assert!(separated, "walks should separate again (unlike coalescing walks)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Experiment runner binary.
+//!
+//! ```text
+//! run-experiments --all [--quick]
+//! run-experiments P58 L57 FIG1 [--quick]
+//! run-experiments --list
+//! ```
+//!
+//! Tables print to stdout; CSV copies land in `results/<ID>_<i>.csv`.
+
+use od_experiments::{find, registry, ExperimentContext};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for e in registry() {
+            println!("{:10} {}", e.id, e.description);
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let ctx = if quick {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::full()
+    };
+    let run_all = args.iter().any(|a| a == "--all");
+    let ids: Vec<String> = if run_all {
+        registry().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect()
+    };
+    if ids.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    std::fs::create_dir_all("results").expect("create results directory");
+    let mut failed = false;
+    for id in &ids {
+        let Some(experiment) = find(id) else {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            failed = true;
+            continue;
+        };
+        println!("\n=== {} — {} ===", experiment.id, experiment.description);
+        let start = std::time::Instant::now();
+        let tables = (experiment.run)(&ctx);
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.to_plain_text());
+            let path = format!("results/{}_{}.csv", experiment.id, i);
+            let mut file = std::fs::File::create(&path).expect("create csv");
+            file.write_all(table.to_csv().as_bytes()).expect("write csv");
+            let md_path = format!("results/{}_{}.md", experiment.id, i);
+            let mut md = std::fs::File::create(&md_path).expect("create md");
+            md.write_all(format!("### {}\n\n", table.title()).as_bytes())
+                .expect("write md");
+            md.write_all(table.to_markdown().as_bytes()).expect("write md");
+        }
+        println!(
+            "[{} finished in {:.1}s]",
+            experiment.id,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}
+
+fn print_usage() {
+    println!("usage: run-experiments [--quick] --all | <ID>... | --list");
+    println!("experiments:");
+    for e in registry() {
+        println!("  {:10} {}", e.id, e.description);
+    }
+}

@@ -1,0 +1,93 @@
+//! Shared helpers for the experiment modules.
+
+use od_core::{
+    run_until_converged, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess,
+};
+use od_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Balanced ±1 initial values (exactly centered for even `n`; centered by
+/// subtraction otherwise). The paper's bounds are scale-free in `‖ξ(0)‖²`,
+/// and ±1 keeps `‖ξ‖² = n` so normalized variances are easy to read.
+pub fn pm_one(n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    if n % 2 == 1 {
+        let mean = v.iter().sum::<f64>() / n as f64;
+        for x in &mut v {
+            *x -= mean;
+        }
+    }
+    v
+}
+
+/// Runs a NodeModel to `φ ≤ eps` and returns the estimated convergence
+/// value `F = M(T)`.
+///
+/// # Panics
+///
+/// Panics if the run does not converge within the (generous) step budget.
+pub fn estimate_f_node(graph: &Graph, alpha: f64, k: usize, xi0: &[f64], seed: u64, eps: f64) -> f64 {
+    let params = NodeModelParams::new(alpha, k).expect("valid params");
+    let mut model = NodeModel::new(graph, xi0.to_vec(), params).expect("valid model");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = step_budget(graph);
+    let report = run_until_converged(&mut model, &mut rng, eps, budget);
+    assert!(report.converged, "NodeModel failed to converge in {budget} steps");
+    model.state().weighted_average()
+}
+
+/// Runs an EdgeModel to `φ ≤ eps` and returns `F = M(T)` (equal to the
+/// common value at convergence).
+///
+/// # Panics
+///
+/// Panics if the run does not converge within the step budget.
+pub fn estimate_f_edge(graph: &Graph, alpha: f64, xi0: &[f64], seed: u64, eps: f64) -> f64 {
+    let params = EdgeModelParams::new(alpha).expect("valid params");
+    let mut model = EdgeModel::new(graph, xi0.to_vec(), params).expect("valid model");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = step_budget(graph);
+    let report = run_until_converged(&mut model, &mut rng, eps, budget);
+    assert!(report.converged, "EdgeModel failed to converge in {budget} steps");
+    model.state().weighted_average()
+}
+
+/// Steps for a NodeModel to reach `φ ≤ eps`.
+pub fn steps_to_eps_node(
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    seed: u64,
+    eps: f64,
+) -> u64 {
+    let params = NodeModelParams::new(alpha, k).expect("valid params");
+    let mut model = NodeModel::new(graph, xi0.to_vec(), params).expect("valid model");
+    let mut rng = StdRng::seed_from_u64(seed);
+    run_until_converged(&mut model, &mut rng, eps, step_budget(graph)).steps
+}
+
+/// Steps for an EdgeModel to reach `φ̄_V ≤ eps` (the potential of
+/// Prop. D.1).
+pub fn steps_to_eps_edge_uniform(
+    graph: &Graph,
+    alpha: f64,
+    xi0: &[f64],
+    seed: u64,
+    eps: f64,
+) -> u64 {
+    let params = EdgeModelParams::new(alpha).expect("valid params");
+    let mut model = EdgeModel::new(graph, xi0.to_vec(), params).expect("valid model");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = step_budget(graph);
+    while model.state().potential_uniform() > eps && model.time() < budget {
+        model.step(&mut rng);
+    }
+    model.time()
+}
+
+/// A generous per-run step budget scaling with graph size.
+fn step_budget(graph: &Graph) -> u64 {
+    200_000_000u64.min(2_000_000u64.max((graph.n() as u64).pow(2) * 2_000))
+}

@@ -1,0 +1,316 @@
+//! CMP-BASE / CMP-VOTER / EQUIV / IRREG — comparative experiments.
+
+use super::common;
+use crate::runner::{monte_carlo, monte_carlo_stats};
+use crate::ExperimentContext;
+use od_baselines::{DiffusionBalancer, PairwiseGossip, PushSum};
+use od_core::{VoterModel, OpinionState};
+use od_dual::variance::{centered_norm_sq, variance_k1_closed_form};
+use od_graph::generators;
+use od_stats::{fmt_float, Table, Welford};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// CMP-BASE: the "price of simplicity". The unilateral NodeModel/EdgeModel
+/// converge fast but their limit `F` has `Var(F) = Θ(‖ξ‖²/n²)`;
+/// coordinated protocols (pairwise gossip, push-sum, synchronous
+/// diffusion) recover the exact average.
+pub fn baselines(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(2_000, 300);
+    let tol = 1e-6;
+    let g = generators::torus(6, 6).unwrap();
+    let n = g.n();
+    let xi0: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64 - 1.0) / 2.0).collect();
+    let avg0 = 0.0;
+    let norm = centered_norm_sq(&xi0);
+
+    let mut t = Table::new(
+        format!("Price of simplicity on torus(6x6) (tol={tol:.0e}, {trials} trials)"),
+        &[
+            "protocol",
+            "coordination",
+            "mean_steps",
+            "mean|F-Avg0|",
+            "Var(F)*n^2/|xi|^2",
+        ],
+    );
+
+    struct Row {
+        name: &'static str,
+        coordination: &'static str,
+        steps: Welford,
+        errs: Welford,
+        f_values: Welford,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    // NodeModel (k=1) and EdgeModel.
+    for (name, is_node) in [("NodeModel(k=1)", true), ("EdgeModel", false)] {
+        let seeds = ctx.seeds.child(if is_node { 1200 } else { 1201 });
+        let results = monte_carlo(trials, seeds, |seed| {
+            let f = if is_node {
+                common::estimate_f_node(&g, 0.5, 1, &xi0, seed, 1e-10)
+            } else {
+                common::estimate_f_edge(&g, 0.5, &xi0, seed, 1e-10)
+            };
+            let steps = if is_node {
+                common::steps_to_eps_node(&g, 0.5, 1, &xi0, seed ^ 1, tol)
+            } else {
+                common::steps_to_eps_edge_uniform(&g, 0.5, &xi0, seed ^ 1, tol * n as f64)
+            };
+            (steps as f64, f)
+        });
+        let mut steps = Welford::new();
+        let mut errs = Welford::new();
+        let mut f_values = Welford::new();
+        for (s, f) in results {
+            steps.push(s);
+            errs.push((f - avg0).abs());
+            f_values.push(f);
+        }
+        rows.push(Row {
+            name,
+            coordination: "unilateral pull",
+            steps,
+            errs,
+            f_values,
+        });
+    }
+
+    // Pairwise gossip.
+    {
+        let seeds = ctx.seeds.child(1202);
+        let results = monte_carlo(trials, seeds, |seed| {
+            let mut p = PairwiseGossip::new(&g, xi0.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let steps = p.run(&mut rng, tol, 100_000_000);
+            (steps as f64, p.values()[0])
+        });
+        let mut steps = Welford::new();
+        let mut errs = Welford::new();
+        let mut f_values = Welford::new();
+        for (s, f) in results {
+            steps.push(s);
+            errs.push((f - avg0).abs());
+            f_values.push(f);
+        }
+        rows.push(Row {
+            name: "PairwiseGossip",
+            coordination: "coordinated pair",
+            steps,
+            errs,
+            f_values,
+        });
+    }
+
+    // Push-sum.
+    {
+        let seeds = ctx.seeds.child(1203);
+        let results = monte_carlo(trials, seeds, |seed| {
+            let mut p = PushSum::new(&g, xi0.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let steps = p.run(&mut rng, tol, 100_000_000);
+            (steps as f64, p.estimate(0))
+        });
+        let mut steps = Welford::new();
+        let mut errs = Welford::new();
+        let mut f_values = Welford::new();
+        for (s, f) in results {
+            steps.push(s);
+            errs.push((f - avg0).abs());
+            f_values.push(f);
+        }
+        rows.push(Row {
+            name: "PushSum",
+            coordination: "push mass",
+            steps,
+            errs,
+            f_values,
+        });
+    }
+
+    // Synchronous diffusion (deterministic; rounds scaled to node
+    // activations for comparability).
+    {
+        let mut b = DiffusionBalancer::new(&g, xi0.clone());
+        let rounds = b.run(tol, 10_000_000);
+        let mut steps = Welford::new();
+        steps.push((rounds * n as u64) as f64);
+        let mut errs = Welford::new();
+        errs.push((b.values()[0] - avg0).abs());
+        let mut f_values = Welford::new();
+        f_values.push(b.values()[0]);
+        rows.push(Row {
+            name: "SyncDiffusion",
+            coordination: "global rounds",
+            steps,
+            errs,
+            f_values,
+        });
+    }
+
+    for row in rows {
+        let var = row.f_values.sample_variance().unwrap_or(0.0);
+        t.push_row(vec![
+            row.name.to_string(),
+            row.coordination.to_string(),
+            fmt_float(row.steps.mean().unwrap()),
+            fmt_float(row.errs.mean().unwrap()),
+            fmt_float(var * (n * n) as f64 / norm),
+        ]);
+    }
+    vec![t]
+}
+
+/// CMP-VOTER: the NodeModel's ε-convergence vs the voter model's
+/// consensus time (§2 claims an `Ω(n/log n)` separation for constant
+/// spectral gap).
+pub fn voter(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(50, 10);
+    let sizes: &[usize] = if ctx.quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let mut t = Table::new(
+        format!("Voter vs NodeModel on complete(n) ({trials} trials)"),
+        &[
+            "n",
+            "voter_consensus_steps",
+            "nodemodel_T_eps",
+            "voter/nodemodel",
+        ],
+    );
+    for (idx, &n) in sizes.iter().enumerate() {
+        let g = generators::complete(n).unwrap();
+        let seeds = ctx.seeds.child(1_300 + idx as u64);
+        let voter_stats = monte_carlo_stats(trials, seeds, |seed| {
+            let opinions: Vec<u32> = (0..n as u32).collect();
+            let mut v = VoterModel::new(&g, opinions).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            v.run_to_consensus(&mut rng, u64::MAX).steps as f64
+        });
+        let xi0 = common::pm_one(n);
+        let seeds = ctx.seeds.child(1_320 + idx as u64);
+        let node_stats = monte_carlo_stats(trials, seeds, |seed| {
+            common::steps_to_eps_node(&g, 0.5, 1, &xi0, seed, 1e-9) as f64
+        });
+        let v = voter_stats.mean().unwrap();
+        let m = node_stats.mean().unwrap();
+        t.push_row(vec![
+            n.to_string(),
+            fmt_float(v),
+            fmt_float(m),
+            fmt_float(v / m),
+        ]);
+    }
+    vec![t]
+}
+
+/// EQUIV: on regular graphs with `k = 1` the NodeModel and the EdgeModel
+/// are the same process — empirical `Var(F)` and `T_ε` agree within noise.
+pub fn equivalence(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(6_000, 800);
+    let g = generators::cycle(12).unwrap();
+    let xi0 = common::pm_one(12);
+    let mut t = Table::new(
+        format!("NodeModel(k=1) vs EdgeModel on cycle(12) ({trials} trials)"),
+        &["quantity", "node_model", "edge_model", "z_score"],
+    );
+    let seeds = ctx.seeds.child(1_400);
+    let node_f = monte_carlo_stats(trials, seeds, |seed| {
+        common::estimate_f_node(&g, 0.5, 1, &xi0, seed, 1e-10)
+    });
+    let seeds = ctx.seeds.child(1_401);
+    let edge_f = monte_carlo_stats(trials, seeds, |seed| {
+        common::estimate_f_edge(&g, 0.5, &xi0, seed, 1e-10)
+    });
+    let mean_z = (node_f.mean().unwrap() - edge_f.mean().unwrap())
+        / (node_f.standard_error().unwrap().powi(2) + edge_f.standard_error().unwrap().powi(2))
+            .sqrt();
+    t.push_row(vec![
+        "E[F]".into(),
+        fmt_float(node_f.mean().unwrap()),
+        fmt_float(edge_f.mean().unwrap()),
+        fmt_float(mean_z),
+    ]);
+    let var_z = (node_f.sample_variance().unwrap() - edge_f.sample_variance().unwrap())
+        / (node_f.variance_standard_error().unwrap().powi(2)
+            + edge_f.variance_standard_error().unwrap().powi(2))
+            .sqrt();
+    t.push_row(vec![
+        "Var(F)".into(),
+        fmt_float(node_f.sample_variance().unwrap()),
+        fmt_float(edge_f.sample_variance().unwrap()),
+        fmt_float(var_z),
+    ]);
+    vec![t]
+}
+
+/// IRREG: irregular graphs. `E[F]` is degree-weighted for the NodeModel
+/// and plain for the EdgeModel; empirical `Var(F)` is reported as
+/// exploratory data for the paper's open question (§6).
+pub fn irregular(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(6_000, 800);
+    let cases = vec![
+        ("star(16)", generators::star(16).unwrap()),
+        ("barbell(8)", generators::barbell(8).unwrap()),
+        ("lollipop(8,8)", generators::lollipop(8, 8).unwrap()),
+    ];
+    let mut t = Table::new(
+        format!("Irregular graphs — E[F] weighting and Var(F) vs general Q-chain ({trials} trials)"),
+        &[
+            "graph",
+            "model",
+            "E[F]_empirical",
+            "M(0)",
+            "Avg(0)",
+            "Var(F)*n^2/|xi|^2",
+            "general_qchain_pred",
+            "k1_regular_formula",
+        ],
+    );
+    for (idx, (name, g)) in cases.iter().enumerate() {
+        let n = g.n();
+        let xi0: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64 - 1.0) / 2.0).collect();
+        let state0 = OpinionState::new(g, xi0.clone()).unwrap();
+        let norm = centered_norm_sq(&xi0);
+        let regular_formula = variance_k1_closed_form(n, 0.5, norm) * (n * n) as f64 / norm;
+        // §6 second open question: the general two-walk chain has no closed
+        // form, but its numeric stationary distribution predicts the
+        // NodeModel variance exactly.
+        let qpred = od_dual::GeneralQChain::new(g, 0.5, 1)
+            .unwrap()
+            .predict_variance_numeric(&xi0, 1e-13, 500_000)
+            .unwrap()
+            * (n * n) as f64
+            / norm;
+
+        let seeds = ctx.seeds.child(1_500 + idx as u64);
+        let node = monte_carlo_stats(trials, seeds, |seed| {
+            common::estimate_f_node(g, 0.5, 1, &xi0, seed, 1e-10)
+        });
+        t.push_row(vec![
+            name.to_string(),
+            "node(k=1)".into(),
+            fmt_float(node.mean().unwrap()),
+            fmt_float(state0.weighted_average()),
+            fmt_float(state0.average()),
+            fmt_float(node.sample_variance().unwrap() * (n * n) as f64 / norm),
+            fmt_float(qpred),
+            fmt_float(regular_formula),
+        ]);
+
+        let seeds = ctx.seeds.child(1_520 + idx as u64);
+        let edge = monte_carlo_stats(trials, seeds, |seed| {
+            common::estimate_f_edge(g, 0.5, &xi0, seed, 1e-10)
+        });
+        t.push_row(vec![
+            name.to_string(),
+            "edge".into(),
+            fmt_float(edge.mean().unwrap()),
+            fmt_float(state0.weighted_average()),
+            fmt_float(state0.average()),
+            fmt_float(edge.sample_variance().unwrap() * (n * n) as f64 / norm),
+            "-".into(),
+            fmt_float(regular_formula),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,225 @@
+//! T22-CONV / T22-K / T24-CONV / PB2 — convergence-time experiments.
+
+use super::common;
+use crate::runner::monte_carlo_stats;
+use crate::ExperimentContext;
+use od_core::theory;
+use od_graph::{generators, Graph};
+use od_linalg::{eigen, spectra};
+use od_stats::{fmt_float, Table};
+
+/// Regular families with analytic lazy-walk gaps.
+fn regular_families(sizes: &[usize]) -> Vec<(String, Graph, f64)> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let g = generators::cycle(n).unwrap();
+        let gap = spectra::lazy_gap_regular(&spectra::cycle_adjacency(n), 2);
+        out.push((format!("cycle({n})"), g, 1.0 - gap));
+
+        let g = generators::complete(n).unwrap();
+        let gap = spectra::lazy_gap_regular(&spectra::complete_adjacency(n), n - 1);
+        out.push((format!("complete({n})"), g, 1.0 - gap));
+    }
+    // Tori and hypercubes at their natural sizes.
+    for &s in &[4usize, 6] {
+        let g = generators::torus(s, s).unwrap();
+        let gap = spectra::lazy_gap_regular(&spectra::torus_adjacency(s, s), 4);
+        out.push((format!("torus({s}x{s})"), g, 1.0 - gap));
+    }
+    for &d in &[4usize, 5] {
+        let g = generators::hypercube(d).unwrap();
+        let gap = spectra::lazy_gap_regular(&spectra::hypercube_adjacency(d), d);
+        out.push((format!("hypercube({d})"), g, 1.0 - gap));
+    }
+    out
+}
+
+/// T22-CONV: measured ε-convergence time vs the Prop. B.1 prediction
+/// (which instantiates Theorem 2.2(1)'s `O(n log(n‖ξ‖²/ε)/(1−λ₂))` with
+/// explicit constants).
+pub fn node_convergence(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(20, 5);
+    let eps = 1e-9;
+    let alpha = 0.5;
+    let k = 1;
+    let sizes: &[usize] = if ctx.quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let mut t = Table::new(
+        format!("Thm 2.2(1) — NodeModel T_eps (alpha={alpha}, k={k}, eps={eps:.0e}, {trials} trials)"),
+        &[
+            "graph",
+            "n",
+            "lambda2(P)",
+            "T_measured",
+            "T_predicted",
+            "ratio",
+        ],
+    );
+    for (idx, (name, g, lambda2)) in regular_families(sizes).into_iter().enumerate() {
+        let xi0 = common::pm_one(g.n());
+        let phi0 = od_core::OpinionState::new(&g, xi0.clone())
+            .unwrap()
+            .potential_pi();
+        let seeds = ctx.seeds.child(100 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            common::steps_to_eps_node(&g, alpha, k, &xi0, seed, eps) as f64
+        });
+        let measured = stats.mean().unwrap();
+        let predicted = theory::node_convergence_steps(g.n(), lambda2, alpha, k, phi0, eps);
+        t.push_row(vec![
+            name,
+            g.n().to_string(),
+            fmt_float(lambda2),
+            fmt_float(measured),
+            fmt_float(predicted),
+            fmt_float(measured / predicted),
+        ]);
+    }
+    vec![t]
+}
+
+/// T22-K: the convergence time barely improves with `k` — the rate gains
+/// at most the factor `(1 + 1/k) ∈ [1, 2]` highlighted in §2.
+pub fn k_dependence(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(30, 8);
+    let eps = 1e-9;
+    let alpha = 0.5;
+    let d = 6;
+    let g = generators::hypercube(d).unwrap();
+    let lambda2 = 1.0 - spectra::lazy_gap_regular(&spectra::hypercube_adjacency(d), d);
+    let xi0 = common::pm_one(g.n());
+    let phi0 = od_core::OpinionState::new(&g, xi0.clone())
+        .unwrap()
+        .potential_pi();
+    let base_rate = 1.0 - theory::node_contraction_factor(g.n(), lambda2, alpha, 1);
+    let mut t = Table::new(
+        format!(
+            "Thm 2.2(1) — k-dependence on hypercube({d}) (n={}, alpha={alpha}, {trials} trials)",
+            g.n()
+        ),
+        &[
+            "k",
+            "T_measured",
+            "T_predicted",
+            "speedup_vs_k1",
+            "predicted_speedup",
+        ],
+    );
+    let mut t1 = None;
+    for (idx, &k) in [1usize, 2, 3, 6].iter().enumerate() {
+        let seeds = ctx.seeds.child(200 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            common::steps_to_eps_node(&g, alpha, k, &xi0, seed, eps) as f64
+        });
+        let measured = stats.mean().unwrap();
+        let predicted = theory::node_convergence_steps(g.n(), lambda2, alpha, k, phi0, eps);
+        let t1_val = *t1.get_or_insert(measured);
+        let rate_k = 1.0 - theory::node_contraction_factor(g.n(), lambda2, alpha, k);
+        t.push_row(vec![
+            k.to_string(),
+            fmt_float(measured),
+            fmt_float(predicted),
+            fmt_float(t1_val / measured),
+            fmt_float(rate_k / base_rate),
+        ]);
+    }
+    vec![t]
+}
+
+/// T24-CONV: measured EdgeModel time to `φ̄_V ≤ ε` vs the Prop. D.1
+/// prediction `m log(φ̄_V(0)/ε) / (α(1−α)λ₂(L))`, on regular *and*
+/// irregular graphs.
+pub fn edge_convergence(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(20, 5);
+    let eps = 1e-9;
+    let alpha = 0.5;
+    let mut cases: Vec<(String, Graph)> = vec![
+        ("cycle(32)".into(), generators::cycle(32).unwrap()),
+        ("complete(32)".into(), generators::complete(32).unwrap()),
+        ("star(32)".into(), generators::star(32).unwrap()),
+        ("barbell(8)".into(), generators::barbell(8).unwrap()),
+        ("path(32)".into(), generators::path(32).unwrap()),
+    ];
+    if !ctx.quick {
+        cases.push(("torus(6x6)".into(), generators::torus(6, 6).unwrap()));
+        cases.push(("binary_tree(5)".into(), generators::binary_tree(5).unwrap()));
+    }
+    let mut t = Table::new(
+        format!("Thm 2.4(1) — EdgeModel T_eps on phi_V (alpha={alpha}, eps={eps:.0e}, {trials} trials)"),
+        &[
+            "graph",
+            "n",
+            "m",
+            "lambda2(L)",
+            "T_measured",
+            "T_predicted",
+            "ratio",
+        ],
+    );
+    for (idx, (name, g)) in cases.into_iter().enumerate() {
+        let lambda2 = eigen::laplacian_spectrum(&g, 1e-11, 2_000_000).lambda2;
+        let xi0 = common::pm_one(g.n());
+        let phi0: f64 = {
+            let mean = xi0.iter().sum::<f64>() / g.n() as f64;
+            xi0.iter().map(|v| (v - mean) * (v - mean)).sum()
+        };
+        let seeds = ctx.seeds.child(300 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            common::steps_to_eps_edge_uniform(&g, alpha, &xi0, seed, eps) as f64
+        });
+        let measured = stats.mean().unwrap();
+        let predicted = theory::edge_convergence_steps(g.m(), lambda2, alpha, phi0, eps);
+        t.push_row(vec![
+            name,
+            g.n().to_string(),
+            g.m().to_string(),
+            fmt_float(lambda2),
+            fmt_float(measured),
+            fmt_float(predicted),
+            fmt_float(measured / predicted),
+        ]);
+    }
+    vec![t]
+}
+
+/// PB2: starting from the second eigenvector is the worst case — the
+/// upper bound is tight there, and generic initial vectors of the same
+/// norm converge no slower than the prediction.
+pub fn lower_bound(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(20, 6);
+    let eps = 1e-9;
+    let alpha = 0.5;
+    let n = if ctx.quick { 24 } else { 48 };
+    let g = generators::cycle(n).unwrap();
+    let spec = eigen::lazy_walk_spectrum(&g, 1e-12, 4_000_000);
+    // Worst case: ξ(0) ∝ f₂(P), scaled to ‖ξ‖² = n like the ±1 vector.
+    let scale = (n as f64).sqrt() / od_linalg::vector::norm2(&spec.f2);
+    let worst: Vec<f64> = spec.f2.iter().map(|v| v * scale).collect();
+    let generic = common::pm_one(n);
+
+    let mut t = Table::new(
+        format!("Prop B.2 — worst-case initial state on cycle({n}) (alpha={alpha}, {trials} trials)"),
+        &["initial_state", "norm_sq", "T_measured", "T_predicted", "ratio"],
+    );
+    for (idx, (label, xi0)) in [("f2_eigenvector", worst), ("pm_one_generic", generic)]
+        .into_iter()
+        .enumerate()
+    {
+        let phi0 = od_core::OpinionState::new(&g, xi0.clone())
+            .unwrap()
+            .potential_pi();
+        let seeds = ctx.seeds.child(400 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            common::steps_to_eps_node(&g, alpha, 1, &xi0, seed, eps) as f64
+        });
+        let measured = stats.mean().unwrap();
+        let predicted = theory::node_convergence_steps(n, spec.lambda2, alpha, 1, phi0, eps);
+        t.push_row(vec![
+            label.to_string(),
+            fmt_float(od_linalg::vector::norm2_sq(&xi0)),
+            fmt_float(measured),
+            fmt_float(predicted),
+            fmt_float(measured / predicted),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,165 @@
+//! FIG1 / FIG4 / DUAL / RUNTIME — the coupling experiments.
+
+use crate::ExperimentContext;
+use od_core::{NodeModel, NodeModelParams, OpinionProcess};
+use od_dual::duality::{self, FigureReproduction};
+use od_graph::generators;
+use od_runtime::ProtocolNetwork;
+use od_stats::{fmt_float, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn figure_table(fig: &FigureReproduction) -> Table {
+    let mut t = Table::new(
+        format!("{} — xi(2), W(2) vs paper", fig.label),
+        &["node", "xi0", "xi_final", "W_final", "paper", "abs_err"],
+    );
+    for u in 0..fig.xi0.len() {
+        t.push_row(vec![
+            format!("u{}", u + 1),
+            fmt_float(fig.xi0[u]),
+            fmt_float(fig.xi_final[u]),
+            fmt_float(fig.w_final[u]),
+            fmt_float(fig.expected[u]),
+            fmt_float((fig.xi_final[u] - fig.expected[u]).abs()),
+        ]);
+    }
+    t
+}
+
+/// FIG1: reproduce the worked example of Figure 1 exactly.
+pub fn fig1(_ctx: &ExperimentContext) -> Vec<Table> {
+    let fig = duality::figure1();
+    let mut r = Table::new(
+        "Figure 1 — R(2) matrix (paper prints [[1/2,1/4,0],[1/2,3/4,0],[0,0,1]])",
+        &["row", "c1", "c2", "c3"],
+    );
+    for i in 0..3 {
+        let row = fig.r_final.row(i);
+        r.push_row(vec![
+            format!("r{}", i + 1),
+            fmt_float(row[0]),
+            fmt_float(row[1]),
+            fmt_float(row[2]),
+        ]);
+    }
+    vec![figure_table(&fig), r]
+}
+
+/// FIG4: reproduce the worked example of Figure 4 exactly.
+pub fn fig4(_ctx: &ExperimentContext) -> Vec<Table> {
+    let fig = duality::figure4();
+    vec![figure_table(&fig)]
+}
+
+/// DUAL: Lemma 5.2 on random runs across graph families and parameters.
+pub fn random_duality(ctx: &ExperimentContext) -> Vec<Table> {
+    let steps = ctx.trials(2_000, 300);
+    let mut t = Table::new(
+        format!("Lemma 5.2 — W(T) = xi(T) exactly (T = {steps} random steps)"),
+        &["graph", "n", "model", "alpha", "k", "max_abs_err"],
+    );
+    let cases: Vec<(&str, od_graph::Graph, usize)> = vec![
+        ("cycle", generators::cycle(16).unwrap(), 2),
+        ("petersen", generators::petersen(), 3),
+        ("complete", generators::complete(10).unwrap(), 5),
+        ("hypercube", generators::hypercube(4).unwrap(), 1),
+        ("torus", generators::torus(4, 4).unwrap(), 2),
+    ];
+    for (name, g, k) in &cases {
+        let xi0: Vec<f64> = (0..g.n()).map(|i| (i as f64) * 1.7 - 3.0).collect();
+        for &alpha in &[0.25, 0.5, 0.75] {
+            let check = duality::verify_node_duality(g, alpha, *k, &xi0, steps, 42)
+                .expect("valid duality setup");
+            t.push_row(vec![
+                name.to_string(),
+                g.n().to_string(),
+                "node".into(),
+                fmt_float(alpha),
+                k.to_string(),
+                format!("{:.2e}", check.max_abs_error),
+            ]);
+        }
+        let check =
+            duality::verify_edge_duality(g, 0.5, &xi0, steps, 43).expect("valid duality setup");
+        t.push_row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            "edge".into(),
+            fmt_float(0.5),
+            "1".into(),
+            format!("{:.2e}", check.max_abs_error),
+        ]);
+    }
+    // Irregular graphs through the edge model.
+    for (name, g) in [
+        ("star", generators::star(12).unwrap()),
+        ("barbell", generators::barbell(5).unwrap()),
+    ] {
+        let xi0: Vec<f64> = (0..g.n()).map(|i| (i * i) as f64 * 0.1).collect();
+        let check =
+            duality::verify_edge_duality(&g, 0.5, &xi0, steps, 44).expect("valid duality setup");
+        t.push_row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            "edge".into(),
+            fmt_float(0.5),
+            "1".into(),
+            format!("{:.2e}", check.max_abs_error),
+        ]);
+    }
+    vec![t]
+}
+
+/// RUNTIME: the message-passing protocol reproduces the state-vector
+/// trajectory bit-for-bit, at a cost of exactly `2k` messages per step.
+pub fn runtime_conformance(ctx: &ExperimentContext) -> Vec<Table> {
+    let steps = ctx.trials(50_000, 5_000) as u64;
+    let mut t = Table::new(
+        format!("Runtime conformance over {steps} steps"),
+        &[
+            "graph",
+            "k",
+            "max_traj_diff",
+            "messages",
+            "msgs_per_step",
+            "throughput_steps_per_s",
+        ],
+    );
+    let cases = vec![
+        ("petersen", generators::petersen(), 2usize),
+        ("torus6x6", generators::torus(6, 6).unwrap(), 3),
+    ];
+    for (name, g, k) in cases {
+        let xi0: Vec<f64> = (0..g.n()).map(|i| (i as f64).sin()).collect();
+        let params = NodeModelParams::new(0.5, k).unwrap();
+        let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut net = ProtocolNetwork::new(&g, xi0, 0.5, k);
+        let mut rng = StdRng::seed_from_u64(5);
+        let start = std::time::Instant::now();
+        let mut max_diff: f64 = 0.0;
+        for _ in 0..steps {
+            let record = model.step_recorded(&mut rng);
+            net.apply(&record);
+            let diff = model
+                .state()
+                .values()
+                .iter()
+                .zip(net.values())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            max_diff = max_diff.max(diff);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = net.stats();
+        t.push_row(vec![
+            name.to_string(),
+            k.to_string(),
+            format!("{max_diff:.2e}"),
+            stats.total_messages().to_string(),
+            fmt_float(stats.total_messages() as f64 / steps as f64),
+            fmt_float(steps as f64 / elapsed),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,119 @@
+//! L41 — martingale conservation.
+
+use super::common;
+use crate::runner::monte_carlo_stats;
+use crate::ExperimentContext;
+use od_core::{EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess};
+use od_graph::generators;
+use od_stats::{fmt_float, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// L41: `E[M(t)] = M(0)` for the NodeModel (degree-weighted average, even
+/// on irregular graphs) and `E[Avg(t)] = Avg(0)` for the EdgeModel. The
+/// drift over many trials must be statistically indistinguishable from 0,
+/// while the *plain* average in the NodeModel on irregular graphs drifts
+/// towards the degree-weighted value (the contrast the paper stresses).
+pub fn conservation(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(6_000, 800);
+    let t_run: u64 = 2_000;
+    let alpha = 0.5;
+    let mut t = Table::new(
+        format!("Lemma 4.1 — martingale drift after {t_run} steps ({trials} trials)"),
+        &[
+            "graph",
+            "model",
+            "martingale",
+            "initial",
+            "mean_final",
+            "drift_z",
+        ],
+    );
+
+    let cases: Vec<(&str, od_graph::Graph)> = vec![
+        ("star(16)", generators::star(16).unwrap()),
+        ("barbell(6)", generators::barbell(6).unwrap()),
+        ("cycle(16)", generators::cycle(16).unwrap()),
+    ];
+    for (idx, (name, g)) in cases.iter().enumerate() {
+        let xi0: Vec<f64> = (0..g.n()).map(|i| (i as f64) - g.n() as f64 / 2.0).collect();
+        let state0 = od_core::OpinionState::new(g, xi0.clone()).unwrap();
+        let m0 = state0.weighted_average();
+        let avg0 = state0.average();
+
+        // NodeModel: M(t) is conserved in expectation.
+        let seeds = ctx.seeds.child(900 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            let params = NodeModelParams::new(alpha, 1).unwrap();
+            let mut m = NodeModel::new(g, xi0.clone(), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..t_run {
+                m.step(&mut rng);
+            }
+            m.state().weighted_average()
+        });
+        let mean = stats.mean().unwrap();
+        let se = stats.standard_error().unwrap();
+        t.push_row(vec![
+            name.to_string(),
+            "node(k=1)".into(),
+            "M(t)".into(),
+            fmt_float(m0),
+            fmt_float(mean),
+            fmt_float((mean - m0) / se),
+        ]);
+
+        // EdgeModel: Avg(t) is conserved in expectation.
+        let seeds = ctx.seeds.child(920 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            let params = EdgeModelParams::new(alpha).unwrap();
+            let mut m = EdgeModel::new(g, xi0.clone(), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..t_run {
+                m.step(&mut rng);
+            }
+            m.state().average()
+        });
+        let mean = stats.mean().unwrap();
+        let se = stats.standard_error().unwrap();
+        t.push_row(vec![
+            name.to_string(),
+            "edge".into(),
+            "Avg(t)".into(),
+            fmt_float(avg0),
+            fmt_float(mean),
+            fmt_float((mean - avg0) / se),
+        ]);
+    }
+
+    // Contrast: the NodeModel's plain average on the star is NOT conserved —
+    // E[F] is the degree-weighted average.
+    let g = generators::star(16).unwrap();
+    let xi0: Vec<f64> = (0..16).map(|i| (i as f64) - 8.0).collect();
+    let state0 = od_core::OpinionState::new(&g, xi0.clone()).unwrap();
+    let seeds = ctx.seeds.child(940);
+    let stats = monte_carlo_stats(trials, seeds, |seed| {
+        common::estimate_f_node(&g, alpha, 1, &xi0, seed, 1e-10)
+    });
+    let mean_f = stats.mean().unwrap();
+    let se = stats.standard_error().unwrap();
+    let mut t2 = Table::new(
+        format!("Lemma 4.1 corollary — E[F] on star(16) is degree-weighted ({trials} trials)"),
+        &["quantity", "value"],
+    );
+    t2.push_row(vec!["Avg(0) (plain)".into(), fmt_float(state0.average())]);
+    t2.push_row(vec![
+        "M(0) (degree-weighted)".into(),
+        fmt_float(state0.weighted_average()),
+    ]);
+    t2.push_row(vec!["E[F] empirical".into(), fmt_float(mean_f)]);
+    t2.push_row(vec![
+        "z vs M(0)".into(),
+        fmt_float((mean_f - state0.weighted_average()) / se),
+    ]);
+    t2.push_row(vec![
+        "z vs Avg(0)".into(),
+        fmt_float((mean_f - state0.average()) / se),
+    ]);
+    vec![t, t2]
+}

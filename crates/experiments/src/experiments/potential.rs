@@ -1,0 +1,111 @@
+//! PB1 / PD1 — one-step potential contraction.
+
+use crate::runner::monte_carlo_stats;
+use crate::ExperimentContext;
+use od_core::{
+    theory, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess,
+};
+use od_graph::generators;
+use od_linalg::eigen;
+use od_stats::{fmt_float, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PB1: `E[φ(ξ(t+1)) | ξ(t)] ≤ c·φ(ξ(t))` with the exact factor of
+/// Prop. B.1 — and equality when `ξ(t)` is the second eigenvector `f₂(P)`
+/// (where every spectral inequality in the proof is tight).
+pub fn node_drop(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(400_000, 50_000);
+    let alpha = 0.5;
+    let cases = vec![
+        ("cycle(16)", generators::cycle(16).unwrap(), 1usize),
+        ("cycle(16)", generators::cycle(16).unwrap(), 2),
+        ("petersen", generators::petersen(), 2),
+        ("complete(12)", generators::complete(12).unwrap(), 4),
+    ];
+    let mut t = Table::new(
+        format!("Prop B.1 — one-step E[phi]/phi from f2(P) ({trials} single-step trials)"),
+        &[
+            "graph",
+            "k",
+            "lambda2(P)",
+            "measured_factor",
+            "predicted_factor",
+            "measured/predicted",
+        ],
+    );
+    for (idx, (name, g, k)) in cases.into_iter().enumerate() {
+        let spec = eigen::lazy_walk_spectrum(&g, 1e-12, 4_000_000);
+        let xi0 = spec.f2.clone();
+        let state0 = od_core::OpinionState::new(&g, xi0.clone()).unwrap();
+        let phi0 = state0.potential_pi();
+        let seeds = ctx.seeds.child(1_000 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            let params = NodeModelParams::new(alpha, k).unwrap();
+            let mut m = NodeModel::new(&g, xi0.clone(), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            m.step(&mut rng);
+            m.state().potential_pi() / phi0
+        });
+        let measured = stats.mean().unwrap();
+        let predicted = theory::node_contraction_factor(g.n(), spec.lambda2, alpha, k);
+        t.push_row(vec![
+            name.to_string(),
+            k.to_string(),
+            fmt_float(spec.lambda2),
+            format!("{measured:.6}"),
+            format!("{predicted:.6}"),
+            format!("{:.4}", measured / predicted),
+        ]);
+    }
+    vec![t]
+}
+
+/// PD1: `E[φ̄_V(ξ(t+1))] ≤ (1 − α(1−α)λ₂(L)/m)·φ̄_V(ξ(t))`, with equality
+/// from the Fiedler vector.
+pub fn edge_drop(ctx: &ExperimentContext) -> Vec<Table> {
+    let trials = ctx.trials(400_000, 50_000);
+    let alpha = 0.5;
+    let cases = vec![
+        ("cycle(16)", generators::cycle(16).unwrap()),
+        ("star(16)", generators::star(16).unwrap()),
+        ("path(12)", generators::path(12).unwrap()),
+        ("complete(10)", generators::complete(10).unwrap()),
+    ];
+    let mut t = Table::new(
+        format!("Prop D.1 — one-step E[phi_V]/phi_V from f2(L) ({trials} single-step trials)"),
+        &[
+            "graph",
+            "m",
+            "lambda2(L)",
+            "measured_factor",
+            "predicted_factor",
+            "measured/predicted",
+        ],
+    );
+    for (idx, (name, g)) in cases.into_iter().enumerate() {
+        let spec = eigen::laplacian_spectrum(&g, 1e-12, 4_000_000);
+        let xi0 = spec.fiedler.clone();
+        let state0 = od_core::OpinionState::new(&g, xi0.clone()).unwrap();
+        let phi0 = state0.potential_uniform();
+        let seeds = ctx.seeds.child(1_100 + idx as u64);
+        let stats = monte_carlo_stats(trials, seeds, |seed| {
+            let params = EdgeModelParams::new(alpha).unwrap();
+            let mut m = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            m.step(&mut rng);
+            m.state().potential_uniform() / phi0
+        });
+        let measured = stats.mean().unwrap();
+        let predicted = theory::edge_contraction_factor(g.m(), spec.lambda2, alpha);
+        t.push_row(vec![
+            name.to_string(),
+            g.m().to_string(),
+            fmt_float(spec.lambda2),
+            format!("{measured:.6}"),
+            format!("{predicted:.6}"),
+            format!("{:.4}", measured / predicted),
+        ]);
+    }
+    vec![t]
+}

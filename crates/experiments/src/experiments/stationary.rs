@@ -1,0 +1,122 @@
+//! L57 — the Q-chain stationary distribution.
+
+use crate::ExperimentContext;
+use od_dual::{QChain, StateClass, TwoWalks};
+use od_graph::generators;
+use od_linalg::markov::total_variation;
+use od_stats::{fmt_float, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// L57: three-way validation of Lemma 5.7 —
+///
+/// 1. the closed form satisfies the balance equations `μQ = μ` (residual);
+/// 2. power iteration over the exact transition operator converges to the
+///    closed form (total-variation distance);
+/// 3. two simulated correlated walks occupy the classes `S0/S1/S+` with
+///    the closed-form frequencies.
+pub fn closed_form_validation(ctx: &ExperimentContext) -> Vec<Table> {
+    let mut rng_graphs = StdRng::seed_from_u64(3131);
+    let cases: Vec<(String, od_graph::Graph, f64, usize)> = vec![
+        ("cycle(8)".into(), generators::cycle(8).unwrap(), 0.5, 1),
+        ("cycle(8)".into(), generators::cycle(8).unwrap(), 0.5, 2),
+        ("complete(8)".into(), generators::complete(8).unwrap(), 0.5, 3),
+        ("petersen".into(), generators::petersen(), 0.25, 2),
+        ("petersen".into(), generators::petersen(), 0.75, 3),
+        ("hypercube(3)".into(), generators::hypercube(3).unwrap(), 0.5, 2),
+        ("torus(3x4)".into(), generators::torus(3, 4).unwrap(), 0.4, 2),
+        (
+            "random_regular(12,5)".into(),
+            generators::random_regular(12, 5, &mut rng_graphs).unwrap(),
+            0.6,
+            2,
+        ),
+    ];
+    let mut t = Table::new(
+        "Lemma 5.7 — closed form vs balance equations and power iteration",
+        &[
+            "graph",
+            "alpha",
+            "k",
+            "mu0",
+            "mu1",
+            "mu_plus",
+            "balance_residual",
+            "tv_vs_numeric",
+        ],
+    );
+    for (name, g, alpha, k) in &cases {
+        let chain = QChain::new(g, *alpha, *k).unwrap();
+        let classes = chain.closed_form();
+        let residual = chain.closed_form_balance_residual();
+        let numeric = chain.stationary_numeric(1e-13, 500_000);
+        let tv = total_variation(&numeric.distribution, &chain.closed_form_vector());
+        t.push_row(vec![
+            name.clone(),
+            fmt_float(*alpha),
+            k.to_string(),
+            format!("{:.3e}", classes.mu0),
+            format!("{:.3e}", classes.mu1),
+            format!("{:.3e}", classes.mu_plus),
+            format!("{residual:.2e}"),
+            format!("{tv:.2e}"),
+        ]);
+    }
+
+    // Empirical occupancy of the two correlated walks.
+    let steps = ctx.trials(4_000_000, 400_000) as u64;
+    let burn_in = steps / 10;
+    let mut t2 = Table::new(
+        format!("Lemma 5.7 — empirical two-walk class occupancy ({steps} steps)"),
+        &[
+            "graph",
+            "alpha",
+            "k",
+            "class",
+            "freq_empirical",
+            "freq_closed_form",
+        ],
+    );
+    for (name, g, alpha, k) in cases.iter().take(4) {
+        let chain = QChain::new(g, *alpha, *k).unwrap();
+        let classes = chain.closed_form();
+        let n = g.n();
+        let two_e = 2 * g.m();
+        let class_mass = [
+            (StateClass::S0, classes.mu0 * n as f64),
+            (StateClass::S1, classes.mu1 * two_e as f64),
+            (
+                StateClass::SPlus,
+                classes.mu_plus * (n * n - n - two_e) as f64,
+            ),
+        ];
+        let mut walks = TwoWalks::new(g, *alpha, *k, 0, (n / 2) as u32).unwrap();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut counts = [0u64; 3];
+        for step in 0..steps {
+            walks.step(&mut rng);
+            if step < burn_in {
+                continue;
+            }
+            let (x, y) = walks.state();
+            let idx = match chain.classify(x, y) {
+                StateClass::S0 => 0,
+                StateClass::S1 => 1,
+                StateClass::SPlus => 2,
+            };
+            counts[idx] += 1;
+        }
+        let total = (steps - burn_in) as f64;
+        for (i, (class, mass)) in class_mass.iter().enumerate() {
+            t2.push_row(vec![
+                name.clone(),
+                fmt_float(*alpha),
+                k.to_string(),
+                format!("{class:?}"),
+                fmt_float(counts[i] as f64 / total),
+                fmt_float(*mass),
+            ]);
+        }
+    }
+    vec![t, t2]
+}

@@ -1,0 +1,94 @@
+//! Parallel Monte-Carlo driver.
+//!
+//! Trials are split across threads with crossbeam's scoped threads; each
+//! trial gets a seed derived purely from `(master, trial index)`, so the
+//! result multiset is independent of the thread count and schedule.
+
+use od_stats::{SeedSequence, Welford};
+use parking_lot::Mutex;
+
+/// Runs `trials` independent trials of `f` (given the per-trial seed) in
+/// parallel, returning all results in trial order.
+pub fn monte_carlo<T, F>(trials: usize, seeds: SeedSequence, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials.max(1));
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(trials));
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..threads {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let mut local = Vec::new();
+                let mut trial = worker;
+                while trial < trials {
+                    local.push((trial, f(seeds.seed(trial as u64))));
+                    trial += threads;
+                }
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("monte carlo worker panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Runs trials and folds the `f64` results into a single Welford
+/// accumulator.
+pub fn monte_carlo_stats<F>(trials: usize, seeds: SeedSequence, f: F) -> Welford
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    monte_carlo(trials, seeds, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let seeds = SeedSequence::new(42);
+        let a = monte_carlo(100, seeds, |s| s.wrapping_mul(3));
+        let b = monte_carlo(100, seeds, |s| s.wrapping_mul(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn results_in_trial_order() {
+        let seeds = SeedSequence::new(1);
+        let idx = monte_carlo(64, seeds, |_| ());
+        assert_eq!(idx.len(), 64);
+        // Trial order is checked through seeds: f receives seed(i), so
+        // reconstruct and compare.
+        let vals = monte_carlo(64, seeds, |s| s);
+        let expected: Vec<u64> = (0..64).map(|i| seeds.seed(i)).collect();
+        assert_eq!(vals, expected);
+    }
+
+    #[test]
+    fn stats_match_sequential_fold() {
+        let seeds = SeedSequence::new(7);
+        let w = monte_carlo_stats(500, seeds, |s| (s % 1000) as f64);
+        let mut seq = Welford::new();
+        for i in 0..500 {
+            seq.push((seeds.seed(i) % 1000) as f64);
+        }
+        assert_eq!(w.count(), seq.count());
+        assert!((w.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_trial_ok() {
+        let seeds = SeedSequence::new(9);
+        let v = monte_carlo(1, seeds, |s| s);
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+use crate::csr::{Graph, NodeId};
+use crate::error::GraphError;
+use std::collections::HashSet;
+
+/// Incremental builder for a [`Graph`].
+///
+/// Unlike [`Graph::from_edges`], the builder tolerates duplicate edge
+/// insertions (they are ignored), which is convenient for random generators
+/// (G(n,m), Watts–Strogatz rewiring, preferential attachment) that naturally
+/// propose collisions.
+///
+/// # Example
+///
+/// ```
+/// use od_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// assert!(!b.add_edge(2, 1)?); // duplicate: ignored, returns false
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), od_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    seen: HashSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds undirected edge `{u, v}`. Returns `Ok(true)` if the edge was new,
+    /// `Ok(false)` if it was already present (the insertion is ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] if `u == v`; [`GraphError::InvalidNode`] if an
+    /// endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u as u64 });
+        }
+        if u as usize >= self.n {
+            return Err(GraphError::InvalidNode {
+                node: u as u64,
+                n: self.n,
+            });
+        }
+        if v as usize >= self.n {
+            return Err(GraphError::InvalidNode {
+                node: v as u64,
+                n: self.n,
+            });
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.seen.insert(key) {
+            self.edges.push(key);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Whether edge `{u, v}` has been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&key)
+    }
+
+    /// Finalizes the builder into a [`Graph`].
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the builder's invariants guarantee
+    /// [`Graph::from_edges`] succeeds.
+    pub fn build(self) -> Graph {
+        Graph::from_edges(self.n, &self.edges)
+            .expect("builder invariants guarantee a valid simple graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_both_orientations() {
+        let mut b = GraphBuilder::new(4);
+        assert!(b.add_edge(2, 1).unwrap());
+        assert!(!b.add_edge(1, 2).unwrap());
+        assert!(b.has_edge(1, 2));
+        assert!(b.has_edge(2, 1));
+        assert_eq!(b.m(), 1);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_invalid() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(b.add_edge(0, 0), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            b.add_edge(0, 7),
+            Err(GraphError::InvalidNode { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_builder_builds_edgeless_graph() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+    }
+}

@@ -1,0 +1,397 @@
+use crate::error::GraphError;
+use crate::traversal;
+
+/// Node identifier. Graphs are limited to `u32::MAX` nodes, which keeps the
+/// CSR arrays compact (the experiments run graphs up to ~10^6 nodes).
+pub type NodeId = u32;
+
+/// A directed edge `(tail, head)`: `tail` observes (pulls from) `head`.
+///
+/// The paper's `EdgeModel` chooses a *directed* edge `(u, v)` uniformly among
+/// all `2m` orientations, after which `u` (the tail) averages with `v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectedEdge {
+    /// The node that updates its value.
+    pub tail: NodeId,
+    /// The node whose value is observed.
+    pub head: NodeId,
+}
+
+/// A finite simple undirected graph in CSR (compressed sparse row) form.
+///
+/// Invariants (enforced at construction):
+/// * no self loops, no parallel edges;
+/// * neighbour lists are sorted, enabling `O(log d)` adjacency queries;
+/// * every endpoint is `< n`.
+///
+/// Connectivity is *not* an invariant — generators return connected graphs,
+/// but [`Graph::from_edges`] accepts disconnected inputs so that traversal
+/// utilities can be tested. Processes validate connectivity themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u+1]` indexes `u`'s neighbours. Length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists. Length `2m`.
+    neighbors: Vec<NodeId>,
+    /// `tails[e]` is the tail of directed edge `e` (owner of CSR slot `e`).
+    /// Length `2m`; lets `EdgeModel` sample a directed edge in O(1).
+    tails: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an undirected edge list.
+    ///
+    /// Each `(u, v)` pair denotes one undirected edge; orientation is
+    /// irrelevant and both orientations are stored internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidNode`] if an endpoint is `>= n`,
+    /// [`GraphError::SelfLoop`] on `u == v`, and
+    /// [`GraphError::DuplicateEdge`] if the same undirected edge appears
+    /// twice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use od_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+    /// assert_eq!(g.neighbors(1), &[0, 2]);
+    /// # Ok::<(), od_graph::GraphError>(())
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameter(format!(
+                "graph supports at most {} nodes, got {n}",
+                u32::MAX
+            )));
+        }
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            let (uu, vv) = (u as usize, v as usize);
+            if uu >= n {
+                return Err(GraphError::InvalidNode { node: u as u64, n });
+            }
+            if vv >= n {
+                return Err(GraphError::InvalidNode { node: v as u64, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u as u64 });
+            }
+            degree[uu] += 1;
+            degree[vv] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeId; acc];
+        for &(u, v) in edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for u in 0..n {
+            let slice = &mut neighbors[offsets[u]..offsets[u + 1]];
+            slice.sort_unstable();
+            if let Some(w) = slice.windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge {
+                    u: u as u64,
+                    v: w[0] as u64,
+                });
+            }
+        }
+        let mut tails = vec![0 as NodeId; acc];
+        for u in 0..n {
+            tails[offsets[u]..offsets[u + 1]].fill(u as NodeId);
+        }
+        Ok(Graph {
+            offsets,
+            neighbors,
+            tails,
+        })
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of directed edges, `2m`.
+    #[inline]
+    pub fn directed_edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Sorted slice of `u`'s neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// The `i`-th neighbour of `u` in sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n` or `i >= degree(u)`.
+    #[inline]
+    pub fn neighbor_at(&self, u: NodeId, i: usize) -> NodeId {
+        self.neighbors(u)[i]
+    }
+
+    /// Whether `{u, v}` is an edge (binary search, `O(log d_u)`).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The directed edge with index `e` in `[0, 2m)`. Every directed edge
+    /// has exactly one index, so a uniform index gives a uniform directed
+    /// edge — the sampling primitive of the `EdgeModel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= 2m`.
+    #[inline]
+    pub fn directed_edge(&self, e: usize) -> DirectedEdge {
+        DirectedEdge {
+            tail: self.tails[e],
+            head: self.neighbors[e],
+        }
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over all directed edges `(tail, head)`.
+    pub fn directed_edges(&self) -> impl Iterator<Item = DirectedEdge> + '_ {
+        (0..self.directed_edge_count()).map(move |e| self.directed_edge(e))
+    }
+
+    /// Iterator over node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n() as NodeId
+    }
+
+    /// Minimum degree `d_min`. Returns 0 for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n() as NodeId)
+            .map(|u| self.degree(u))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Maximum degree `d_max`. Returns 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as NodeId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `Some(d)` if every node has degree exactly `d`, else `None`.
+    ///
+    /// Theorem 2.2(2) (concentration) and the whole of §5.3 apply to regular
+    /// graphs; experiments use this to dispatch.
+    pub fn regular_degree(&self) -> Option<usize> {
+        let n = self.n();
+        if n == 0 {
+            return None;
+        }
+        let d = self.degree(0);
+        (1..n as NodeId).all(|u| self.degree(u) == d).then_some(d)
+    }
+
+    /// Whether the graph is connected (empty and singleton graphs count as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        traversal::is_connected(self)
+    }
+
+    /// Stationary distribution of the random walk, `π_u = d_u / 2m`
+    /// (Section 4 of the paper). The vector sums to 1 for non-empty graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges (π is undefined).
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        let two_m = self.directed_edge_count();
+        assert!(two_m > 0, "stationary distribution undefined without edges");
+        (0..self.n() as NodeId)
+            .map(|u| self.degree(u) as f64 / two_m as f64)
+            .collect()
+    }
+
+    /// Number of common neighbours `c(u, v)` (linear merge of the two sorted
+    /// neighbour lists). Used to verify that `c` cancels out of the Q-chain
+    /// balance equations (proof of Lemma 5.7).
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        let (mut a, mut b) = (self.neighbors(u), self.neighbors(v));
+        let mut count = 0;
+        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    a = &a[1..];
+                    b = &b[1..];
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.directed_edge_count(), 6);
+        assert_eq!(g.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(4, &[(3, 0), (0, 2), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.neighbor_at(0, 2), 3);
+    }
+
+    #[test]
+    fn has_edge_both_orientations() {
+        let g = triangle();
+        for (u, v) in [(0, 1), (1, 0), (1, 2), (2, 0)] {
+            assert!(g.has_edge(u, v), "({u},{v}) should be an edge");
+        }
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(!path.has_edge(0, 2));
+        assert!(!path.has_edge(2, 0));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::InvalidNode { node: 5, n: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edges_any_orientation() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 1), (0, 1)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn directed_edge_indexing_is_a_bijection() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..g.directed_edge_count() {
+            let de = g.directed_edge(e);
+            assert!(g.has_edge(de.tail, de.head));
+            assert!(seen.insert((de.tail, de.head)), "duplicate {de:?}");
+        }
+        assert_eq!(seen.len(), 2 * g.m());
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.directed_edges().count(), 6);
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one_and_weights_by_degree() {
+        // Star on 4 nodes: center degree 3, leaves degree 1, 2m = 6.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let pi = g.stationary_distribution();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 4)]).unwrap();
+        // N(0) = {1,2,3}, N(1) = {0,2,3} -> common {2,3}
+        assert_eq!(g.common_neighbors(0, 1), 2);
+        // N(4) = {2}, N(3) = {0,1} -> none
+        assert_eq!(g.common_neighbors(4, 3), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_allowed_but_flagged() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn irregular_graph_has_no_regular_degree() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.regular_degree(), None);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.max_degree(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or generating a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint referenced a node id `>= n`.
+    InvalidNode {
+        /// The offending node id.
+        node: u64,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// An edge connected a node to itself; the paper's graphs are simple.
+    SelfLoop {
+        /// The node with the self loop.
+        node: u64,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: u64,
+        /// The other endpoint.
+        v: u64,
+    },
+    /// A generator was asked for a graph smaller than its family permits.
+    TooFewNodes {
+        /// Generator family name (e.g. `"cycle"`).
+        family: &'static str,
+        /// Requested node count.
+        requested: usize,
+        /// Minimum supported node count.
+        minimum: usize,
+    },
+    /// A generator parameter was out of range (message explains which).
+    InvalidParameter(String),
+    /// A randomized generator exhausted its retry budget (e.g. the pairing
+    /// model for random regular graphs kept producing collisions).
+    RetriesExhausted {
+        /// Generator family name.
+        family: &'static str,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::TooFewNodes {
+                family,
+                requested,
+                minimum,
+            } => write!(
+                f,
+                "{family} graph requires at least {minimum} nodes, got {requested}"
+            ),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::RetriesExhausted { family, attempts } => {
+                write!(f, "{family} generator failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::InvalidNode { node: 9, n: 4 }, "out of range"),
+            (GraphError::SelfLoop { node: 3 }, "self loop"),
+            (GraphError::DuplicateEdge { u: 1, v: 2 }, "duplicate"),
+            (
+                GraphError::TooFewNodes {
+                    family: "cycle",
+                    requested: 2,
+                    minimum: 3,
+                },
+                "cycle",
+            ),
+            (
+                GraphError::InvalidParameter("p must be in [0,1]".into()),
+                "p must be",
+            ),
+            (
+                GraphError::RetriesExhausted {
+                    family: "random_regular",
+                    attempts: 100,
+                },
+                "failed after",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn Error> = Box::new(GraphError::SelfLoop { node: 0 });
+        assert!(err.to_string().contains("self loop"));
+    }
+}

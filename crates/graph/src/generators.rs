@@ -1,0 +1,700 @@
+//! Graph families used throughout the experiments.
+//!
+//! Deterministic families (cycle, torus, hypercube, clique, …) have known
+//! spectra, which lets the convergence experiments compare measured times
+//! against exact `1 − λ₂(P)` and `λ₂(L)`. Random families (G(n,p), random
+//! d-regular, …) exercise the "arbitrary graph" side of Theorems 2.2/2.4.
+//!
+//! All generators return *connected* graphs or an error; randomized ones
+//! retry a bounded number of times.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::error::GraphError;
+use crate::traversal;
+use rand::Rng;
+
+/// Cycle `C_n` (`n >= 3`), 2-regular.
+///
+/// # Errors
+///
+/// [`GraphError::TooFewNodes`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::TooFewNodes {
+            family: "cycle",
+            requested: n,
+            minimum: 3,
+        });
+    }
+    let edges: Vec<_> = (0..n)
+        .map(|i| (i as NodeId, ((i + 1) % n) as NodeId))
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Path `P_n` (`n >= 2`).
+///
+/// # Errors
+///
+/// [`GraphError::TooFewNodes`] if `n < 2`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewNodes {
+            family: "path",
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let edges: Vec<_> = (0..n - 1)
+        .map(|i| (i as NodeId, (i + 1) as NodeId))
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete graph `K_n` (`n >= 2`), `(n-1)`-regular.
+///
+/// # Errors
+///
+/// [`GraphError::TooFewNodes`] if `n < 2`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewNodes {
+            family: "complete",
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Star `S_n` on `n` nodes total: node 0 is the centre (`n >= 2`). The
+/// prototypical highly irregular graph for Lemma 4.1 / EXP-IRREG.
+///
+/// # Errors
+///
+/// [`GraphError::TooFewNodes`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewNodes {
+            family: "star",
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let edges: Vec<_> = (1..n).map(|v| (0 as NodeId, v as NodeId)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete bipartite graph `K_{a,b}` (`a, b >= 1`); nodes `0..a` on one
+/// side, `a..a+b` on the other.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `a == 0` or `b == 0`.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "complete_bipartite sides must be positive, got ({a}, {b})"
+        )));
+    }
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u as NodeId, (a + v) as NodeId));
+        }
+    }
+    Graph::from_edges(a + b, &edges)
+}
+
+/// 2-D grid of `rows × cols` nodes. With `wrap = true` this is the torus
+/// (4-regular, needs `rows, cols >= 3` to stay simple); without wrapping it
+/// is the planar grid (`rows, cols >= 2`, irregular at the boundary).
+///
+/// Node `(r, c)` has id `r * cols + c`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] when dimensions are too small for the
+/// requested variant.
+pub fn grid2d(rows: usize, cols: usize, wrap: bool) -> Result<Graph, GraphError> {
+    let min = if wrap { 3 } else { 2 };
+    if rows < min || cols < min {
+        return Err(GraphError::InvalidParameter(format!(
+            "grid2d(wrap={wrap}) requires dimensions >= {min}, got {rows}x{cols}"
+        )));
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            } else if wrap {
+                edges.push((id(r, c), id(r, 0)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            } else if wrap {
+                edges.push((id(r, c), id(0, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges)
+}
+
+/// Torus shorthand: `grid2d(rows, cols, true)`.
+///
+/// # Errors
+///
+/// See [`grid2d`].
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    grid2d(rows, cols, true)
+}
+
+/// Hypercube `Q_dim` on `2^dim` nodes, `dim`-regular (`1 <= dim <= 20`).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `dim` is 0 or greater than 20.
+pub fn hypercube(dim: usize) -> Result<Graph, GraphError> {
+    if dim == 0 || dim > 20 {
+        return Err(GraphError::InvalidParameter(format!(
+            "hypercube dimension must be in 1..=20, got {dim}"
+        )));
+    }
+    let n = 1usize << dim;
+    let mut edges = Vec::with_capacity(n * dim / 2);
+    for u in 0..n {
+        for b in 0..dim {
+            let v = u ^ (1 << b);
+            if u < v {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete binary tree with the given number of levels (`levels >= 1`;
+/// 1 level = single root… which is disconnected-trivial, so we require
+/// `levels >= 2`). Nodes are numbered in heap order.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `levels < 2` or `levels > 24`.
+pub fn binary_tree(levels: usize) -> Result<Graph, GraphError> {
+    if !(2..=24).contains(&levels) {
+        return Err(GraphError::InvalidParameter(format!(
+            "binary_tree levels must be in 2..=24, got {levels}"
+        )));
+    }
+    let n = (1usize << levels) - 1;
+    let mut edges = Vec::with_capacity(n - 1);
+    for child in 1..n {
+        let parent = (child - 1) / 2;
+        edges.push((parent as NodeId, child as NodeId));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The Petersen graph: 10 nodes, 3-regular, girth 5. A standard
+/// small regular graph with non-trivial structure for Q-chain tests.
+pub fn petersen() -> Graph {
+    // Outer 5-cycle 0..5, inner 5-star 5..10 (pentagram), spokes i -- i+5.
+    let mut edges = Vec::with_capacity(15);
+    for i in 0..5u32 {
+        edges.push((i, (i + 1) % 5));
+        edges.push((5 + i, 5 + (i + 2) % 5));
+        edges.push((i, i + 5));
+    }
+    Graph::from_edges(10, &edges).expect("Petersen construction is fixed and valid")
+}
+
+/// Barbell graph: two copies of `K_k` joined by a single bridge edge
+/// (`k >= 3`). Smallest-conductance workhorse for Thm 2.4 experiments.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `k < 3`.
+pub fn barbell(k: usize) -> Result<Graph, GraphError> {
+    if k < 3 {
+        return Err(GraphError::InvalidParameter(format!(
+            "barbell clique size must be >= 3, got {k}"
+        )));
+    }
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            edges.push((u as NodeId, v as NodeId));
+            edges.push(((k + u) as NodeId, (k + v) as NodeId));
+        }
+    }
+    // Bridge between node k-1 (first clique) and node k (second clique).
+    edges.push(((k - 1) as NodeId, k as NodeId));
+    Graph::from_edges(2 * k, &edges)
+}
+
+/// Lollipop graph: `K_k` with a path of `tail` extra nodes attached
+/// (`k >= 3`, `tail >= 1`).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `k < 3` or `tail == 0`.
+pub fn lollipop(k: usize, tail: usize) -> Result<Graph, GraphError> {
+    if k < 3 || tail == 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "lollipop requires k >= 3 and tail >= 1, got ({k}, {tail})"
+        )));
+    }
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    edges.push(((k - 1) as NodeId, k as NodeId));
+    for i in 0..tail - 1 {
+        edges.push(((k + i) as NodeId, (k + i + 1) as NodeId));
+    }
+    Graph::from_edges(k + tail, &edges)
+}
+
+/// Maximum attempts for randomized generators before giving up.
+const MAX_ATTEMPTS: usize = 200;
+
+/// Erdős–Rényi `G(n, p)`, retried until connected.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] for `p ∉ [0, 1]` or `n < 2`;
+/// [`GraphError::RetriesExhausted`] if no connected sample is found (choose
+/// `p` above the connectivity threshold `ln n / n`).
+pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter(format!(
+            "gnp probability must be in [0,1], got {p}"
+        )));
+    }
+    if n < 2 {
+        return Err(GraphError::TooFewNodes {
+            family: "gnp",
+            requested: n,
+            minimum: 2,
+        });
+    }
+    for _ in 0..MAX_ATTEMPTS {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    b.add_edge(u as NodeId, v as NodeId)?;
+                }
+            }
+        }
+        let g = b.build();
+        if traversal::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::RetriesExhausted {
+        family: "gnp",
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Erdős–Rényi `G(n, m)` with exactly `m` edges, retried until connected.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `m` exceeds `n(n-1)/2` or is below
+/// `n - 1` (a connected graph needs at least a spanning tree);
+/// [`GraphError::RetriesExhausted`] if no connected sample is found.
+pub fn gnm_connected<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    let max_m = n * n.saturating_sub(1) / 2;
+    if m > max_m || m + 1 < n {
+        return Err(GraphError::InvalidParameter(format!(
+            "gnm with n={n} requires m in [{}, {max_m}], got {m}",
+            n.saturating_sub(1)
+        )));
+    }
+    for _ in 0..MAX_ATTEMPTS {
+        let mut b = GraphBuilder::new(n);
+        while b.m() < m {
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if u != v {
+                b.add_edge(u, v)?;
+            }
+        }
+        let g = b.build();
+        if traversal::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::RetriesExhausted {
+        family: "gnm",
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Random `d`-regular graph via the configuration (pairing) model with
+/// rejection of self loops and parallel edges, retried until simple and
+/// connected. Requires `n*d` even, `d < n`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] for infeasible `(n, d)`;
+/// [`GraphError::RetriesExhausted`] if the pairing model keeps colliding
+/// (only plausibly an issue for `d` close to `n`).
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if d == 0 || d >= n || (n * d) % 2 != 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "random_regular requires 0 < d < n and n*d even, got (n={n}, d={d})"
+        )));
+    }
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        // Stubs: node u appears d times. Pair random stubs; on a self loop
+        // or parallel edge, re-draw locally (up to a bound) rather than
+        // rejecting the whole sample — full rejection has success
+        // probability ~e^{-d²/4} and stalls for moderate d.
+        let mut remaining: Vec<NodeId> = (0..n)
+            .flat_map(|u| std::iter::repeat(u as NodeId).take(d))
+            .collect();
+        let mut b = GraphBuilder::new(n);
+        while remaining.len() >= 2 {
+            let mut paired = false;
+            for _ in 0..200 {
+                let i = rng.gen_range(0..remaining.len());
+                let j = rng.gen_range(0..remaining.len());
+                if i == j {
+                    continue;
+                }
+                let (u, v) = (remaining[i], remaining[j]);
+                if u != v && !b.has_edge(u, v) {
+                    b.add_edge(u, v)?;
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    remaining.swap_remove(hi);
+                    remaining.swap_remove(lo);
+                    paired = true;
+                    break;
+                }
+            }
+            if !paired {
+                continue 'attempt; // stuck with unmatchable stubs: restart
+            }
+        }
+        let g = b.build();
+        if traversal::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::RetriesExhausted {
+        family: "random_regular",
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Watts–Strogatz small world: ring lattice where each node connects to its
+/// `k` nearest neighbours on each side (`2k`-regular before rewiring), each
+/// lattice edge rewired with probability `beta`; retried until connected.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] for infeasible `(n, k, beta)`;
+/// [`GraphError::RetriesExhausted`] if no connected sample is found.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if k == 0 || 2 * k >= n {
+        return Err(GraphError::InvalidParameter(format!(
+            "watts_strogatz requires 0 < 2k < n, got (n={n}, k={k})"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter(format!(
+            "watts_strogatz beta must be in [0,1], got {beta}"
+        )));
+    }
+    for _ in 0..MAX_ATTEMPTS {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for offset in 1..=k {
+                let v = (u + offset) % n;
+                if rng.gen_bool(beta) {
+                    // Rewire: pick a random non-self target, skip on collision.
+                    let mut placed = false;
+                    for _ in 0..16 {
+                        let w = rng.gen_range(0..n);
+                        if w != u && b.add_edge(u as NodeId, w as NodeId)? {
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        b.add_edge(u as NodeId, v as NodeId)?;
+                    }
+                } else {
+                    b.add_edge(u as NodeId, v as NodeId)?;
+                }
+            }
+        }
+        let g = b.build();
+        if traversal::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::RetriesExhausted {
+        family: "watts_strogatz",
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Barabási–Albert preferential attachment: starts from a star on
+/// `attach + 1` nodes and adds nodes each connecting to `attach` existing
+/// nodes with probability proportional to degree. Always connected.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `attach == 0` or `n <= attach`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    attach: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if attach == 0 || n <= attach {
+        return Err(GraphError::InvalidParameter(format!(
+            "barabasi_albert requires 0 < attach < n, got (n={n}, attach={attach})"
+        )));
+    }
+    let mut b = GraphBuilder::new(n);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for v in 1..=attach {
+        b.add_edge(0, v as NodeId)?;
+        endpoints.extend_from_slice(&[0, v as NodeId]);
+    }
+    for u in (attach + 1)..n {
+        let mut added = 0usize;
+        let mut guard = 0usize;
+        while added < attach {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if target != u as NodeId && b.add_edge(u as NodeId, target)? {
+                endpoints.extend_from_slice(&[u as NodeId, target]);
+                added += 1;
+            }
+            guard += 1;
+            if guard > 1000 * attach {
+                return Err(GraphError::RetriesExhausted {
+                    family: "barabasi_albert",
+                    attempts: guard,
+                });
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x0D15EA5E)
+    }
+
+    #[test]
+    fn cycle_is_2_regular_connected() {
+        let g = cycle(7).unwrap();
+        assert_eq!(g.regular_degree(), Some(2));
+        assert!(g.is_connected());
+        assert_eq!(g.m(), 7);
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn path_endpoints_have_degree_one() {
+        let g = path(6).unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 1);
+        assert_eq!(g.degree(3), 2);
+        assert!(path(1).is_err());
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.regular_degree(), Some(5));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(9).unwrap();
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.degree(5), 1);
+        assert_eq!(g.m(), 8);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(2, 3).unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(2), 2);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(complete_bipartite(0, 3).is_err());
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5).unwrap();
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_connected());
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn open_grid_is_irregular() {
+        let g = grid2d(3, 3, false).unwrap();
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(4), 4); // centre
+        assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_connected());
+        // Neighbours differ in exactly one bit.
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                assert_eq!((u ^ v).count_ones(), 1);
+            }
+        }
+        assert!(hypercube(0).is_err());
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(3).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn petersen_properties() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(g.is_connected());
+        // Girth 5: no triangles or 4-cycles => no two adjacent nodes share a
+        // common neighbour.
+        for (u, v) in g.edges() {
+            assert_eq!(g.common_neighbors(u, v), 0);
+        }
+    }
+
+    #[test]
+    fn barbell_has_bridge() {
+        let g = barbell(4).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 2 * 6 + 1);
+        assert!(g.has_edge(3, 4));
+        assert!(g.is_connected());
+        assert_eq!(g.degree(3), 4); // clique + bridge
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.degree(6), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn gnp_connected_and_valid() {
+        let mut r = rng();
+        let g = gnp_connected(40, 0.2, &mut r).unwrap();
+        assert_eq!(g.n(), 40);
+        assert!(g.is_connected());
+        assert!(gnp_connected(40, 1.5, &mut r).is_err());
+    }
+
+    #[test]
+    fn gnp_p1_is_complete() {
+        let mut r = rng();
+        let g = gnp_connected(10, 1.0, &mut r).unwrap();
+        assert_eq!(g.m(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut r = rng();
+        let g = gnm_connected(30, 60, &mut r).unwrap();
+        assert_eq!(g.m(), 60);
+        assert!(g.is_connected());
+        assert!(gnm_connected(30, 10, &mut r).is_err()); // below spanning tree
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected() {
+        let mut r = rng();
+        for &(n, d) in &[(20, 3), (24, 4), (16, 6)] {
+            let g = random_regular(n, d, &mut r).unwrap();
+            assert_eq!(g.regular_degree(), Some(d), "n={n} d={d}");
+            assert!(g.is_connected());
+        }
+        assert!(random_regular(9, 3, &mut r).is_err()); // odd n*d
+        assert!(random_regular(4, 4, &mut r).is_err()); // d >= n
+    }
+
+    #[test]
+    fn watts_strogatz_connected() {
+        let mut r = rng();
+        let g = watts_strogatz(30, 2, 0.1, &mut r).unwrap();
+        assert_eq!(g.n(), 30);
+        assert!(g.is_connected());
+        // beta = 0 keeps the ring lattice: 2k-regular.
+        let lattice = watts_strogatz(30, 2, 0.0, &mut r).unwrap();
+        assert_eq!(lattice.regular_degree(), Some(4));
+    }
+
+    #[test]
+    fn barabasi_albert_connected_with_hubs() {
+        let mut r = rng();
+        let g = barabasi_albert(100, 2, &mut r).unwrap();
+        assert_eq!(g.n(), 100);
+        assert!(g.is_connected());
+        assert!(g.max_degree() > 5, "expected hubs, max degree {}", g.max_degree());
+        assert!(barabasi_albert(3, 3, &mut r).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Graph substrate for the reproduction of *Distributed Averaging in Opinion
+//! Dynamics* (PODC 2023).
+//!
+//! The paper's processes run on arbitrary connected undirected graphs. This
+//! crate provides:
+//!
+//! * [`Graph`] — a compact CSR (compressed sparse row) representation with
+//!   validated construction, O(1) neighbour slices, O(log d) adjacency tests
+//!   and O(1) uniform *directed-edge* lookup (the `EdgeModel` samples a
+//!   directed edge uniformly among `2m`).
+//! * [`generators`] — deterministic families (cycle, complete, torus,
+//!   hypercube, …) and random families (G(n,p), random d-regular, …) used by
+//!   the experiments.
+//! * [`traversal`] — BFS distances, connectivity, components.
+//! * [`metrics`] — degree statistics, regularity, diameter, clustering,
+//!   exhaustive isoperimetric number for small graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use od_graph::{generators, Graph};
+//!
+//! let g: Graph = generators::cycle(8)?;
+//! assert_eq!(g.n(), 8);
+//! assert_eq!(g.m(), 8);
+//! assert_eq!(g.regular_degree(), Some(2));
+//! assert!(g.is_connected());
+//! # Ok::<(), od_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+mod error;
+pub mod generators;
+pub mod metrics;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{DirectedEdge, Graph, NodeId};
+pub use error::GraphError;

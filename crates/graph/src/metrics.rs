@@ -1,0 +1,225 @@
+//! Structural metrics: degree statistics, triangles/clustering, and the
+//! exhaustive isoperimetric number for small graphs (Corollary E.2(i) lower
+//! bounds `λ₂(L)` by `i(G)²/2d_max`).
+
+use crate::csr::{Graph, NodeId};
+
+/// Summary of the degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree `d_min`.
+    pub min: usize,
+    /// Maximum degree `d_max`.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// `Some(d)` when the graph is `d`-regular.
+    pub regular: Option<usize>,
+}
+
+/// Computes [`DegreeStats`] for a non-empty graph.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    assert!(g.n() > 0, "degree stats undefined for the empty graph");
+    DegreeStats {
+        min: g.min_degree(),
+        max: g.max_degree(),
+        mean: 2.0 * g.m() as f64 / g.n() as f64,
+        regular: g.regular_degree(),
+    }
+}
+
+/// Number of triangles in the graph (each counted once).
+///
+/// Runs in `O(Σ_u d_u²)` using sorted-adjacency merges; fine for the
+/// experiment-scale graphs.
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for (u, v) in g.edges() {
+        // Common neighbours w with w > v > u count the triangle once.
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        let (mut i, mut j) = (0, 0);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] > v {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient: `3·triangles / open-and-closed wedges`.
+/// Returns `None` when the graph has no wedges (e.g. a perfect matching).
+pub fn global_clustering(g: &Graph) -> Option<f64> {
+    let wedges: usize = g
+        .nodes()
+        .map(|u| {
+            let d = g.degree(u);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return None;
+    }
+    Some(3.0 * triangle_count(g) as f64 / wedges as f64)
+}
+
+/// Exhaustive isoperimetric number
+/// `i(G) = min_{0 < |S| <= n/2} |E(S, S̄)| / |S|`
+/// over all non-trivial subsets — exponential, so restricted to `n <= 20`.
+///
+/// Returns `None` if `n < 2` or `n > 20`.
+pub fn isoperimetric_number_exact(g: &Graph) -> Option<f64> {
+    let n = g.n();
+    if !(2..=20).contains(&n) {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    // Enumerate subsets containing node 0 is NOT sufficient (i(G) minimizes
+    // over |S| <= n/2, and complements flip membership), so enumerate all
+    // non-empty proper subsets and filter by size.
+    for mask in 1u32..((1u32 << n) - 1) {
+        let size = mask.count_ones() as usize;
+        if size > n / 2 {
+            continue;
+        }
+        let mut boundary = 0usize;
+        for u in 0..n as NodeId {
+            if mask & (1 << u) == 0 {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if mask & (1 << v) == 0 {
+                    boundary += 1;
+                }
+            }
+        }
+        let ratio = boundary as f64 / size as f64;
+        if ratio < best {
+            best = ratio;
+        }
+    }
+    Some(best)
+}
+
+/// Conductance of the cut induced by `subset` membership flags:
+/// `|E(S, S̄)| / min(vol(S), vol(S̄))`. Returns `None` for trivial cuts.
+pub fn cut_conductance(g: &Graph, subset: &[bool]) -> Option<f64> {
+    assert_eq!(subset.len(), g.n(), "subset length must equal node count");
+    let mut boundary = 0usize;
+    let mut vol_s = 0usize;
+    let mut vol_c = 0usize;
+    for u in 0..g.n() as NodeId {
+        let du = g.degree(u);
+        if subset[u as usize] {
+            vol_s += du;
+            for &v in g.neighbors(u) {
+                if !subset[v as usize] {
+                    boundary += 1;
+                }
+            }
+        } else {
+            vol_c += du;
+        }
+    }
+    let denom = vol_s.min(vol_c);
+    (denom > 0).then(|| boundary as f64 / denom as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_cycle() {
+        let g = generators::cycle(5).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.regular, Some(2));
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangles_complete_graph() {
+        // K_5 has C(5,3) = 10 triangles.
+        let g = generators::complete(5).unwrap();
+        assert_eq!(triangle_count(&g), 10);
+        assert!((global_clustering(&g).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangles_bipartite_zero() {
+        let g = generators::complete_bipartite(3, 3).unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), Some(0.0));
+    }
+
+    #[test]
+    fn clustering_none_without_wedges() {
+        let g = crate::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(global_clustering(&g), None);
+    }
+
+    #[test]
+    fn isoperimetric_cycle() {
+        // For C_n, the best cut takes a contiguous arc of n/2 nodes with
+        // boundary 2: i(G) = 2 / floor(n/2).
+        let g = generators::cycle(8).unwrap();
+        let i = isoperimetric_number_exact(&g).unwrap();
+        assert!((i - 2.0 / 4.0).abs() < 1e-12, "got {i}");
+    }
+
+    #[test]
+    fn isoperimetric_complete() {
+        // For K_n with |S| = s: boundary = s(n-s); ratio = n-s minimized at
+        // s = floor(n/2) => i = ceil(n/2).
+        let g = generators::complete(6).unwrap();
+        let i = isoperimetric_number_exact(&g).unwrap();
+        assert!((i - 3.0).abs() < 1e-12, "got {i}");
+    }
+
+    #[test]
+    fn isoperimetric_barbell_is_bridge_dominated() {
+        let g = generators::barbell(4).unwrap();
+        let i = isoperimetric_number_exact(&g).unwrap();
+        // Cutting at the bridge: boundary 1, |S| = 4 -> 0.25.
+        assert!((i - 0.25).abs() < 1e-12, "got {i}");
+    }
+
+    #[test]
+    fn isoperimetric_out_of_range() {
+        let g = generators::cycle(21).unwrap();
+        assert_eq!(isoperimetric_number_exact(&g), None);
+    }
+
+    #[test]
+    fn conductance_of_barbell_bridge_cut() {
+        let g = generators::barbell(4).unwrap();
+        let mut subset = vec![false; 8];
+        for u in 0..4 {
+            subset[u] = true;
+        }
+        // vol(S) = 3+3+3+4 = 13, boundary = 1.
+        let phi = cut_conductance(&g, &subset).unwrap();
+        assert!((phi - 1.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_trivial_cut_none() {
+        let g = generators::cycle(4).unwrap();
+        assert_eq!(cut_conductance(&g, &[false; 4]), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Breadth-first traversal utilities: distances, connectivity, components.
+//!
+//! The Q-chain state classification (Definition 5.6: `S_0`, `S_1`, `S_+`)
+//! only needs adjacency, but experiment reporting (diameter, average
+//! distance) and generator validation (connectivity) use BFS.
+
+use crate::csr::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance marker for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source` to every node; unreachable nodes get
+/// [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `source >= g.n()`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected. Graphs with `n <= 1` are connected.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Connected components as a label vector: `labels[u]` is the component id
+/// of `u`, ids are consecutive starting at 0 in order of discovery.
+pub fn connected_components(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// Number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    connected_components(g)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |max| max as usize + 1)
+}
+
+/// Eccentricity of `source`: the largest BFS distance from it.
+///
+/// Returns `None` if some node is unreachable from `source`.
+pub fn eccentricity(g: &Graph, source: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, source);
+    let max = *dist.iter().max()?;
+    (max != UNREACHABLE).then_some(max)
+}
+
+/// Exact diameter via all-pairs BFS, `O(n m)`. Returns `None` for
+/// disconnected or empty graphs.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for u in 0..g.n() as NodeId {
+        best = best.max(eccentricity(g, u)?);
+    }
+    Some(best)
+}
+
+/// Average distance over ordered distinct pairs. Returns `None` for
+/// disconnected graphs or `n < 2`.
+pub fn average_distance(g: &Graph) -> Option<f64> {
+    let n = g.n();
+    if n < 2 {
+        return None;
+    }
+    let mut total: u64 = 0;
+    for u in 0..n as NodeId {
+        let dist = bfs_distances(g, u);
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            total += d as u64;
+        }
+    }
+    Some(total as f64 / (n as f64 * (n as f64 - 1.0)))
+}
+
+/// Whether the graph is bipartite (2-colourable); the paper's lazy walk
+/// avoids periodicity issues on bipartite graphs, and the analytic spectrum
+/// tests use this.
+pub fn is_bipartite(g: &Graph) -> bool {
+    let n = g.n();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if color[start as usize] != u8::MAX {
+            continue;
+        }
+        color[start as usize] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if color[v as usize] == u8::MAX {
+                    color[v as usize] = 1 - color[u as usize];
+                    queue.push_back(v);
+                } else if color[v as usize] == color[u as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_labelling() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert_eq!(component_count(&g), 3);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let g = generators::cycle(8).unwrap();
+        assert_eq!(diameter(&g), Some(4));
+        let g = generators::cycle(9).unwrap();
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn diameter_of_complete_graph_is_one() {
+        let g = generators::complete(6).unwrap();
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(average_distance(&g), None);
+    }
+
+    #[test]
+    fn average_distance_path3() {
+        // Path 0-1-2: ordered pairs distances: (0,1)=1,(0,2)=2,(1,0)=1,
+        // (1,2)=1,(2,0)=2,(2,1)=1 -> total 8 over 6 pairs.
+        let g = generators::path(3).unwrap();
+        let avg = average_distance(&g).unwrap();
+        assert!((avg - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bipartiteness() {
+        assert!(is_bipartite(&generators::cycle(6).unwrap()));
+        assert!(!is_bipartite(&generators::cycle(5).unwrap()));
+        assert!(is_bipartite(&generators::hypercube(3).unwrap()));
+        assert!(is_bipartite(&generators::complete_bipartite(3, 4).unwrap()));
+        assert!(!is_bipartite(&generators::complete(4).unwrap()));
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = generators::star(5).unwrap();
+        assert_eq!(eccentricity(&g, 0), Some(1));
+        assert_eq!(eccentricity(&g, 1), Some(2));
+    }
+}

@@ -1,0 +1,297 @@
+//! Small dense row-major matrices.
+//!
+//! Used by the duality walkthroughs (the `R(t)` and `F(t)` matrices of
+//! Figures 1 and 4 are printed from these), by the Jacobi eigensolver, and
+//! by small-graph verification code. Not intended for large `n`.
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+        }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of range");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| crate::vector::dot(self.row(i), x))
+            .collect()
+    }
+
+    /// Vector–matrix product `xᵀ · self` (returns a row vector). The
+    /// Diffusion Process cost is `w(t) = c R(t)` — a left multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "vecmat: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
+                crate::vector::axpy(xi, self.row(i), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a != 0.0 {
+                    for j in 0..other.cols {
+                        out[(i, j)] += a * other[(k, j)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Maximum absolute entrywise difference to another matrix of the same
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        crate::vector::max_abs_diff(&self.data, &other.data)
+    }
+
+    /// Whether the matrix is row-stochastic within `tol` (rows sum to 1,
+    /// entries non-negative). The update matrices `B(t)` of Eq. (4) are
+    /// column-stochastic; their transposes `F(t)` are row-stochastic.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        (0..self.rows).all(|i| {
+            let row = self.row(i);
+            row.iter().all(|&x| x >= -tol) && (row.iter().sum::<f64>() - 1.0).abs() <= tol
+        })
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:8.4}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let id = DenseMatrix::identity(3);
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(id.matvec(&x), x);
+        assert_eq!(id.vecmat(&x), x);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let ab = a.matmul(&b);
+        assert_eq!(ab, DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn vecmat_is_transpose_matvec() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let x = vec![1.0, 0.5, -1.0];
+        let left = a.vecmat(&x);
+        let right = a.transpose().matvec(&x);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0), vec![1.0, 3.0]);
+        assert_eq!(a[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn row_stochastic_check() {
+        let f1 = DenseMatrix::from_rows(&[
+            vec![0.5, 0.5, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        assert!(f1.is_row_stochastic(1e-12));
+        let bad = DenseMatrix::from_rows(&[vec![0.7, 0.7]]);
+        assert!(!bad.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let a = DenseMatrix::identity(2);
+        let s = a.to_string();
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_mismatch_panics() {
+        DenseMatrix::identity(2).matvec(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_panic() {
+        DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

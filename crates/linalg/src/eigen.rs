@@ -1,0 +1,429 @@
+//! Eigensolvers.
+//!
+//! Two tools cover every spectral quantity in the paper:
+//!
+//! * [`jacobi_eigen`] — cyclic Jacobi for small dense symmetric matrices
+//!   (full spectrum; used for verification and small experiments);
+//! * [`power_iteration_deflated`] — power iteration with orthogonal
+//!   deflation for the dominant eigenpair of a symmetric PSD operator in a
+//!   given subspace, which yields `λ₂(P)` / `f₂(P)` (Theorem 2.2) and
+//!   `λ₂(L)` / the Fiedler vector `f₂(L)` (Theorem 2.4) at scale.
+//!
+//! The walk matrix `P` is not symmetric for irregular graphs; the solvers
+//! work on the similar symmetric matrix `D^{1/2} P D^{-1/2} = ½I + ½N` with
+//! `N = D^{-1/2} A D^{-1/2}` and map eigenvectors back.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CsrMatrix;
+use crate::vector;
+use od_graph::Graph;
+
+/// Full eigendecomposition of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// `vectors.col(i)` is the unit eigenvector for `values[i]`.
+    pub vectors: DenseMatrix,
+}
+
+/// A single eigenpair.
+#[derive(Debug, Clone)]
+pub struct EigenPair {
+    /// The eigenvalue.
+    pub value: f64,
+    /// The unit eigenvector.
+    pub vector: Vec<f64>,
+}
+
+/// Cyclic Jacobi eigendecomposition of a dense symmetric matrix.
+///
+/// Runs sweeps of Givens rotations until the off-diagonal Frobenius norm
+/// falls below `tol` (or 100 sweeps). Intended for `n ≲ 512`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or not symmetric within `1e-9`.
+pub fn jacobi_eigen(matrix: &DenseMatrix, tol: f64) -> SymmetricEigen {
+    let n = matrix.rows();
+    assert_eq!(n, matrix.cols(), "jacobi_eigen requires a square matrix");
+    let sym_err = matrix.max_abs_diff(&matrix.transpose());
+    assert!(
+        sym_err < 1e-9,
+        "jacobi_eigen requires a symmetric matrix (asymmetry {sym_err})"
+    );
+    let mut a = matrix.clone();
+    let mut v = DenseMatrix::identity(n);
+
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[(p, q)] * a[(p, q)];
+            }
+        }
+        if (2.0 * off).sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= tol / (n as f64 * n as f64) {
+                    continue;
+                }
+                let theta = (a[(q, q)] - a[(p, p)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of `a`.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate rotations into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[(i, i)].partial_cmp(&a[(j, j)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymmetricEigen { values, vectors }
+}
+
+/// Deterministic pseudo-random starting vector (SplitMix64-driven) so the
+/// solvers are reproducible without a `rand` dependency.
+fn seed_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+        .collect()
+}
+
+/// Dominant eigenpair of a symmetric operator restricted to the orthogonal
+/// complement of `deflate` (each assumed unit-norm), via power iteration.
+///
+/// The operator must be PSD on that complement for the dominant eigenvalue
+/// to equal the largest eigenvalue (callers shift accordingly). Iterates
+/// until the eigenvector stabilizes within `tol` (∞-norm of successive
+/// normalized iterates) or `max_iter` iterations; the Rayleigh quotient of
+/// the final iterate is returned either way.
+pub fn power_iteration_deflated(
+    apply: &dyn Fn(&[f64], &mut [f64]),
+    n: usize,
+    deflate: &[&[f64]],
+    tol: f64,
+    max_iter: usize,
+) -> EigenPair {
+    let mut x = seed_vector(n, 0xA11CE);
+    for d in deflate {
+        vector::project_out(&mut x, d);
+    }
+    vector::normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut value = 0.0;
+    for _ in 0..max_iter {
+        apply(&x, &mut y);
+        for d in deflate {
+            vector::project_out(&mut y, d);
+        }
+        value = vector::dot(&x, &y); // Rayleigh quotient (x is unit)
+        let norm = vector::normalize(&mut y);
+        if norm == 0.0 {
+            // x is (numerically) in the kernel: eigenvalue 0.
+            return EigenPair { value: 0.0, vector: x };
+        }
+        let delta = vector::max_abs_diff(&x, &y);
+        std::mem::swap(&mut x, &mut y);
+        if delta < tol {
+            break;
+        }
+    }
+    EigenPair { value, vector: x }
+}
+
+/// Spectral description of a graph's lazy walk: `λ₂(P)` and its right
+/// eigenvector `f₂(P)` (`P f₂ = λ₂ f₂`), used by Theorem 2.2 and Prop. B.2.
+#[derive(Debug, Clone)]
+pub struct LazyWalkSpectrum {
+    /// Second-largest eigenvalue of the lazy walk matrix, in `[0, 1)`.
+    pub lambda2: f64,
+    /// Right eigenvector of `P` for `λ₂`, unit-normalized in the Euclidean
+    /// norm of the symmetrized coordinates.
+    pub f2: Vec<f64>,
+}
+
+/// Computes `λ₂(P)` and `f₂(P)` for the lazy walk on a connected graph.
+///
+/// Works on the symmetric similar matrix `S = ½I + ½N`
+/// (`N = D^{-1/2}AD^{-1/2}`), deflating its top eigenvector
+/// `w₁ ∝ D^{1/2}1`, then maps the eigenvector back via `f₂ = D^{-1/2}w₂`.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or has isolated nodes.
+pub fn lazy_walk_spectrum(g: &Graph, tol: f64, max_iter: usize) -> LazyWalkSpectrum {
+    assert!(g.is_connected(), "lazy_walk_spectrum requires connectivity");
+    let n = g.n();
+    let norm_adj = CsrMatrix::normalized_adjacency(g);
+    // Top eigenvector of S: sqrt(d_u), normalized.
+    let mut w1: Vec<f64> = g.nodes().map(|u| (g.degree(u) as f64).sqrt()).collect();
+    vector::normalize(&mut w1);
+    let apply = |x: &[f64], y: &mut [f64]| {
+        norm_adj.matvec_into(x, y);
+        for i in 0..x.len() {
+            y[i] = 0.5 * x[i] + 0.5 * y[i];
+        }
+    };
+    let pair = power_iteration_deflated(&apply, n, &[&w1], tol, max_iter);
+    let mut f2: Vec<f64> = (0..n)
+        .map(|i| pair.vector[i] / (g.degree(i as u32) as f64).sqrt())
+        .collect();
+    vector::normalize(&mut f2);
+    LazyWalkSpectrum {
+        lambda2: pair.value,
+        f2,
+    }
+}
+
+/// Spectral description of the Laplacian: the algebraic connectivity
+/// `λ₂(L)` and the Fiedler vector `f₂(L)`, used by Theorem 2.4 / Prop. B.2.
+#[derive(Debug, Clone)]
+pub struct LaplacianSpectrum {
+    /// Second-smallest Laplacian eigenvalue (`> 0` iff connected).
+    pub lambda2: f64,
+    /// Unit Fiedler vector.
+    pub fiedler: Vec<f64>,
+}
+
+/// Computes `λ₂(L)` and the Fiedler vector for a connected graph by power
+/// iteration on the shifted operator `cI − L` (`c = 2 d_max ≥ λ_max(L)`),
+/// deflating the constant vector.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+pub fn laplacian_spectrum(g: &Graph, tol: f64, max_iter: usize) -> LaplacianSpectrum {
+    assert!(g.is_connected(), "laplacian_spectrum requires connectivity");
+    let n = g.n();
+    let lap = CsrMatrix::laplacian(g);
+    let c = 2.0 * g.max_degree() as f64;
+    let ones = vec![1.0 / (n as f64).sqrt(); n];
+    let apply = |x: &[f64], y: &mut [f64]| {
+        lap.matvec_into(x, y);
+        for i in 0..x.len() {
+            y[i] = c * x[i] - y[i];
+        }
+    };
+    let pair = power_iteration_deflated(&apply, n, &[&ones], tol, max_iter);
+    LaplacianSpectrum {
+        lambda2: c - pair.value,
+        fiedler: pair.vector,
+    }
+}
+
+/// Full spectrum of the lazy walk matrix via dense Jacobi on the
+/// symmetrized matrix. Small graphs only (`n ≲ 512`). Eigenvalues
+/// ascending.
+///
+/// # Panics
+///
+/// Panics if the graph has isolated nodes.
+pub fn lazy_walk_spectrum_dense(g: &Graph) -> Vec<f64> {
+    let n = g.n();
+    let norm_adj = CsrMatrix::normalized_adjacency(g).to_dense();
+    let s = DenseMatrix::from_fn(n, n, |i, j| {
+        0.5 * norm_adj[(i, j)] + if i == j { 0.5 } else { 0.0 }
+    });
+    jacobi_eigen(&s, 1e-12).values
+}
+
+/// Full Laplacian spectrum via dense Jacobi. Small graphs only. Ascending.
+pub fn laplacian_spectrum_dense(g: &Graph) -> Vec<f64> {
+    let l = CsrMatrix::laplacian(g).to_dense();
+    jacobi_eigen(&l, 1e-12).values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let m = DenseMatrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let eig = jacobi_eigen(&m, 1e-12);
+        assert_eq!(eig.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn jacobi_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let eig = jacobi_eigen(&m, 1e-12);
+        assert!((eig.values[0] - 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 3.0).abs() < 1e-10);
+        // Eigenvector check: M v = λ v.
+        let v = eig.vectors.col(1);
+        let mv = m.matvec(&v);
+        for i in 0..2 {
+            assert!((mv[i] - 3.0 * v[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_orthonormal() {
+        let g = generators::petersen();
+        let a = CsrMatrix::adjacency(&g).to_dense();
+        let eig = jacobi_eigen(&a, 1e-12);
+        for i in 0..10 {
+            for j in 0..10 {
+                let d = crate::vector::dot(&eig.vectors.col(i), &eig.vectors.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-9, "({i},{j}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn petersen_adjacency_spectrum() {
+        // Petersen: eigenvalues 3 (x1), 1 (x5), -2 (x4).
+        let g = generators::petersen();
+        let a = CsrMatrix::adjacency(&g).to_dense();
+        let eig = jacobi_eigen(&a, 1e-12);
+        let expected = [-2.0, -2.0, -2.0, -2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0];
+        for (got, want) in eig.values.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn lazy_walk_lambda2_complete_graph() {
+        // K_n: adjacency eigenvalues n-1, -1; lazy P eigenvalues
+        // 1/2 + λ_A/(2(n-1)) => λ₂(P) = 1/2 - 1/(2(n-1)).
+        let n = 8;
+        let g = generators::complete(n).unwrap();
+        let spec = lazy_walk_spectrum(&g, 1e-12, 200_000);
+        let expect = 0.5 - 0.5 / (n as f64 - 1.0);
+        assert!(
+            (spec.lambda2 - expect).abs() < 1e-8,
+            "got {}, want {expect}",
+            spec.lambda2
+        );
+    }
+
+    #[test]
+    fn lazy_walk_lambda2_cycle() {
+        // C_n: λ₂(P) = 1/2 + cos(2π/n)/2.
+        let n = 12;
+        let g = generators::cycle(n).unwrap();
+        let spec = lazy_walk_spectrum(&g, 1e-12, 400_000);
+        let expect = 0.5 + 0.5 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!(
+            (spec.lambda2 - expect).abs() < 1e-7,
+            "got {}, want {expect}",
+            spec.lambda2
+        );
+    }
+
+    #[test]
+    fn lazy_walk_f2_is_eigenvector() {
+        let g = generators::cycle(9).unwrap();
+        let spec = lazy_walk_spectrum(&g, 1e-13, 400_000);
+        let p = CsrMatrix::lazy_walk(&g);
+        let pf2 = p.matvec(&spec.f2);
+        for i in 0..9 {
+            assert!(
+                (pf2[i] - spec.lambda2 * spec.f2[i]).abs() < 1e-6,
+                "component {i}: {} vs {}",
+                pf2[i],
+                spec.lambda2 * spec.f2[i]
+            );
+        }
+    }
+
+    #[test]
+    fn laplacian_lambda2_known_families() {
+        // Cycle: λ₂(L) = 2 − 2cos(2π/n). Complete: λ₂(L) = n.
+        let n = 10;
+        let g = generators::cycle(n).unwrap();
+        let spec = laplacian_spectrum(&g, 1e-12, 400_000);
+        let expect = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!(
+            (spec.lambda2 - expect).abs() < 1e-7,
+            "cycle: got {}, want {expect}",
+            spec.lambda2
+        );
+
+        let g = generators::complete(7).unwrap();
+        let spec = laplacian_spectrum(&g, 1e-12, 200_000);
+        assert!(
+            (spec.lambda2 - 7.0).abs() < 1e-7,
+            "complete: got {}",
+            spec.lambda2
+        );
+    }
+
+    #[test]
+    fn fiedler_vector_orthogonal_to_ones_and_eigen() {
+        let g = generators::path(8).unwrap();
+        let spec = laplacian_spectrum(&g, 1e-13, 400_000);
+        let sum: f64 = spec.fiedler.iter().sum();
+        assert!(sum.abs() < 1e-8, "Fiedler ⟂ 1, got sum {sum}");
+        let l = CsrMatrix::laplacian(&g);
+        let lf = l.matvec(&spec.fiedler);
+        for i in 0..8 {
+            assert!((lf[i] - spec.lambda2 * spec.fiedler[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dense_and_iterative_agree() {
+        let g = generators::petersen();
+        let dense_vals = lazy_walk_spectrum_dense(&g);
+        let iter = lazy_walk_spectrum(&g, 1e-12, 200_000);
+        let lambda2_dense = dense_vals[dense_vals.len() - 2];
+        assert!(
+            (iter.lambda2 - lambda2_dense).abs() < 1e-8,
+            "{} vs {lambda2_dense}",
+            iter.lambda2
+        );
+
+        let lap_dense = laplacian_spectrum_dense(&g);
+        let lap_iter = laplacian_spectrum(&g, 1e-12, 200_000);
+        assert!((lap_iter.lambda2 - lap_dense[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn barbell_has_tiny_algebraic_connectivity() {
+        let g = generators::barbell(6).unwrap();
+        let spec = laplacian_spectrum(&g, 1e-13, 2_000_000);
+        assert!(spec.lambda2 > 0.0 && spec.lambda2 < 0.5, "{}", spec.lambda2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Linear-algebra substrate for the reproduction of *Distributed Averaging
+//! in Opinion Dynamics* (PODC 2023).
+//!
+//! The paper's convergence bounds are spectral: Theorem 2.2 is stated in
+//! terms of the eigenvalue gap `1 − λ₂(P)` of the **lazy** random walk
+//! matrix, Theorem 2.4 in terms of `λ₂(L)`, the algebraic connectivity of
+//! the Laplacian, and the lower bounds (Prop. B.2) start the processes from
+//! the corresponding second eigenvectors. This crate supplies exactly those
+//! quantities:
+//!
+//! * [`vector`] — dense vector kernels, including the `π`-weighted inner
+//!   product `⟨ν, ν′⟩_π` of Section 4.
+//! * [`dense`] — small dense matrices (used by the duality walkthroughs and
+//!   the Jacobi eigensolver).
+//! * [`sparse`] — CSR matrices built from graphs: adjacency `A`, Laplacian
+//!   `L = D − A`, and the (lazy) transition matrix `P`.
+//! * [`eigen`] — a cyclic Jacobi eigensolver for small symmetric matrices
+//!   and deflated power iteration for `λ₂(P)`, `f₂(P)`, `λ₂(L)`, `f₂(L)` at
+//!   scale.
+//! * [`spectra`] — closed-form spectra for the standard families (cycle,
+//!   complete, hypercube, torus, star, path, complete bipartite), used to
+//!   cross-check the numerical solvers and to make large-`n` experiments
+//!   exact.
+//! * [`markov`] — stationary distributions of implicit finite Markov chains
+//!   by power iteration (used for the `Q`-chain of Section 5.3) and
+//!   total-variation utilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod eigen;
+pub mod markov;
+pub mod sparse;
+pub mod spectra;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use sparse::CsrMatrix;

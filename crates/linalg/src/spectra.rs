@@ -1,0 +1,227 @@
+//! Closed-form spectra for standard graph families.
+//!
+//! For `d`-regular graphs the three matrices of interest are simultaneously
+//! diagonalizable with affine eigenvalue maps from the adjacency spectrum
+//! `λ(A)`:
+//!
+//! * lazy walk: `λ(P) = ½ + λ(A)/(2d)`;
+//! * Laplacian: `λ(L) = d − λ(A)`.
+//!
+//! Having these in closed form lets the convergence experiments use exact
+//! `1 − λ₂(P)` and `λ₂(L)` at any `n`, and provides ground truth for the
+//! numerical eigensolvers.
+
+use std::f64::consts::PI;
+
+/// Adjacency spectrum of the cycle `C_n`: `2cos(2πj/n)`, `j = 0..n`.
+/// Returned in descending order.
+pub fn cycle_adjacency(n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|j| 2.0 * (2.0 * PI * j as f64 / n as f64).cos()).collect();
+    sort_desc(&mut v);
+    v
+}
+
+/// Adjacency spectrum of the complete graph `K_n`: `n−1` once, `−1` with
+/// multiplicity `n−1`. Descending.
+pub fn complete_adjacency(n: usize) -> Vec<f64> {
+    let mut v = vec![-1.0; n];
+    v[0] = n as f64 - 1.0;
+    v
+}
+
+/// Adjacency spectrum of the `dim`-dimensional hypercube: `dim − 2i` with
+/// multiplicity `C(dim, i)`. Descending.
+pub fn hypercube_adjacency(dim: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(1 << dim);
+    for i in 0..=dim {
+        let mult = binomial(dim, i);
+        v.extend(std::iter::repeat(dim as f64 - 2.0 * i as f64).take(mult));
+    }
+    sort_desc(&mut v);
+    v
+}
+
+/// Adjacency spectrum of the `rows × cols` torus (Cartesian product of two
+/// cycles): sums `2cos(2πa/rows) + 2cos(2πb/cols)`. Descending.
+pub fn torus_adjacency(rows: usize, cols: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(rows * cols);
+    for a in 0..rows {
+        for b in 0..cols {
+            v.push(
+                2.0 * (2.0 * PI * a as f64 / rows as f64).cos()
+                    + 2.0 * (2.0 * PI * b as f64 / cols as f64).cos(),
+            );
+        }
+    }
+    sort_desc(&mut v);
+    v
+}
+
+/// Adjacency spectrum of the star on `n` nodes: `±√(n−1)` and `0` with
+/// multiplicity `n−2`. Descending. (Irregular — use only with Laplacian /
+/// walk matrices computed directly.)
+pub fn star_adjacency(n: usize) -> Vec<f64> {
+    assert!(n >= 2, "star needs n >= 2");
+    let r = ((n - 1) as f64).sqrt();
+    let mut v = vec![0.0; n];
+    v[0] = r;
+    v[n - 1] = -r;
+    v
+}
+
+/// Adjacency spectrum of the path `P_n`: `2cos(πj/(n+1))`, `j = 1..=n`.
+/// Descending.
+pub fn path_adjacency(n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (1..=n)
+        .map(|j| 2.0 * (PI * j as f64 / (n as f64 + 1.0)).cos())
+        .collect();
+    sort_desc(&mut v);
+    v
+}
+
+/// Adjacency spectrum of `K_{a,b}`: `±√(ab)` and `0` with multiplicity
+/// `a+b−2`. Descending.
+pub fn complete_bipartite_adjacency(a: usize, b: usize) -> Vec<f64> {
+    assert!(a >= 1 && b >= 1, "sides must be non-empty");
+    let r = ((a * b) as f64).sqrt();
+    let mut v = vec![0.0; a + b];
+    v[0] = r;
+    v[a + b - 1] = -r;
+    v
+}
+
+/// Maps a `d`-regular adjacency eigenvalue to the lazy-walk eigenvalue
+/// `½ + λ_A/(2d)`.
+pub fn lazy_walk_from_adjacency(lambda_a: f64, d: usize) -> f64 {
+    0.5 + lambda_a / (2.0 * d as f64)
+}
+
+/// Maps a `d`-regular adjacency eigenvalue to the Laplacian eigenvalue
+/// `d − λ_A`.
+pub fn laplacian_from_adjacency(lambda_a: f64, d: usize) -> f64 {
+    d as f64 - lambda_a
+}
+
+/// Second-largest element of a descending spectrum.
+///
+/// # Panics
+///
+/// Panics if fewer than two eigenvalues are supplied.
+pub fn second_largest(spectrum_desc: &[f64]) -> f64 {
+    assert!(spectrum_desc.len() >= 2, "need at least two eigenvalues");
+    spectrum_desc[1]
+}
+
+/// Eigenvalue gap `1 − λ₂(P)` of the lazy walk on a `d`-regular graph,
+/// given its descending adjacency spectrum.
+pub fn lazy_gap_regular(adjacency_desc: &[f64], d: usize) -> f64 {
+    1.0 - lazy_walk_from_adjacency(second_largest(adjacency_desc), d)
+}
+
+/// `λ₂(L)` on a `d`-regular graph, given its descending adjacency spectrum.
+pub fn lambda2_laplacian_regular(adjacency_desc: &[f64], d: usize) -> f64 {
+    laplacian_from_adjacency(second_largest(adjacency_desc), d)
+}
+
+fn sort_desc(v: &mut [f64]) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1usize;
+    for i in 0..k {
+        num = num * (n - i) / (i + 1);
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen;
+    use crate::sparse::CsrMatrix;
+    use od_graph::generators;
+
+    fn assert_spectra_match(analytic: &[f64], g: &od_graph::Graph, tol: f64) {
+        let a = CsrMatrix::adjacency(g).to_dense();
+        let mut numeric = eigen::jacobi_eigen(&a, 1e-12).values;
+        numeric.reverse(); // ascending -> descending
+        assert_eq!(analytic.len(), numeric.len());
+        for (x, y) in analytic.iter().zip(&numeric) {
+            assert!((x - y).abs() < tol, "analytic {x} vs numeric {y}");
+        }
+    }
+
+    #[test]
+    fn cycle_spectrum_matches_numeric() {
+        assert_spectra_match(&cycle_adjacency(9), &generators::cycle(9).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn complete_spectrum_matches_numeric() {
+        assert_spectra_match(&complete_adjacency(7), &generators::complete(7).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn hypercube_spectrum_matches_numeric() {
+        assert_spectra_match(&hypercube_adjacency(4), &generators::hypercube(4).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn torus_spectrum_matches_numeric() {
+        assert_spectra_match(&torus_adjacency(3, 4), &generators::torus(3, 4).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn star_spectrum_matches_numeric() {
+        assert_spectra_match(&star_adjacency(8), &generators::star(8).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn path_spectrum_matches_numeric() {
+        assert_spectra_match(&path_adjacency(6), &generators::path(6).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn bipartite_spectrum_matches_numeric() {
+        assert_spectra_match(
+            &complete_bipartite_adjacency(3, 5),
+            &generators::complete_bipartite(3, 5).unwrap(),
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn eigenvalue_maps_regular() {
+        // K_4: λ₂(A) = −1, d = 3 → λ₂(P) = 1/2 − 1/6 = 1/3, λ₂(L) = 4.
+        let spec = complete_adjacency(4);
+        assert!((lazy_walk_from_adjacency(spec[1], 3) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((lambda2_laplacian_regular(&spec, 3) - 4.0).abs() < 1e-12);
+        assert!((lazy_gap_regular(&spec, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypercube_lazy_gap() {
+        // Q_d: λ₂(A) = d−2 → gap = 1 − (1/2 + (d−2)/(2d)) = 1/d.
+        let d = 5;
+        let spec = hypercube_adjacency(d);
+        assert!((lazy_gap_regular(&spec, d) - 1.0 / d as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_basic() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn second_largest_needs_two() {
+        second_largest(&[1.0]);
+    }
+}

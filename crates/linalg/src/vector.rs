@@ -1,0 +1,219 @@
+//! Dense vector kernels.
+//!
+//! The paper works with the `π`-weighted inner product (Eq. 2)
+//! `⟨ν, ν′⟩_π = Σ_x π_x ν_x ν′_x`, where `π_x = d_x / 2m` is the stationary
+//! distribution of the random walk, and the potential (Eq. 3)
+//! `φ(ξ) = ⟨ξ, ξ⟩_π − ⟨1, ξ⟩_π²`.
+
+/// Standard (unweighted) dot product.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `π`-weighted inner product `⟨a, b⟩_π = Σ_x π_x a_x b_x` (paper Eq. 2).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weighted_dot(pi: &[f64], a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "weighted_dot: length mismatch");
+    assert_eq!(pi.len(), a.len(), "weighted_dot: weight length mismatch");
+    pi.iter()
+        .zip(a.iter().zip(b))
+        .map(|(w, (x, y))| w * x * y)
+        .sum()
+}
+
+/// Euclidean norm `‖a‖₂`.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm `‖a‖₂²` — the paper states bounds in terms of
+/// `‖ξ(0)‖₂²`.
+pub fn norm2_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// `π`-weighted squared norm `‖a‖_π² = ⟨a, a⟩_π`.
+pub fn weighted_norm_sq(pi: &[f64], a: &[f64]) -> f64 {
+    weighted_dot(pi, a, a)
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    assert!(!a.is_empty(), "mean of empty slice");
+    a.iter().sum::<f64>() / a.len() as f64
+}
+
+/// `π`-weighted mean `Σ_x π_x a_x` — the martingale `M(t)` of Lemma 4.1
+/// evaluated on a value vector.
+pub fn weighted_mean(pi: &[f64], a: &[f64]) -> f64 {
+    assert_eq!(pi.len(), a.len(), "weighted_mean: length mismatch");
+    pi.iter().zip(a).map(|(w, x)| w * x).sum()
+}
+
+/// Subtracts the arithmetic mean in place, making `Σ a_x = 0` (the paper's
+/// w.l.o.g. centering for the Edge model / regular graphs).
+pub fn center_mean(a: &mut [f64]) {
+    let mu = mean(a);
+    for x in a.iter_mut() {
+        *x -= mu;
+    }
+}
+
+/// Subtracts the `π`-weighted mean in place, making `Σ π_x a_x = 0` (the
+/// paper's centering for the Node model on general graphs).
+pub fn center_weighted(pi: &[f64], a: &mut [f64]) {
+    let mu = weighted_mean(pi, a);
+    for x in a.iter_mut() {
+        *x -= mu;
+    }
+}
+
+/// `y ← y + alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `a` in place by `s`.
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Normalizes `a` to unit Euclidean norm in place; returns the original
+/// norm. Leaves a zero vector unchanged and returns 0.
+pub fn normalize(a: &mut [f64]) -> f64 {
+    let n = norm2(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+    n
+}
+
+/// Discrepancy `K = max_x a_x − min_x a_x` (Section 2).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn discrepancy(a: &[f64]) -> f64 {
+    assert!(!a.is_empty(), "discrepancy of empty slice");
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in a {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    hi - lo
+}
+
+/// Maximum absolute entrywise difference `‖a − b‖_∞`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Projects `a` orthogonally (Euclidean) against unit vector `u` in place:
+/// `a ← a − ⟨a, u⟩ u`. Used for deflation in power iteration.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn project_out(a: &mut [f64], u: &[f64]) {
+    let c = dot(a, u);
+    axpy(-c, u, a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, 2.0];
+        assert_eq!(dot(&a, &a), 9.0);
+        assert_eq!(norm2(&a), 3.0);
+        assert_eq!(norm2_sq(&a), 9.0);
+    }
+
+    #[test]
+    fn weighted_dot_matches_definition() {
+        let pi = [0.5, 0.25, 0.25];
+        let a = [1.0, 2.0, 4.0];
+        let b = [2.0, 2.0, 1.0];
+        // 0.5*2 + 0.25*4 + 0.25*4 = 3
+        assert!((weighted_dot(&pi, &a, &b) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn centering_zeroes_the_mean() {
+        let mut a = vec![1.0, 2.0, 3.0, 10.0];
+        center_mean(&mut a);
+        assert!(mean(&a).abs() < 1e-12);
+
+        let pi = [0.4, 0.3, 0.2, 0.1];
+        let mut b = vec![5.0, -1.0, 2.0, 8.0];
+        center_weighted(&pi, &mut b);
+        assert!(weighted_mean(&pi, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_scale_normalize() {
+        let x = [1.0, 0.0];
+        let mut y = [0.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [2.0, 1.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, [1.0, 0.5]);
+        let norm = normalize(&mut y);
+        assert!((norm - (1.25f64).sqrt()).abs() < 1e-15);
+        assert!((norm2(&y) - 1.0).abs() < 1e-15);
+
+        let mut zero = [0.0, 0.0];
+        assert_eq!(normalize(&mut zero), 0.0);
+    }
+
+    #[test]
+    fn discrepancy_matches_minmax() {
+        assert_eq!(discrepancy(&[3.0, -1.0, 2.0]), 4.0);
+        assert_eq!(discrepancy(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn projection_is_orthogonal() {
+        let u = [1.0 / 2f64.sqrt(), 1.0 / 2f64.sqrt()];
+        let mut a = [3.0, 1.0];
+        project_out(&mut a, &u);
+        assert!(dot(&a, &u).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

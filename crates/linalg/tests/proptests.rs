@@ -1,0 +1,139 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use od_linalg::{eigen, markov, sparse::CsrMatrix, vector, DenseMatrix};
+use od_graph::generators;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cauchy-Schwarz for the weighted inner product.
+    #[test]
+    fn weighted_cauchy_schwarz(a in vec_strategy(8), b in vec_strategy(8)) {
+        let pi = vec![0.125; 8];
+        let lhs = vector::weighted_dot(&pi, &a, &b).powi(2);
+        let rhs = vector::weighted_norm_sq(&pi, &a) * vector::weighted_norm_sq(&pi, &b);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
+    }
+
+    /// Centering then computing the weighted mean gives 0; potential is
+    /// invariant to shifts.
+    #[test]
+    fn centering_and_shift_invariance(a in vec_strategy(6), shift in -1000.0f64..1000.0) {
+        let g = generators::star(6).unwrap();
+        let pi = g.stationary_distribution();
+        let mut c = a.clone();
+        vector::center_weighted(&pi, &mut c);
+        prop_assert!(vector::weighted_mean(&pi, &c).abs() < 1e-9);
+
+        let phi = |v: &[f64]| {
+            vector::weighted_norm_sq(&pi, v)
+                - vector::weighted_mean(&pi, v).powi(2)
+        };
+        let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let scale = 1.0 + a.iter().map(|x| x * x).sum::<f64>() + shift * shift;
+        prop_assert!((phi(&a) - phi(&shifted)).abs() < 1e-9 * scale);
+    }
+
+    /// matvec distributes over vector addition.
+    #[test]
+    fn matvec_linear(a in vec_strategy(5), b in vec_strategy(5)) {
+        let g = generators::complete(5).unwrap();
+        let m = CsrMatrix::adjacency(&g);
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let lhs = m.matvec(&sum);
+        let mut rhs = m.matvec(&a);
+        vector::axpy(1.0, &m.matvec(&b), &mut rhs);
+        prop_assert!(vector::max_abs_diff(&lhs, &rhs) < 1e-9);
+    }
+
+    /// Jacobi eigenvalues match the trace and Frobenius norm of the input
+    /// (spectral invariants).
+    #[test]
+    fn jacobi_preserves_invariants(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm_connected(8, 12, &mut rng).unwrap();
+        let a = CsrMatrix::adjacency(&g).to_dense();
+        let eigvals = eigen::jacobi_eigen(&a, 1e-12).values;
+        let trace: f64 = (0..8).map(|i| a[(i, i)]).sum();
+        let eig_sum: f64 = eigvals.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-8);
+        let frob: f64 = (0..8)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .map(|(i, j)| a[(i, j)] * a[(i, j)])
+            .sum();
+        let eig_sq: f64 = eigvals.iter().map(|l| l * l).sum();
+        prop_assert!((frob - eig_sq).abs() < 1e-7);
+    }
+
+    /// Laplacian quadratic form equals the sum of squared edge differences.
+    #[test]
+    fn laplacian_quadratic_form(x in vec_strategy(7), seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm_connected(7, 10, &mut rng).unwrap();
+        let l = CsrMatrix::laplacian(&g);
+        let quad = vector::dot(&x, &l.matvec(&x));
+        let direct: f64 = g
+            .edges()
+            .map(|(u, v)| (x[u as usize] - x[v as usize]).powi(2))
+            .sum();
+        let scale = 1.0 + x.iter().map(|v| v * v).sum::<f64>();
+        prop_assert!((quad - direct).abs() < 1e-9 * scale);
+    }
+
+    /// Total variation is a metric bounded by 1 on distributions.
+    #[test]
+    fn tv_metric_properties(raw_a in vec_strategy(6), raw_b in vec_strategy(6)) {
+        let normalize = |v: &[f64]| {
+            let abs: Vec<f64> = v.iter().map(|x| x.abs() + 0.01).collect();
+            let s: f64 = abs.iter().sum();
+            abs.into_iter().map(|x| x / s).collect::<Vec<_>>()
+        };
+        let a = normalize(&raw_a);
+        let b = normalize(&raw_b);
+        let d = markov::total_variation(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+        prop_assert!(markov::total_variation(&a, &a) < 1e-15);
+        prop_assert!((d - markov::total_variation(&b, &a)).abs() < 1e-15);
+    }
+
+    /// Dense matmul is associative on small matrices.
+    #[test]
+    fn matmul_associative(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rand_mat = |rng: &mut StdRng| {
+            DenseMatrix::from_fn(4, 4, |_, _| {
+                use rand::Rng;
+                rng.gen_range(-2.0..2.0)
+            })
+        };
+        let a = rand_mat(&mut rng);
+        let b = rand_mat(&mut rng);
+        let c = rand_mat(&mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+}
+
+#[test]
+fn power_iteration_agrees_with_jacobi_on_random_graphs() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm_connected(12, 20, &mut rng).unwrap();
+        let iter = eigen::lazy_walk_spectrum(&g, 1e-12, 2_000_000);
+        let dense = eigen::lazy_walk_spectrum_dense(&g);
+        let lambda2_dense = dense[dense.len() - 2];
+        assert!(
+            (iter.lambda2 - lambda2_dense).abs() < 1e-7,
+            "seed {seed}: {} vs {lambda2_dense}",
+            iter.lambda2
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! A message-passing view of the paper's averaging dynamics.
+//!
+//! The paper motivates its processes as *protocols*: an agent pulls the
+//! current opinions of a few peers and averages, without any coordinated
+//! simultaneous update. [`ProtocolNetwork`] makes that protocol explicit —
+//! mailboxes, `PullRequest` / `PullResponse` messages, message accounting —
+//! while preserving exact numerical agreement with the state-vector
+//! implementation in `od-core` (verified by replaying the same selection
+//! records through both; see the RUNTIME experiment and the integration
+//! tests).
+//!
+//! The exchange for one NodeModel step is:
+//!
+//! ```text
+//!   u --PullRequest--> v_1 .. v_k        (k messages)
+//!   v_i --PullResponse(ξ_vi)--> u        (k messages)
+//!   u: ξ_u ← α ξ_u + (1−α)/k Σ ξ_vi     (local update)
+//! ```
+//!
+//! One step therefore costs exactly `2k` messages; the EdgeModel costs 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+
+pub use network::{Message, MessageStats, ProtocolNetwork};

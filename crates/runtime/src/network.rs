@@ -1,0 +1,311 @@
+use od_core::StepRecord;
+use od_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+use std::collections::VecDeque;
+
+/// A protocol message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// `from` asks the recipient for its current value.
+    PullRequest {
+        /// The requesting node.
+        from: NodeId,
+    },
+    /// `from` answers with its current value.
+    PullResponse {
+        /// The responding node.
+        from: NodeId,
+        /// The value at response time.
+        value: f64,
+    },
+}
+
+/// Message accounting for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Pull requests sent.
+    pub requests: u64,
+    /// Pull responses sent.
+    pub responses: u64,
+    /// Local averaging updates performed.
+    pub updates: u64,
+}
+
+impl MessageStats {
+    /// Total messages on the wire.
+    pub fn total_messages(&self) -> u64 {
+        self.requests + self.responses
+    }
+}
+
+/// The pull-based averaging protocol over explicit mailboxes.
+///
+/// Each node holds only its own value; all reads of other nodes' values
+/// travel as messages. The scheduler activates one node per step (the
+/// asynchronous model of the paper), runs the request/response exchange to
+/// quiescence, then applies the local update — so a step is atomic exactly
+/// like Definition 2.1, but every datum crosses the (simulated) network.
+#[derive(Debug, Clone)]
+pub struct ProtocolNetwork<'g> {
+    graph: &'g Graph,
+    values: Vec<f64>,
+    alpha: f64,
+    k: usize,
+    mailboxes: Vec<VecDeque<Message>>,
+    /// Responses collected by the currently active node.
+    collected: Vec<f64>,
+    sample: Vec<NodeId>,
+    stats: MessageStats,
+    time: u64,
+}
+
+impl<'g> ProtocolNetwork<'g> {
+    /// Creates the protocol network for NodeModel parameters `(α, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a disconnected graph, value-count mismatch, `α ∉ [0, 1)`
+    /// or `k ∉ [1, d_min]`.
+    pub fn new(graph: &'g Graph, values: Vec<f64>, alpha: f64, k: usize) -> Self {
+        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert_eq!(values.len(), graph.n(), "one value per node");
+        assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0, 1)");
+        assert!(
+            k >= 1 && k <= graph.min_degree(),
+            "k must satisfy 1 <= k <= d_min"
+        );
+        let n = graph.n();
+        ProtocolNetwork {
+            graph,
+            values,
+            alpha,
+            k,
+            mailboxes: vec![VecDeque::new(); n],
+            collected: Vec::with_capacity(k),
+            sample: Vec::with_capacity(k),
+            stats: MessageStats::default(),
+            time: 0,
+        }
+    }
+
+    /// Current values (the ground truth held at the nodes).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value at node `u`.
+    pub fn value(&self, u: NodeId) -> f64 {
+        self.values[u as usize]
+    }
+
+    /// Message statistics so far.
+    pub fn stats(&self) -> MessageStats {
+        self.stats
+    }
+
+    /// Steps taken.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// One protocol step with the scheduler's own randomness: activate a
+    /// uniform node, sample `k` distinct neighbours, exchange messages,
+    /// update.
+    pub fn step(&mut self, rng: &mut dyn RngCore) {
+        let u = rng.gen_range(0..self.graph.n()) as NodeId;
+        let neighbors = self.graph.neighbors(u);
+        let d = neighbors.len();
+        self.sample.clear();
+        if self.k == d {
+            self.sample.extend_from_slice(neighbors);
+        } else {
+            while self.sample.len() < self.k {
+                let c = neighbors[rng.gen_range(0..d)];
+                if !self.sample.contains(&c) {
+                    self.sample.push(c);
+                }
+            }
+        }
+        let sample = std::mem::take(&mut self.sample);
+        self.exchange_and_update(u, &sample);
+        self.sample = sample;
+    }
+
+    /// Replays a recorded NodeModel/EdgeModel selection through the full
+    /// message exchange. Given the same record sequence, the trajectory is
+    /// bit-identical to the state-vector implementation — the conformance
+    /// property the RUNTIME experiment checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record references a non-edge or (for `Node` records)
+    /// a sample size different from `k`.
+    pub fn apply(&mut self, record: &StepRecord) {
+        match record {
+            StepRecord::Noop => {
+                self.time += 1;
+            }
+            StepRecord::Node { node, sample } => {
+                assert_eq!(sample.len(), self.k, "record sample size != k");
+                assert!(
+                    sample.iter().all(|&v| self.graph.has_edge(*node, v)),
+                    "record references a non-edge"
+                );
+                let sample = sample.clone();
+                self.exchange_and_update(*node, &sample);
+            }
+            StepRecord::Edge { tail, head } => {
+                assert!(
+                    self.graph.has_edge(*tail, *head),
+                    "record references a non-edge"
+                );
+                self.exchange_and_update(*tail, std::slice::from_ref(head));
+            }
+        }
+    }
+
+    /// Runs the request/response exchange for activation `(u, sample)`
+    /// through the mailboxes, then applies the averaging update at `u`.
+    fn exchange_and_update(&mut self, u: NodeId, sample: &[NodeId]) {
+        self.time += 1;
+        // Phase 1: u sends a PullRequest to every sampled neighbour.
+        for &v in sample {
+            self.mailboxes[v as usize].push_back(Message::PullRequest { from: u });
+            self.stats.requests += 1;
+        }
+        // Phase 2: each sampled neighbour processes its mailbox, answering
+        // requests with its current value.
+        for &v in sample {
+            while let Some(msg) = self.mailboxes[v as usize].pop_front() {
+                match msg {
+                    Message::PullRequest { from } => {
+                        self.mailboxes[from as usize].push_back(Message::PullResponse {
+                            from: v,
+                            value: self.values[v as usize],
+                        });
+                        self.stats.responses += 1;
+                    }
+                    Message::PullResponse { .. } => {
+                        unreachable!("responders have no pending responses")
+                    }
+                }
+            }
+        }
+        // Phase 3: u drains its mailbox and updates. Summation follows the
+        // arrival (= sample) order so the floating-point result matches the
+        // state-vector implementation exactly.
+        self.collected.clear();
+        while let Some(msg) = self.mailboxes[u as usize].pop_front() {
+            match msg {
+                Message::PullResponse { value, .. } => self.collected.push(value),
+                Message::PullRequest { from } => {
+                    // A request from a (hypothetical) concurrent activation;
+                    // answer it to keep mailboxes clean.
+                    self.mailboxes[from as usize].push_back(Message::PullResponse {
+                        from: u,
+                        value: self.values[u as usize],
+                    });
+                    self.stats.responses += 1;
+                }
+            }
+        }
+        let mean = self.collected.iter().sum::<f64>() / self.collected.len() as f64;
+        self.values[u as usize] = self.alpha * self.values[u as usize] + (1.0 - self.alpha) * mean;
+        self.stats.updates += 1;
+    }
+
+    /// Whether every mailbox is empty (quiescence).
+    pub fn is_quiescent(&self) -> bool {
+        self.mailboxes.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::{NodeModel, NodeModelParams, OpinionProcess};
+    use od_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        let g = generators::cycle(5).unwrap();
+        let net = ProtocolNetwork::new(&g, vec![0.0; 5], 0.5, 1);
+        assert!(net.is_quiescent());
+        assert_eq!(net.stats(), MessageStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "d_min")]
+    fn rejects_oversized_k() {
+        let g = generators::cycle(5).unwrap();
+        ProtocolNetwork::new(&g, vec![0.0; 5], 0.5, 3);
+    }
+
+    #[test]
+    fn step_costs_2k_messages() {
+        let g = generators::complete(6).unwrap();
+        let mut net = ProtocolNetwork::new(&g, (0..6).map(f64::from).collect(), 0.5, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for expected_steps in 1..=50u64 {
+            net.step(&mut rng);
+            assert!(net.is_quiescent(), "mailboxes drain every step");
+            let s = net.stats();
+            assert_eq!(s.requests, 3 * expected_steps);
+            assert_eq!(s.responses, 3 * expected_steps);
+            assert_eq!(s.updates, expected_steps);
+            assert_eq!(s.total_messages(), 6 * expected_steps);
+        }
+    }
+
+    #[test]
+    fn replay_matches_state_vector_implementation_exactly() {
+        let g = generators::petersen();
+        let xi0: Vec<f64> = (0..10).map(|i| f64::from(i) * 1.3 - 2.0).collect();
+        let params = NodeModelParams::new(0.3, 2).unwrap();
+        let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut net = ProtocolNetwork::new(&g, xi0, 0.3, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let record = model.step_recorded(&mut rng);
+            net.apply(&record);
+            assert_eq!(
+                model.state().values(),
+                net.values(),
+                "trajectories must be bit-identical"
+            );
+        }
+        assert_eq!(net.time(), 2000);
+    }
+
+    #[test]
+    fn replay_edge_records() {
+        use od_core::{EdgeModel, EdgeModelParams};
+        let g = generators::star(6).unwrap();
+        let xi0: Vec<f64> = (0..6).map(f64::from).collect();
+        let params = EdgeModelParams::new(0.6).unwrap();
+        let mut model = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut net = ProtocolNetwork::new(&g, xi0, 0.6, 1);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let record = model.step_recorded(&mut rng);
+            net.apply(&record);
+            assert_eq!(model.state().values(), net.values());
+        }
+    }
+
+    #[test]
+    fn standalone_scheduler_converges() {
+        let g = generators::complete(8).unwrap();
+        let mut net = ProtocolNetwork::new(&g, (0..8).map(f64::from).collect(), 0.5, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30_000 {
+            net.step(&mut rng);
+        }
+        let spread = od_core::OpinionState::new(&g, net.values().to_vec())
+            .unwrap()
+            .discrepancy();
+        assert!(spread < 1e-6, "spread {spread}");
+    }
+}

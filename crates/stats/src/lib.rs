@@ -1,0 +1,24 @@
+//! Statistics substrate for the reproduction of *Distributed Averaging in
+//! Opinion Dynamics* (PODC 2023).
+//!
+//! The paper's headline result is a **variance** statement
+//! (`Var(F) = Θ(‖ξ(0)‖²/n²)`, Theorem 2.2(2) / Prop. 5.8), so the
+//! experiments are Monte-Carlo variance estimations that need numerically
+//! stable online moments ([`welford`]), uncertainty quantification
+//! ([`summary`]), scaling-law fits for the convergence-time experiments
+//! ([`regression`]), reproducible per-trial seeding ([`seeds`]) and
+//! readable result tables ([`table`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod regression;
+pub mod seeds;
+pub mod summary;
+pub mod table;
+pub mod welford;
+
+pub use seeds::SeedSequence;
+pub use summary::Summary;
+pub use table::{fmt_float, Table};
+pub use welford::Welford;

@@ -1,0 +1,118 @@
+//! Least-squares fits.
+//!
+//! The convergence-time experiments check *scaling*: Theorem 2.2 predicts
+//! `T_ε = O(n log(n‖ξ‖²/ε) / (1−λ₂))`, so a log-log fit of measured time
+//! against the predicted quantity should produce slope ≈ 1. [`linear_fit`]
+//! and [`log_log_fit`] provide slope, intercept and `R²`.
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 when `y` is constant).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than two points, or if
+/// all `x` are identical (the slope is then undefined).
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "linear_fit: length mismatch");
+    assert!(x.len() >= 2, "linear_fit needs at least two points");
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mean_x;
+        let dy = yi - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "linear_fit: all x values identical");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Log-log fit: regresses `ln y` on `ln x`, so `slope` is the estimated
+/// power-law exponent of `y ∝ x^slope`.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive, plus the [`linear_fit`] conditions.
+pub fn log_log_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert!(
+        x.iter().chain(y).all(|&v| v > 0.0),
+        "log_log_fit requires strictly positive data"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.5 * v - 1.0).collect();
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.1, 1.9, 3.2, 3.8, 5.1];
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.98);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        let x = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| 3.0 * v.powf(1.5)).collect();
+        let fit = log_log_fit(&x, &y);
+        assert!((fit.slope - 1.5).abs() < 1e-10);
+        assert!((fit.intercept - 3f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_log_rejects_nonpositive() {
+        log_log_fit(&[1.0, 0.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Reproducible seed derivation.
+//!
+//! Monte-Carlo experiments run trials across threads; each trial needs an
+//! independent, reproducible RNG seed. [`SeedSequence`] derives a stream of
+//! well-mixed 64-bit seeds from a master seed using SplitMix64 — the
+//! standard seeding construction, chosen because consecutive master seeds
+//! or trial indices still produce decorrelated outputs.
+
+/// A deterministic stream of derived 64-bit seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence from a master seed.
+    pub fn new(master: u64) -> Self {
+        SeedSequence { master }
+    }
+
+    /// The seed for trial `index`. Pure function: the same `(master, index)`
+    /// always produces the same seed, so trials can be distributed across
+    /// threads in any order.
+    pub fn seed(&self, index: u64) -> u64 {
+        splitmix64(self.master ^ splitmix64(index.wrapping_add(0x517C_C1B7_2722_0A95)))
+    }
+
+    /// A derived child sequence, for nested experiments (e.g. one child per
+    /// parameter combination, each producing per-trial seeds).
+    pub fn child(&self, index: u64) -> SeedSequence {
+        SeedSequence {
+            master: self.seed(index ^ 0xDEAD_BEEF_CAFE_F00D),
+        }
+    }
+}
+
+/// SplitMix64 mixing function (Steele, Lea, Flood 2014).
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        let s = SeedSequence::new(42);
+        assert_eq!(s.seed(7), SeedSequence::new(42).seed(7));
+        assert_eq!(s.child(3).seed(1), s.child(3).seed(1));
+    }
+
+    #[test]
+    fn distinct_across_indices_and_masters() {
+        let s = SeedSequence::new(1);
+        let mut seen = HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(s.seed(i)), "collision at index {i}");
+        }
+        // Nearby masters produce different streams.
+        assert_ne!(SeedSequence::new(1).seed(0), SeedSequence::new(2).seed(0));
+    }
+
+    #[test]
+    fn children_are_decorrelated_from_parent() {
+        let s = SeedSequence::new(99);
+        let c = s.child(0);
+        let overlap = (0..1000).filter(|&i| s.seed(i) == c.seed(i)).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // First output of SplitMix64 seeded with 0 (reference value).
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        // Crude sanity: across many derived seeds, each bit position should
+        // be set roughly half the time.
+        let s = SeedSequence::new(0xABCD);
+        let n = 4096;
+        for bit in 0..64 {
+            let ones = (0..n).filter(|&i| s.seed(i) >> bit & 1 == 1).count();
+            let frac = ones as f64 / n as f64;
+            assert!((frac - 0.5).abs() < 0.05, "bit {bit} frac {frac}");
+        }
+    }
+}

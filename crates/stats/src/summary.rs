@@ -1,0 +1,138 @@
+//! Batch summaries: quantiles, confidence intervals, min/max.
+
+use crate::welford::Welford;
+
+/// Descriptive summary of a batch of observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for a single observation).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (type-7 linear interpolation).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or on NaN values.
+    pub fn of(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "summary of empty batch");
+        assert!(
+            data.iter().all(|x| !x.is_nan()),
+            "summary requires NaN-free data"
+        );
+        let w: Welford = data.iter().copied().collect();
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Summary {
+            count: data.len(),
+            mean: w.mean().unwrap(),
+            std: w.sample_std().unwrap_or(0.0),
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Normal-approximation confidence interval for the mean at the given
+    /// z-score (e.g. `1.96` for 95%). Returns `(lo, hi)`.
+    pub fn mean_ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std / (self.count as f64).sqrt();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// Quantile of *sorted* data using linear interpolation (type 7, the
+/// numpy/R default). `q` must lie in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics on empty input or `q` outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Quantile of unsorted data (sorts a copy).
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    quantile_sorted(&sorted, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_batch() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-14);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-14);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_summary() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+        let (lo, hi) = s.mean_ci(1.96);
+        assert_eq!((lo, hi), (7.0, 7.0));
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let narrow = Summary::of(&vec![1.0; 100]);
+        let (lo, hi) = narrow.mean_ci(1.96);
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 1.0);
+
+        let wide = Summary::of(&[0.0, 2.0]);
+        let (lo, hi) = wide.mean_ci(1.96);
+        assert!(lo < 1.0 && hi > 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-14);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN-free")]
+    fn nan_summary_panics() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+}

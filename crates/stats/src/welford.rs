@@ -1,0 +1,182 @@
+//! Numerically stable online first and second moments (Welford / Chan).
+//!
+//! Variance estimation of the convergence value `F` runs tens of thousands
+//! of independent trials across threads; accumulators must be mergeable
+//! (Chan's parallel update) and stable against catastrophic cancellation
+//! (the `F` values concentrate tightly around the initial average, which is
+//! exactly the regime where the naive `E[X²] − E[X]²` formula fails).
+
+/// Online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Merges another accumulator into this one (Chan's formula). The result
+    /// is identical (up to rounding) to having pushed both sample streams
+    /// into a single accumulator.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let w = other.count as f64 / total as f64;
+        self.mean += delta * w;
+        self.m2 += other.m2 + delta * delta * (self.count as f64) * w;
+        self.count = total;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (`n−1` denominator); `None` for fewer than
+    /// two observations.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population variance (`n` denominator); `None` when empty.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample standard deviation; `None` for fewer than two observations.
+    pub fn sample_std(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean; `None` for fewer than two observations.
+    pub fn standard_error(&self) -> Option<f64> {
+        self.sample_variance()
+            .map(|v| (v / self.count as f64).sqrt())
+    }
+
+    /// Approximate standard error of the *sample variance* itself, assuming
+    /// near-normal data: `s² · √(2/(n−1))`. The variance experiments report
+    /// `Var(F) ± 2·se` so the paper's predicted value can be checked against
+    /// a confidence band. `None` for fewer than two observations.
+    pub fn variance_standard_error(&self) -> Option<f64> {
+        self.sample_variance()
+            .map(|v| v * (2.0 / (self.count as f64 - 1.0)).sqrt())
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.sample_variance(), None);
+        assert_eq!(w.population_variance(), None);
+    }
+
+    #[test]
+    fn single_observation() {
+        let w: Welford = [5.0].into_iter().collect();
+        assert_eq!(w.mean(), Some(5.0));
+        assert_eq!(w.sample_variance(), None);
+        assert_eq!(w.population_variance(), Some(0.0));
+    }
+
+    #[test]
+    fn known_small_sample() {
+        // 1,2,3,4: mean 2.5, sample variance 5/3, population variance 1.25.
+        let w: Welford = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(w.count(), 4);
+        assert!((w.mean().unwrap() - 2.5).abs() < 1e-14);
+        assert!((w.sample_variance().unwrap() - 5.0 / 3.0).abs() < 1e-14);
+        assert!((w.population_variance().unwrap() - 1.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let sequential: Welford = data.iter().copied().collect();
+        let (a, b) = data.split_at(300);
+        let mut left: Welford = a.iter().copied().collect();
+        let right: Welford = b.iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert!((left.mean().unwrap() - sequential.mean().unwrap()).abs() < 1e-10);
+        assert!(
+            (left.sample_variance().unwrap() - sequential.sample_variance().unwrap()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w: Welford = [1.0, 2.0].into_iter().collect();
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn stable_around_large_offset() {
+        // Naive E[X²]−E[X]² catastrophically cancels here; Welford must not.
+        let offset = 1e9;
+        let w: Welford = (0..1000).map(|i| offset + (i % 2) as f64).collect();
+        assert!((w.sample_variance().unwrap() - 0.2502502502502503).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standard_errors_scale_with_n() {
+        let small: Welford = (0..100).map(|i| (i % 10) as f64).collect();
+        let large: Welford = (0..10_000).map(|i| (i % 10) as f64).collect();
+        assert!(large.standard_error().unwrap() < small.standard_error().unwrap());
+        assert!(large.variance_standard_error().unwrap() < small.variance_standard_error().unwrap());
+    }
+}

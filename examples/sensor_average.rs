@@ -1,0 +1,82 @@
+//! Distributed sensor averaging: estimate a field average over a sensor
+//! grid with the EdgeModel, and quantify the accuracy cost against
+//! push-sum (which computes the exact average but ships two numbers per
+//! message and assumes lossless mass accounting).
+//!
+//! ```text
+//! cargo run --release --example sensor_average
+//! ```
+
+use opinion_dynamics::baselines::PushSum;
+use opinion_dynamics::core::{
+    run_until_converged, EdgeModel, EdgeModelParams, OpinionProcess,
+};
+use opinion_dynamics::dual::variance::{centered_norm_sq, variance_k1_closed_form};
+use opinion_dynamics::graph::generators;
+use opinion_dynamics::stats::Welford;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sensors on a 12x12 torus measuring a noisy field.
+    let graph = generators::torus(12, 12)?;
+    let n = graph.n();
+    let mut rng = StdRng::seed_from_u64(7);
+    let readings: Vec<f64> = (0..n).map(|_| 20.0 + 5.0 * (rng.gen::<f64>() - 0.5)).collect();
+    let truth = readings.iter().sum::<f64>() / n as f64;
+    println!("--- {n} sensors, true field average {truth:.4} ---");
+
+    // The paper's k=1 closed form predicts the estimation error.
+    let predicted_var =
+        variance_k1_closed_form(n, 0.5, centered_norm_sq(&readings));
+    println!(
+        "Thm 2.2(2)/Prop 5.8 predicted Var(F) = {predicted_var:.3e} (std {:.4})",
+        predicted_var.sqrt()
+    );
+
+    // EdgeModel trials.
+    let trials = 200;
+    let mut edge_err = Welford::new();
+    let mut edge_f = Welford::new();
+    let mut edge_steps = Welford::new();
+    for t in 0..trials {
+        let params = EdgeModelParams::new(0.5)?;
+        let mut m = EdgeModel::new(&graph, readings.clone(), params)?;
+        let mut trial_rng = StdRng::seed_from_u64(1000 + t);
+        let report = run_until_converged(&mut m, &mut trial_rng, 1e-12, 1_000_000_000);
+        let f = m.state().average();
+        edge_err.push((f - truth).abs());
+        edge_f.push(f);
+        edge_steps.push(report.steps as f64);
+    }
+    println!(
+        "EdgeModel   ({} trials): mean |err| = {:.4}, empirical Var(F) = {:.3e}, mean steps = {:.0}",
+        trials,
+        edge_err.mean().unwrap(),
+        edge_f.sample_variance().unwrap(),
+        edge_steps.mean().unwrap()
+    );
+
+    // Push-sum trials: exact, at double the message payload.
+    let mut ps_err = Welford::new();
+    let mut ps_steps = Welford::new();
+    for t in 0..trials {
+        let mut p = PushSum::new(&graph, readings.clone());
+        let mut trial_rng = StdRng::seed_from_u64(5000 + t);
+        let steps = p.run(&mut trial_rng, 1e-9, 1_000_000_000);
+        ps_err.push((p.estimate(0) - truth).abs());
+        ps_steps.push(steps as f64);
+    }
+    println!(
+        "PushSum     ({} trials): mean |err| = {:.2e}, mean steps = {:.0} (exact average, 2 numbers per message)",
+        trials,
+        ps_err.mean().unwrap(),
+        ps_steps.mean().unwrap()
+    );
+    println!(
+        "\nThe EdgeModel pays ~{:.4} standard deviation of estimation error for\n\
+         single-number unilateral messages — the paper's 'price of simplicity'.",
+        edge_f.sample_variance().unwrap().sqrt()
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! The paper's §1 motivation: agents in a social network forming an opinion
+//! (e.g. how much to budget for a vacation) by consulting a *few* random
+//! friends at a time — the "limited information" setting.
+//!
+//! Compares the asynchronous NodeModel against the synchronous DeGroot
+//! model (where everyone consults *all* friends every round) on a
+//! small-world network, and shows the degree-weighting effect of
+//! unilateral pull updates on an irregular graph.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use opinion_dynamics::baselines::DeGroot;
+use opinion_dynamics::core::{
+    run_until_converged, NodeModel, NodeModelParams, OpinionProcess,
+};
+use opinion_dynamics::graph::generators;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // A Watts-Strogatz small world: everyone knows their neighbours plus a
+    // few long-range acquaintances.
+    let graph = generators::watts_strogatz(200, 3, 0.1, &mut rng)?;
+    let n = graph.n();
+
+    // Vacation budgets: clustered around 1200 with heavy tails.
+    let budgets: Vec<f64> = (0..n)
+        .map(|_| 1200.0 + 400.0 * (rng.gen::<f64>() - 0.5) + if rng.gen_bool(0.1) { 1500.0 } else { 0.0 })
+        .collect();
+    let avg = budgets.iter().sum::<f64>() / n as f64;
+    let weighted: f64 = graph
+        .nodes()
+        .map(|u| graph.degree(u) as f64 * budgets[u as usize])
+        .sum::<f64>()
+        / (2 * graph.m()) as f64;
+
+    println!("--- limited-information averaging on a small world (n = {n}) ---");
+    println!("plain average of budgets:          {avg:.2}");
+    println!("degree-weighted average:           {weighted:.2}");
+
+    // NodeModel: consult k = 2 random friends per activation. Opinions are
+    // dollar-scale, so agreeing to within ~$1 (phi <= 1) is plenty — the
+    // limit F itself carries Theta(|xi|^2/n^2) sampling noise anyway.
+    let params = NodeModelParams::new(0.5, 2)?;
+    let mut process = NodeModel::new(&graph, budgets.clone(), params)?;
+    let report = run_until_converged(&mut process, &mut rng, 1.0, 1_000_000_000);
+    let f = process.state().average();
+    println!(
+        "NodeModel consensus F:             {f:.2}  ({} activations, ~{:.1} per agent, each reading 2 friends)",
+        report.steps,
+        report.steps as f64 / n as f64
+    );
+    println!(
+        "  deviation from weighted average: {:+.2} (E[F] is the degree-weighted mean; Thm 2.2(2) keeps the spread O(|xi|/n))",
+        f - weighted
+    );
+
+    // DeGroot for contrast: same limit (deterministically), but every agent
+    // polls all friends every synchronous round.
+    let mut degroot = DeGroot::new(&graph, budgets);
+    let rounds = degroot.run(1.0, 1_000_000);
+    println!(
+        "DeGroot (full information):        {:.2}  ({rounds} synchronous rounds, {} opinion reads)",
+        degroot.values()[0],
+        rounds as usize * 2 * graph.m()
+    );
+    println!(
+        "opinion reads to ~$1 agreement: NodeModel {} vs DeGroot {}",
+        report.steps * 2,
+        rounds as usize * 2 * graph.m(),
+    );
+    println!(
+        "the unilateral model trades a ${:.0}-scale random deviation for never\n\
+         needing coordinated or full-neighbourhood reads (price of simplicity).",
+        (f - weighted).abs().max(1.0)
+    );
+    Ok(())
+}

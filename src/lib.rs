@@ -1,0 +1,55 @@
+//! # opinion-dynamics
+//!
+//! A faithful, production-quality reproduction of
+//! *Distributed Averaging in Opinion Dynamics* (Berenbrink, Cooper, Gava,
+//! Mallmann-Trenn, Radzik, Kohan Marzagão, Rivera — PODC 2023).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`graph`] — CSR graphs, generators, traversal, metrics.
+//! * [`linalg`] — vectors, sparse/dense matrices, eigensolvers, Markov tools.
+//! * [`stats`] — Welford accumulators, confidence intervals, regression,
+//!   seeds, table output.
+//! * [`core`] — the paper's processes: `NodeModel` (Def. 2.1), `EdgeModel`
+//!   (Def. 2.3), the voter model, potential functions and the convergence
+//!   engine.
+//! * [`dual`] — the Diffusion Process, the Random Walk Process, the two-walk
+//!   `Q`-chain with its closed-form stationary distribution (Lemma 5.7) and
+//!   the exact variance predictor (Prop. 5.8).
+//! * [`baselines`] — pairwise gossip, push-sum, DeGroot, Friedkin–Johnsen,
+//!   Hegselmann–Krause, synchronous diffusion load balancing.
+//! * [`runtime`] — a message-passing discrete-event simulator running the
+//!   same dynamics as an explicit pull-based protocol.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use opinion_dynamics::graph::generators;
+//! use opinion_dynamics::core::{NodeModel, NodeModelParams, OpinionProcess};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::cycle(64)?;
+//! let xi0: Vec<f64> = (0..64).map(|i| i as f64).collect();
+//! let params = NodeModelParams::new(0.5, 1)?;
+//! let mut process = NodeModel::new(&g, xi0, params)?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! for _ in 0..200_000 {
+//!     process.step(&mut rng);
+//! }
+//! let f = process.state().average();
+//! assert!((f - 31.5).abs() < 10.0); // F concentrates near the initial average
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use od_baselines as baselines;
+pub use od_core as core;
+pub use od_dual as dual;
+pub use od_graph as graph;
+pub use od_linalg as linalg;
+pub use od_runtime as runtime;
+pub use od_stats as stats;

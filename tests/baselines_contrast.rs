@@ -1,0 +1,79 @@
+//! Integration tests for the "price of simplicity" contrast: coordinated
+//! baselines preserve the average exactly; the paper's unilateral models
+//! preserve it only in expectation.
+
+use opinion_dynamics::baselines::{DiffusionBalancer, PairwiseGossip, PushSum};
+use opinion_dynamics::core::{
+    run_until_converged, EdgeModel, EdgeModelParams, OpinionProcess,
+};
+use opinion_dynamics::graph::generators;
+use opinion_dynamics::stats::Welford;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn coordinated_baselines_hit_exact_average() {
+    let g = generators::torus(4, 4).unwrap();
+    let xi0: Vec<f64> = (0..16).map(|i| (i as f64) - 7.5).collect();
+    let avg0 = 0.0;
+
+    let mut gossip = PairwiseGossip::new(&g, xi0.clone());
+    let mut rng = StdRng::seed_from_u64(1);
+    gossip.run(&mut rng, 1e-10, 100_000_000);
+    for &v in gossip.values() {
+        assert!((v - avg0).abs() < 1e-9, "gossip value {v}");
+    }
+
+    let mut push = PushSum::new(&g, xi0.clone());
+    let mut rng = StdRng::seed_from_u64(2);
+    push.run(&mut rng, 1e-10, 100_000_000);
+    for u in 0..16 {
+        assert!((push.estimate(u) - avg0).abs() < 1e-9);
+    }
+
+    let mut balancer = DiffusionBalancer::new(&g, xi0);
+    balancer.run(1e-10, 10_000_000);
+    for &v in balancer.values() {
+        assert!((v - avg0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn unilateral_models_scatter_around_the_average() {
+    // The EdgeModel's F varies across runs with Var = Θ(‖ξ‖²/n²) — it
+    // should (a) have visibly positive variance, (b) still center on the
+    // average.
+    let g = generators::torus(4, 4).unwrap();
+    let xi0: Vec<f64> = (0..16).map(|i| (i as f64) - 7.5).collect();
+    let mut acc = Welford::new();
+    for t in 0..1_000 {
+        let params = EdgeModelParams::new(0.5).unwrap();
+        let mut m = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(100 + t);
+        let report = run_until_converged(&mut m, &mut rng, 1e-10, 100_000_000);
+        assert!(report.converged);
+        acc.push(m.state().average());
+    }
+    let mean = acc.mean().unwrap();
+    let var = acc.sample_variance().unwrap();
+    let se = acc.standard_error().unwrap();
+    assert!((mean / se).abs() < 4.0, "mean {mean} should center on 0");
+    assert!(var > 1e-3, "variance {var} should be macroscopic");
+    // Θ-scale: ‖ξ‖²/n² = 340/256 ≈ 1.33; variance within a small constant.
+    assert!(var < 4.0, "variance {var} should be O(‖ξ‖²/n²)");
+}
+
+#[test]
+fn pairwise_gossip_average_is_bitwise_stable() {
+    // Doubly-stochastic updates keep Avg an exact invariant — contrast
+    // with the paper's models where only E[Avg] is conserved.
+    let g = generators::complete(9).unwrap();
+    let xi0: Vec<f64> = (0..9).map(|i| (i as f64) * 3.25).collect();
+    let avg0 = xi0.iter().sum::<f64>() / 9.0;
+    let mut gossip = PairwiseGossip::new(&g, xi0);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50_000 {
+        gossip.step(&mut rng);
+        assert!((gossip.average() - avg0).abs() < 1e-10);
+    }
+}

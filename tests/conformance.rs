@@ -1,0 +1,80 @@
+//! Three-way conformance: the state-vector NodeModel, the message-passing
+//! protocol runtime, and the reversed diffusion dual all agree on the same
+//! selection records.
+
+use opinion_dynamics::core::{NodeModel, NodeModelParams, OpinionProcess, StepRecord};
+use opinion_dynamics::dual::DiffusionProcess;
+use opinion_dynamics::graph::generators;
+use opinion_dynamics::runtime::ProtocolNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn three_implementations_agree() {
+    let g = generators::torus(4, 4).unwrap();
+    let xi0: Vec<f64> = (0..16).map(|i| (i as f64) * 0.7 - 5.0).collect();
+    let alpha = 0.4;
+    let k = 2;
+
+    let params = NodeModelParams::new(alpha, k).unwrap();
+    let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
+    let mut net = ProtocolNetwork::new(&g, xi0.clone(), alpha, k);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let mut records: Vec<StepRecord> = Vec::new();
+    for _ in 0..1_500 {
+        let record = model.step_recorded(&mut rng);
+        net.apply(&record);
+        records.push(record);
+        assert_eq!(
+            model.state().values(),
+            net.values(),
+            "runtime must match state-vector trajectory exactly"
+        );
+    }
+
+    let mut diffusion = DiffusionProcess::new(&g, alpha).unwrap();
+    diffusion.apply_reversed(&records);
+    let w = diffusion.cost(&xi0);
+    let max_err = model
+        .state()
+        .values()
+        .iter()
+        .zip(&w)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-10, "diffusion dual error {max_err}");
+}
+
+#[test]
+fn replaying_records_is_deterministic() {
+    let g = generators::petersen();
+    let xi0: Vec<f64> = (0..10).map(f64::from).collect();
+    let params = NodeModelParams::new(0.5, 2).unwrap();
+
+    let mut source = NodeModel::new(&g, xi0.clone(), params).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let records: Vec<StepRecord> = (0..500).map(|_| source.step_recorded(&mut rng)).collect();
+
+    let mut replayed = NodeModel::new(&g, xi0, params).unwrap();
+    for r in &records {
+        replayed.apply(r);
+    }
+    assert_eq!(source.state().values(), replayed.state().values());
+    assert_eq!(source.time(), replayed.time());
+}
+
+#[test]
+fn message_cost_is_2k_per_step() {
+    let g = generators::hypercube(4).unwrap();
+    let xi0 = vec![1.0; 16];
+    for k in 1..=4usize {
+        let mut net = ProtocolNetwork::new(&g, xi0.clone(), 0.5, k);
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        for _ in 0..100 {
+            net.step(&mut rng);
+        }
+        assert_eq!(net.stats().total_messages(), 200 * k as u64);
+        assert!(net.is_quiescent());
+    }
+}

@@ -1,0 +1,74 @@
+//! Cross-crate integration tests for the duality of Section 5
+//! (Prop. 5.1 / Lemma 5.2), including property-based coverage over random
+//! graphs, parameters and run lengths.
+
+use opinion_dynamics::dual::duality::{verify_edge_duality, verify_node_duality};
+use opinion_dynamics::graph::generators;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn figures_reproduce_exactly() {
+    let fig1 = opinion_dynamics::dual::duality::figure1();
+    assert!(fig1.max_abs_error < 1e-15);
+    let fig4 = opinion_dynamics::dual::duality::figure4();
+    assert!(fig4.max_abs_error < 1e-15);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// W(T) = ξᵀ(T) exactly for random regular graphs, α, k, and T.
+    #[test]
+    fn node_duality_on_random_regular_graphs(
+        seed in 0u64..1000,
+        alpha in 0.05f64..0.95,
+        steps in 1usize..400,
+        k in 1usize..4,
+        graph_seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let g = generators::random_regular(12, 4, &mut rng).unwrap();
+        let xi0: Vec<f64> = (0..12).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        let check = verify_node_duality(&g, alpha, k, &xi0, steps, seed).unwrap();
+        prop_assert!(
+            check.max_abs_error < 1e-9,
+            "duality error {} (alpha={alpha}, k={k}, steps={steps})",
+            check.max_abs_error
+        );
+    }
+
+    /// Edge-model duality on random irregular G(n,p) graphs.
+    #[test]
+    fn edge_duality_on_random_gnp(
+        seed in 0u64..1000,
+        alpha in 0.05f64..0.95,
+        steps in 1usize..400,
+        graph_seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let g = generators::gnp_connected(14, 0.3, &mut rng).unwrap();
+        let xi0: Vec<f64> = (0..14).map(|i| (i as f64).sin() * 10.0).collect();
+        let check = verify_edge_duality(&g, alpha, &xi0, steps, seed).unwrap();
+        prop_assert!(
+            check.max_abs_error < 1e-9,
+            "duality error {} (alpha={alpha}, steps={steps})",
+            check.max_abs_error
+        );
+    }
+
+    /// The duality is scale- and shift-equivariant in ξ(0): both sides are
+    /// linear in the initial values.
+    #[test]
+    fn duality_linear_in_initial_values(
+        scale in -5.0f64..5.0,
+        shift in -100.0f64..100.0,
+        seed in 0u64..100,
+    ) {
+        let g = generators::petersen();
+        let xi0: Vec<f64> = (0..10).map(|i| f64::from(i) * scale + shift).collect();
+        let check = verify_node_duality(&g, 0.5, 2, &xi0, 100, seed).unwrap();
+        prop_assert!(check.max_abs_error < 1e-8 * (1.0 + shift.abs() + scale.abs()));
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration tests for Lemma 5.7: the closed-form stationary
+//! distribution of the two-walk Q-chain, across randomly generated regular
+//! graphs and the full admissible parameter grid.
+
+use opinion_dynamics::dual::QChain;
+use opinion_dynamics::graph::generators;
+use opinion_dynamics::linalg::markov::total_variation;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// μQ = μ for the closed form on random d-regular graphs, any (α, k).
+    #[test]
+    fn closed_form_balances_on_random_regular(
+        graph_seed in 0u64..500,
+        alpha in 0.05f64..0.95,
+        d in 3usize..6,
+        k_offset in 0usize..3,
+    ) {
+        let n = 12;
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let g = generators::random_regular(n, d, &mut rng).unwrap();
+        let k = 1 + k_offset.min(d - 1);
+        let chain = QChain::new(&g, alpha, k).unwrap();
+        let residual = chain.closed_form_balance_residual();
+        prop_assert!(
+            residual < 1e-12,
+            "residual {residual} on d={d}, k={k}, alpha={alpha}"
+        );
+    }
+}
+
+#[test]
+fn numeric_and_closed_form_agree_on_parameter_grid() {
+    let graphs = vec![
+        ("cycle(10)", generators::cycle(10).unwrap()),
+        ("complete(7)", generators::complete(7).unwrap()),
+        ("petersen", generators::petersen()),
+        ("torus(3x3)", generators::torus(3, 3).unwrap()),
+    ];
+    for (name, g) in &graphs {
+        let d = g.regular_degree().unwrap();
+        for &alpha in &[0.1, 0.5, 0.9] {
+            for k in 1..=d.min(3) {
+                let chain = QChain::new(g, alpha, k).unwrap();
+                let numeric = chain.stationary_numeric(1e-13, 400_000);
+                assert!(numeric.converged, "{name} a={alpha} k={k}");
+                let tv = total_variation(&numeric.distribution, &chain.closed_form_vector());
+                assert!(tv < 1e-9, "{name} a={alpha} k={k}: TV {tv}");
+            }
+        }
+    }
+}
+
+#[test]
+fn stationary_mass_splits_match_class_sizes() {
+    // n·μ0 + 2m·μ1 + (n²−n−2m)·μ+ = 1 across a sweep.
+    for n in [6usize, 8, 12] {
+        let g = generators::cycle(n).unwrap();
+        for &alpha in &[0.25, 0.75] {
+            for k in 1..=2 {
+                let chain = QChain::new(&g, alpha, k).unwrap();
+                let c = chain.closed_form();
+                let total = n as f64 * c.mu0
+                    + (2 * g.m()) as f64 * c.mu1
+                    + (n * n - n - 2 * g.m()) as f64 * c.mu_plus;
+                assert!((total - 1.0).abs() < 1e-12, "n={n} a={alpha} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn class_ordering_mu0_above_mu_plus_above_mu1() {
+    // Correlated walks co-locate more than independence would suggest:
+    // μ0 is the unique maximum (hence above uniform 1/n²), and adjacent
+    // pairs are the least likely class: μ0 > μ+ ≥ μ1, with μ+ = μ1 iff
+    // k = 1. (μ+ itself may sit above OR exactly at uniform — e.g. the
+    // 3-hypercube with k = 3, α = 1/2 gives μ+ = 1/n² exactly.)
+    let g = generators::hypercube(3).unwrap();
+    for &alpha in &[0.2, 0.5, 0.8] {
+        for k in 1..=3 {
+            let chain = QChain::new(&g, alpha, k).unwrap();
+            let c = chain.closed_form();
+            let uniform = 1.0 / (8.0 * 8.0);
+            assert!(c.mu0 > uniform, "mu0 {} <= uniform {uniform}", c.mu0);
+            assert!(c.mu0 > c.mu_plus, "mu0 {} <= mu+ {}", c.mu0, c.mu_plus);
+            if k == 1 {
+                // Equal up to rounding (computed via different formulas).
+                assert!((c.mu1 - c.mu_plus).abs() < 1e-12 * c.mu_plus);
+            } else {
+                assert!(c.mu1 < c.mu_plus, "mu1 {} >= mu+ {}", c.mu1, c.mu_plus);
+            }
+        }
+    }
+}

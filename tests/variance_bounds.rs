@@ -1,0 +1,80 @@
+//! Integration test of the headline result (Theorem 2.2(2) / Prop. 5.8):
+//! empirical Var(F) matches the exact Q-chain prediction and sits inside
+//! the Θ-envelope, and the prediction is structure-independent for k = 1.
+
+use opinion_dynamics::core::{
+    run_until_converged, NodeModel, NodeModelParams, OpinionProcess,
+};
+use opinion_dynamics::dual::variance::{
+    centered_norm_sq, predict_variance, variance_k1_closed_form,
+};
+use opinion_dynamics::dual::QChain;
+use opinion_dynamics::graph::{generators, Graph};
+use opinion_dynamics::stats::Welford;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn empirical_var(g: &Graph, alpha: f64, k: usize, xi0: &[f64], trials: usize) -> (f64, f64) {
+    let mut acc = Welford::new();
+    for t in 0..trials {
+        let params = NodeModelParams::new(alpha, k).unwrap();
+        let mut m = NodeModel::new(g, xi0.to_vec(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xF00D + t as u64);
+        let report = run_until_converged(&mut m, &mut rng, 1e-10, 500_000_000);
+        assert!(report.converged);
+        acc.push(m.state().weighted_average());
+    }
+    (
+        acc.sample_variance().unwrap(),
+        acc.variance_standard_error().unwrap(),
+    )
+}
+
+#[test]
+fn empirical_variance_matches_exact_prediction() {
+    let g = generators::complete(12).unwrap();
+    let xi0: Vec<f64> = (0..12).map(|i| ((i % 4) as f64) - 1.5).collect();
+    let chain = QChain::new(&g, 0.5, 2).unwrap();
+    let pred = predict_variance(&chain, &xi0).unwrap();
+    let (emp, se) = empirical_var(&g, 0.5, 2, &xi0, 1_500);
+    let z = (emp - pred.exact) / se;
+    assert!(z.abs() < 4.0, "z = {z}: emp {emp} vs pred {}", pred.exact);
+    assert!(pred.lower - 1e-12 <= emp + 4.0 * se);
+    assert!(emp - 4.0 * se <= pred.upper + 1e-12);
+}
+
+#[test]
+fn k1_variance_is_structure_independent() {
+    // The paper's striking claim: same n, α, ‖ξ‖² ⇒ same Var(F) on the
+    // cycle and the complete graph.
+    let xi0: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let closed = variance_k1_closed_form(10, 0.5, centered_norm_sq(&xi0));
+
+    let cy = generators::cycle(10).unwrap();
+    let (var_cy, se_cy) = empirical_var(&cy, 0.5, 1, &xi0, 1_500);
+    let kn = generators::complete(10).unwrap();
+    let (var_kn, se_kn) = empirical_var(&kn, 0.5, 1, &xi0, 1_500);
+
+    let z_cy = (var_cy - closed) / se_cy;
+    let z_kn = (var_kn - closed) / se_kn;
+    assert!(z_cy.abs() < 4.0, "cycle z = {z_cy}");
+    assert!(z_kn.abs() < 4.0, "complete z = {z_kn}");
+
+    let z_diff = (var_cy - var_kn) / (se_cy * se_cy + se_kn * se_kn).sqrt();
+    assert!(z_diff.abs() < 4.0, "structures differ: z = {z_diff}");
+}
+
+#[test]
+fn variance_shrinks_like_one_over_n_squared() {
+    // Var(F) · n² / ‖ξ‖² stays within a constant band while n quadruples.
+    let mut normalized = Vec::new();
+    for n in [8usize, 16, 32] {
+        let g = generators::complete(n).unwrap();
+        let xi0: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let (emp, _) = empirical_var(&g, 0.5, 1, &xi0, 800);
+        normalized.push(emp * (n * n) as f64 / centered_norm_sq(&xi0));
+    }
+    for w in &normalized {
+        assert!(*w > 0.4 && *w < 2.0, "normalized variance {w}");
+    }
+}
