@@ -36,13 +36,11 @@ impl<'g> FriedkinJohnsen<'g> {
     ///
     /// Panics on disconnected graphs, length mismatches, `k` out of range
     /// or stubbornness outside `(0, 1]`.
-    pub fn new(
-        graph: &'g Graph,
-        private: Vec<f64>,
-        stubbornness: Vec<f64>,
-        k: usize,
-    ) -> Self {
-        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+    pub fn new(graph: &'g Graph, private: Vec<f64>, stubbornness: Vec<f64>, k: usize) -> Self {
+        assert!(
+            graph.is_connected() && graph.n() >= 2,
+            "graph must be connected"
+        );
         assert_eq!(private.len(), graph.n(), "one private opinion per node");
         assert_eq!(stubbornness.len(), graph.n(), "one stubbornness per node");
         assert!(
@@ -117,11 +115,8 @@ impl<'g> FriedkinJohnsen<'g> {
             let mut delta: f64 = 0.0;
             for u in 0..n as NodeId {
                 let neighbors = self.graph.neighbors(u);
-                let mean = neighbors
-                    .iter()
-                    .map(|&v| z[v as usize])
-                    .sum::<f64>()
-                    / neighbors.len() as f64;
+                let mean =
+                    neighbors.iter().map(|&v| z[v as usize]).sum::<f64>() / neighbors.len() as f64;
                 let a = self.stubbornness[u as usize];
                 next[u as usize] = a * self.private[u as usize] + (1.0 - a) * mean;
                 delta = delta.max((next[u as usize] - z[u as usize]).abs());
@@ -177,7 +172,7 @@ mod tests {
         let z_star = fj.equilibrium(1e-12, 100_000);
         let mut rng = StdRng::seed_from_u64(2);
         // Average the trajectory tail to smooth sampling noise.
-        let mut tail_sum = vec![0.0; 10];
+        let mut tail_sum = [0.0; 10];
         let tail = 40_000;
         for step in 0..140_000 {
             fj.step(&mut rng);

@@ -24,7 +24,10 @@ impl<'g> HegselmannKrause<'g> {
     /// Panics on disconnected graphs, length mismatch, or non-positive
     /// confidence.
     pub fn new(graph: &'g Graph, opinions: Vec<f64>, confidence: f64) -> Self {
-        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert!(
+            graph.is_connected() && graph.n() >= 2,
+            "graph must be connected"
+        );
         assert_eq!(opinions.len(), graph.n(), "one opinion per node");
         assert!(confidence > 0.0, "confidence radius must be positive");
         HegselmannKrause {

@@ -46,7 +46,10 @@ impl<'g> DiffusionBalancer<'g> {
     /// Panics if the graph is disconnected/too small or the value count
     /// mismatches.
     pub fn new(graph: &'g Graph, values: Vec<f64>) -> Self {
-        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert!(
+            graph.is_connected() && graph.n() >= 2,
+            "graph must be connected"
+        );
         assert_eq!(values.len(), graph.n(), "one value per node");
         let delta = 1.0 / (graph.max_degree() as f64 + 1.0);
         DiffusionBalancer {

@@ -25,7 +25,10 @@ impl<'g> PairwiseGossip<'g> {
     /// Panics if the graph is disconnected/too small or the value count
     /// mismatches.
     pub fn new(graph: &'g Graph, values: Vec<f64>) -> Self {
-        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert!(
+            graph.is_connected() && graph.n() >= 2,
+            "graph must be connected"
+        );
         assert_eq!(values.len(), graph.n(), "one value per node");
         PairwiseGossip {
             graph,

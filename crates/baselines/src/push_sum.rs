@@ -28,7 +28,10 @@ impl<'g> PushSum<'g> {
     /// Panics if the graph is disconnected/too small or the value count
     /// mismatches.
     pub fn new(graph: &'g Graph, values: Vec<f64>) -> Self {
-        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert!(
+            graph.is_connected() && graph.n() >= 2,
+            "graph must be connected"
+        );
         assert_eq!(values.len(), graph.n(), "one value per node");
         let n = graph.n();
         PushSum {
@@ -96,7 +99,7 @@ impl<'g> PushSum<'g> {
         let check_every = self.graph.n() as u64;
         while self.time < max_steps {
             self.step(rng);
-            if self.time % check_every == 0 && self.estimate_spread() <= tol {
+            if self.time.is_multiple_of(check_every) && self.estimate_spread() <= tol {
                 break;
             }
         }

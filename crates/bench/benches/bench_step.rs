@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use od_bench::{bench_graphs, pm_one};
-use od_core::{
-    EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, VoterModel,
-};
+use od_core::{EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, VoterModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -28,5 +28,7 @@ pub fn bench_graphs() -> Vec<(&'static str, Graph)> {
 
 /// Balanced ±1 initial values.
 pub fn pm_one(n: usize) -> Vec<f64> {
-    (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect()
+    (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect()
 }

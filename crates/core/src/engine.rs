@@ -67,7 +67,7 @@ pub fn trace_potential<P: OpinionProcess + ?Sized>(
     let mut trace = vec![(process.time(), process.state().potential_pi())];
     for _ in 0..total_steps {
         process.step(rng);
-        if process.time() % sample_every == 0 {
+        if process.time().is_multiple_of(sample_every) {
             trace.push((process.time(), process.state().potential_pi()));
         }
     }
@@ -124,10 +124,7 @@ mod tests {
         let params = EdgeModelParams::new(0.5).unwrap();
         let mut m = EdgeModel::new(&g, (0..30).map(f64::from).collect(), params).unwrap();
         let mut r = StdRng::seed_from_u64(4);
-        assert_eq!(
-            estimate_convergence_value(&mut m, &mut r, 1e-30, 10),
-            None
-        );
+        assert_eq!(estimate_convergence_value(&mut m, &mut r, 1e-30, 10), None);
     }
 
     #[test]

@@ -72,9 +72,12 @@ mod tests {
             .to_string()
             .contains("d_min = 2"));
         assert!(CoreError::Disconnected.to_string().contains("connected"));
-        assert!(CoreError::LengthMismatch { values: 3, nodes: 4 }
-            .to_string()
-            .contains("3 initial values"));
+        assert!(CoreError::LengthMismatch {
+            values: 3,
+            nodes: 4
+        }
+        .to_string()
+        .contains("3 initial values"));
         assert!(CoreError::NonFiniteValue { index: 2 }
             .to_string()
             .contains("index 2"));

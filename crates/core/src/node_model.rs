@@ -345,7 +345,10 @@ mod tests {
         for _ in 0..2_000 {
             m.step(&mut r);
             let now = m.state().discrepancy();
-            assert!(now <= last + 1e-12, "discrepancy increased: {last} -> {now}");
+            assert!(
+                now <= last + 1e-12,
+                "discrepancy increased: {last} -> {now}"
+            );
             last = now;
         }
     }

@@ -30,8 +30,7 @@ pub fn node_contraction_factor(n: usize, lambda2_lazy: f64, alpha: f64, k: usize
         "lazy-walk eigenvalue must be in [0,1]"
     );
     let gap = 1.0 - lambda2_lazy;
-    let bracket = 2.0 * alpha
-        + (1.0 - alpha) * (1.0 + lambda2_lazy) * (1.0 - 1.0 / k as f64);
+    let bracket = 2.0 * alpha + (1.0 - alpha) * (1.0 + lambda2_lazy) * (1.0 - 1.0 / k as f64);
     1.0 - (1.0 - alpha) * gap * bracket / n as f64
 }
 
@@ -58,7 +57,10 @@ pub fn edge_contraction_factor(m: usize, lambda2_laplacian: f64, alpha: f64) -> 
 ///
 /// Panics unless `0 ≤ c < 1` and `phi0, epsilon > 0`.
 pub fn steps_for_contraction(c: f64, phi0: f64, epsilon: f64) -> f64 {
-    assert!((0.0..1.0).contains(&c), "contraction factor must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&c),
+        "contraction factor must be in [0,1)"
+    );
     assert!(phi0 > 0.0 && epsilon > 0.0, "potentials must be positive");
     if phi0 <= epsilon {
         return 0.0;

@@ -93,9 +93,7 @@ impl<'g> DiffusionProcess<'g> {
             StepRecord::Noop => {}
             StepRecord::Node { node, sample } => {
                 assert!(
-                    sample
-                        .iter()
-                        .all(|&v| self.graph.has_edge(*node, v)),
+                    sample.iter().all(|&v| self.graph.has_edge(*node, v)),
                     "record references a non-edge at node {node}"
                 );
                 self.spread(*node, sample);

@@ -9,9 +9,7 @@
 
 use crate::diffusion::DiffusionProcess;
 use crate::error::DualError;
-use od_core::{
-    EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, StepRecord,
-};
+use od_core::{EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, StepRecord};
 use od_graph::Graph;
 use od_linalg::{vector, DenseMatrix};
 use rand::rngs::StdRng;
@@ -271,8 +269,7 @@ mod tests {
         for (g, k) in &graphs {
             let xi0: Vec<f64> = (0..g.n()).map(|i| (i as f64) * 1.7 - 3.0).collect();
             for seed in 0..3 {
-                let check =
-                    verify_node_duality(g, 0.5, *k, &xi0, 200, seed).expect("valid setup");
+                let check = verify_node_duality(g, 0.5, *k, &xi0, 200, seed).expect("valid setup");
                 assert!(
                     check.max_abs_error < 1e-10,
                     "duality error {} on n={} k={k} seed={seed}",
@@ -313,9 +310,8 @@ mod tests {
             .with_laziness(Laziness::Lazy);
         let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
-        let records: Vec<StepRecord> =
-            (0..300).map(|_| model.step_recorded(&mut rng)).collect();
-        assert!(records.iter().any(|r| *r == StepRecord::Noop));
+        let records: Vec<StepRecord> = (0..300).map(|_| model.step_recorded(&mut rng)).collect();
+        assert!(records.contains(&StepRecord::Noop));
         let mut diffusion = DiffusionProcess::new(&g, 0.5).unwrap();
         diffusion.apply_reversed(&records);
         let w = diffusion.cost(&xi0);
@@ -333,8 +329,7 @@ mod tests {
         let params = NodeModelParams::new(0.5, 2).unwrap();
         let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
         let mut rng = StdRng::seed_from_u64(13);
-        let records: Vec<StepRecord> =
-            (0..100).map(|_| model.step_recorded(&mut rng)).collect();
+        let records: Vec<StepRecord> = (0..100).map(|_| model.step_recorded(&mut rng)).collect();
         let mut diffusion = DiffusionProcess::new(&g, 0.5).unwrap();
         for r in &records {
             diffusion.apply(r); // forward, not reversed

@@ -65,9 +65,12 @@ mod tests {
         assert!(DualError::InvalidSampleSize { k: 5, d: 3 }
             .to_string()
             .contains("d = 3"));
-        assert!(DualError::LengthMismatch { got: 2, expected: 3 }
-            .to_string()
-            .contains("expected 3"));
+        assert!(DualError::LengthMismatch {
+            got: 2,
+            expected: 3
+        }
+        .to_string()
+        .contains("expected 3"));
         assert!(DualError::Disconnected.to_string().contains("connected"));
     }
 }

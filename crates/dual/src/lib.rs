@@ -37,5 +37,5 @@ mod walks;
 
 pub use diffusion::DiffusionProcess;
 pub use error::DualError;
-pub use qchain::{GeneralQChain, QChain, StationaryClasses, StateClass};
+pub use qchain::{GeneralQChain, QChain, StateClass, StationaryClasses};
 pub use walks::{moment_via_walks, MultiWalks, RandomWalkProcess, TwoWalks};

@@ -61,7 +61,7 @@ impl<'g> QChain<'g> {
         let Some(d) = graph.regular_degree() else {
             return Err(DualError::NotRegular);
         };
-        if !alpha.is_finite() || !(alpha > 0.0 && alpha < 1.0) {
+        if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
             return Err(DualError::InvalidAlpha { alpha });
         }
         if k == 0 || k > d {
@@ -110,8 +110,7 @@ impl<'g> QChain<'g> {
         let k = self.k as f64;
         let alpha = self.alpha;
         let gamma = k * (1.0 + alpha) - (1.0 - alpha);
-        let ell = 1.0
-            / (n * (n * (d * gamma - 2.0 * alpha * k) + 2.0 * (1.0 - alpha) * (d - k)));
+        let ell = 1.0 / (n * (n * (d * gamma - 2.0 * alpha * k) + 2.0 * (1.0 - alpha) * (d - k)));
         StationaryClasses {
             mu0: 2.0 * k * (d - 1.0) * ell,
             mu1: (d - 1.0) * gamma * ell,
@@ -160,7 +159,8 @@ impl<'g> QChain<'g> {
         let w_same_to_uu = (1.0 - alpha) * (1.0 - alpha) * pi / (k * d); // (15)
         let w_same_one_moves = alpha * (1.0 - alpha) * pi / d; // (16)/(17)
         let w_same_to_uv = if self.k > 1 {
-            (1.0 - alpha) * (1.0 - alpha) * pi * (k - 1.0) / (k * d * (d - 1.0)) // (14)
+            (1.0 - alpha) * (1.0 - alpha) * pi * (k - 1.0) / (k * d * (d - 1.0))
+        // (14)
         } else {
             0.0
         };
@@ -250,7 +250,7 @@ impl<'g> GeneralQChain<'g> {
         if !graph.is_connected() || graph.n() < 3 {
             return Err(DualError::Disconnected);
         }
-        if !alpha.is_finite() || !(alpha > 0.0 && alpha < 1.0) {
+        if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
             return Err(DualError::InvalidAlpha { alpha });
         }
         let d_min = graph.min_degree();
@@ -296,8 +296,7 @@ impl<'g> GeneralQChain<'g> {
                     let w_uu = (1.0 - alpha) * (1.0 - alpha) * sel / (k * d);
                     let w_one = alpha * (1.0 - alpha) * sel / d;
                     let w_uv = if self.k > 1 {
-                        (1.0 - alpha) * (1.0 - alpha) * sel * (k - 1.0)
-                            / (k * d * (d - 1.0))
+                        (1.0 - alpha) * (1.0 - alpha) * sel * (k - 1.0) / (k * d * (d - 1.0))
                     } else {
                         0.0
                     };
@@ -318,8 +317,7 @@ impl<'g> GeneralQChain<'g> {
                         }
                     }
                 } else {
-                    y[self.state_index(a, b)] +=
-                        mass * ((1.0 - 2.0 * sel) + 2.0 * sel * alpha);
+                    y[self.state_index(a, b)] += mass * ((1.0 - 2.0 * sel) + 2.0 * sel * alpha);
                     let db = self.graph.degree(b) as f64;
                     for &v in self.graph.neighbors(b) {
                         y[self.state_index(a, v)] += mass * (1.0 - alpha) * sel / db;
@@ -397,7 +395,10 @@ mod tests {
     #[test]
     fn construction_validation() {
         let star = generators::star(5).unwrap();
-        assert_eq!(QChain::new(&star, 0.5, 1).unwrap_err(), DualError::NotRegular);
+        assert_eq!(
+            QChain::new(&star, 0.5, 1).unwrap_err(),
+            DualError::NotRegular
+        );
         let g = generators::cycle(5).unwrap();
         assert!(matches!(
             QChain::new(&g, 0.0, 1),
@@ -540,7 +541,9 @@ mod tests {
         let xi0: Vec<f64> = (0..8).map(f64::from).collect();
         let shifted: Vec<f64> = xi0.iter().map(|v| v + 50.0).collect();
         let a = q.predict_variance_numeric(&xi0, 1e-12, 400_000).unwrap();
-        let b = q.predict_variance_numeric(&shifted, 1e-12, 400_000).unwrap();
+        let b = q
+            .predict_variance_numeric(&shifted, 1e-12, 400_000)
+            .unwrap();
         assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         assert!(a > 0.0);
     }

@@ -178,7 +178,9 @@ mod tests {
         for n in [8usize, 16, 32, 64] {
             let g = generators::cycle(n).unwrap();
             let q = QChain::new(&g, 0.5, 1).unwrap();
-            let xi0: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+            let xi0: Vec<f64> = (0..n)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
             let p = predict_variance(&q, &xi0).unwrap();
             let norm = centered_norm_sq(&xi0);
             ratios.push(p.exact * (n * n) as f64 / norm);

@@ -129,7 +129,13 @@ impl<'g> TwoWalks<'g> {
     /// [`DualError::Disconnected`], [`DualError::InvalidAlpha`]
     /// (`α ∉ [0, 1)`), or [`DualError::InvalidSampleSize`] if `k` exceeds
     /// the minimum degree.
-    pub fn new(graph: &'g Graph, alpha: f64, k: usize, x: NodeId, y: NodeId) -> Result<Self, DualError> {
+    pub fn new(
+        graph: &'g Graph,
+        alpha: f64,
+        k: usize,
+        x: NodeId,
+        y: NodeId,
+    ) -> Result<Self, DualError> {
         if !graph.is_connected() || graph.n() < 2 {
             return Err(DualError::Disconnected);
         }
@@ -303,10 +309,7 @@ impl<'g> MultiWalks<'g> {
     /// Panics if `xi0.len() != n`.
     pub fn cost_product(&self, xi0: &[f64]) -> f64 {
         assert_eq!(xi0.len(), self.graph.n(), "xi0 length mismatch");
-        self.positions
-            .iter()
-            .map(|&p| xi0[p as usize])
-            .product()
+        self.positions.iter().map(|&p| xi0[p as usize]).product()
     }
 }
 
@@ -318,6 +321,11 @@ impl<'g> MultiWalks<'g> {
 /// # Errors
 ///
 /// Propagates [`MultiWalks::new`] errors.
+// Triage(clippy::too_many_arguments): the eight parameters mirror the
+// paper's estimator signature (graph, α, k, ξ⁰, M, steps, trials, rng);
+// bundling them into a config struct is planned alongside the estimator
+// API rework, not this bootstrap PR.
+#[allow(clippy::too_many_arguments)]
 pub fn moment_via_walks<R: RngCore>(
     graph: &Graph,
     alpha: f64,
@@ -331,9 +339,7 @@ pub fn moment_via_walks<R: RngCore>(
     let n = graph.n();
     let mut total = 0.0;
     for _ in 0..trials {
-        let starts: Vec<NodeId> = (0..order)
-            .map(|_| rng.gen_range(0..n) as NodeId)
-            .collect();
+        let starts: Vec<NodeId> = (0..order).map(|_| rng.gen_range(0..n) as NodeId).collect();
         let mut walks = MultiWalks::new(graph, alpha, k, starts)?;
         for _ in 0..steps {
             walks.step(rng);
@@ -489,13 +495,11 @@ mod tests {
         let mut predicted = 0.0;
         for u in 0..6u32 {
             for v in 0..6u32 {
-                predicted +=
-                    mu[chain.state_index(u, v)] * xi0[u as usize] * xi0[v as usize];
+                predicted += mu[chain.state_index(u, v)] * xi0[u as usize] * xi0[v as usize];
             }
         }
         let mut rng = StdRng::seed_from_u64(2);
-        let estimated =
-            moment_via_walks(&g, 0.5, 1, &xi0, 2, 2_000, 60_000, &mut rng).unwrap();
+        let estimated = moment_via_walks(&g, 0.5, 1, &xi0, 2, 2_000, 60_000, &mut rng).unwrap();
         assert!(
             (estimated - predicted).abs() < 0.08,
             "estimated {estimated} vs predicted {predicted}"
@@ -529,6 +533,9 @@ mod tests {
             }
         }
         assert!(met, "walks should meet on K4");
-        assert!(separated, "walks should separate again (unlike coalescing walks)");
+        assert!(
+            separated,
+            "walks should separate again (unlike coalescing walks)"
+        );
     }
 }

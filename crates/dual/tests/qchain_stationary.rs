@@ -1,0 +1,94 @@
+//! Lemma 5.7 stationary-distribution checks on the canonical graph zoo:
+//! the complete graph `K_8`, cycles, and the star (via the general chain,
+//! since the star is irregular and has no closed form).
+
+use od_dual::{GeneralQChain, QChain};
+use od_graph::generators;
+use od_linalg::markov::total_variation;
+
+/// TV tolerance for power iteration run to a 1e-13 fixed-point residual.
+const TV_TOL: f64 = 1e-9;
+
+fn assert_probability_vector(name: &str, mu: &[f64]) {
+    let total: f64 = mu.iter().sum();
+    assert!((total - 1.0).abs() < 1e-12, "{name}: sums to {total}");
+    assert!(
+        mu.iter().all(|&p| (0.0..=1.0).contains(&p)),
+        "{name}: entry outside [0,1]"
+    );
+}
+
+#[test]
+fn closed_form_on_k8_sums_to_one_and_matches_power_iteration() {
+    let g = generators::complete(8).unwrap();
+    for (alpha, k) in [(0.5, 1usize), (0.5, 3), (0.2, 7), (0.8, 2)] {
+        let q = QChain::new(&g, alpha, k).unwrap();
+        let closed = q.closed_form_vector();
+        assert_probability_vector(&format!("K8 a={alpha} k={k}"), &closed);
+
+        let numeric = q.stationary_numeric(1e-13, 200_000);
+        assert!(numeric.converged, "K8 a={alpha} k={k}: diverged");
+        let tv = total_variation(&numeric.distribution, &closed);
+        assert!(tv < TV_TOL, "K8 a={alpha} k={k}: TV {tv}");
+    }
+}
+
+#[test]
+fn closed_form_on_cycles_sums_to_one_and_matches_power_iteration() {
+    for n in [4usize, 5, 9, 16] {
+        let g = generators::cycle(n).unwrap();
+        for k in [1usize, 2] {
+            let q = QChain::new(&g, 0.5, k).unwrap();
+            let closed = q.closed_form_vector();
+            assert_probability_vector(&format!("C{n} k={k}"), &closed);
+
+            let numeric = q.stationary_numeric(1e-13, 400_000);
+            assert!(numeric.converged, "C{n} k={k}: diverged");
+            let tv = total_variation(&numeric.distribution, &closed);
+            assert!(tv < TV_TOL, "C{n} k={k}: TV {tv}");
+        }
+    }
+}
+
+#[test]
+fn star_rejects_closed_form_but_general_chain_converges() {
+    // The star is irregular, so Lemma 5.7 does not apply: the regular chain
+    // must refuse it, and the general chain's power iteration must still
+    // produce a genuine stationary probability vector.
+    let g = generators::star(8).unwrap();
+    assert!(QChain::new(&g, 0.5, 1).is_err(), "star accepted as regular");
+
+    let q = GeneralQChain::new(&g, 0.5, 1).unwrap();
+    let numeric = q.stationary_numeric(1e-13, 400_000);
+    assert!(numeric.converged, "star: power iteration diverged");
+    assert_probability_vector("star", &numeric.distribution);
+
+    // Fixed-point certificate: one more application of Q moves nothing.
+    let mut next = vec![0.0; q.state_count()];
+    q.apply_left(&numeric.distribution, &mut next);
+    let residual = numeric
+        .distribution
+        .iter()
+        .zip(&next)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(residual < 1e-12, "star: balance residual {residual}");
+}
+
+#[test]
+fn closed_form_class_values_are_ordered_on_k8() {
+    // On K_8 there is no distance-≥2 class; diagonal mass must dominate
+    // adjacent mass for every admissible (α, k).
+    let g = generators::complete(8).unwrap();
+    for (alpha, k) in [(0.3, 1usize), (0.5, 4), (0.9, 7)] {
+        let q = QChain::new(&g, alpha, k).unwrap();
+        let c = q.closed_form();
+        assert!(
+            c.mu0 > c.mu1,
+            "a={alpha} k={k}: mu0 {} <= mu1 {}",
+            c.mu0,
+            c.mu1
+        );
+        assert!(c.mu1 > 0.0);
+    }
+}

@@ -33,7 +33,10 @@ fn main() {
     let ids: Vec<String> = if run_all {
         registry().iter().map(|e| e.id.to_string()).collect()
     } else {
-        args.iter().filter(|a| !a.starts_with("--")).cloned().collect()
+        args.iter()
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .collect()
     };
     if ids.is_empty() {
         print_usage();
@@ -55,12 +58,14 @@ fn main() {
             println!("{}", table.to_plain_text());
             let path = format!("results/{}_{}.csv", experiment.id, i);
             let mut file = std::fs::File::create(&path).expect("create csv");
-            file.write_all(table.to_csv().as_bytes()).expect("write csv");
+            file.write_all(table.to_csv().as_bytes())
+                .expect("write csv");
             let md_path = format!("results/{}_{}.md", experiment.id, i);
             let mut md = std::fs::File::create(&md_path).expect("create md");
             md.write_all(format!("### {}\n\n", table.title()).as_bytes())
                 .expect("write md");
-            md.write_all(table.to_markdown().as_bytes()).expect("write md");
+            md.write_all(table.to_markdown().as_bytes())
+                .expect("write md");
         }
         println!(
             "[{} finished in {:.1}s]",

@@ -11,7 +11,9 @@ use rand::SeedableRng;
 /// subtraction otherwise). The paper's bounds are scale-free in `‖ξ(0)‖²`,
 /// and ±1 keeps `‖ξ‖² = n` so normalized variances are easy to read.
 pub fn pm_one(n: usize) -> Vec<f64> {
-    let mut v: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     if n % 2 == 1 {
         let mean = v.iter().sum::<f64>() / n as f64;
         for x in &mut v {
@@ -27,13 +29,23 @@ pub fn pm_one(n: usize) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if the run does not converge within the (generous) step budget.
-pub fn estimate_f_node(graph: &Graph, alpha: f64, k: usize, xi0: &[f64], seed: u64, eps: f64) -> f64 {
+pub fn estimate_f_node(
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    seed: u64,
+    eps: f64,
+) -> f64 {
     let params = NodeModelParams::new(alpha, k).expect("valid params");
     let mut model = NodeModel::new(graph, xi0.to_vec(), params).expect("valid model");
     let mut rng = StdRng::seed_from_u64(seed);
     let budget = step_budget(graph);
     let report = run_until_converged(&mut model, &mut rng, eps, budget);
-    assert!(report.converged, "NodeModel failed to converge in {budget} steps");
+    assert!(
+        report.converged,
+        "NodeModel failed to converge in {budget} steps"
+    );
     model.state().weighted_average()
 }
 
@@ -49,7 +61,10 @@ pub fn estimate_f_edge(graph: &Graph, alpha: f64, xi0: &[f64], seed: u64, eps: f
     let mut rng = StdRng::seed_from_u64(seed);
     let budget = step_budget(graph);
     let report = run_until_converged(&mut model, &mut rng, eps, budget);
-    assert!(report.converged, "EdgeModel failed to converge in {budget} steps");
+    assert!(
+        report.converged,
+        "EdgeModel failed to converge in {budget} steps"
+    );
     model.state().weighted_average()
 }
 

@@ -4,7 +4,7 @@ use super::common;
 use crate::runner::{monte_carlo, monte_carlo_stats};
 use crate::ExperimentContext;
 use od_baselines::{DiffusionBalancer, PairwiseGossip, PushSum};
-use od_core::{VoterModel, OpinionState};
+use od_core::{OpinionState, VoterModel};
 use od_dual::variance::{centered_norm_sq, variance_k1_closed_form};
 use od_graph::generators;
 use od_stats::{fmt_float, Table, Welford};
@@ -20,7 +20,9 @@ pub fn baselines(ctx: &ExperimentContext) -> Vec<Table> {
     let tol = 1e-6;
     let g = generators::torus(6, 6).unwrap();
     let n = g.n();
-    let xi0: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64 - 1.0) / 2.0).collect();
+    let xi0: Vec<f64> = (0..n)
+        .map(|i| (i as f64) - (n as f64 - 1.0) / 2.0)
+        .collect();
     let avg0 = 0.0;
     let norm = centered_norm_sq(&xi0);
 
@@ -167,7 +169,11 @@ pub fn baselines(ctx: &ExperimentContext) -> Vec<Table> {
 /// spectral gap).
 pub fn voter(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(50, 10);
-    let sizes: &[usize] = if ctx.quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let sizes: &[usize] = if ctx.quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128]
+    };
     let mut t = Table::new(
         format!("Voter vs NodeModel on complete(n) ({trials} trials)"),
         &[
@@ -233,7 +239,7 @@ pub fn equivalence(ctx: &ExperimentContext) -> Vec<Table> {
     let var_z = (node_f.sample_variance().unwrap() - edge_f.sample_variance().unwrap())
         / (node_f.variance_standard_error().unwrap().powi(2)
             + edge_f.variance_standard_error().unwrap().powi(2))
-            .sqrt();
+        .sqrt();
     t.push_row(vec![
         "Var(F)".into(),
         fmt_float(node_f.sample_variance().unwrap()),
@@ -248,13 +254,15 @@ pub fn equivalence(ctx: &ExperimentContext) -> Vec<Table> {
 /// exploratory data for the paper's open question (§6).
 pub fn irregular(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(6_000, 800);
-    let cases = vec![
+    let cases = [
         ("star(16)", generators::star(16).unwrap()),
         ("barbell(8)", generators::barbell(8).unwrap()),
         ("lollipop(8,8)", generators::lollipop(8, 8).unwrap()),
     ];
     let mut t = Table::new(
-        format!("Irregular graphs — E[F] weighting and Var(F) vs general Q-chain ({trials} trials)"),
+        format!(
+            "Irregular graphs — E[F] weighting and Var(F) vs general Q-chain ({trials} trials)"
+        ),
         &[
             "graph",
             "model",
@@ -268,7 +276,9 @@ pub fn irregular(ctx: &ExperimentContext) -> Vec<Table> {
     );
     for (idx, (name, g)) in cases.iter().enumerate() {
         let n = g.n();
-        let xi0: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64 - 1.0) / 2.0).collect();
+        let xi0: Vec<f64> = (0..n)
+            .map(|i| (i as f64) - (n as f64 - 1.0) / 2.0)
+            .collect();
         let state0 = OpinionState::new(g, xi0.clone()).unwrap();
         let norm = centered_norm_sq(&xi0);
         let regular_formula = variance_k1_closed_form(n, 0.5, norm) * (n * n) as f64 / norm;

@@ -42,9 +42,15 @@ pub fn node_convergence(ctx: &ExperimentContext) -> Vec<Table> {
     let eps = 1e-9;
     let alpha = 0.5;
     let k = 1;
-    let sizes: &[usize] = if ctx.quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let sizes: &[usize] = if ctx.quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128]
+    };
     let mut t = Table::new(
-        format!("Thm 2.2(1) — NodeModel T_eps (alpha={alpha}, k={k}, eps={eps:.0e}, {trials} trials)"),
+        format!(
+            "Thm 2.2(1) — NodeModel T_eps (alpha={alpha}, k={k}, eps={eps:.0e}, {trials} trials)"
+        ),
         &[
             "graph",
             "n",
@@ -144,7 +150,9 @@ pub fn edge_convergence(ctx: &ExperimentContext) -> Vec<Table> {
         cases.push(("binary_tree(5)".into(), generators::binary_tree(5).unwrap()));
     }
     let mut t = Table::new(
-        format!("Thm 2.4(1) — EdgeModel T_eps on phi_V (alpha={alpha}, eps={eps:.0e}, {trials} trials)"),
+        format!(
+            "Thm 2.4(1) — EdgeModel T_eps on phi_V (alpha={alpha}, eps={eps:.0e}, {trials} trials)"
+        ),
         &[
             "graph",
             "n",
@@ -197,8 +205,16 @@ pub fn lower_bound(ctx: &ExperimentContext) -> Vec<Table> {
     let generic = common::pm_one(n);
 
     let mut t = Table::new(
-        format!("Prop B.2 — worst-case initial state on cycle({n}) (alpha={alpha}, {trials} trials)"),
-        &["initial_state", "norm_sq", "T_measured", "T_predicted", "ratio"],
+        format!(
+            "Prop B.2 — worst-case initial state on cycle({n}) (alpha={alpha}, {trials} trials)"
+        ),
+        &[
+            "initial_state",
+            "norm_sq",
+            "T_measured",
+            "T_predicted",
+            "ratio",
+        ],
     );
     for (idx, (label, xi0)) in [("f2_eigenvector", worst), ("pm_one_generic", generic)]
         .into_iter()

@@ -59,23 +59,14 @@ pub fn moments(ctx: &ExperimentContext) -> Vec<Table> {
         let mut batches = od_stats::Welford::new();
         for batch in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(0x6E6E + order as u64 * 100 + batch);
-            let est = moment_via_walks(
-                &g,
-                alpha,
-                k,
-                &xi0,
-                order,
-                1_500,
-                walk_trials / 10,
-                &mut rng,
-            )
-            .expect("valid walk setup");
+            let est =
+                moment_via_walks(&g, alpha, k, &xi0, order, 1_500, walk_trials / 10, &mut rng)
+                    .expect("valid walk setup");
             batches.push(est);
         }
         let walk_est = batches.mean().unwrap();
         let walk_se = batches.standard_error().unwrap();
-        let direct: f64 =
-            fs.iter().map(|f| f.powi(order as i32)).sum::<f64>() / fs.len() as f64;
+        let direct: f64 = fs.iter().map(|f| f.powi(order as i32)).sum::<f64>() / fs.len() as f64;
         let exact = if order == 2 {
             let chain = QChain::new(&g, alpha, k).unwrap();
             fmt_float(variance::predict_variance(&chain, &xi0).unwrap().exact)

@@ -36,7 +36,9 @@ pub fn conservation(ctx: &ExperimentContext) -> Vec<Table> {
         ("cycle(16)", generators::cycle(16).unwrap()),
     ];
     for (idx, (name, g)) in cases.iter().enumerate() {
-        let xi0: Vec<f64> = (0..g.n()).map(|i| (i as f64) - g.n() as f64 / 2.0).collect();
+        let xi0: Vec<f64> = (0..g.n())
+            .map(|i| (i as f64) - g.n() as f64 / 2.0)
+            .collect();
         let state0 = od_core::OpinionState::new(g, xi0.clone()).unwrap();
         let m0 = state0.weighted_average();
         let avg0 = state0.average();

@@ -2,9 +2,7 @@
 
 use crate::runner::monte_carlo_stats;
 use crate::ExperimentContext;
-use od_core::{
-    theory, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess,
-};
+use od_core::{theory, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess};
 use od_graph::generators;
 use od_linalg::eigen;
 use od_stats::{fmt_float, Table};

@@ -20,11 +20,26 @@ pub fn closed_form_validation(ctx: &ExperimentContext) -> Vec<Table> {
     let cases: Vec<(String, od_graph::Graph, f64, usize)> = vec![
         ("cycle(8)".into(), generators::cycle(8).unwrap(), 0.5, 1),
         ("cycle(8)".into(), generators::cycle(8).unwrap(), 0.5, 2),
-        ("complete(8)".into(), generators::complete(8).unwrap(), 0.5, 3),
+        (
+            "complete(8)".into(),
+            generators::complete(8).unwrap(),
+            0.5,
+            3,
+        ),
         ("petersen".into(), generators::petersen(), 0.25, 2),
         ("petersen".into(), generators::petersen(), 0.75, 3),
-        ("hypercube(3)".into(), generators::hypercube(3).unwrap(), 0.5, 2),
-        ("torus(3x4)".into(), generators::torus(3, 4).unwrap(), 0.4, 2),
+        (
+            "hypercube(3)".into(),
+            generators::hypercube(3).unwrap(),
+            0.5,
+            2,
+        ),
+        (
+            "torus(3x4)".into(),
+            generators::torus(3, 4).unwrap(),
+            0.4,
+            2,
+        ),
         (
             "random_regular(12,5)".into(),
             generators::random_regular(12, 5, &mut rng_graphs).unwrap(),

@@ -4,9 +4,7 @@
 use super::common;
 use crate::runner::{monte_carlo, monte_carlo_stats};
 use crate::ExperimentContext;
-use od_core::{
-    theory, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess,
-};
+use od_core::{theory, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess};
 use od_dual::variance::{centered_norm_sq, predict_variance, variance_k1_closed_form};
 use od_dual::QChain;
 use od_graph::{generators, Graph};
@@ -99,7 +97,7 @@ pub fn structure_independence(ctx: &ExperimentContext) -> Vec<Table> {
 pub fn edge_variance(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(4_000, 600);
     let alpha = 0.5;
-    let cases = vec![
+    let cases = [
         ("cycle(16)", generators::cycle(16).unwrap()),
         ("torus(4x4)", generators::torus(4, 4).unwrap()),
         ("complete(16)", generators::complete(16).unwrap()),
@@ -253,7 +251,9 @@ pub fn time_variance(ctx: &ExperimentContext) -> Vec<Table> {
 
     // NodeModel on the star (irregular: M(t) is the martingale).
     let g = generators::star(16).unwrap();
-    let xi0: Vec<f64> = (0..16).map(|i| if i == 0 { 1.0 } else { -1.0 / 15.0 }).collect();
+    let xi0: Vec<f64> = (0..16)
+        .map(|i| if i == 0 { 1.0 } else { -1.0 / 15.0 })
+        .collect();
     let mut t_node = Table::new(
         format!(
             "Cor E.2(ii) — NodeModel Var(M(t)) <= t (d_max K/2m)^2 on star(16) ({trials} trials)"

@@ -1,11 +1,11 @@
 //! Parallel Monte-Carlo driver.
 //!
-//! Trials are split across threads with crossbeam's scoped threads; each
+//! Trials are split across threads with `std::thread::scope`; each
 //! trial gets a seed derived purely from `(master, trial index)`, so the
 //! result multiset is independent of the thread count and schedule.
 
 use od_stats::{SeedSequence, Welford};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `trials` independent trials of `f` (given the per-trial seed) in
 /// parallel, returning all results in trial order.
@@ -19,23 +19,22 @@ where
         .unwrap_or(1)
         .min(trials.max(1));
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(trials));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for worker in 0..threads {
             let results = &results;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = Vec::new();
                 let mut trial = worker;
                 while trial < trials {
                     local.push((trial, f(seeds.seed(trial as u64))));
                     trial += threads;
                 }
-                results.lock().extend(local);
+                results.lock().expect("result mutex poisoned").extend(local);
             });
         }
-    })
-    .expect("monte carlo worker panicked");
-    let mut collected = results.into_inner();
+    });
+    let mut collected = results.into_inner().expect("result mutex poisoned");
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, v)| v).collect()
 }

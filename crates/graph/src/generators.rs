@@ -316,7 +316,11 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<G
 /// [`GraphError::InvalidParameter`] if `m` exceeds `n(n-1)/2` or is below
 /// `n - 1` (a connected graph needs at least a spanning tree);
 /// [`GraphError::RetriesExhausted`] if no connected sample is found.
-pub fn gnm_connected<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn gnm_connected<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     let max_m = n * n.saturating_sub(1) / 2;
     if m > max_m || m + 1 < n {
         return Err(GraphError::InvalidParameter(format!(
@@ -358,7 +362,7 @@ pub fn random_regular<R: Rng + ?Sized>(
     d: usize,
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
-    if d == 0 || d >= n || (n * d) % 2 != 0 {
+    if d == 0 || d >= n || !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter(format!(
             "random_regular requires 0 < d < n and n*d even, got (n={n}, d={d})"
         )));
@@ -369,7 +373,7 @@ pub fn random_regular<R: Rng + ?Sized>(
         // rejecting the whole sample — full rejection has success
         // probability ~e^{-d²/4} and stalls for moderate d.
         let mut remaining: Vec<NodeId> = (0..n)
-            .flat_map(|u| std::iter::repeat(u as NodeId).take(d))
+            .flat_map(|u| std::iter::repeat_n(u as NodeId, d))
             .collect();
         let mut b = GraphBuilder::new(n);
         while remaining.len() >= 2 {
@@ -694,7 +698,11 @@ mod tests {
         let g = barabasi_albert(100, 2, &mut r).unwrap();
         assert_eq!(g.n(), 100);
         assert!(g.is_connected());
-        assert!(g.max_degree() > 5, "expected hubs, max degree {}", g.max_degree());
+        assert!(
+            g.max_degree() > 5,
+            "expected hubs, max degree {}",
+            g.max_degree()
+        );
         assert!(barabasi_albert(3, 3, &mut r).is_err());
     }
 }

@@ -236,7 +236,10 @@ mod tests {
         let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
         let ab = a.matmul(&b);
-        assert_eq!(ab, DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+        assert_eq!(
+            ab,
+            DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]])
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ pub fn power_iteration_deflated(
         let norm = vector::normalize(&mut y);
         if norm == 0.0 {
             // x is (numerically) in the kernel: eigenvalue 0.
-            return EigenPair { value: 0.0, vector: x };
+            return EigenPair {
+                value: 0.0,
+                vector: x,
+            };
         }
         let delta = vector::max_abs_diff(&x, &y);
         std::mem::swap(&mut x, &mut y);

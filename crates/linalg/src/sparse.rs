@@ -147,10 +147,17 @@ impl CsrMatrix {
         let mut triplets = Vec::with_capacity(g.directed_edge_count());
         for u in g.nodes() {
             let du = g.degree(u);
-            assert!(du > 0, "normalized adjacency undefined at isolated node {u}");
+            assert!(
+                du > 0,
+                "normalized adjacency undefined at isolated node {u}"
+            );
             for &v in g.neighbors(u) {
                 let dv = g.degree(v);
-                triplets.push((u as usize, v as usize, 1.0 / ((du as f64) * (dv as f64)).sqrt()));
+                triplets.push((
+                    u as usize,
+                    v as usize,
+                    1.0 / ((du as f64) * (dv as f64)).sqrt(),
+                ));
             }
         }
         Self::from_triplets(n, n, &triplets)

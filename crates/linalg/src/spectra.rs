@@ -16,7 +16,9 @@ use std::f64::consts::PI;
 /// Adjacency spectrum of the cycle `C_n`: `2cos(2πj/n)`, `j = 0..n`.
 /// Returned in descending order.
 pub fn cycle_adjacency(n: usize) -> Vec<f64> {
-    let mut v: Vec<f64> = (0..n).map(|j| 2.0 * (2.0 * PI * j as f64 / n as f64).cos()).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|j| 2.0 * (2.0 * PI * j as f64 / n as f64).cos())
+        .collect();
     sort_desc(&mut v);
     v
 }
@@ -35,7 +37,7 @@ pub fn hypercube_adjacency(dim: usize) -> Vec<f64> {
     let mut v = Vec::with_capacity(1 << dim);
     for i in 0..=dim {
         let mult = binomial(dim, i);
-        v.extend(std::iter::repeat(dim as f64 - 2.0 * i as f64).take(mult));
+        v.extend(std::iter::repeat_n(dim as f64 - 2.0 * i as f64, mult));
     }
     sort_desc(&mut v);
     v
@@ -163,17 +165,29 @@ mod tests {
 
     #[test]
     fn complete_spectrum_matches_numeric() {
-        assert_spectra_match(&complete_adjacency(7), &generators::complete(7).unwrap(), 1e-8);
+        assert_spectra_match(
+            &complete_adjacency(7),
+            &generators::complete(7).unwrap(),
+            1e-8,
+        );
     }
 
     #[test]
     fn hypercube_spectrum_matches_numeric() {
-        assert_spectra_match(&hypercube_adjacency(4), &generators::hypercube(4).unwrap(), 1e-8);
+        assert_spectra_match(
+            &hypercube_adjacency(4),
+            &generators::hypercube(4).unwrap(),
+            1e-8,
+        );
     }
 
     #[test]
     fn torus_spectrum_matches_numeric() {
-        assert_spectra_match(&torus_adjacency(3, 4), &generators::torus(3, 4).unwrap(), 1e-8);
+        assert_spectra_match(
+            &torus_adjacency(3, 4),
+            &generators::torus(3, 4).unwrap(),
+            1e-8,
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use od_linalg::{eigen, markov, sparse::CsrMatrix, vector, DenseMatrix};
 use od_graph::generators;
+use od_linalg::{eigen, markov, sparse::CsrMatrix, vector, DenseMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

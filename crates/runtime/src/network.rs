@@ -67,7 +67,10 @@ impl<'g> ProtocolNetwork<'g> {
     /// Panics on a disconnected graph, value-count mismatch, `α ∉ [0, 1)`
     /// or `k ∉ [1, d_min]`.
     pub fn new(graph: &'g Graph, values: Vec<f64>, alpha: f64, k: usize) -> Self {
-        assert!(graph.is_connected() && graph.n() >= 2, "graph must be connected");
+        assert!(
+            graph.is_connected() && graph.n() >= 2,
+            "graph must be connected"
+        );
         assert_eq!(values.len(), graph.n(), "one value per node");
         assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0, 1)");
         assert!(

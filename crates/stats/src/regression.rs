@@ -41,7 +41,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "linear_fit: all x values identical");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         slope,
         intercept,

@@ -177,6 +177,8 @@ mod tests {
         let small: Welford = (0..100).map(|i| (i % 10) as f64).collect();
         let large: Welford = (0..10_000).map(|i| (i % 10) as f64).collect();
         assert!(large.standard_error().unwrap() < small.standard_error().unwrap());
-        assert!(large.variance_standard_error().unwrap() < small.variance_standard_error().unwrap());
+        assert!(
+            large.variance_standard_error().unwrap() < small.variance_standard_error().unwrap()
+        );
     }
 }

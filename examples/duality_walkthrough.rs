@@ -6,9 +6,9 @@
 //! cargo run --release --example duality_walkthrough
 //! ```
 
+use opinion_dynamics::core::StepRecord;
 use opinion_dynamics::dual::duality;
 use opinion_dynamics::dual::DiffusionProcess;
-use opinion_dynamics::core::StepRecord;
 use opinion_dynamics::graph::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use opinion_dynamics::core::{
-    run_until_converged, NodeModel, NodeModelParams, OpinionProcess,
-};
+use opinion_dynamics::core::{run_until_converged, NodeModel, NodeModelParams, OpinionProcess};
 use opinion_dynamics::graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -8,9 +8,7 @@
 //! ```
 
 use opinion_dynamics::baselines::PushSum;
-use opinion_dynamics::core::{
-    run_until_converged, EdgeModel, EdgeModelParams, OpinionProcess,
-};
+use opinion_dynamics::core::{run_until_converged, EdgeModel, EdgeModelParams, OpinionProcess};
 use opinion_dynamics::dual::variance::{centered_norm_sq, variance_k1_closed_form};
 use opinion_dynamics::graph::generators;
 use opinion_dynamics::stats::Welford;
@@ -22,13 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = generators::torus(12, 12)?;
     let n = graph.n();
     let mut rng = StdRng::seed_from_u64(7);
-    let readings: Vec<f64> = (0..n).map(|_| 20.0 + 5.0 * (rng.gen::<f64>() - 0.5)).collect();
+    let readings: Vec<f64> = (0..n)
+        .map(|_| 20.0 + 5.0 * (rng.gen::<f64>() - 0.5))
+        .collect();
     let truth = readings.iter().sum::<f64>() / n as f64;
     println!("--- {n} sensors, true field average {truth:.4} ---");
 
     // The paper's k=1 closed form predicts the estimation error.
-    let predicted_var =
-        variance_k1_closed_form(n, 0.5, centered_norm_sq(&readings));
+    let predicted_var = variance_k1_closed_form(n, 0.5, centered_norm_sq(&readings));
     println!(
         "Thm 2.2(2)/Prop 5.8 predicted Var(F) = {predicted_var:.3e} (std {:.4})",
         predicted_var.sqrt()

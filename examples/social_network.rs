@@ -12,9 +12,7 @@
 //! ```
 
 use opinion_dynamics::baselines::DeGroot;
-use opinion_dynamics::core::{
-    run_until_converged, NodeModel, NodeModelParams, OpinionProcess,
-};
+use opinion_dynamics::core::{run_until_converged, NodeModel, NodeModelParams, OpinionProcess};
 use opinion_dynamics::graph::generators;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Vacation budgets: clustered around 1200 with heavy tails.
     let budgets: Vec<f64> = (0..n)
-        .map(|_| 1200.0 + 400.0 * (rng.gen::<f64>() - 0.5) + if rng.gen_bool(0.1) { 1500.0 } else { 0.0 })
+        .map(|_| {
+            1200.0 + 400.0 * (rng.gen::<f64>() - 0.5) + if rng.gen_bool(0.1) { 1500.0 } else { 0.0 }
+        })
         .collect();
     let avg = budgets.iter().sum::<f64>() / n as f64;
     let weighted: f64 = graph

@@ -21,6 +21,26 @@
 //! * [`runtime`] — a message-passing discrete-event simulator running the
 //!   same dynamics as an explicit pull-based protocol.
 //!
+//! # Building & testing
+//!
+//! Everything runs from the workspace root:
+//!
+//! ```text
+//! cargo build --release                        # all crates
+//! cargo test -q                                # unit + integration + property tests
+//! cargo bench -p od-bench                      # Criterion suite (8 targets)
+//! cargo run --release -p od-experiments --bin run_experiments -- --list
+//! ```
+//!
+//! The root `tests/` directory holds the theory cross-checks: `conformance`
+//! couples the state-vector model, the message-passing runtime and the
+//! reversed diffusion dual through shared [`core::StepRecord`] streams;
+//! `stationary` and `variance_bounds` validate Lemma 5.7 and Prop. 5.8;
+//! `determinism` pins byte-identical seeded replays.
+//!
+//! External dependencies (`rand`, `criterion`, `proptest`) are vendored
+//! under `vendor/` as offline API-subset stand-ins — see `README.md`.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -3,9 +3,7 @@
 //! preserve it only in expectation.
 
 use opinion_dynamics::baselines::{DiffusionBalancer, PairwiseGossip, PushSum};
-use opinion_dynamics::core::{
-    run_until_converged, EdgeModel, EdgeModelParams, OpinionProcess,
-};
+use opinion_dynamics::core::{run_until_converged, EdgeModel, EdgeModelParams, OpinionProcess};
 use opinion_dynamics::graph::generators;
 use opinion_dynamics::stats::Welford;
 use rand::rngs::StdRng;

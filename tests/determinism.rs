@@ -1,0 +1,89 @@
+//! Seeded determinism: the conformance suite couples three implementations
+//! through shared `StepRecord` streams, which is only sound if a seeded run
+//! is perfectly reproducible. Two runs from the same `StdRng` seed must
+//! produce byte-identical record streams and final states.
+
+use opinion_dynamics::core::{
+    EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, StepRecord,
+};
+use opinion_dynamics::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bit-exact comparison: `==` on f64 would also pass for -0.0 vs 0.0, and
+/// the coupling argument needs the stronger byte-identity guarantee.
+fn assert_bits_identical(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "state diverged at index {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn node_model_runs_are_byte_identical_for_equal_seeds() {
+    let g = generators::torus(5, 5).unwrap();
+    let xi0: Vec<f64> = (0..25).map(|i| (i as f64).sin() * 3.0).collect();
+    let params = NodeModelParams::new(0.35, 2).unwrap();
+
+    let run = |seed: u64| -> (Vec<StepRecord>, Vec<f64>) {
+        let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<StepRecord> = (0..2_000).map(|_| model.step_recorded(&mut rng)).collect();
+        (records, model.state().values().to_vec())
+    };
+
+    let (records_a, state_a) = run(0xC0FFEE);
+    let (records_b, state_b) = run(0xC0FFEE);
+    assert_eq!(records_a, records_b, "record streams diverged");
+    assert_bits_identical(&state_a, &state_b);
+
+    // Sanity: a different seed must not reproduce the same stream, or the
+    // assertions above would be vacuous.
+    let (records_c, _) = run(0xBEEF);
+    assert_ne!(
+        records_a, records_c,
+        "distinct seeds gave identical streams"
+    );
+}
+
+#[test]
+fn edge_model_runs_are_byte_identical_for_equal_seeds() {
+    let g = generators::petersen();
+    let xi0: Vec<f64> = (0..10).map(|i| f64::from(i) * 1.25 - 4.0).collect();
+    let params = EdgeModelParams::new(0.5).unwrap();
+
+    let run = || -> (Vec<StepRecord>, Vec<f64>) {
+        let mut model = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(7_777);
+        let records: Vec<StepRecord> = (0..2_000).map(|_| model.step_recorded(&mut rng)).collect();
+        (records, model.state().values().to_vec())
+    };
+
+    let (records_a, state_a) = run();
+    let (records_b, state_b) = run();
+    assert_eq!(records_a, records_b, "record streams diverged");
+    assert_bits_identical(&state_a, &state_b);
+}
+
+#[test]
+fn recorded_and_plain_steps_follow_the_same_trajectory() {
+    // step() and step_recorded() must consume randomness identically, so a
+    // recorded run can stand in for a plain run in the conformance coupling.
+    let g = generators::hypercube(4).unwrap();
+    let xi0: Vec<f64> = (0..16).map(f64::from).collect();
+    let params = NodeModelParams::new(0.5, 3).unwrap();
+
+    let mut plain = NodeModel::new(&g, xi0.clone(), params).unwrap();
+    let mut recorded = NodeModel::new(&g, xi0, params).unwrap();
+    let mut rng_a = StdRng::seed_from_u64(11);
+    let mut rng_b = StdRng::seed_from_u64(11);
+    for _ in 0..1_000 {
+        plain.step(&mut rng_a);
+        recorded.step_recorded(&mut rng_b);
+    }
+    assert_bits_identical(plain.state().values(), recorded.state().values());
+}

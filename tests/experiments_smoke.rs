@@ -10,11 +10,7 @@ fn every_experiment_runs_quick_and_produces_tables() {
     let ctx = ExperimentContext::quick();
     for experiment in registry() {
         let tables = (experiment.run)(&ctx);
-        assert!(
-            !tables.is_empty(),
-            "{} returned no tables",
-            experiment.id
-        );
+        assert!(!tables.is_empty(), "{} returned no tables", experiment.id);
         for table in &tables {
             assert!(
                 table.row_count() > 0,

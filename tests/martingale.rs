@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn node_martingale_drift(g: &Graph, alpha: f64, k: usize, steps: u64, trials: usize) -> f64 {
-    let xi0: Vec<f64> = (0..g.n()).map(|i| (i as f64) - g.n() as f64 / 2.0).collect();
+    let xi0: Vec<f64> = (0..g.n())
+        .map(|i| (i as f64) - g.n() as f64 / 2.0)
+        .collect();
     let params = NodeModelParams::new(alpha, k).unwrap();
     let m0 = NodeModel::new(g, xi0.clone(), params)
         .unwrap()

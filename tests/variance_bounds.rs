@@ -2,9 +2,7 @@
 //! empirical Var(F) matches the exact Q-chain prediction and sits inside
 //! the Θ-envelope, and the prediction is structure-independent for k = 1.
 
-use opinion_dynamics::core::{
-    run_until_converged, NodeModel, NodeModelParams, OpinionProcess,
-};
+use opinion_dynamics::core::{run_until_converged, NodeModel, NodeModelParams, OpinionProcess};
 use opinion_dynamics::dual::variance::{
     centered_norm_sq, predict_variance, variance_k1_closed_form,
 };
@@ -47,7 +45,9 @@ fn empirical_variance_matches_exact_prediction() {
 fn k1_variance_is_structure_independent() {
     // The paper's striking claim: same n, α, ‖ξ‖² ⇒ same Var(F) on the
     // cycle and the complete graph.
-    let xi0: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let xi0: Vec<f64> = (0..10)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     let closed = variance_k1_closed_form(10, 0.5, centered_norm_sq(&xi0));
 
     let cy = generators::cycle(10).unwrap();
@@ -70,7 +70,9 @@ fn variance_shrinks_like_one_over_n_squared() {
     let mut normalized = Vec::new();
     for n in [8usize, 16, 32] {
         let g = generators::complete(n).unwrap();
-        let xi0: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xi0: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let (emp, _) = empirical_var(&g, 0.5, 1, &xi0, 800);
         normalized.push(emp * (n * n) as f64 / centered_norm_sq(&xi0));
     }

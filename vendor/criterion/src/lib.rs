@@ -1,0 +1,360 @@
+//! Offline, dependency-free stand-in for the subset of the [`criterion`]
+//! benchmarking API that this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal harness that is **API-compatible** with the calls in
+//! `crates/bench/benches/*.rs` (`Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `sample_size`,
+//! `criterion_group!`, `criterion_main!`) and performs a real wall-clock
+//! measurement: per benchmark it auto-scales the iteration count to a target
+//! sample duration, takes `sample_size` samples, and reports the median,
+//! mean and minimum time per iteration.
+//!
+//! It intentionally omits upstream's statistical machinery (bootstrap CIs,
+//! outlier classification, HTML reports); the numbers it prints are honest
+//! medians over real samples, which is what the perf-trajectory entries in
+//! `CHANGES.md` track.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Controls how many routine invocations share one setup in
+/// [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self, iters: u64) -> u64 {
+        match self {
+            // Upstream divides the sample into ~10 batches for SmallInput.
+            BatchSize::SmallInput => (iters / 10).max(1),
+            BatchSize::LargeInput => (iters / 1000).max(1),
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back for the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let per_batch = size.iters_per_batch(self.iters);
+        let mut remaining = self.iters;
+        let mut elapsed = Duration::ZERO;
+        while remaining > 0 {
+            let batch = per_batch.min(remaining);
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            elapsed += start.elapsed();
+            remaining -= batch;
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+/// The benchmark manager. One per `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies CLI-style configuration. Recognises a positional substring
+    /// filter (as `cargo bench -- <filter>` passes) and ignores upstream
+    /// flags such as `--bench`.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--quiet" | "--verbose" | "--noplot" | "--exact" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse() {
+                            // Same invariant as Criterion::sample_size();
+                            // run_one divides by the sample count.
+                            self.config.sample_size = usize::max(n, 2);
+                        }
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown upstream flag: skip, and skip its value if any.
+                    if args.peek().map(|a| !a.starts_with("--")).unwrap_or(false) {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let config = self.config;
+        self.run_one(&id, config, f);
+        self
+    }
+
+    /// No-op kept for upstream `criterion_main!` compatibility.
+    pub fn final_summary(&self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, config: Config, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: also discovers how many iterations fit in one sample.
+        let mut iters: u64 = 1;
+        let warm_up_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(50);
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if !b.elapsed.is_zero() {
+                per_iter = b.elapsed / iters.min(u32::MAX as u64) as u32;
+            }
+            if warm_up_start.elapsed() >= config.warm_up_time {
+                break;
+            }
+            iters = iters.saturating_mul(2).min(1 << 30);
+        }
+
+        let sample_target = config.measurement_time / config.sample_size as u32;
+        let iters_per_sample = (sample_target.as_nanos() as u64)
+            .checked_div(per_iter.as_nanos().max(1) as u64)
+            .unwrap_or(1)
+            .clamp(1, 1 << 30);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+        for _ in 0..config.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        println!(
+            "{id:<60} median {} mean {} min {} ({} samples x {} iters)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples.len(),
+            iters_per_sample,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:9.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:9.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:9.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:9.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Option<Config>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.get_or_insert(self.criterion.config).sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config
+            .get_or_insert(self.criterion.config)
+            .warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config
+            .get_or_insert(self.criterion.config)
+            .measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into());
+        let config = self.config.unwrap_or(self.criterion.config);
+        self.criterion.run_one(&full_id, config, f);
+        self
+    }
+
+    /// Ends the group. (Reporting is immediate in this harness.)
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group!{name = n; config = expr; targets = t, ...}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        let mut c = Criterion::default();
+        c.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        c
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0u32;
+        group.bench_function("inner", |b| {
+            count += 1;
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}
