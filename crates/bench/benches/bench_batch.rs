@@ -1,0 +1,102 @@
+//! Batched step kernels at production scale: `StepKernel::step_many` on
+//! graphs up to n = 10^6 and `ReplicaBatch` structure-of-arrays sweeps.
+//!
+//! Each `step_many` benchmark advances a fixed block of steps per
+//! iteration (the reported time divides by `STEPS_PER_ITER` to give
+//! ns/step); the kernels allocate nothing per step, so large-n numbers
+//! are pure compute + memory traffic. CI runs this target in smoke mode
+//! (`--sample-size 2`) so the million-node path compiles and executes on
+//! every push; the tracked medians in `CHANGES.md` come from full runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_bench::pm_one;
+use od_core::{EdgeModelParams, KernelSpec, NodeModelParams, ReplicaBatch, StepKernel, VoterBatch};
+use od_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Steps advanced per benchmark iteration; divide reported medians by this
+/// to get ns/step.
+const STEPS_PER_ITER: u64 = 1024;
+
+/// Large-n graph set: square tori at n = 4096, 65536 and 1_000_000 (4 ≈
+/// d-regular, so NodeModel k ≤ 4 is valid everywhere and memory stays
+/// proportional to n).
+fn scale_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("torus64x64/n4096", generators::torus(64, 64).unwrap()),
+        ("torus256x256/n65536", generators::torus(256, 256).unwrap()),
+        (
+            "torus1000x1000/n1000000",
+            generators::torus(1000, 1000).unwrap(),
+        ),
+    ]
+}
+
+fn kernel_node_step_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/node_kernel_1024steps");
+    for (name, g) in scale_graphs() {
+        for k in [1usize, 4] {
+            let spec = KernelSpec::Node(NodeModelParams::new(0.5, k).unwrap());
+            group.bench_function(format!("{name}/k{k}"), |b| {
+                let mut kernel = StepKernel::new(&g, pm_one(g.n()), spec).unwrap();
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| kernel.step_many(STEPS_PER_ITER, &mut rng));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn kernel_edge_step_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/edge_kernel_1024steps");
+    for (name, g) in scale_graphs() {
+        let spec = KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap());
+        group.bench_function(name, |b| {
+            let mut kernel = StepKernel::new(&g, pm_one(g.n()), spec).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| kernel.step_many(STEPS_PER_ITER, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn replica_batch_step_many(c: &mut Criterion) {
+    // 8 replicas sharing one CSR instance vs 8 sequential kernel runs is
+    // the layout the Monte-Carlo sweeps use; per-replica per-step cost
+    // should match the single-kernel numbers above.
+    let mut group = c.benchmark_group("batch/replica8_1024steps");
+    let seeds: Vec<u64> = (0..8).collect();
+    for (name, g) in [
+        ("torus64x64/n4096", generators::torus(64, 64).unwrap()),
+        ("torus256x256/n65536", generators::torus(256, 256).unwrap()),
+    ] {
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+        group.bench_function(name, |b| {
+            let mut batch = ReplicaBatch::new(&g, spec, &pm_one(g.n()), &seeds).unwrap();
+            b.iter(|| batch.step_many(STEPS_PER_ITER));
+        });
+    }
+    group.finish();
+}
+
+fn voter_batch_step_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/voter8_1024steps");
+    let seeds: Vec<u64> = (0..8).collect();
+    let g = generators::torus(64, 64).unwrap();
+    let opinions: Vec<u32> = (0..g.n() as u32).collect();
+    group.bench_function("torus64x64/n4096", |b| {
+        let mut batch = VoterBatch::new(&g, &opinions, &seeds).unwrap();
+        b.iter(|| batch.step_many(STEPS_PER_ITER));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    kernel_node_step_many,
+    kernel_edge_step_many,
+    replica_batch_step_many,
+    voter_batch_step_many
+);
+criterion_main!(benches);

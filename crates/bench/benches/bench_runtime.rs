@@ -49,9 +49,7 @@ fn replay_conformance(c: &mut Criterion) {
     group.bench_function("petersen/1000records", |b| {
         b.iter(|| {
             let mut net = ProtocolNetwork::new(&g, pm_one(10), 0.5, 2);
-            for r in &records {
-                net.apply(r);
-            }
+            net.apply_all(&records);
             net.stats().total_messages()
         });
     });

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use od_bench::{bench_graphs, pm_one};
-use od_core::{EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, VoterModel};
+use od_core::{
+    EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, StepRecord, VoterModel,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -64,7 +66,9 @@ fn voter_steps(c: &mut Criterion) {
 
 fn recorded_steps(c: &mut Criterion) {
     // The duality experiments pay for record allocation; measure the
-    // overhead vs the plain step.
+    // overhead vs the plain step, for both the allocating API and the
+    // buffer-reusing `step_recorded_into` (the CHANGES.md target is
+    // overhead below 1.5x).
     let mut group = c.benchmark_group("step/recorded");
     let (name, g) = &bench_graphs()[1];
     let params = NodeModelParams::new(0.5, 2).unwrap();
@@ -72,6 +76,12 @@ fn recorded_steps(c: &mut Criterion) {
         let mut model = NodeModel::new(g, pm_one(g.n()), params).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         b.iter(|| model.step_recorded(&mut rng));
+    });
+    group.bench_function(format!("{name}/k2/into"), |b| {
+        let mut model = NodeModel::new(g, pm_one(g.n()), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut record = StepRecord::Noop;
+        b.iter(|| model.step_recorded_into(&mut rng, &mut record));
     });
     group.finish();
 }

@@ -5,6 +5,7 @@
 //! | bench target        | experiments covered            |
 //! |---------------------|--------------------------------|
 //! | `bench_step`        | L41, PB1, PD1, EQUIV (step kernels) |
+//! | `bench_batch`       | batched `StepKernel`/`ReplicaBatch` at n up to 10^6 |
 //! | `bench_convergence` | T22-CONV, T22-K, T24-CONV, PB2, CMP-VOTER |
 //! | `bench_variance`    | T22-VAR, T24-VAR, P58, CE2 (per-trial workload) |
 //! | `bench_qchain`      | L57 (closed form, balance, power iteration) |

@@ -1,0 +1,366 @@
+//! Many independent replicas of one scenario in a structure-of-arrays
+//! layout.
+//!
+//! A Monte-Carlo sweep runs the *same* `(graph, ξ(0), spec)` scenario under
+//! many seeds. The scalar path rebuilds a process (and its `OpinionState`
+//! aggregates) per trial; [`ReplicaBatch`] instead keeps all `R` replica
+//! value vectors in one contiguous `R × n` buffer sharing a single CSR
+//! graph instance, and advances them with the same inner loop as
+//! [`StepKernel`] — one graph resident in cache, zero per-trial setup
+//! beyond copying `ξ(0)`.
+//!
+//! Replica `r` owns an independent RNG seeded from `seeds[r]`, so its
+//! trajectory is **bit-identical** to a scalar run with
+//! `StdRng::seed_from_u64(seeds[r])` — and therefore independent of how
+//! many replicas share the batch, of the batch's position in a sweep, and
+//! of the thread the batch runs on. That is the property the Monte-Carlo
+//! runner (`od-experiments::runner::monte_carlo_batched`) relies on to
+//! keep result multisets schedule-independent.
+//!
+//! [`StepKernel`]: crate::StepKernel
+
+use crate::error::CoreError;
+use crate::kernel::{
+    run_steps, run_voter_steps, slice_average, slice_potential_pi, slice_weighted_average,
+    KernelSpec,
+};
+use od_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `R` independent replicas of one averaging scenario (see the module
+/// docs).
+///
+/// # Example
+///
+/// ```
+/// use od_core::{EdgeModelParams, KernelSpec, ReplicaBatch};
+/// use od_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::complete(16)?;
+/// let xi0: Vec<f64> = (0..16).map(f64::from).collect();
+/// let spec = KernelSpec::Edge(EdgeModelParams::new(0.5)?);
+/// let mut batch = ReplicaBatch::new(&g, spec, &xi0, &[1, 2, 3, 4])?;
+/// batch.step_many(10_000);
+/// // Four independent estimates of the convergence value F:
+/// let fs: Vec<f64> = (0..batch.replicas()).map(|r| batch.replica_average(r)).collect();
+/// assert!(fs.iter().all(|f| (0.0..=15.0).contains(f)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicaBatch<'g> {
+    graph: &'g Graph,
+    spec: KernelSpec,
+    n: usize,
+    /// Replica-major `R × n` value storage: replica `r` occupies
+    /// `values[r*n .. (r+1)*n]`.
+    values: Vec<f64>,
+    rngs: Vec<StdRng>,
+    sample: Vec<NodeId>,
+    perm: Vec<u32>,
+    time: u64,
+}
+
+impl<'g> ReplicaBatch<'g> {
+    /// Creates `seeds.len()` replicas of the scenario, all starting from
+    /// `xi0`, replica `r` seeded with `seeds[r]`.
+    ///
+    /// # Errors
+    ///
+    /// The same as [`crate::StepKernel::new`].
+    pub fn new(
+        graph: &'g Graph,
+        spec: KernelSpec,
+        xi0: &[f64],
+        seeds: &[u64],
+    ) -> Result<Self, CoreError> {
+        // Validate once through the kernel constructor, then replicate.
+        let kernel = crate::StepKernel::new(graph, xi0.to_vec(), spec)?;
+        let n = xi0.len();
+        let mut values = Vec::with_capacity(n * seeds.len());
+        for _ in 0..seeds.len() {
+            values.extend_from_slice(kernel.values());
+        }
+        let (sample, perm) = spec.scratch(graph);
+        Ok(ReplicaBatch {
+            graph,
+            spec,
+            n,
+            values,
+            rngs: seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect(),
+            sample,
+            perm,
+            time: 0,
+        })
+    }
+
+    /// The underlying graph (shared by every replica).
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The model spec.
+    pub fn spec(&self) -> KernelSpec {
+        self.spec
+    }
+
+    /// Number of replicas `R`.
+    pub fn replicas(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Nodes per replica.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Steps taken so far (common to all replicas).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The full replica-major `R × n` value storage.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Replica `r`'s value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
+    pub fn replica_values(&self, r: usize) -> &[f64] {
+        assert!(r < self.replicas(), "replica {r} out of range");
+        &self.values[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Advances every replica by `steps` steps.
+    ///
+    /// Replicas are advanced one after another (the shared CSR arrays stay
+    /// hot; each replica's values are contiguous), each from its own RNG,
+    /// so the result is independent of replica order and count. Performs
+    /// no heap allocation.
+    pub fn step_many(&mut self, steps: u64) {
+        for (r, rng) in self.rngs.iter_mut().enumerate() {
+            run_steps(
+                self.graph,
+                self.spec,
+                &mut self.values[r * self.n..(r + 1) * self.n],
+                &mut self.sample,
+                &mut self.perm,
+                steps,
+                rng,
+            );
+        }
+        self.time += steps;
+    }
+
+    /// `Avg(t)` of replica `r`. O(n).
+    pub fn replica_average(&self, r: usize) -> f64 {
+        slice_average(self.replica_values(r))
+    }
+
+    /// `M(t) = Σ π_u ξ_u(t)` of replica `r`. O(n).
+    pub fn replica_weighted_average(&self, r: usize) -> f64 {
+        slice_weighted_average(self.graph, self.replica_values(r))
+    }
+
+    /// The potential `φ(ξ(t))` (Eq. 3) of replica `r`. O(n).
+    pub fn replica_potential_pi(&self, r: usize) -> f64 {
+        slice_potential_pi(self.graph, self.replica_values(r))
+    }
+}
+
+/// `R` independent replicas of a voter-model scenario (structure-of-arrays
+/// opinions, one shared graph). The discrete sibling of [`ReplicaBatch`].
+#[derive(Debug, Clone)]
+pub struct VoterBatch<'g> {
+    graph: &'g Graph,
+    n: usize,
+    /// Replica-major `R × n` opinion storage.
+    opinions: Vec<u32>,
+    rngs: Vec<StdRng>,
+    time: u64,
+}
+
+impl<'g> VoterBatch<'g> {
+    /// Creates `seeds.len()` voter replicas starting from `opinions0`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Disconnected`] or [`CoreError::LengthMismatch`].
+    pub fn new(graph: &'g Graph, opinions0: &[u32], seeds: &[u64]) -> Result<Self, CoreError> {
+        if !graph.is_connected() || graph.n() < 2 {
+            return Err(CoreError::Disconnected);
+        }
+        if opinions0.len() != graph.n() {
+            return Err(CoreError::LengthMismatch {
+                values: opinions0.len(),
+                nodes: graph.n(),
+            });
+        }
+        let n = opinions0.len();
+        let mut opinions = Vec::with_capacity(n * seeds.len());
+        for _ in 0..seeds.len() {
+            opinions.extend_from_slice(opinions0);
+        }
+        Ok(VoterBatch {
+            graph,
+            n,
+            opinions,
+            rngs: seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect(),
+            time: 0,
+        })
+    }
+
+    /// Number of replicas `R`.
+    pub fn replicas(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Steps taken so far (common to all replicas).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Replica `r`'s opinion vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
+    pub fn replica_opinions(&self, r: usize) -> &[u32] {
+        assert!(r < self.replicas(), "replica {r} out of range");
+        &self.opinions[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Advances every replica by `steps` voter steps.
+    pub fn step_many(&mut self, steps: u64) {
+        for (r, rng) in self.rngs.iter_mut().enumerate() {
+            run_voter_steps(
+                self.graph,
+                &mut self.opinions[r * self.n..(r + 1) * self.n],
+                steps,
+                rng,
+            );
+        }
+        self.time += steps;
+    }
+
+    /// Whether replica `r` has reached consensus. O(n).
+    pub fn replica_is_consensus(&self, r: usize) -> bool {
+        self.replica_opinions(r).windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeModel, NodeModelParams, OpinionProcess, StepKernel, VoterModel};
+    use od_graph::generators;
+
+    #[test]
+    fn replicas_are_independent_scalar_runs() {
+        let g = generators::torus(4, 4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.5 - 4.0).collect();
+        let params = NodeModelParams::new(0.3, 2).unwrap();
+        let spec = KernelSpec::Node(params);
+        let seeds = [11u64, 22, 33, 44, 55];
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        batch.step_many(1_500);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut scalar = NodeModel::new(&g, xi0.clone(), params).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..1_500 {
+                scalar.step(&mut rng);
+            }
+            assert_eq!(
+                scalar.state().values(),
+                batch.replica_values(r),
+                "replica {r} diverged from its scalar run"
+            );
+        }
+    }
+
+    #[test]
+    fn results_independent_of_replica_count() {
+        let g = generators::complete(8).unwrap();
+        let xi0: Vec<f64> = (0..8).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 3).unwrap());
+        let mut wide = ReplicaBatch::new(&g, spec, &xi0, &[7, 8, 9, 10]).unwrap();
+        wide.step_many(800);
+        for (i, &seed) in [7u64, 8, 9, 10].iter().enumerate() {
+            let mut solo = ReplicaBatch::new(&g, spec, &xi0, &[seed]).unwrap();
+            solo.step_many(800);
+            assert_eq!(solo.replica_values(0), wide.replica_values(i));
+        }
+    }
+
+    #[test]
+    fn incremental_stepping_matches_one_shot() {
+        let g = generators::cycle(12).unwrap();
+        let xi0: Vec<f64> = (0..12).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 1).unwrap());
+        let mut chunked = ReplicaBatch::new(&g, spec, &xi0, &[3, 4]).unwrap();
+        for _ in 0..10 {
+            chunked.step_many(100);
+        }
+        let mut oneshot = ReplicaBatch::new(&g, spec, &xi0, &[3, 4]).unwrap();
+        oneshot.step_many(1_000);
+        assert_eq!(chunked.values(), oneshot.values());
+        assert_eq!(chunked.time(), 1_000);
+    }
+
+    #[test]
+    fn per_replica_aggregates_match_kernel() {
+        let g = generators::star(6).unwrap();
+        let xi0: Vec<f64> = (0..6).map(|i| f64::from(i) - 2.0).collect();
+        let spec = KernelSpec::Edge(crate::EdgeModelParams::new(0.4).unwrap());
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &[1, 2]).unwrap();
+        batch.step_many(300);
+        for r in 0..2 {
+            let kernel = StepKernel::new(&g, batch.replica_values(r).to_vec(), spec).unwrap();
+            assert_eq!(batch.replica_average(r), kernel.average());
+            assert_eq!(batch.replica_weighted_average(r), kernel.weighted_average());
+            assert_eq!(batch.replica_potential_pi(r), kernel.potential_pi());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_inert() {
+        let g = generators::cycle(4).unwrap();
+        let spec = KernelSpec::Edge(crate::EdgeModelParams::new(0.5).unwrap());
+        let mut batch = ReplicaBatch::new(&g, spec, &[0.0; 4], &[]).unwrap();
+        batch.step_many(10);
+        assert_eq!(batch.replicas(), 0);
+        assert_eq!(batch.values().len(), 0);
+        assert_eq!(batch.time(), 10);
+    }
+
+    #[test]
+    fn voter_batch_matches_scalar_runs() {
+        let g = generators::hypercube(3).unwrap();
+        let ops0: Vec<u32> = (0..8).collect();
+        let seeds = [5u64, 6, 7];
+        let mut batch = VoterBatch::new(&g, &ops0, &seeds).unwrap();
+        batch.step_many(600);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut scalar = VoterModel::new(&g, ops0.clone()).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..600 {
+                scalar.step(&mut rng);
+            }
+            assert_eq!(scalar.opinions(), batch.replica_opinions(r));
+            assert_eq!(scalar.is_consensus(), batch.replica_is_consensus(r));
+        }
+    }
+
+    #[test]
+    fn voter_batch_validation() {
+        let g = generators::cycle(4).unwrap();
+        assert!(VoterBatch::new(&g, &[0; 3], &[1]).is_err());
+        let disconnected = od_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(VoterBatch::new(&disconnected, &[0; 4], &[1]).is_err());
+    }
+}

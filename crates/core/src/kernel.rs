@@ -1,0 +1,549 @@
+//! Batched, allocation-free step kernels over the CSR graph.
+//!
+//! The scalar [`OpinionProcess`] implementations maintain an
+//! [`OpinionState`] with incremental aggregates — ideal for the
+//! convergence-driven experiments (O(1) potential checks) but wasted work
+//! on fixed-step Monte-Carlo sweeps, where only the final values matter.
+//! [`StepKernel`] strips a run down to its hot loop: raw `f64` values
+//! indexed by `u32` node ids, reusable scratch buffers, and a
+//! [`StepKernel::step_many`] entry point that hoists the model dispatch,
+//! RNG indirection and bounds work out of the inner loop. Aggregates
+//! (average, potential `φ`) are computed on demand in O(n).
+//!
+//! The kernel path is proven **bit-identical** to the scalar path under
+//! seeded replay: both draw neighbours through
+//! [`crate::sampling::sample_k_neighbors`] and apply updates with the same
+//! floating-point expression, so `step_many(s)` from seed `σ` reproduces
+//! `s` calls of `OpinionProcess::step` from seed `σ` exactly (see
+//! `tests/batch_equivalence.rs` and the kernel property suite).
+//!
+//! [`VoterKernel`] is the analogous fast path for the discrete voter
+//! model; [`crate::ReplicaBatch`] runs many independent replicas of either
+//! kernel in a structure-of-arrays layout sharing one CSR instance.
+//!
+//! [`OpinionProcess`]: crate::OpinionProcess
+//! [`OpinionState`]: crate::OpinionState
+
+use crate::error::CoreError;
+use crate::params::{EdgeModelParams, Laziness, NodeModelParams};
+use crate::sampling::sample_k_neighbors;
+use od_graph::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// Which averaging process a kernel advances, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelSpec {
+    /// The NodeModel (Definition 2.1): uniform node, `k` sampled
+    /// neighbours.
+    Node(NodeModelParams),
+    /// The EdgeModel (Definition 2.3): uniform directed edge.
+    Edge(EdgeModelParams),
+}
+
+impl KernelSpec {
+    /// Validates the spec against a graph (connectivity is checked by the
+    /// kernel constructors; this checks the spec-specific constraints).
+    fn validate(&self, graph: &Graph) -> Result<(), CoreError> {
+        if let KernelSpec::Node(params) = self {
+            let d_min = graph.min_degree();
+            if params.k() > d_min {
+                return Err(CoreError::InvalidSampleSize {
+                    k: params.k(),
+                    d_min,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scratch capacity needed so that stepping never reallocates: `k`
+    /// sample slots, plus a `d_max` permutation for the dense regime.
+    pub(crate) fn scratch(&self, graph: &Graph) -> (Vec<NodeId>, Vec<u32>) {
+        match self {
+            KernelSpec::Node(params) => (
+                Vec::with_capacity(params.k()),
+                if params.k() > 1 {
+                    Vec::with_capacity(graph.max_degree())
+                } else {
+                    Vec::new()
+                },
+            ),
+            KernelSpec::Edge(_) => (Vec::new(), Vec::new()),
+        }
+    }
+}
+
+/// Validates an initial value vector against a graph.
+fn validate_values(graph: &Graph, values: &[f64]) -> Result<(), CoreError> {
+    if !graph.is_connected() || graph.n() < 2 {
+        return Err(CoreError::Disconnected);
+    }
+    if values.len() != graph.n() {
+        return Err(CoreError::LengthMismatch {
+            values: values.len(),
+            nodes: graph.n(),
+        });
+    }
+    if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+        return Err(CoreError::NonFiniteValue { index });
+    }
+    Ok(())
+}
+
+/// Advances `steps` steps of `spec` over `values`, drawing all randomness
+/// from `rng`. The model dispatch and parameter reads are hoisted out of
+/// the loop; `sample`/`perm` are caller-owned scratch so the loop performs
+/// zero heap allocation once the buffers are at capacity.
+///
+/// This is the one inner loop shared by [`StepKernel`] and
+/// [`crate::ReplicaBatch`]; its per-step arithmetic mirrors the scalar
+/// `NodeModel`/`EdgeModel` implementations expression-for-expression.
+pub(crate) fn run_steps<R: RngCore + ?Sized>(
+    graph: &Graph,
+    spec: KernelSpec,
+    values: &mut [f64],
+    sample: &mut Vec<NodeId>,
+    perm: &mut Vec<u32>,
+    steps: u64,
+    rng: &mut R,
+) {
+    match spec {
+        KernelSpec::Node(params) => {
+            let n = graph.n();
+            let alpha = params.alpha();
+            let k = params.k();
+            let lazy = params.laziness() == Laziness::Lazy;
+            for _ in 0..steps {
+                if lazy && rng.gen_bool(0.5) {
+                    continue;
+                }
+                let u = rng.gen_range(0..n);
+                sample_k_neighbors(graph.neighbors(u as NodeId), k, sample, perm, rng);
+                let mean =
+                    sample.iter().map(|&v| values[v as usize]).sum::<f64>() / sample.len() as f64;
+                values[u] = alpha * values[u] + (1.0 - alpha) * mean;
+            }
+        }
+        KernelSpec::Edge(params) => {
+            let two_m = graph.directed_edge_count();
+            let alpha = params.alpha();
+            let lazy = params.laziness() == Laziness::Lazy;
+            for _ in 0..steps {
+                if lazy && rng.gen_bool(0.5) {
+                    continue;
+                }
+                let edge = graph.directed_edge(rng.gen_range(0..two_m));
+                values[edge.tail as usize] =
+                    alpha * values[edge.tail as usize] + (1.0 - alpha) * values[edge.head as usize];
+            }
+        }
+    }
+}
+
+/// Plain average of a value slice, `(1/n) Σ ξ_u`.
+pub(crate) fn slice_average(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Degree-weighted average `Σ (d_u/2m) ξ_u` (the NodeModel martingale).
+pub(crate) fn slice_weighted_average(graph: &Graph, values: &[f64]) -> f64 {
+    let two_m = graph.directed_edge_count() as f64;
+    values
+        .iter()
+        .enumerate()
+        .map(|(u, &x)| graph.degree(u as NodeId) as f64 * x)
+        .sum::<f64>()
+        / two_m
+}
+
+/// The paper's potential `φ(ξ) = ⟨ξ,ξ⟩_π − ⟨1,ξ⟩_π²` (Eq. 3), computed in
+/// two passes with the weighted mean as gauge (same cancellation-avoidance
+/// strategy as [`crate::OpinionState`]).
+pub(crate) fn slice_potential_pi(graph: &Graph, values: &[f64]) -> f64 {
+    let mu = slice_weighted_average(graph, values);
+    let two_m = graph.directed_edge_count() as f64;
+    values
+        .iter()
+        .enumerate()
+        .map(|(u, &x)| {
+            let c = x - mu;
+            graph.degree(u as NodeId) as f64 / two_m * c * c
+        })
+        .sum::<f64>()
+        .max(0.0)
+}
+
+/// Allocation-free step kernel for the averaging processes.
+///
+/// Holds raw values plus reusable scratch; all aggregates are on-demand.
+/// Construction validates exactly like the scalar processes, so any
+/// `(graph, ξ(0), spec)` accepted here is also accepted by
+/// `NodeModel::new` / `EdgeModel::new` and vice versa.
+///
+/// # Example
+///
+/// ```
+/// use od_core::{KernelSpec, NodeModelParams, StepKernel};
+/// use od_graph::generators;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::torus(16, 16)?;
+/// let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2)?);
+/// let mut kernel = StepKernel::new(&g, (0..256).map(f64::from).collect(), spec)?;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// kernel.step_many(100_000, &mut rng);
+/// assert_eq!(kernel.time(), 100_000);
+/// assert!(kernel.potential_pi() < kernel.discrepancy().powi(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepKernel<'g> {
+    graph: &'g Graph,
+    spec: KernelSpec,
+    values: Vec<f64>,
+    sample: Vec<NodeId>,
+    perm: Vec<u32>,
+    time: u64,
+}
+
+impl<'g> StepKernel<'g> {
+    /// Creates a kernel on a connected graph.
+    ///
+    /// # Errors
+    ///
+    /// The same as the scalar constructors: [`CoreError::Disconnected`],
+    /// [`CoreError::InvalidSampleSize`], [`CoreError::LengthMismatch`],
+    /// [`CoreError::NonFiniteValue`].
+    pub fn new(
+        graph: &'g Graph,
+        initial_values: Vec<f64>,
+        spec: KernelSpec,
+    ) -> Result<Self, CoreError> {
+        validate_values(graph, &initial_values)?;
+        spec.validate(graph)?;
+        let (sample, perm) = spec.scratch(graph);
+        Ok(StepKernel {
+            graph,
+            spec,
+            values: initial_values,
+            sample,
+            perm,
+            time: 0,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The model spec.
+    pub fn spec(&self) -> KernelSpec {
+        self.spec
+    }
+
+    /// The current value vector `ξ(t)`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the kernel, returning the value vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Steps taken so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Advances one step (equivalent to `step_many(1, rng)`).
+    pub fn step<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        self.step_many(1, rng);
+    }
+
+    /// Advances `steps` steps with all per-step dispatch hoisted out of
+    /// the loop. Performs no heap allocation.
+    pub fn step_many<R: RngCore + ?Sized>(&mut self, steps: u64, rng: &mut R) {
+        run_steps(
+            self.graph,
+            self.spec,
+            &mut self.values,
+            &mut self.sample,
+            &mut self.perm,
+            steps,
+            rng,
+        );
+        self.time += steps;
+    }
+
+    /// `Avg(t) = (1/n) Σ ξ_u(t)`. O(n).
+    pub fn average(&self) -> f64 {
+        slice_average(&self.values)
+    }
+
+    /// `M(t) = Σ π_u ξ_u(t)` with `π_u = d_u/2m`. O(n).
+    pub fn weighted_average(&self) -> f64 {
+        slice_weighted_average(self.graph, &self.values)
+    }
+
+    /// The potential `φ(ξ(t))` of Eq. 3, computed on demand. O(n).
+    pub fn potential_pi(&self) -> f64 {
+        slice_potential_pi(self.graph, &self.values)
+    }
+
+    /// Discrepancy `K = max ξ − min ξ`. O(n).
+    pub fn discrepancy(&self) -> f64 {
+        od_linalg::vector::discrepancy(&self.values)
+    }
+}
+
+/// Allocation-free step kernel for the discrete voter model.
+///
+/// Mirrors [`crate::VoterModel::step`] draw-for-draw (uniform node, then a
+/// uniform neighbour), without the per-step opinion-count bookkeeping:
+/// consensus is checked on demand in O(n), which is the right trade for
+/// fixed-step batched sweeps.
+#[derive(Debug, Clone)]
+pub struct VoterKernel<'g> {
+    graph: &'g Graph,
+    opinions: Vec<u32>,
+    time: u64,
+}
+
+impl<'g> VoterKernel<'g> {
+    /// Creates a voter kernel on a connected graph.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Disconnected`] or [`CoreError::LengthMismatch`].
+    pub fn new(graph: &'g Graph, opinions: Vec<u32>) -> Result<Self, CoreError> {
+        if !graph.is_connected() || graph.n() < 2 {
+            return Err(CoreError::Disconnected);
+        }
+        if opinions.len() != graph.n() {
+            return Err(CoreError::LengthMismatch {
+                values: opinions.len(),
+                nodes: graph.n(),
+            });
+        }
+        Ok(VoterKernel {
+            graph,
+            opinions,
+            time: 0,
+        })
+    }
+
+    /// Current opinions.
+    pub fn opinions(&self) -> &[u32] {
+        &self.opinions
+    }
+
+    /// Steps taken so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Advances `steps` voter steps.
+    pub fn step_many<R: RngCore + ?Sized>(&mut self, steps: u64, rng: &mut R) {
+        run_voter_steps(self.graph, &mut self.opinions, steps, rng);
+        self.time += steps;
+    }
+
+    /// Whether all nodes share one opinion. O(n).
+    pub fn is_consensus(&self) -> bool {
+        self.opinions.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// The voter inner loop shared by [`VoterKernel`] and
+/// [`crate::VoterBatch`]: uniform node adopts a uniform neighbour's
+/// opinion, consuming exactly two RNG draws per step like the scalar
+/// [`crate::VoterModel::step`].
+pub(crate) fn run_voter_steps<R: RngCore + ?Sized>(
+    graph: &Graph,
+    opinions: &mut [u32],
+    steps: u64,
+    rng: &mut R,
+) {
+    let n = graph.n();
+    for _ in 0..steps {
+        let u = rng.gen_range(0..n);
+        let neighbors = graph.neighbors(u as NodeId);
+        let v = neighbors[rng.gen_range(0..neighbors.len())];
+        opinions[u] = opinions[v as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeModel, NodeModel, OpinionProcess, VoterModel};
+    use od_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_bits_identical(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "diverged at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn construction_validation_matches_scalar() {
+        let g = generators::cycle(5).unwrap();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 3).unwrap());
+        assert!(matches!(
+            StepKernel::new(&g, vec![0.0; 5], spec),
+            Err(CoreError::InvalidSampleSize { d_min: 2, .. })
+        ));
+        let disconnected = od_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let spec = KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap());
+        assert!(matches!(
+            StepKernel::new(&disconnected, vec![0.0; 4], spec),
+            Err(CoreError::Disconnected)
+        ));
+        let g = generators::cycle(4).unwrap();
+        assert!(matches!(
+            StepKernel::new(&g, vec![0.0; 3], spec),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            StepKernel::new(&g, vec![0.0, f64::NAN, 0.0, 0.0], spec),
+            Err(CoreError::NonFiniteValue { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn node_kernel_matches_scalar_bitwise() {
+        let g = generators::torus(5, 5).unwrap();
+        let xi0: Vec<f64> = (0..25).map(|i| (i as f64).sin() * 3.0).collect();
+        for k in [1usize, 2, 4] {
+            let params = NodeModelParams::new(0.35, k).unwrap();
+            let mut scalar = NodeModel::new(&g, xi0.clone(), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(101);
+            for _ in 0..3_000 {
+                scalar.step(&mut rng);
+            }
+            let mut kernel = StepKernel::new(&g, xi0.clone(), KernelSpec::Node(params)).unwrap();
+            let mut rng = StdRng::seed_from_u64(101);
+            kernel.step_many(3_000, &mut rng);
+            assert_bits_identical(scalar.state().values(), kernel.values());
+            assert_eq!(kernel.time(), 3_000);
+        }
+    }
+
+    #[test]
+    fn lazy_node_kernel_matches_scalar_bitwise() {
+        let g = generators::hypercube(4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(f64::from).collect();
+        let params = NodeModelParams::new(0.25, 2)
+            .unwrap()
+            .with_laziness(Laziness::Lazy);
+        let mut scalar = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            scalar.step(&mut rng);
+        }
+        let mut kernel = StepKernel::new(&g, xi0, KernelSpec::Node(params)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        kernel.step_many(2_000, &mut rng);
+        assert_bits_identical(scalar.state().values(), kernel.values());
+    }
+
+    #[test]
+    fn edge_kernel_matches_scalar_bitwise() {
+        let g = generators::star(12).unwrap();
+        let xi0: Vec<f64> = (0..12).map(|i| f64::from(i) * 0.7 - 2.0).collect();
+        let params = EdgeModelParams::new(0.6).unwrap();
+        let mut scalar = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..4_000 {
+            scalar.step(&mut rng);
+        }
+        let mut kernel = StepKernel::new(&g, xi0, KernelSpec::Edge(params)).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        kernel.step_many(4_000, &mut rng);
+        assert_bits_identical(scalar.state().values(), kernel.values());
+    }
+
+    #[test]
+    fn voter_kernel_matches_scalar() {
+        let g = generators::petersen();
+        let ops0: Vec<u32> = (0..10).collect();
+        let mut scalar = VoterModel::new(&g, ops0.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..2_500 {
+            scalar.step(&mut rng);
+        }
+        let mut kernel = VoterKernel::new(&g, ops0).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        kernel.step_many(2_500, &mut rng);
+        assert_eq!(scalar.opinions(), kernel.opinions());
+        assert_eq!(scalar.is_consensus(), kernel.is_consensus());
+    }
+
+    #[test]
+    fn on_demand_aggregates_match_opinion_state() {
+        let g = generators::star(8).unwrap();
+        let xi0: Vec<f64> = (0..8).map(|i| f64::from(i * i) * 0.3 - 2.0).collect();
+        let spec = KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap());
+        let mut kernel = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        kernel.step_many(500, &mut rng);
+        let state = crate::OpinionState::new(&g, kernel.values().to_vec()).unwrap();
+        assert!((kernel.average() - state.average()).abs() < 1e-12);
+        assert!((kernel.weighted_average() - state.weighted_average()).abs() < 1e-12);
+        assert!((kernel.potential_pi() - state.potential_pi()).abs() < 1e-12);
+        assert_eq!(kernel.discrepancy(), state.discrepancy());
+    }
+
+    #[test]
+    fn step_many_is_allocation_stable() {
+        // Zero per-step allocation: the scratch buffers must keep their
+        // backing storage across arbitrarily many steps (pointer-stable
+        // after the first call warms them up).
+        let g = generators::complete(32).unwrap();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 20).unwrap());
+        let mut kernel = StepKernel::new(&g, vec![0.5; 32], spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        kernel.step_many(10, &mut rng);
+        let sample_ptr = kernel.sample.as_ptr();
+        let perm_ptr = kernel.perm.as_ptr();
+        let values_ptr = kernel.values.as_ptr();
+        kernel.step_many(50_000, &mut rng);
+        assert_eq!(kernel.sample.as_ptr(), sample_ptr);
+        assert_eq!(kernel.perm.as_ptr(), perm_ptr);
+        assert_eq!(kernel.values.as_ptr(), values_ptr);
+    }
+
+    #[test]
+    fn step_equals_step_many_one() {
+        let g = generators::cycle(10).unwrap();
+        let xi0: Vec<f64> = (0..10).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 1).unwrap());
+        let mut a = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+        let mut b = StepKernel::new(&g, xi0, spec).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(2);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            a.step(&mut rng_a);
+        }
+        b.step_many(100, &mut rng_b);
+        assert_bits_identical(a.values(), b.values());
+    }
+
+    #[test]
+    fn voter_consensus_detection() {
+        let g = generators::cycle(4).unwrap();
+        let kernel = VoterKernel::new(&g, vec![3; 4]).unwrap();
+        assert!(kernel.is_consensus());
+        let kernel = VoterKernel::new(&g, vec![3, 3, 3, 1]).unwrap();
+        assert!(!kernel.is_consensus());
+        assert!(VoterKernel::new(&g, vec![0; 3]).is_err());
+    }
+}

@@ -46,21 +46,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod edge_model;
 mod engine;
 mod error;
+mod kernel;
 mod node_model;
 mod params;
 mod process;
+mod sampling;
 mod state;
 pub mod theory;
 mod voter;
 
+pub use batch::{ReplicaBatch, VoterBatch};
 pub use edge_model::EdgeModel;
 pub use engine::{
-    estimate_convergence_value, run_until_converged, trace_potential, ConvergenceReport,
+    estimate_convergence_value, run_kernel_until_converged, run_until_converged, trace_potential,
+    ConvergenceReport,
 };
 pub use error::CoreError;
+pub use kernel::{KernelSpec, StepKernel, VoterKernel};
 pub use node_model::NodeModel;
 pub use params::{EdgeModelParams, Laziness, NodeModelParams};
 pub use process::{OpinionProcess, StepRecord};

@@ -27,6 +27,10 @@ pub struct NodeModel<'g> {
     sample: Vec<NodeId>,
     /// Scratch permutation buffer for dense sampling.
     perm: Vec<u32>,
+    /// Parked sample buffer for `step_recorded_into`: holds the record's
+    /// allocation across `Noop` transitions of the lazy variant so the
+    /// replay loop stays allocation-free.
+    record_spare: Vec<NodeId>,
     time: u64,
 }
 
@@ -61,6 +65,7 @@ impl<'g> NodeModel<'g> {
             params,
             sample: Vec::with_capacity(params.k()),
             perm: Vec::new(),
+            record_spare: Vec::new(),
             time: 0,
         })
     }
@@ -70,36 +75,16 @@ impl<'g> NodeModel<'g> {
         &self.params
     }
 
-    /// Samples `k` distinct neighbours of `u` into `self.sample`.
+    /// Samples `k` distinct neighbours of `u` into `self.sample` (shared
+    /// with the batched kernel path; see [`crate::sampling`]).
     fn sample_neighbors(&mut self, u: NodeId, rng: &mut dyn RngCore) {
-        let neighbors = self.graph.neighbors(u);
-        let d = neighbors.len();
-        let k = self.params.k();
-        self.sample.clear();
-        debug_assert!(k <= d);
-        if k == d {
-            self.sample.extend_from_slice(neighbors);
-        } else if k == 1 {
-            self.sample.push(neighbors[rng.gen_range(0..d)]);
-        } else if 3 * k <= d {
-            // Sparse case: rejection sampling; expected O(k) candidate
-            // draws, duplicate check linear in k (k is small here).
-            while self.sample.len() < k {
-                let candidate = neighbors[rng.gen_range(0..d)];
-                if !self.sample.contains(&candidate) {
-                    self.sample.push(candidate);
-                }
-            }
-        } else {
-            // Dense case: partial Fisher-Yates over an index permutation.
-            self.perm.clear();
-            self.perm.extend(0..d as u32);
-            for i in 0..k {
-                let j = rng.gen_range(i..d);
-                self.perm.swap(i, j);
-                self.sample.push(neighbors[self.perm[i] as usize]);
-            }
-        }
+        crate::sampling::sample_k_neighbors(
+            self.graph.neighbors(u),
+            self.params.k(),
+            &mut self.sample,
+            &mut self.perm,
+            rng,
+        );
     }
 
     /// Applies the averaging update for node `u` with the neighbours
@@ -156,6 +141,35 @@ impl OpinionProcess for NodeModel<'_> {
                 node: u,
                 sample: self.sample.clone(),
             },
+        }
+    }
+
+    fn step_recorded_into(&mut self, rng: &mut dyn RngCore, record: &mut StepRecord) {
+        match self.step_inner(rng) {
+            None => {
+                // Park the record's sample buffer instead of dropping it,
+                // so lazy Noop runs don't force a reallocation on the next
+                // active step.
+                if let StepRecord::Node { sample, .. } = record {
+                    self.record_spare = std::mem::take(sample);
+                }
+                *record = StepRecord::Noop;
+            }
+            Some(u) => {
+                // Reuse the record's (or the parked) sample buffer when the
+                // caller hands the previous step's record back — the replay
+                // hot path allocates only on the very first active step.
+                if let StepRecord::Node { node, sample } = record {
+                    *node = u;
+                    sample.clear();
+                    sample.extend_from_slice(&self.sample);
+                } else {
+                    let mut sample = std::mem::take(&mut self.record_spare);
+                    sample.clear();
+                    sample.extend_from_slice(&self.sample);
+                    *record = StepRecord::Node { node: u, sample };
+                }
+            }
         }
     }
 
@@ -267,6 +281,7 @@ mod tests {
                 params,
                 sample: Vec::new(),
                 perm: Vec::new(),
+                record_spare: Vec::new(),
                 time: 0,
             };
             let mut r = rng(k as u64);
@@ -317,6 +332,43 @@ mod tests {
         let frac = noops as f64 / 10_000.0;
         assert!((frac - 0.5).abs() < 0.03, "noop fraction {frac}");
         assert_eq!(m.time(), 10_000);
+    }
+
+    #[test]
+    fn step_recorded_into_matches_step_recorded() {
+        // The reusing API must produce the same records and trajectory as
+        // the allocating one, including across Noop/Node transitions of
+        // the lazy variant (which exercise both reuse branches).
+        let g = generators::torus(4, 4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.3).collect();
+        let params = NodeModelParams::new(0.4, 2)
+            .unwrap()
+            .with_laziness(Laziness::Lazy);
+        let mut a = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut b = NodeModel::new(&g, xi0, params).unwrap();
+        let mut rng_a = rng(77);
+        let mut rng_b = rng(77);
+        let mut record = StepRecord::Noop;
+        let mut buf_ptr = None;
+        for step in 0..2_000 {
+            let expected = a.step_recorded(&mut rng_a);
+            b.step_recorded_into(&mut rng_b, &mut record);
+            assert_eq!(record, expected, "record diverged at step {step}");
+            // The sample buffer must survive Noop/Node transitions: one
+            // allocation on the first active step, pointer-stable after.
+            if let StepRecord::Node { sample, .. } = &record {
+                match buf_ptr {
+                    None => buf_ptr = Some(sample.as_ptr()),
+                    Some(p) => assert_eq!(
+                        sample.as_ptr(),
+                        p,
+                        "record buffer reallocated at step {step}"
+                    ),
+                }
+            }
+        }
+        assert_eq!(a.state().values(), b.state().values());
+        assert_eq!(a.time(), b.time());
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub trait OpinionProcess {
     /// Advances one step and returns the selection record.
     fn step_recorded(&mut self, rng: &mut dyn RngCore) -> StepRecord;
 
+    /// Advances one step, writing the selection into an existing record.
+    ///
+    /// Implementations reuse the record's heap buffers where possible, so a
+    /// caller that replays many steps through one record avoids the
+    /// per-step allocation of [`OpinionProcess::step_recorded`] (the
+    /// recorded-step overhead tracked in `CHANGES.md`). The default simply
+    /// overwrites the record.
+    fn step_recorded_into(&mut self, rng: &mut dyn RngCore, record: &mut StepRecord) {
+        *record = self.step_recorded(rng);
+    }
+
     /// Applies a recorded selection (deterministic replay).
     ///
     /// # Panics

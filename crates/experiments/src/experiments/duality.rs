@@ -1,7 +1,7 @@
 //! FIG1 / FIG4 / DUAL / RUNTIME — the coupling experiments.
 
 use crate::ExperimentContext;
-use od_core::{NodeModel, NodeModelParams, OpinionProcess};
+use od_core::{NodeModel, NodeModelParams, OpinionProcess, StepRecord};
 use od_dual::duality::{self, FigureReproduction};
 use od_graph::generators;
 use od_runtime::ProtocolNetwork;
@@ -138,8 +138,11 @@ pub fn runtime_conformance(ctx: &ExperimentContext) -> Vec<Table> {
         let mut rng = StdRng::seed_from_u64(5);
         let start = std::time::Instant::now();
         let mut max_diff: f64 = 0.0;
+        // One record reused across the run: `step_recorded_into` rewrites
+        // its sample buffer in place, so the loop is allocation-free.
+        let mut record = StepRecord::Noop;
         for _ in 0..steps {
-            let record = model.step_recorded(&mut rng);
+            model.step_recorded_into(&mut rng, &mut record);
             net.apply(&record);
             let diff = model
                 .state()

@@ -2,9 +2,9 @@
 //! headline result).
 
 use super::common;
-use crate::runner::{monte_carlo, monte_carlo_stats};
+use crate::runner::{monte_carlo_batched, monte_carlo_stats};
 use crate::ExperimentContext;
-use od_core::{theory, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess};
+use od_core::{theory, EdgeModelParams, KernelSpec, NodeModelParams, ReplicaBatch};
 use od_dual::variance::{centered_norm_sq, predict_variance, variance_k1_closed_form};
 use od_dual::QChain;
 use od_graph::{generators, Graph};
@@ -207,9 +207,46 @@ pub fn exact_prediction(ctx: &ExperimentContext) -> Vec<Table> {
     vec![t, c]
 }
 
+/// Trials per [`ReplicaBatch`] in the batched checkpoint sweeps: big
+/// enough to amortise the shared-graph setup, small enough to keep every
+/// worker thread busy at quick-mode trial counts.
+const REPLICAS_PER_BATCH: usize = 32;
+
+/// Runs `trials` fixed-step trajectories of `spec` through the batched
+/// replica engine, reading `stat` at each checkpoint. Replica `r` of a
+/// chunk is bit-identical to a scalar run seeded with that trial's seed,
+/// so the sweep's statistics are unchanged from the per-trial path it
+/// replaced — only the setup cost and memory layout differ.
+fn checkpoint_sweep(
+    g: &Graph,
+    spec: KernelSpec,
+    xi0: &[f64],
+    checkpoints: &[u64],
+    trials: usize,
+    seeds: od_stats::SeedSequence,
+    stat: impl Fn(&ReplicaBatch<'_>, usize) -> f64 + Sync,
+) -> Vec<Vec<f64>> {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly ascending"
+    );
+    monte_carlo_batched(trials, seeds, REPLICAS_PER_BATCH, |_, chunk_seeds| {
+        let mut batch = ReplicaBatch::new(g, spec, xi0, chunk_seeds).unwrap();
+        let mut rows = vec![Vec::with_capacity(checkpoints.len()); chunk_seeds.len()];
+        for &cp in checkpoints {
+            batch.step_many(cp - batch.time());
+            for (r, row) in rows.iter_mut().enumerate() {
+                row.push(stat(&batch, r));
+            }
+        }
+        rows
+    })
+}
+
 /// CE2: time-dependent variance trajectories stay below the linear-in-t
 /// bounds `Var(M(t)) ≤ t(d_max K/2m)²` (Node) and
-/// `Var(Avg(t)) ≤ tK²/n²` (Edge).
+/// `Var(Avg(t)) ≤ tK²/n²` (Edge). Both sweeps run on the batched replica
+/// engine ([`ReplicaBatch`] under [`monte_carlo_batched`]).
 pub fn time_variance(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(3_000, 500);
     let alpha = 0.5;
@@ -223,20 +260,16 @@ pub fn time_variance(ctx: &ExperimentContext) -> Vec<Table> {
         format!("Cor E.2(iii) — EdgeModel Var(Avg(t)) <= t K^2/n^2 on cycle(16) ({trials} trials)"),
         &["t", "var_empirical", "bound", "ratio"],
     );
-    let seeds = ctx.seeds.child(800);
-    let trajectories = monte_carlo(trials, seeds, |seed| {
-        let params = EdgeModelParams::new(alpha).unwrap();
-        let mut m = EdgeModel::new(&g, xi0.clone(), params).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut avg_at = Vec::with_capacity(checkpoints.len());
-        for &cp in checkpoints {
-            while m.time() < cp {
-                m.step(&mut rng);
-            }
-            avg_at.push(m.state().average());
-        }
-        avg_at
-    });
+    let spec = KernelSpec::Edge(EdgeModelParams::new(alpha).unwrap());
+    let trajectories = checkpoint_sweep(
+        &g,
+        spec,
+        &xi0,
+        checkpoints,
+        trials,
+        ctx.seeds.child(800),
+        |batch, r| batch.replica_average(r),
+    );
     for (i, &cp) in checkpoints.iter().enumerate() {
         let w: Welford = trajectories.iter().map(|tr| tr[i]).collect();
         let emp = w.sample_variance().unwrap();
@@ -261,20 +294,16 @@ pub fn time_variance(ctx: &ExperimentContext) -> Vec<Table> {
         &["t", "var_empirical", "bound", "ratio"],
     );
     let discrepancy = 1.0 + 1.0 / 15.0;
-    let seeds = ctx.seeds.child(801);
-    let trajectories = monte_carlo(trials, seeds, |seed| {
-        let params = NodeModelParams::new(alpha, 1).unwrap();
-        let mut m = NodeModel::new(&g, xi0.clone(), params).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut m_at = Vec::with_capacity(checkpoints.len());
-        for &cp in checkpoints {
-            while m.time() < cp {
-                m.step(&mut rng);
-            }
-            m_at.push(m.state().weighted_average());
-        }
-        m_at
-    });
+    let spec = KernelSpec::Node(NodeModelParams::new(alpha, 1).unwrap());
+    let trajectories = checkpoint_sweep(
+        &g,
+        spec,
+        &xi0,
+        checkpoints,
+        trials,
+        ctx.seeds.child(801),
+        |batch, r| batch.replica_weighted_average(r),
+    );
     for (i, &cp) in checkpoints.iter().enumerate() {
         let w: Welford = trajectories.iter().map(|tr| tr[i]).collect();
         let emp = w.sample_variance().unwrap();

@@ -154,8 +154,7 @@ impl<'g> ProtocolNetwork<'g> {
                     sample.iter().all(|&v| self.graph.has_edge(*node, v)),
                     "record references a non-edge"
                 );
-                let sample = sample.clone();
-                self.exchange_and_update(*node, &sample);
+                self.exchange_and_update(*node, sample);
             }
             StepRecord::Edge { tail, head } => {
                 assert!(
@@ -164,6 +163,25 @@ impl<'g> ProtocolNetwork<'g> {
                 );
                 self.exchange_and_update(*tail, std::slice::from_ref(head));
             }
+        }
+    }
+
+    /// Replays a whole recorded selection stream (e.g. one collected from
+    /// an `OpinionProcess::step_recorded` loop) through the message
+    /// exchange: [`ProtocolNetwork::apply`] per record, as one call.
+    ///
+    /// Use this when nothing needs to happen between records (the
+    /// `bench_runtime` replay benchmark does); loops that inspect state
+    /// after each record — like the RUNTIME conformance experiment —
+    /// call [`ProtocolNetwork::apply`] directly.
+    ///
+    /// # Panics
+    ///
+    /// As [`ProtocolNetwork::apply`], on any record that does not fit the
+    /// graph or `k`.
+    pub fn apply_all<'a>(&mut self, records: impl IntoIterator<Item = &'a StepRecord>) {
+        for record in records {
+            self.apply(record);
         }
     }
 
@@ -296,6 +314,21 @@ mod tests {
             net.apply(&record);
             assert_eq!(model.state().values(), net.values());
         }
+    }
+
+    #[test]
+    fn apply_all_replays_a_recorded_stream() {
+        let g = generators::torus(4, 4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.5 - 4.0).collect();
+        let params = NodeModelParams::new(0.4, 2).unwrap();
+        let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let records: Vec<_> = (0..500).map(|_| model.step_recorded(&mut rng)).collect();
+        let mut net = ProtocolNetwork::new(&g, xi0, 0.4, 2);
+        net.apply_all(&records);
+        assert_eq!(net.time(), 500);
+        assert_eq!(model.state().values(), net.values());
+        assert!(net.is_quiescent());
     }
 
     #[test]

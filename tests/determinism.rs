@@ -2,11 +2,19 @@
 //! through shared `StepRecord` streams, which is only sound if a seeded run
 //! is perfectly reproducible. Two runs from the same `StdRng` seed must
 //! produce byte-identical record streams and final states.
+//!
+//! The batched engine inherits the same contract: `StepKernel` /
+//! `ReplicaBatch` replays must be byte-identical across runs, and
+//! Monte-Carlo sweeps over `ReplicaBatch` must return the same results
+//! regardless of thread schedule or batch size (each trial's seed depends
+//! only on its index).
 
 use opinion_dynamics::core::{
-    EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess, StepRecord,
+    EdgeModel, EdgeModelParams, KernelSpec, NodeModel, NodeModelParams, OpinionProcess,
+    ReplicaBatch, StepKernel, StepRecord,
 };
 use opinion_dynamics::graph::generators;
+use opinion_dynamics::stats::SeedSequence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,6 +75,75 @@ fn edge_model_runs_are_byte_identical_for_equal_seeds() {
     let (records_b, state_b) = run();
     assert_eq!(records_a, records_b, "record streams diverged");
     assert_bits_identical(&state_a, &state_b);
+}
+
+#[test]
+fn kernel_step_many_runs_are_byte_identical_for_equal_seeds() {
+    let g = generators::torus(6, 6).unwrap();
+    let xi0: Vec<f64> = (0..36).map(|i| (i as f64).cos() * 2.0).collect();
+    let spec = KernelSpec::Node(NodeModelParams::new(0.4, 2).unwrap());
+
+    let run = |seed: u64| -> Vec<f64> {
+        let mut kernel = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        kernel.step_many(5_000, &mut rng);
+        kernel.into_values()
+    };
+
+    let a = run(0xFEED);
+    let b = run(0xFEED);
+    assert_bits_identical(&a, &b);
+    assert_ne!(a, run(0xFADE), "distinct seeds gave identical states");
+}
+
+#[test]
+fn replica_batch_runs_are_byte_identical_for_equal_seeds() {
+    let g = generators::hypercube(4).unwrap();
+    let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.7 - 5.0).collect();
+    let spec = KernelSpec::Edge(EdgeModelParams::new(0.3).unwrap());
+    let seeds = [41u64, 42, 43, 44];
+
+    let run = || -> Vec<f64> {
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        batch.step_many(4_000);
+        batch.values().to_vec()
+    };
+
+    assert_bits_identical(&run(), &run());
+}
+
+#[test]
+fn batched_monte_carlo_results_independent_of_schedule() {
+    // Thread count and chunk boundaries must not leak into results: trial
+    // i's seed depends only on (master, i), so `monte_carlo_batched` over
+    // `ReplicaBatch` returns the identical (not merely equal-as-multiset)
+    // vector for every batch size, and matches the per-trial kernel path.
+    use od_experiments::runner::{monte_carlo, monte_carlo_batched};
+
+    let g = generators::torus(4, 4).unwrap();
+    let xi0: Vec<f64> = (0..16).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+    let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+    let seeds = SeedSequence::new(0xABCD);
+    const TRIALS: usize = 64;
+    const STEPS: u64 = 1_000;
+
+    let scalar: Vec<f64> = monte_carlo(TRIALS, seeds, |seed| {
+        let mut kernel = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        kernel.step_many(STEPS, &mut rng);
+        kernel.average()
+    });
+
+    for batch_size in [1usize, 5, 16, TRIALS] {
+        let batched: Vec<f64> = monte_carlo_batched(TRIALS, seeds, batch_size, |_, chunk| {
+            let mut batch = ReplicaBatch::new(&g, spec, &xi0, chunk).unwrap();
+            batch.step_many(STEPS);
+            (0..batch.replicas())
+                .map(|r| batch.replica_average(r))
+                .collect()
+        });
+        assert_bits_identical(&scalar, &batched);
+    }
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! Property-based equivalence of the batched kernels and the scalar
+//! processes over **every** `od-graph` generator: for random graphs,
+//! parameters, seeds and run lengths, `StepKernel::step_many(s)` (and the
+//! voter kernel) must be bit-identical to `s` calls of the scalar
+//! `step` with the same seed.
+//!
+//! Graph instances are drawn by family index so each proptest case can
+//! land on any of the 17 generators; family-specific parameters are
+//! derived from the case's size/seed draws, clamped into each
+//! generator's valid range.
+
+use opinion_dynamics::core::{
+    EdgeModel, EdgeModelParams, KernelSpec, NodeModel, NodeModelParams, OpinionProcess, StepKernel,
+    VoterKernel, VoterModel,
+};
+use opinion_dynamics::graph::{generators, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of graph families covered; kept in sync with [`build_graph`].
+const FAMILIES: usize = 17;
+
+/// Builds an instance of family `family` with a characteristic size
+/// derived from `size in 4..24` and (for the random families) the given
+/// graph seed. Every returned graph is connected with `n >= 2`.
+fn build_graph(family: usize, size: usize, graph_seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(graph_seed);
+    match family {
+        0 => generators::cycle(size).unwrap(),
+        1 => generators::path(size).unwrap(),
+        2 => generators::complete(size).unwrap(),
+        3 => generators::star(size).unwrap(),
+        4 => generators::complete_bipartite(size / 2, size / 2 + 1).unwrap(),
+        5 => generators::grid2d(size / 2, 3, false).unwrap(),
+        6 => generators::torus(3 + size % 3, 3 + size / 8).unwrap(),
+        7 => generators::hypercube(2 + size % 4).unwrap(),
+        8 => generators::binary_tree(2 + size % 3).unwrap(),
+        9 => generators::petersen(),
+        10 => generators::barbell(3 + size / 4).unwrap(),
+        11 => generators::lollipop(3 + size / 4, 1 + size / 3).unwrap(),
+        12 => generators::gnp_connected(size, 0.5, &mut rng).unwrap(),
+        13 => {
+            let m = (size + 3).min(size * (size - 1) / 2);
+            generators::gnm_connected(size, m, &mut rng).unwrap()
+        }
+        14 => {
+            let n = size + size % 2; // n*d even
+            generators::random_regular(n.max(6), 4, &mut rng).unwrap()
+        }
+        15 => generators::watts_strogatz(size.max(6), 2, 0.2, &mut rng).unwrap(),
+        16 => generators::barabasi_albert(size, 2, &mut rng).unwrap(),
+        _ => unreachable!("family index out of range"),
+    }
+}
+
+fn initial_values(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (((i as u64).wrapping_mul(salt | 1) % 97) as f64) * 0.21 - 10.0)
+        .collect()
+}
+
+fn assert_bits_identical(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "state diverged at index {}: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(102))]
+
+    /// NodeModel: `step_many(s)` == `s` scalar steps, bitwise, on every
+    /// generator family. With 102 cases each family is hit ~6 times.
+    #[test]
+    fn node_kernel_equivalent_on_every_generator(
+        family in 0usize..FAMILIES,
+        size in 4usize..24,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..u64::MAX,
+        steps in 1u64..400,
+        alpha in 0.0f64..0.95,
+        k_raw in 1usize..5,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        // Clamp k into the graph's valid range instead of rejecting the
+        // case: low-degree families (path, star, trees) would otherwise
+        // never run with their actual d_min.
+        let k = k_raw.min(g.min_degree());
+        let params = NodeModelParams::new(alpha, k).unwrap();
+        let xi0 = initial_values(g.n(), run_seed);
+
+        let mut scalar = NodeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        for _ in 0..steps {
+            scalar.step(&mut rng);
+        }
+
+        let mut kernel = StepKernel::new(&g, xi0, KernelSpec::Node(params)).unwrap();
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        kernel.step_many(steps, &mut rng);
+
+        prop_assert_eq!(kernel.time(), steps);
+        assert_bits_identical(scalar.state().values(), kernel.values())?;
+    }
+
+    /// EdgeModel: same property, every generator family.
+    #[test]
+    fn edge_kernel_equivalent_on_every_generator(
+        family in 0usize..FAMILIES,
+        size in 4usize..24,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..u64::MAX,
+        steps in 1u64..400,
+        alpha in 0.0f64..0.95,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        let params = EdgeModelParams::new(alpha).unwrap();
+        let xi0 = initial_values(g.n(), run_seed.rotate_left(17));
+
+        let mut scalar = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        for _ in 0..steps {
+            scalar.step(&mut rng);
+        }
+
+        let mut kernel = StepKernel::new(&g, xi0, KernelSpec::Edge(params)).unwrap();
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        kernel.step_many(steps, &mut rng);
+
+        assert_bits_identical(scalar.state().values(), kernel.values())?;
+    }
+
+    /// Voter model: identical opinion trajectories, every generator family.
+    #[test]
+    fn voter_kernel_equivalent_on_every_generator(
+        family in 0usize..FAMILIES,
+        size in 4usize..24,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..u64::MAX,
+        steps in 1u64..400,
+        palette in 2u32..6,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        let opinions0: Vec<u32> = (0..g.n() as u32).map(|i| i % palette).collect();
+
+        let mut scalar = VoterModel::new(&g, opinions0.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        for _ in 0..steps {
+            scalar.step(&mut rng);
+        }
+
+        let mut kernel = VoterKernel::new(&g, opinions0).unwrap();
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        kernel.step_many(steps, &mut rng);
+
+        prop_assert_eq!(scalar.opinions(), kernel.opinions());
+        prop_assert_eq!(scalar.is_consensus(), kernel.is_consensus());
+    }
+}
+
+#[test]
+fn every_family_index_builds_a_connected_graph() {
+    // The proptest draws `family in 0..FAMILIES`; make sure no index
+    // panics or yields something the processes would reject, across the
+    // whole size range the strategies can produce.
+    for family in 0..FAMILIES {
+        for size in [4usize, 11, 23] {
+            let g = build_graph(family, size, 7);
+            assert!(
+                g.is_connected() && g.n() >= 2,
+                "family {family} size {size} built an invalid graph"
+            );
+            assert!(g.min_degree() >= 1);
+        }
+    }
+}
