@@ -1,0 +1,122 @@
+//! Dynamic-graph kernels at production scale: evolving topologies under
+//! the batched step kernels, n up to 10^6.
+//!
+//! Three questions, one group each:
+//!
+//! * `dynamic/node_epoch1024steps` — what does an epoch (1024 NodeModel
+//!   steps + churn + commit) cost vs the static kernel's 1024 steps?
+//!   `swaps0` isolates the epoch-machinery overhead (must be ≈ the static
+//!   `batch/node_kernel_1024steps` numbers); `swaps16` adds 16
+//!   degree-preserving edge swaps committed via the in-place patch path.
+//! * `dynamic/edge_epoch1024steps` — the same for the EdgeModel.
+//! * `dynamic/churn_commit` — churn + commit alone: 64 swaps patched in
+//!   place, and a 64-rewire epoch that forces a full (back-buffer-reusing)
+//!   CSR rebuild.
+//!
+//! CI runs this target in smoke mode (`--sample-size 2`); the tracked
+//! medians in `CHANGES.md` come from full runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_bench::pm_one;
+use od_core::{DynamicStepKernel, EdgeModelParams, KernelSpec, NodeModelParams};
+use od_graph::{generators, ChurnModel, DynamicGraph, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Steps advanced per epoch (= per benchmark iteration).
+const STEPS_PER_EPOCH: u64 = 1024;
+
+/// Square tori at n = 4096, 65536 and 1_000_000 (same scale set as
+/// `bench_batch`, so static vs dynamic numbers compare line for line).
+fn scale_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("torus64x64/n4096", generators::torus(64, 64).unwrap()),
+        ("torus256x256/n65536", generators::torus(256, 256).unwrap()),
+        (
+            "torus1000x1000/n1000000",
+            generators::torus(1000, 1000).unwrap(),
+        ),
+    ]
+}
+
+fn dynamic_node_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic/node_epoch1024steps");
+    for (name, g) in scale_graphs() {
+        for swaps in [0usize, 16] {
+            let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+            group.bench_function(format!("{name}/swaps{swaps}"), |b| {
+                let mut kernel = DynamicStepKernel::new(
+                    DynamicGraph::new(g.clone()),
+                    pm_one(g.n()),
+                    spec,
+                    ChurnModel::edge_swap(swaps),
+                    17,
+                )
+                .unwrap();
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| kernel.step_epoch(STEPS_PER_EPOCH, &mut rng).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn dynamic_edge_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic/edge_epoch1024steps");
+    for (name, g) in scale_graphs() {
+        let spec = KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap());
+        group.bench_function(format!("{name}/swaps16"), |b| {
+            let mut kernel = DynamicStepKernel::new(
+                DynamicGraph::new(g.clone()),
+                pm_one(g.n()),
+                spec,
+                ChurnModel::edge_swap(16),
+                18,
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| kernel.step_epoch(STEPS_PER_EPOCH, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn churn_commit_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic/churn_commit");
+    for (name, g) in scale_graphs() {
+        // Degree-preserving swaps: in-place CSR patch, no rebuild.
+        group.bench_function(format!("{name}/swap64_patch"), |b| {
+            let mut dg = DynamicGraph::new(g.clone());
+            let churn = ChurnModel::edge_swap(64);
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut epoch = 0u64;
+            b.iter(|| {
+                churn.apply(&mut dg, epoch, &mut rng).unwrap();
+                epoch += 1;
+                dg.commit()
+            });
+        });
+        // Degree-changing rewires: full rebuild into the reused back
+        // buffer — the amortised O(n + m) path.
+        group.bench_function(format!("{name}/rewire64_rebuild"), |b| {
+            let mut dg = DynamicGraph::new(g.clone());
+            let churn = ChurnModel::rewire(64, 1);
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut epoch = 0u64;
+            b.iter(|| {
+                churn.apply(&mut dg, epoch, &mut rng).unwrap();
+                epoch += 1;
+                dg.commit()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    dynamic_node_epochs,
+    dynamic_edge_epochs,
+    churn_commit_only
+);
+criterion_main!(benches);

@@ -21,8 +21,8 @@
 
 use crate::error::CoreError;
 use crate::kernel::{
-    run_steps, run_voter_steps, slice_average, slice_potential_pi, slice_weighted_average,
-    KernelSpec,
+    count_discordant_edges, run_steps, run_voter_steps_tracked, slice_average, slice_potential_pi,
+    slice_weighted_average, KernelSpec,
 };
 use od_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -175,12 +175,22 @@ impl<'g> ReplicaBatch<'g> {
 
 /// `R` independent replicas of a voter-model scenario (structure-of-arrays
 /// opinions, one shared graph). The discrete sibling of [`ReplicaBatch`].
+///
+/// Each replica carries an incrementally maintained count of *discordant
+/// edges* (edges whose endpoints disagree): the step loop adjusts it with
+/// one O(d_u) neighbourhood scan whenever an opinion actually flips, so
+/// [`VoterBatch::replica_is_consensus`] is O(1) instead of the former
+/// O(n) vector scan — and a `run_to_consensus`-style sweep over the whole
+/// batch drops from O(R·n) to O(R) per check.
 #[derive(Debug, Clone)]
 pub struct VoterBatch<'g> {
     graph: &'g Graph,
     n: usize,
     /// Replica-major `R × n` opinion storage.
     opinions: Vec<u32>,
+    /// Per-replica discordant-edge count (0 ⟺ consensus on a connected
+    /// graph).
+    discord: Vec<u64>,
     rngs: Vec<StdRng>,
     time: u64,
 }
@@ -206,10 +216,14 @@ impl<'g> VoterBatch<'g> {
         for _ in 0..seeds.len() {
             opinions.extend_from_slice(opinions0);
         }
+        // All replicas start identical, so one O(m) scan seeds every
+        // replica's incremental discordant-edge counter.
+        let discord0 = count_discordant_edges(graph, opinions0);
         Ok(VoterBatch {
             graph,
             n,
             opinions,
+            discord: vec![discord0; seeds.len()],
             rngs: seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect(),
             time: 0,
         })
@@ -235,12 +249,14 @@ impl<'g> VoterBatch<'g> {
         &self.opinions[r * self.n..(r + 1) * self.n]
     }
 
-    /// Advances every replica by `steps` voter steps.
+    /// Advances every replica by `steps` voter steps, maintaining the
+    /// per-replica discordant-edge counts as opinions flip.
     pub fn step_many(&mut self, steps: u64) {
         for (r, rng) in self.rngs.iter_mut().enumerate() {
-            run_voter_steps(
+            run_voter_steps_tracked(
                 self.graph,
                 &mut self.opinions[r * self.n..(r + 1) * self.n],
+                &mut self.discord[r],
                 steps,
                 rng,
             );
@@ -248,9 +264,26 @@ impl<'g> VoterBatch<'g> {
         self.time += steps;
     }
 
-    /// Whether replica `r` has reached consensus. O(n).
+    /// Whether replica `r` has reached consensus: O(1) via the incremental
+    /// discordant-edge count (zero ⟺ all nodes agree, because the graph is
+    /// connected by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
     pub fn replica_is_consensus(&self, r: usize) -> bool {
-        self.replica_opinions(r).windows(2).all(|w| w[0] == w[1])
+        assert!(r < self.replicas(), "replica {r} out of range");
+        self.discord[r] == 0
+    }
+
+    /// Number of edges whose endpoints disagree in replica `r`. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
+    pub fn replica_discordant_edges(&self, r: usize) -> u64 {
+        assert!(r < self.replicas(), "replica {r} out of range");
+        self.discord[r]
     }
 }
 
@@ -353,6 +386,72 @@ mod tests {
             }
             assert_eq!(scalar.opinions(), batch.replica_opinions(r));
             assert_eq!(scalar.is_consensus(), batch.replica_is_consensus(r));
+        }
+    }
+
+    #[test]
+    fn incremental_discord_count_matches_brute_force() {
+        let g = generators::torus(4, 4).unwrap();
+        let ops0: Vec<u32> = (0..16).map(|i| i % 3).collect();
+        let mut batch = VoterBatch::new(&g, &ops0, &[2, 9]).unwrap();
+        for _ in 0..200 {
+            batch.step_many(1);
+            for r in 0..2 {
+                let ops = batch.replica_opinions(r);
+                let brute = g
+                    .edges()
+                    .filter(|&(u, v)| ops[u as usize] != ops[v as usize])
+                    .count() as u64;
+                assert_eq!(
+                    batch.replica_discordant_edges(r),
+                    brute,
+                    "replica {r} at t={}",
+                    batch.time()
+                );
+                assert_eq!(
+                    batch.replica_is_consensus(r),
+                    ops.windows(2).all(|w| w[0] == w[1])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_times_unchanged_by_incremental_check() {
+        // Regression gate for the O(R·n) -> O(1) consensus check: the
+        // first step at which each replica reports consensus must equal
+        // the scalar model's (O(n)-checked) consensus time exactly.
+        let g = generators::complete(8).unwrap();
+        let ops0: Vec<u32> = (0..8).collect();
+        let seeds = [41u64, 42, 43, 44];
+        let mut batch = VoterBatch::new(&g, &ops0, &seeds).unwrap();
+        let mut batch_consensus_at = vec![None::<u64>; seeds.len()];
+        for t in 1..=20_000u64 {
+            batch.step_many(1);
+            for (r, slot) in batch_consensus_at.iter_mut().enumerate() {
+                if slot.is_none() && batch.replica_is_consensus(r) {
+                    *slot = Some(t);
+                }
+            }
+            if batch_consensus_at.iter().all(Option::is_some) {
+                break;
+            }
+        }
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut scalar = VoterModel::new(&g, ops0.clone()).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut scalar_consensus_at = None;
+            for t in 1..=20_000u64 {
+                scalar.step(&mut rng);
+                if scalar.is_consensus() {
+                    scalar_consensus_at = Some(t);
+                    break;
+                }
+            }
+            assert_eq!(
+                batch_consensus_at[r], scalar_consensus_at,
+                "replica {r} consensus time changed"
+            );
         }
     }
 

@@ -1,0 +1,802 @@
+//! Step kernels over *evolving* topologies.
+//!
+//! The static kernels ([`StepKernel`], [`VoterKernel`],
+//! [`crate::ReplicaBatch`]) borrow one immutable CSR instance for their
+//! whole run. The dynamic kernels here own a
+//! [`DynamicGraph`](od_graph::DynamicGraph) instead and advance in
+//! **epochs**: a block of process steps on the frozen committed CSR, then
+//! one application of a [`ChurnModel`] at the epoch boundary, a commit,
+//! and (when churn can change degrees) a revalidation of the kernel's
+//! sampling preconditions.
+//!
+//! Two RNG streams keep everything reproducible:
+//!
+//! * the *step* RNG (caller-supplied, per replica in the batched case)
+//!   drives neighbour sampling exactly as in the static kernels;
+//! * a dedicated *churn* RNG, seeded at construction, drives topology
+//!   evolution.
+//!
+//! Because the streams never interleave, a run with churn rate 0
+//! (`ChurnModel::is_static`) consumes the step RNG identically to the
+//! static kernels and is therefore **bit-identical** to them — the
+//! equivalence suite (`tests/batch_equivalence.rs`) gates this on the
+//! full scenario matrix. And because churn draws only from its own RNG,
+//! the topology trajectory of a [`DynamicReplicaBatch`] is independent of
+//! how many replicas share it, preserving the Monte-Carlo runner's
+//! schedule-independence guarantee.
+//!
+//! [`StepKernel`]: crate::StepKernel
+//! [`VoterKernel`]: crate::VoterKernel
+
+use crate::error::CoreError;
+use crate::kernel::{
+    run_steps, run_voter_steps, slice_average, slice_potential_pi, slice_weighted_average,
+    validate_values, KernelSpec,
+};
+use od_graph::{ChurnModel, DynamicGraph, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Applies one epoch of churn, commits the delta into the CSR, and
+/// re-checks the sampling preconditions the kernels rely on. `spec` is
+/// `Some` for the averaging kernels (k ≤ d_min plus a non-empty edge set
+/// for the EdgeModel) and `None` for the voter path (every node needs at
+/// least one neighbour).
+///
+/// Degree-preserving churn (edge swaps) skips the O(n) revalidation —
+/// the preconditions held before, so they still hold.
+fn churn_epoch(
+    graph: &mut DynamicGraph,
+    churn: &ChurnModel,
+    churn_rng: &mut StdRng,
+    epoch: u64,
+    spec: Option<KernelSpec>,
+) -> Result<u64, CoreError> {
+    if churn.is_static() {
+        return Ok(0);
+    }
+    let applied = churn
+        .apply(graph, epoch, churn_rng)
+        .map_err(CoreError::ChurnFailed)?;
+    graph.commit();
+    if !churn.preserves_degrees() {
+        match spec {
+            Some(spec) => {
+                spec.validate(graph.graph())?;
+                if graph.m() == 0 {
+                    return Err(CoreError::Disconnected);
+                }
+            }
+            None => {
+                if graph.graph().min_degree() == 0 {
+                    return Err(CoreError::InvalidSampleSize { k: 1, d_min: 0 });
+                }
+            }
+        }
+    }
+    Ok(applied as u64)
+}
+
+/// [`StepKernel`](crate::StepKernel) over an evolving topology.
+///
+/// # Example
+///
+/// ```
+/// use od_core::{DynamicStepKernel, KernelSpec, NodeModelParams};
+/// use od_graph::{generators, ChurnModel, DynamicGraph};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = DynamicGraph::new(generators::torus(16, 16)?);
+/// let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2)?);
+/// let xi0: Vec<f64> = (0..256).map(f64::from).collect();
+/// // 8 degree-preserving edge swaps between epochs of 256 steps.
+/// let mut kernel =
+///     DynamicStepKernel::new(graph, xi0, spec, ChurnModel::edge_swap(8), 42)?;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// for _ in 0..50 {
+///     kernel.step_epoch(256, &mut rng)?;
+/// }
+/// assert_eq!(kernel.time(), 50 * 256);
+/// assert_eq!(kernel.epoch(), 50);
+/// assert!(kernel.mutations() > 0);
+/// kernel.graph().check_invariants()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicStepKernel {
+    graph: DynamicGraph,
+    spec: KernelSpec,
+    churn: ChurnModel,
+    churn_rng: StdRng,
+    values: Vec<f64>,
+    sample: Vec<NodeId>,
+    perm: Vec<u32>,
+    time: u64,
+    epoch: u64,
+    mutations: u64,
+}
+
+impl DynamicStepKernel {
+    /// Creates a dynamic kernel on the given topology. Pending mutations
+    /// on `graph` are committed first; validation then mirrors
+    /// [`crate::StepKernel::new`] on the committed CSR. `churn_seed`
+    /// seeds the dedicated churn RNG.
+    ///
+    /// # Errors
+    ///
+    /// The same as [`crate::StepKernel::new`].
+    pub fn new(
+        mut graph: DynamicGraph,
+        initial_values: Vec<f64>,
+        spec: KernelSpec,
+        churn: ChurnModel,
+        churn_seed: u64,
+    ) -> Result<Self, CoreError> {
+        graph.commit();
+        validate_values(graph.graph(), &initial_values)?;
+        spec.validate(graph.graph())?;
+        let (sample, perm) = spec.scratch(graph.graph());
+        Ok(DynamicStepKernel {
+            graph,
+            spec,
+            churn,
+            churn_rng: StdRng::seed_from_u64(churn_seed),
+            values: initial_values,
+            sample,
+            perm,
+            time: 0,
+            epoch: 0,
+            mutations: 0,
+        })
+    }
+
+    /// The committed CSR the kernel is currently stepping over.
+    pub fn graph(&self) -> &Graph {
+        self.graph.graph()
+    }
+
+    /// The underlying dynamic graph (rebuild/patch counters, logical
+    /// view).
+    pub fn dynamic_graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The model spec.
+    pub fn spec(&self) -> KernelSpec {
+        self.spec
+    }
+
+    /// The churn model evolving the topology.
+    pub fn churn(&self) -> &ChurnModel {
+        &self.churn
+    }
+
+    /// The current value vector `ξ(t)`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Steps taken so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total elementary topology mutations applied so far.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Advances one epoch: `steps` process steps on the frozen topology,
+    /// then one churn application + commit at the boundary. Returns the
+    /// number of elementary mutations this epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ChurnFailed`] if the churn model errors;
+    /// [`CoreError::InvalidSampleSize`] / [`CoreError::Disconnected`] if
+    /// degree-changing churn broke the kernel's sampling preconditions
+    /// (the values are left at the epoch boundary, so the caller can
+    /// inspect them).
+    pub fn step_epoch<R: RngCore + ?Sized>(
+        &mut self,
+        steps: u64,
+        rng: &mut R,
+    ) -> Result<u64, CoreError> {
+        run_steps(
+            self.graph.graph(),
+            self.spec,
+            &mut self.values,
+            &mut self.sample,
+            &mut self.perm,
+            steps,
+            rng,
+        );
+        self.time += steps;
+        let applied = churn_epoch(
+            &mut self.graph,
+            &self.churn,
+            &mut self.churn_rng,
+            self.epoch,
+            Some(self.spec),
+        )?;
+        self.epoch += 1;
+        self.mutations += applied;
+        Ok(applied)
+    }
+
+    /// Runs `epochs` epochs of `steps_per_epoch` steps each.
+    ///
+    /// # Errors
+    ///
+    /// See [`DynamicStepKernel::step_epoch`].
+    pub fn step_epochs<R: RngCore + ?Sized>(
+        &mut self,
+        epochs: u64,
+        steps_per_epoch: u64,
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        for _ in 0..epochs {
+            self.step_epoch(steps_per_epoch, rng)?;
+        }
+        Ok(())
+    }
+
+    /// `Avg(t) = (1/n) Σ ξ_u(t)`. O(n).
+    pub fn average(&self) -> f64 {
+        slice_average(&self.values)
+    }
+
+    /// `M(t) = Σ π_u ξ_u(t)` with `π_u = d_u/2m` on the **current**
+    /// topology. O(n). Note that under degree-changing churn the weights
+    /// move with the graph, so `M` is only a martingale within an epoch.
+    pub fn weighted_average(&self) -> f64 {
+        slice_weighted_average(self.graph.graph(), &self.values)
+    }
+
+    /// The potential `φ(ξ(t))` (Eq. 3) on the current topology. O(n).
+    pub fn potential_pi(&self) -> f64 {
+        slice_potential_pi(self.graph.graph(), &self.values)
+    }
+
+    /// Discrepancy `K = max ξ − min ξ`. O(n).
+    pub fn discrepancy(&self) -> f64 {
+        od_linalg::vector::discrepancy(&self.values)
+    }
+}
+
+/// [`VoterKernel`](crate::VoterKernel) over an evolving topology.
+#[derive(Debug, Clone)]
+pub struct DynamicVoterKernel {
+    graph: DynamicGraph,
+    churn: ChurnModel,
+    churn_rng: StdRng,
+    opinions: Vec<u32>,
+    time: u64,
+    epoch: u64,
+    mutations: u64,
+}
+
+impl DynamicVoterKernel {
+    /// Creates a dynamic voter kernel (validation mirrors
+    /// [`crate::VoterKernel::new`] on the committed CSR).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Disconnected`] or [`CoreError::LengthMismatch`].
+    pub fn new(
+        mut graph: DynamicGraph,
+        opinions: Vec<u32>,
+        churn: ChurnModel,
+        churn_seed: u64,
+    ) -> Result<Self, CoreError> {
+        graph.commit();
+        if !graph.graph().is_connected() || graph.n() < 2 {
+            return Err(CoreError::Disconnected);
+        }
+        if opinions.len() != graph.n() {
+            return Err(CoreError::LengthMismatch {
+                values: opinions.len(),
+                nodes: graph.n(),
+            });
+        }
+        Ok(DynamicVoterKernel {
+            graph,
+            churn,
+            churn_rng: StdRng::seed_from_u64(churn_seed),
+            opinions,
+            time: 0,
+            epoch: 0,
+            mutations: 0,
+        })
+    }
+
+    /// The committed CSR the kernel is currently stepping over.
+    pub fn graph(&self) -> &Graph {
+        self.graph.graph()
+    }
+
+    /// The underlying dynamic graph.
+    pub fn dynamic_graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Current opinions.
+    pub fn opinions(&self) -> &[u32] {
+        &self.opinions
+    }
+
+    /// Steps taken so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total elementary topology mutations applied so far.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Advances one epoch of `steps` voter steps, then churns. Returns
+    /// the number of elementary mutations this epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ChurnFailed`] if the churn model errors;
+    /// [`CoreError::InvalidSampleSize`] if churn isolated a node (the
+    /// voter step samples a uniform neighbour, so every node needs
+    /// degree ≥ 1).
+    pub fn step_epoch<R: RngCore + ?Sized>(
+        &mut self,
+        steps: u64,
+        rng: &mut R,
+    ) -> Result<u64, CoreError> {
+        run_voter_steps(self.graph.graph(), &mut self.opinions, steps, rng);
+        self.time += steps;
+        let applied = churn_epoch(
+            &mut self.graph,
+            &self.churn,
+            &mut self.churn_rng,
+            self.epoch,
+            None,
+        )?;
+        self.epoch += 1;
+        self.mutations += applied;
+        Ok(applied)
+    }
+
+    /// Whether all nodes share one opinion. O(n).
+    pub fn is_consensus(&self) -> bool {
+        self.opinions.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// [`ReplicaBatch`](crate::ReplicaBatch) over an evolving topology: `R`
+/// independent replicas of the averaging process share **one** evolving
+/// environment.
+///
+/// All replicas see the same topology trajectory (churn draws from one
+/// dedicated RNG, once per epoch, regardless of `R`), while each replica
+/// keeps its own value vector and step RNG. A replica's trajectory is
+/// therefore a function of `(churn_seed, its own seed)` only — identical
+/// whether it runs alone or with many others, which is what lets
+/// `monte_carlo_batched` sweeps over dynamic graphs stay independent of
+/// batch size.
+#[derive(Debug, Clone)]
+pub struct DynamicReplicaBatch {
+    graph: DynamicGraph,
+    spec: KernelSpec,
+    churn: ChurnModel,
+    churn_rng: StdRng,
+    n: usize,
+    /// Replica-major `R × n` value storage.
+    values: Vec<f64>,
+    rngs: Vec<StdRng>,
+    sample: Vec<NodeId>,
+    perm: Vec<u32>,
+    time: u64,
+    epoch: u64,
+    mutations: u64,
+}
+
+impl DynamicReplicaBatch {
+    /// Creates `seeds.len()` replicas on a shared evolving topology, all
+    /// starting from `xi0`, replica `r` seeded with `seeds[r]`.
+    ///
+    /// # Errors
+    ///
+    /// The same as [`crate::StepKernel::new`].
+    pub fn new(
+        mut graph: DynamicGraph,
+        spec: KernelSpec,
+        xi0: &[f64],
+        seeds: &[u64],
+        churn: ChurnModel,
+        churn_seed: u64,
+    ) -> Result<Self, CoreError> {
+        graph.commit();
+        validate_values(graph.graph(), xi0)?;
+        spec.validate(graph.graph())?;
+        let n = xi0.len();
+        let mut values = Vec::with_capacity(n * seeds.len());
+        for _ in 0..seeds.len() {
+            values.extend_from_slice(xi0);
+        }
+        let (sample, perm) = spec.scratch(graph.graph());
+        Ok(DynamicReplicaBatch {
+            graph,
+            spec,
+            churn,
+            churn_rng: StdRng::seed_from_u64(churn_seed),
+            n,
+            values,
+            rngs: seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect(),
+            sample,
+            perm,
+            time: 0,
+            epoch: 0,
+            mutations: 0,
+        })
+    }
+
+    /// The committed CSR shared by every replica.
+    pub fn graph(&self) -> &Graph {
+        self.graph.graph()
+    }
+
+    /// The underlying dynamic graph.
+    pub fn dynamic_graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The model spec.
+    pub fn spec(&self) -> KernelSpec {
+        self.spec
+    }
+
+    /// Number of replicas `R`.
+    pub fn replicas(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Nodes per replica.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Steps taken so far (common to all replicas).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total elementary topology mutations applied so far.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Replica `r`'s value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
+    pub fn replica_values(&self, r: usize) -> &[f64] {
+        assert!(r < self.replicas(), "replica {r} out of range");
+        &self.values[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Advances every replica by `steps` steps on the frozen topology,
+    /// then applies **one** churn epoch shared by all replicas. Returns
+    /// the number of elementary mutations this epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`DynamicStepKernel::step_epoch`].
+    pub fn step_epoch(&mut self, steps: u64) -> Result<u64, CoreError> {
+        for (r, rng) in self.rngs.iter_mut().enumerate() {
+            run_steps(
+                self.graph.graph(),
+                self.spec,
+                &mut self.values[r * self.n..(r + 1) * self.n],
+                &mut self.sample,
+                &mut self.perm,
+                steps,
+                rng,
+            );
+        }
+        self.time += steps;
+        let applied = churn_epoch(
+            &mut self.graph,
+            &self.churn,
+            &mut self.churn_rng,
+            self.epoch,
+            Some(self.spec),
+        )?;
+        self.epoch += 1;
+        self.mutations += applied;
+        Ok(applied)
+    }
+
+    /// `Avg(t)` of replica `r`. O(n).
+    pub fn replica_average(&self, r: usize) -> f64 {
+        slice_average(self.replica_values(r))
+    }
+
+    /// `M(t) = Σ π_u ξ_u(t)` of replica `r` on the current topology.
+    /// O(n).
+    pub fn replica_weighted_average(&self, r: usize) -> f64 {
+        slice_weighted_average(self.graph.graph(), self.replica_values(r))
+    }
+
+    /// The potential `φ(ξ(t))` (Eq. 3) of replica `r` on the current
+    /// topology. O(n).
+    pub fn replica_potential_pi(&self, r: usize) -> f64 {
+        slice_potential_pi(self.graph.graph(), self.replica_values(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeModelParams, NodeModelParams, ReplicaBatch, StepKernel, VoterKernel};
+    use od_graph::generators;
+
+    fn assert_bits_identical(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "diverged at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn static_churn_is_bit_identical_to_static_kernel() {
+        let g = generators::torus(6, 6).unwrap();
+        let xi0: Vec<f64> = (0..36).map(|i| f64::from(i) * 0.3 - 5.0).collect();
+        for spec in [
+            KernelSpec::Node(NodeModelParams::new(0.4, 2).unwrap()),
+            KernelSpec::Edge(EdgeModelParams::new(0.6).unwrap()),
+        ] {
+            let mut kernel = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            kernel.step_many(4_000, &mut rng);
+
+            let mut dynamic = DynamicStepKernel::new(
+                DynamicGraph::new(g.clone()),
+                xi0.clone(),
+                spec,
+                ChurnModel::Static,
+                999, // churn seed is irrelevant at rate 0
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            dynamic.step_epochs(8, 500, &mut rng).unwrap();
+            assert_bits_identical(kernel.values(), dynamic.values());
+            assert_eq!(dynamic.time(), 4_000);
+            assert_eq!(dynamic.epoch(), 8);
+            assert_eq!(dynamic.mutations(), 0);
+        }
+    }
+
+    #[test]
+    fn swap_churn_changes_topology_but_keeps_degrees() {
+        let g = generators::torus(8, 8).unwrap();
+        let degrees = g.degree_sequence();
+        let xi0: Vec<f64> = (0..64).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+        let mut kernel =
+            DynamicStepKernel::new(DynamicGraph::new(g), xi0, spec, ChurnModel::edge_swap(4), 3)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        kernel.step_epochs(30, 64, &mut rng).unwrap();
+        assert!(kernel.mutations() > 0);
+        assert_eq!(kernel.graph().degree_sequence(), degrees);
+        kernel.graph().check_invariants().unwrap();
+        // Degree-preserving commits stay on the patch path.
+        assert_eq!(kernel.dynamic_graph().rebuilds(), 0);
+        assert!(kernel.dynamic_graph().patches() > 0);
+        assert!(kernel.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rewire_churn_below_node_floor_errors() {
+        // NodeModel k=2 on a cycle (d_min = 2): rewiring with floor 1 can
+        // drop a node to degree 1, which must surface as a validation
+        // error, not a panic in the sampler.
+        let g = generators::cycle(12).unwrap();
+        let xi0: Vec<f64> = (0..12).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+        let mut kernel =
+            DynamicStepKernel::new(DynamicGraph::new(g), xi0, spec, ChurnModel::rewire(6, 1), 5)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_error = false;
+        for _ in 0..50 {
+            match kernel.step_epoch(12, &mut rng) {
+                Ok(_) => {}
+                Err(CoreError::InvalidSampleSize { k: 2, d_min }) => {
+                    assert!(d_min < 2);
+                    saw_error = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(saw_error, "floor-1 rewiring never dropped below k=2");
+    }
+
+    #[test]
+    fn rewire_with_adequate_floor_keeps_running() {
+        let g = generators::torus(6, 6).unwrap();
+        let xi0: Vec<f64> = (0..36).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+        let mut kernel =
+            DynamicStepKernel::new(DynamicGraph::new(g), xi0, spec, ChurnModel::rewire(3, 2), 5)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        kernel.step_epochs(40, 36, &mut rng).unwrap();
+        assert!(kernel.mutations() > 0);
+        assert!(kernel.graph().min_degree() >= 2);
+        kernel.graph().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dynamic_voter_static_matches_kernel() {
+        let g = generators::hypercube(4).unwrap();
+        let ops0: Vec<u32> = (0..16).map(|i| i % 3).collect();
+        let mut kernel = VoterKernel::new(&g, ops0.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        kernel.step_many(2_000, &mut rng);
+
+        let mut dynamic =
+            DynamicVoterKernel::new(DynamicGraph::new(g.clone()), ops0, ChurnModel::Static, 1)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..4 {
+            dynamic.step_epoch(500, &mut rng).unwrap();
+        }
+        assert_eq!(kernel.opinions(), dynamic.opinions());
+        assert_eq!(kernel.is_consensus(), dynamic.is_consensus());
+    }
+
+    #[test]
+    fn dynamic_voter_survives_temporal_replay() {
+        let a: Vec<(u32, u32)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+        let b: Vec<(u32, u32)> = (0..8).map(|i| (i, (i + 3) % 8)).collect();
+        let churn = ChurnModel::temporal_replay(vec![a.clone(), b]).unwrap();
+        let graph = DynamicGraph::from_edges(8, &a).unwrap();
+        let mut voter = DynamicVoterKernel::new(graph, (0..8).collect(), churn, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            voter.step_epoch(32, &mut rng).unwrap();
+            voter.graph().check_invariants().unwrap();
+        }
+        assert_eq!(voter.time(), 640);
+        assert_eq!(voter.mutations(), 20 * 8);
+    }
+
+    #[test]
+    fn replica_trajectories_independent_of_batch_size() {
+        // The churn stream is shared but replica-count independent: the
+        // seed-7 replica sees the same evolving topology (and therefore
+        // the same trajectory) alone or with 3 batch-mates.
+        let g = generators::torus(5, 5).unwrap();
+        let xi0: Vec<f64> = (0..25).map(|i| f64::from(i) - 12.0).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.3, 2).unwrap());
+        let churn = ChurnModel::edge_swap(2);
+        let churn_seed = 77;
+
+        let mut solo = DynamicReplicaBatch::new(
+            DynamicGraph::new(g.clone()),
+            spec,
+            &xi0,
+            &[7],
+            churn.clone(),
+            churn_seed,
+        )
+        .unwrap();
+        let mut wide = DynamicReplicaBatch::new(
+            DynamicGraph::new(g),
+            spec,
+            &xi0,
+            &[7, 8, 9, 10],
+            churn,
+            churn_seed,
+        )
+        .unwrap();
+        for _ in 0..12 {
+            solo.step_epoch(100).unwrap();
+            wide.step_epoch(100).unwrap();
+        }
+        assert_bits_identical(solo.replica_values(0), wide.replica_values(0));
+        assert_eq!(solo.mutations(), wide.mutations());
+    }
+
+    #[test]
+    fn static_replica_batch_matches_static_path() {
+        let g = generators::complete(10).unwrap();
+        let xi0: Vec<f64> = (0..10).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 3).unwrap());
+        let seeds = [1u64, 2, 3];
+        let mut fixed = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        for _ in 0..6 {
+            fixed.step_many(200);
+        }
+        let mut dynamic = DynamicReplicaBatch::new(
+            DynamicGraph::new(g.clone()),
+            spec,
+            &xi0,
+            &seeds,
+            ChurnModel::edge_swap(0), // rate 0 spelled differently
+            123,
+        )
+        .unwrap();
+        for _ in 0..6 {
+            dynamic.step_epoch(200).unwrap();
+        }
+        for r in 0..seeds.len() {
+            assert_bits_identical(fixed.replica_values(r), dynamic.replica_values(r));
+            assert_eq!(
+                fixed.replica_potential_pi(r),
+                dynamic.replica_potential_pi(r)
+            );
+        }
+        assert_eq!(dynamic.dynamic_graph().rebuilds(), 0);
+        assert_eq!(dynamic.dynamic_graph().patches(), 0);
+    }
+
+    #[test]
+    fn construction_validation_matches_static() {
+        let g = generators::cycle(5).unwrap();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 3).unwrap());
+        assert!(matches!(
+            DynamicStepKernel::new(
+                DynamicGraph::new(g.clone()),
+                vec![0.0; 5],
+                spec,
+                ChurnModel::Static,
+                0
+            ),
+            Err(CoreError::InvalidSampleSize { d_min: 2, .. })
+        ));
+        let spec = KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap());
+        assert!(matches!(
+            DynamicStepKernel::new(
+                DynamicGraph::new(g.clone()),
+                vec![0.0; 3],
+                spec,
+                ChurnModel::Static,
+                0
+            ),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            DynamicVoterKernel::new(DynamicGraph::new(g), vec![0; 4], ChurnModel::Static, 0),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        let disconnected = od_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            DynamicVoterKernel::new(
+                DynamicGraph::new(disconnected),
+                vec![0; 4],
+                ChurnModel::Static,
+                0
+            ),
+            Err(CoreError::Disconnected)
+        ));
+    }
+}

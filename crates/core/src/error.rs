@@ -35,6 +35,9 @@ pub enum CoreError {
         /// Index of the offending value.
         index: usize,
     },
+    /// A churn model failed to evolve the topology of a dynamic kernel
+    /// (infeasible degree floor, invalid snapshot, exhausted retries).
+    ChurnFailed(od_graph::GraphError),
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +56,7 @@ impl fmt::Display for CoreError {
             CoreError::NonFiniteValue { index } => {
                 write!(f, "initial value at index {index} is not finite")
             }
+            CoreError::ChurnFailed(err) => write!(f, "topology churn failed: {err}"),
         }
     }
 }

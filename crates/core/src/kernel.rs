@@ -43,7 +43,8 @@ pub enum KernelSpec {
 impl KernelSpec {
     /// Validates the spec against a graph (connectivity is checked by the
     /// kernel constructors; this checks the spec-specific constraints).
-    fn validate(&self, graph: &Graph) -> Result<(), CoreError> {
+    /// The dynamic kernels re-run this after degree-changing churn.
+    pub(crate) fn validate(&self, graph: &Graph) -> Result<(), CoreError> {
         if let KernelSpec::Node(params) = self {
             let d_min = graph.min_degree();
             if params.k() > d_min {
@@ -74,7 +75,7 @@ impl KernelSpec {
 }
 
 /// Validates an initial value vector against a graph.
-fn validate_values(graph: &Graph, values: &[f64]) -> Result<(), CoreError> {
+pub(crate) fn validate_values(graph: &Graph, values: &[f64]) -> Result<(), CoreError> {
     if !graph.is_connected() || graph.n() < 2 {
         return Err(CoreError::Disconnected);
     }
@@ -375,6 +376,50 @@ pub(crate) fn run_voter_steps<R: RngCore + ?Sized>(
         let neighbors = graph.neighbors(u as NodeId);
         let v = neighbors[rng.gen_range(0..neighbors.len())];
         opinions[u] = opinions[v as usize];
+    }
+}
+
+/// Number of undirected edges whose endpoints currently disagree. On a
+/// connected graph this is zero exactly at consensus — the invariant
+/// behind [`crate::VoterBatch`]'s O(1) consensus check.
+pub(crate) fn count_discordant_edges(graph: &Graph, opinions: &[u32]) -> u64 {
+    graph
+        .edges()
+        .filter(|&(u, v)| opinions[u as usize] != opinions[v as usize])
+        .count() as u64
+}
+
+/// [`run_voter_steps`] plus incremental maintenance of the discordant-edge
+/// count: when `u`'s opinion actually flips, the count is adjusted by one
+/// O(d_u) scan of `u`'s neighbourhood, replacing the O(n) full-vector
+/// consensus checks of the batched sweeps. The RNG draw sequence is
+/// **identical** to [`run_voter_steps`] (two draws per step), so tracked
+/// and untracked trajectories coincide bit for bit.
+pub(crate) fn run_voter_steps_tracked<R: RngCore + ?Sized>(
+    graph: &Graph,
+    opinions: &mut [u32],
+    discord: &mut u64,
+    steps: u64,
+    rng: &mut R,
+) {
+    let n = graph.n();
+    for _ in 0..steps {
+        let u = rng.gen_range(0..n);
+        let neighbors = graph.neighbors(u as NodeId);
+        let v = neighbors[rng.gen_range(0..neighbors.len())];
+        let new = opinions[v as usize];
+        let old = opinions[u];
+        if old != new {
+            let mut delta = 0i64;
+            for &w in neighbors {
+                let other = opinions[w as usize];
+                delta += i64::from(new != other) - i64::from(old != other);
+            }
+            *discord = discord
+                .checked_add_signed(delta)
+                .expect("discordant-edge count went negative");
+            opinions[u] = new;
+        }
     }
 }
 

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod dynamic;
 mod edge_model;
 mod engine;
 mod error;
@@ -60,6 +61,7 @@ pub mod theory;
 mod voter;
 
 pub use batch::{ReplicaBatch, VoterBatch};
+pub use dynamic::{DynamicReplicaBatch, DynamicStepKernel, DynamicVoterKernel};
 pub use edge_model::EdgeModel;
 pub use engine::{
     estimate_convergence_value, run_kernel_until_converged, run_until_converged, trace_potential,

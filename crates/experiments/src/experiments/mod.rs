@@ -4,6 +4,7 @@
 pub mod comparison;
 pub mod convergence;
 pub mod duality;
+pub mod dynamic;
 pub mod higher_moments;
 pub mod martingale;
 pub mod potential;

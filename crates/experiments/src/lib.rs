@@ -177,6 +177,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "Section 6 extension: E[F^M] via M correlated walks",
             run: experiments::higher_moments::moments,
         },
+        Experiment {
+            id: "DYN-CHURN",
+            description: "Dynamic graphs: NodeModel convergence vs edge-swap churn rate",
+            run: experiments::dynamic::churn_convergence,
+        },
     ]
 }
 

@@ -38,6 +38,15 @@ pub struct Graph {
     tails: Vec<NodeId>,
 }
 
+/// Reusable scratch for [`Graph::assign_from_edges`] rebuilds (per-node
+/// degree counts and row-fill cursors). Owned by `DynamicGraph` so
+/// repeated rebuilds allocate nothing once the buffers have warmed up.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CsrScratch {
+    degree: Vec<usize>,
+    cursor: Vec<usize>,
+}
+
 impl Graph {
     /// Builds a graph with `n` nodes from an undirected edge list.
     ///
@@ -61,13 +70,43 @@ impl Graph {
     /// # Ok::<(), od_graph::GraphError>(())
     /// ```
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut graph = Graph {
+            offsets: Vec::new(),
+            neighbors: Vec::new(),
+            tails: Vec::new(),
+        };
+        graph.assign_from_edges(n, edges, &mut CsrScratch::default())?;
+        Ok(graph)
+    }
+
+    /// Rebuilds this graph in place from an undirected edge list, reusing
+    /// the existing CSR allocations (and the caller-owned `scratch`)
+    /// where capacity permits. This is the back-buffer refill path of
+    /// [`crate::DynamicGraph`]: a dynamic graph swaps its spare buffer in
+    /// and refills it here, so steady-state topology rebuilds allocate
+    /// nothing once the buffers have warmed up.
+    ///
+    /// On error the graph is left in an unspecified but valid-to-drop
+    /// state; callers must not keep using it.
+    ///
+    /// # Errors
+    ///
+    /// The same as [`Graph::from_edges`].
+    pub(crate) fn assign_from_edges(
+        &mut self,
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+        scratch: &mut CsrScratch,
+    ) -> Result<(), GraphError> {
         if n > u32::MAX as usize {
             return Err(GraphError::InvalidParameter(format!(
                 "graph supports at most {} nodes, got {n}",
                 u32::MAX
             )));
         }
-        let mut degree = vec![0usize; n];
+        let degree = &mut scratch.degree;
+        degree.clear();
+        degree.resize(n, 0);
         for &(u, v) in edges {
             let (uu, vv) = (u as usize, v as usize);
             if uu >= n {
@@ -82,15 +121,21 @@ impl Graph {
             degree[uu] += 1;
             degree[vv] += 1;
         }
-        let mut offsets = Vec::with_capacity(n + 1);
+        let offsets = &mut self.offsets;
+        offsets.clear();
+        offsets.reserve(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
-        for &d in &degree {
+        for &d in degree.iter() {
             acc += d;
             offsets.push(acc);
         }
-        let mut cursor: Vec<usize> = offsets[..n].to_vec();
-        let mut neighbors = vec![0 as NodeId; acc];
+        let cursor = &mut scratch.cursor;
+        cursor.clear();
+        cursor.extend_from_slice(&offsets[..n]);
+        let neighbors = &mut self.neighbors;
+        neighbors.clear();
+        neighbors.resize(acc, 0 as NodeId);
         for &(u, v) in edges {
             neighbors[cursor[u as usize]] = v;
             cursor[u as usize] += 1;
@@ -107,15 +152,33 @@ impl Graph {
                 });
             }
         }
-        let mut tails = vec![0 as NodeId; acc];
+        let tails = &mut self.tails;
+        tails.clear();
+        tails.resize(acc, 0 as NodeId);
         for u in 0..n {
             tails[offsets[u]..offsets[u + 1]].fill(u as NodeId);
         }
-        Ok(Graph {
-            offsets,
-            neighbors,
-            tails,
-        })
+        Ok(())
+    }
+
+    /// A zero-node, zero-allocation placeholder — the initial back buffer
+    /// of [`crate::DynamicGraph`], which stays this cheap until the first
+    /// rebuild commit actually needs it.
+    pub(crate) fn placeholder() -> Graph {
+        Graph {
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            tails: Vec::new(),
+        }
+    }
+
+    /// Mutable access to `u`'s neighbour row for the in-place delta patch
+    /// of [`crate::DynamicGraph`]. Callers must restore the row invariants
+    /// (sorted, no duplicates, no self loop) before the graph is read
+    /// again; [`Graph::check_invariants`] verifies them.
+    pub(crate) fn row_mut(&mut self, u: NodeId) -> &mut [NodeId] {
+        let (start, end) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+        &mut self.neighbors[start..end]
     }
 
     /// Number of nodes `n`.
@@ -254,6 +317,79 @@ impl Graph {
         (0..self.n() as NodeId)
             .map(|u| self.degree(u) as f64 / two_m as f64)
             .collect()
+    }
+
+    /// Degree of every node, `[d_0, …, d_{n−1}]`. Edge-swap churn on a
+    /// [`crate::DynamicGraph`] must preserve this vector exactly; the
+    /// dynamic property suite pins that.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        (0..self.n() as NodeId).map(|u| self.degree(u)).collect()
+    }
+
+    /// Verifies every CSR structural invariant, returning the first
+    /// violation found:
+    ///
+    /// * offsets start at 0, are non-decreasing, and end at `len(neighbors)`;
+    /// * every neighbour id is in range;
+    /// * rows are strictly sorted (sorted + no duplicates) with no self
+    ///   loops;
+    /// * adjacency is symmetric (`v ∈ N(u)` ⟺ `u ∈ N(v)`);
+    /// * `tails[e]` names the row that owns slot `e`.
+    ///
+    /// [`Graph::from_edges`] establishes these by construction; the dynamic
+    /// layer re-checks them after in-place delta patches, and the
+    /// `dynamic_prop` suite asserts them across churned random instances.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::BrokenInvariant`] describing the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        let broken = |msg: String| Err(GraphError::BrokenInvariant(msg));
+        let n = self.n();
+        if self.offsets.first() != Some(&0) {
+            return broken("offsets must start at 0".into());
+        }
+        if self.offsets.last() != Some(&self.neighbors.len()) {
+            return broken(format!(
+                "offsets must end at len(neighbors) = {}, got {:?}",
+                self.neighbors.len(),
+                self.offsets.last()
+            ));
+        }
+        if let Some(u) = (0..n).find(|&u| self.offsets[u] > self.offsets[u + 1]) {
+            return broken(format!("offsets decrease at node {u}"));
+        }
+        if self.tails.len() != self.neighbors.len() {
+            return broken("tails and neighbors length mismatch".into());
+        }
+        for u in 0..n as NodeId {
+            let row = self.neighbors(u);
+            for (i, &v) in row.iter().enumerate() {
+                if v as usize >= n {
+                    return broken(format!("node {u} has out-of-range neighbour {v}"));
+                }
+                if v == u {
+                    return broken(format!("self loop at node {u}"));
+                }
+                if i > 0 && row[i - 1] >= v {
+                    return broken(format!(
+                        "row of node {u} not strictly sorted at slot {i}: {} then {v}",
+                        row[i - 1]
+                    ));
+                }
+                if !self.has_edge(v, u) {
+                    return broken(format!("edge ({u}, {v}) present but ({v}, {u}) missing"));
+                }
+            }
+            let (start, end) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+            if let Some(e) = (start..end).find(|&e| self.tails[e] != u) {
+                return broken(format!(
+                    "tails[{e}] = {} but slot belongs to node {u}",
+                    self.tails[e]
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Number of common neighbours `c(u, v)` (linear merge of the two sorted

@@ -43,6 +43,10 @@ pub enum GraphError {
         /// Number of attempts made.
         attempts: usize,
     },
+    /// A CSR structural invariant does not hold (see
+    /// [`crate::Graph::check_invariants`]); the message names the violated
+    /// invariant.
+    BrokenInvariant(String),
 }
 
 impl fmt::Display for GraphError {
@@ -65,6 +69,7 @@ impl fmt::Display for GraphError {
             GraphError::RetriesExhausted { family, attempts } => {
                 write!(f, "{family} generator failed after {attempts} attempts")
             }
+            GraphError::BrokenInvariant(msg) => write!(f, "broken CSR invariant: {msg}"),
         }
     }
 }

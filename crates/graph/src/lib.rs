@@ -11,6 +11,10 @@
 //! * [`generators`] — deterministic families (cycle, complete, torus,
 //!   hypercube, …) and random families (G(n,p), random d-regular, …) used by
 //!   the experiments.
+//! * [`DynamicGraph`] / [`ChurnModel`] — evolving topologies: a
+//!   double-buffered CSR with a delta overlay, plus churn models
+//!   (degree-preserving edge swaps, small-world rewiring, per-epoch G(n,p)
+//!   resampling, temporal snapshot replay) for time-varying networks.
 //! * [`traversal`] — BFS distances, connectivity, components.
 //! * [`metrics`] — degree statistics, regularity, diameter, clustering,
 //!   exhaustive isoperimetric number for small graphs.
@@ -33,6 +37,7 @@
 
 mod builder;
 mod csr;
+mod dynamic;
 mod error;
 pub mod generators;
 pub mod metrics;
@@ -40,4 +45,5 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{DirectedEdge, Graph, NodeId};
+pub use dynamic::{ChurnModel, CommitOutcome, DynamicGraph};
 pub use error::GraphError;

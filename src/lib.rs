@@ -6,7 +6,8 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
-//! * [`graph`] — CSR graphs, generators, traversal, metrics.
+//! * [`graph`] — CSR graphs, generators, dynamic graphs (double-buffered
+//!   CSR + churn models for evolving topologies), traversal, metrics.
 //! * [`linalg`] — vectors, sparse/dense matrices, eigensolvers, Markov tools.
 //! * [`stats`] — Welford accumulators, confidence intervals, regression,
 //!   seeds, table output.
@@ -28,7 +29,7 @@
 //! ```text
 //! cargo build --release                        # all crates
 //! cargo test -q                                # unit + integration + property tests
-//! cargo bench -p od-bench                      # Criterion suite (8 targets)
+//! cargo bench -p od-bench                      # Criterion suite (10 targets)
 //! cargo run --release -p od-experiments --bin run_experiments -- --list
 //! ```
 //!

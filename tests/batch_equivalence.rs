@@ -13,12 +13,18 @@
 //! the graph's minimum degree are skipped exactly as the scalar
 //! constructor would reject them; a final tally pins the matrix at ≥ 30
 //! exercised cells so silent shrinkage of the suite fails loudly.
+//!
+//! A second matrix gates the dynamic-graph engine at churn rate 0: a
+//! `DynamicGraph`-backed kernel stepping in epochs must be bit-identical
+//! to the static kernels on every cell, for both rate-0 spellings
+//! (`ChurnModel::Static` and `edge_swap(0)`).
 
 use opinion_dynamics::core::{
-    EdgeModel, EdgeModelParams, KernelSpec, NodeModel, NodeModelParams, OpinionProcess,
-    ReplicaBatch, StepKernel, VoterBatch, VoterKernel, VoterModel,
+    DynamicReplicaBatch, DynamicStepKernel, DynamicVoterKernel, EdgeModel, EdgeModelParams,
+    KernelSpec, NodeModel, NodeModelParams, OpinionProcess, ReplicaBatch, StepKernel, VoterBatch,
+    VoterKernel, VoterModel,
 };
-use opinion_dynamics::graph::{generators, Graph};
+use opinion_dynamics::graph::{generators, ChurnModel, DynamicGraph, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -206,6 +212,139 @@ fn voter_matrix_batched_equals_scalar() {
         cells, 10,
         "voter matrix must cover 5 graphs x 2 replica sets"
     );
+}
+
+/// The two spellings of "churn rate 0" the dynamic layer admits; both
+/// must leave the step-RNG stream untouched.
+fn rate0_churns() -> [(&'static str, ChurnModel); 2] {
+    [
+        ("static", ChurnModel::Static),
+        ("swap0", ChurnModel::edge_swap(0)),
+    ]
+}
+
+/// Churn-rate-0 gate over the full averaging matrix: a
+/// `DynamicGraph`-backed kernel (and replica batch) partitioned into
+/// epochs must be bit-identical to the static `StepKernel`/`ReplicaBatch`
+/// at every checkpoint, for both rate-0 churn spellings.
+#[test]
+fn dynamic_rate0_matrix_equals_static() {
+    let mut cells = 0usize;
+    for (graph_name, g) in matrix_graphs() {
+        let d_min = g.min_degree();
+        let mut specs: Vec<(String, KernelSpec)> = Vec::new();
+        for k in [1usize, 2, 4] {
+            if k <= d_min {
+                specs.push((
+                    format!("node(k={k})"),
+                    KernelSpec::Node(NodeModelParams::new(0.35, k).unwrap()),
+                ));
+            }
+        }
+        specs.push((
+            "edge".to_string(),
+            KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap()),
+        ));
+        let xi0 = initial_values(g.n());
+        for (model_name, spec) in specs {
+            for (churn_name, churn) in rate0_churns() {
+                let name = format!("{graph_name} × {model_name} × {churn_name}");
+
+                let mut kernel = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+                let mut kernel_rng = StdRng::seed_from_u64(SEEDS[0]);
+                let mut dynamic = DynamicStepKernel::new(
+                    DynamicGraph::new(g.clone()),
+                    xi0.clone(),
+                    spec,
+                    churn.clone(),
+                    0xC0FFEE, // churn seed must be irrelevant at rate 0
+                )
+                .unwrap();
+                let mut dynamic_rng = StdRng::seed_from_u64(SEEDS[0]);
+
+                let mut batch = ReplicaBatch::new(&g, spec, &xi0, &SEEDS).unwrap();
+                let mut dynamic_batch = DynamicReplicaBatch::new(
+                    DynamicGraph::new(g.clone()),
+                    spec,
+                    &xi0,
+                    &SEEDS,
+                    churn,
+                    0xC0FFEE,
+                )
+                .unwrap();
+
+                for checkpoint in 1..=CHECKPOINTS {
+                    kernel.step_many(STEPS_PER_CHECKPOINT, &mut kernel_rng);
+                    dynamic
+                        .step_epoch(STEPS_PER_CHECKPOINT, &mut dynamic_rng)
+                        .unwrap();
+                    batch.step_many(STEPS_PER_CHECKPOINT);
+                    dynamic_batch.step_epoch(STEPS_PER_CHECKPOINT).unwrap();
+
+                    let t = checkpoint * STEPS_PER_CHECKPOINT;
+                    assert_bits_identical(
+                        kernel.values(),
+                        dynamic.values(),
+                        &format!("{name}, dynamic kernel vs static at t={t}"),
+                    );
+                    for r in 0..SEEDS.len() {
+                        assert_bits_identical(
+                            batch.replica_values(r),
+                            dynamic_batch.replica_values(r),
+                            &format!("{name}, dynamic batch replica {r} vs static at t={t}"),
+                        );
+                    }
+                }
+                assert_eq!(dynamic.mutations(), 0, "{name}: rate-0 churn mutated");
+                assert_eq!(dynamic_batch.mutations(), 0);
+                assert_eq!(dynamic.dynamic_graph().rebuilds(), 0);
+                assert_eq!(dynamic.dynamic_graph().patches(), 0);
+                cells += 1;
+            }
+        }
+    }
+    // Same shrinkage guard as the static matrix: 5 graphs × (≤3 node
+    // columns + edge) × 2 churn spellings.
+    assert!(
+        cells >= 30,
+        "dynamic rate-0 matrix shrank: only {cells} cells ran"
+    );
+}
+
+/// Voter arm of the churn-rate-0 gate.
+#[test]
+fn dynamic_voter_rate0_matrix_equals_static() {
+    let mut cells = 0usize;
+    for (graph_name, g) in matrix_graphs() {
+        let opinions0: Vec<u32> = (0..g.n() as u32).map(|i| i % 5).collect();
+        for (churn_name, churn) in rate0_churns() {
+            let mut kernel = VoterKernel::new(&g, opinions0.clone()).unwrap();
+            let mut kernel_rng = StdRng::seed_from_u64(SEEDS[0]);
+            let mut dynamic = DynamicVoterKernel::new(
+                DynamicGraph::new(g.clone()),
+                opinions0.clone(),
+                churn,
+                0xC0FFEE,
+            )
+            .unwrap();
+            let mut dynamic_rng = StdRng::seed_from_u64(SEEDS[0]);
+            for checkpoint in 1..=CHECKPOINTS {
+                kernel.step_many(STEPS_PER_CHECKPOINT, &mut kernel_rng);
+                dynamic
+                    .step_epoch(STEPS_PER_CHECKPOINT, &mut dynamic_rng)
+                    .unwrap();
+                assert_eq!(
+                    kernel.opinions(),
+                    dynamic.opinions(),
+                    "{graph_name} × {churn_name}: dynamic voter diverged at t={}",
+                    checkpoint * STEPS_PER_CHECKPOINT
+                );
+            }
+            assert_eq!(kernel.is_consensus(), dynamic.is_consensus());
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 10, "voter gate must cover 5 graphs x 2 spellings");
 }
 
 #[test]
