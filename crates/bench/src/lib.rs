@@ -7,6 +7,7 @@
 //! | `bench_step`        | L41, PB1, PD1, EQUIV (step kernels) |
 //! | `bench_batch`       | batched `StepKernel`/`ReplicaBatch` at n up to 10^6 |
 //! | `bench_convergence` | T22-CONV, T22-K, T24-CONV, PB2, CMP-VOTER |
+//! | `bench_converge`    | batched convergence engine (`run_until_converged` with retirement) vs sequential scalar runs, n up to 10^6, R up to 64 |
 //! | `bench_variance`    | T22-VAR, T24-VAR, P58, CE2 (per-trial workload) |
 //! | `bench_qchain`      | L57 (closed form, balance, power iteration) |
 //! | `bench_duality`     | FIG1, FIG4, DUAL (record + reversed replay) |

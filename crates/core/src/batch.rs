@@ -19,11 +19,17 @@
 //!
 //! [`StepKernel`]: crate::StepKernel
 
+use crate::engine::{
+    resolve_check_every, resolve_threads, ConvergeConfig, ConvergenceReport, StopRule,
+};
 use crate::error::CoreError;
 use crate::kernel::{
-    count_discordant_edges, run_steps, run_voter_steps_tracked, slice_average, slice_potential_pi,
-    slice_weighted_average, KernelSpec,
+    compact_retired, count_discordant_edges, restore_slot_order, run_replica_block_parallel,
+    run_steps, run_voter_block_parallel, run_voter_steps_tracked, slice_average,
+    slice_potential_pi, slice_weighted_average, swap_rows, BlockCheck, BlockOutcome, KernelSpec,
+    PotentialTracker,
 };
+use crate::voter::VoterReport;
 use od_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,7 +122,11 @@ impl<'g> ReplicaBatch<'g> {
         self.n
     }
 
-    /// Steps taken so far (common to all replicas).
+    /// Steps the batch has been driven so far. Identical for every replica
+    /// under [`ReplicaBatch::step_many`]; after a
+    /// [`ReplicaBatch::run_until_converged`] call it reports the
+    /// longest-lived replica's block time (retired replicas stopped at
+    /// their own `ConvergenceReport::steps`).
     pub fn time(&self) -> u64 {
         self.time
     }
@@ -155,6 +165,138 @@ impl<'g> ReplicaBatch<'g> {
             );
         }
         self.time += steps;
+    }
+
+    /// Drives every replica to ε-convergence (`φ(ξ(t)) ≤ ε`, Eq. 3) or to
+    /// its per-replica step budget, returning one [`ConvergenceReport`]
+    /// per replica in **original replica order**.
+    ///
+    /// This is the batched convergence engine:
+    ///
+    /// * **Early retirement + compaction** — replicas are stepped in
+    ///   blocks of `check_every` steps; at each block boundary, converged
+    ///   replicas are *retired* (they stop consuming steps) and the
+    ///   replica-major SoA buffer is *compacted* so the live replicas stay
+    ///   dense in memory. Without retirement the slowest replica pins the
+    ///   cost of all `R`; with it, total work is `Σ_r T_r` instead of
+    ///   `R · max_r T_r`.
+    /// * **Intra-batch parallelism** — live replicas are partitioned into
+    ///   contiguous chunks and stepped under `std::thread::scope`
+    ///   ([`ConvergeConfig::threads`] workers). Each replica draws only
+    ///   from its own RNG and touches only its own row, so every
+    ///   trajectory, stopping time and report is **bit-identical** to the
+    ///   scalar run with the same seed — regardless of thread count,
+    ///   retirement order, or how many replicas share the batch (gated in
+    ///   `tests/batch_equivalence.rs`).
+    /// * **Stopping rules** — [`StopRule::Block`] detects convergence at
+    ///   block boundaries with one O(n) check per block (maximum
+    ///   throughput); [`StopRule::Exact`] reproduces the scalar per-step
+    ///   stopping rule bit for bit via an incrementally tracked potential
+    ///   (see [`crate::run_until_converged`]).
+    ///
+    /// After the call, each replica's values are frozen at its stopping
+    /// state (canonical order is restored, so [`ReplicaBatch::replica_values`]
+    /// still maps replica `r` to `seeds[r]`), and [`ReplicaBatch::time`]
+    /// has advanced by the longest-lived replica's block time. Scratch for
+    /// the run is allocated per call, never per step.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidEpsilon`] if the threshold is negative or not
+    /// finite.
+    pub fn run_until_converged(
+        &mut self,
+        config: ConvergeConfig,
+    ) -> Result<Vec<ConvergenceReport>, CoreError> {
+        config.validate()?;
+        let r_total = self.replicas();
+        let n = self.n;
+        let mut reports = vec![ConvergenceReport::default(); r_total];
+        if r_total == 0 {
+            return Ok(reports);
+        }
+        let graph = self.graph;
+        let spec = self.spec;
+        let check_every = config.resolved_check_every(n);
+        let threads = config.resolved_threads();
+        let exact = config.stop == StopRule::Exact;
+        let pi: Vec<f64> = if exact {
+            graph.stationary_distribution()
+        } else {
+            Vec::new()
+        };
+        let mut trackers: Vec<PotentialTracker> = if exact {
+            (0..r_total)
+                .map(|r| PotentialTracker::new(&pi, &self.values[r * n..(r + 1) * n]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let check = if exact {
+            BlockCheck::Tracked {
+                epsilon: config.epsilon,
+                pi: &pi,
+            }
+        } else {
+            BlockCheck::Boundary {
+                epsilon: config.epsilon,
+            }
+        };
+        let mut slot_replica: Vec<usize> = (0..r_total).collect();
+        let mut outcomes = vec![BlockOutcome::default(); r_total];
+        let mut live = r_total;
+        let mut t_call = 0u64;
+        // The first pass is a zero-step block: the scalar rule checks φ
+        // before the first step, so already-converged replicas retire
+        // with zero steps.
+        let mut block = 0u64;
+        loop {
+            run_replica_block_parallel(
+                graph,
+                spec,
+                &check,
+                n,
+                &mut self.values,
+                &mut self.rngs,
+                &mut trackers,
+                &mut outcomes[..live],
+                block,
+                threads,
+            );
+            for slot in 0..live {
+                let outcome = outcomes[slot];
+                reports[slot_replica[slot]] = ConvergenceReport {
+                    steps: t_call + outcome.steps,
+                    converged: outcome.converged,
+                    potential: outcome.potential,
+                    weighted_average: outcome.weighted_average,
+                };
+            }
+            t_call += block;
+            let values = &mut self.values;
+            let rngs = &mut self.rngs;
+            live = compact_retired(live, &mut outcomes, &mut slot_replica, |a, b| {
+                swap_rows(values, n, a, b);
+                rngs.swap(a, b);
+                if exact {
+                    trackers.swap(a, b);
+                }
+            });
+            if live == 0 || t_call >= config.max_steps {
+                break;
+            }
+            block = check_every.min(config.max_steps - t_call);
+        }
+        self.time += t_call;
+
+        // Put the storage back in canonical replica order.
+        let values = &mut self.values;
+        let rngs = &mut self.rngs;
+        restore_slot_order(&mut slot_replica, |a, b| {
+            swap_rows(values, n, a, b);
+            rngs.swap(a, b);
+        });
+        Ok(reports)
     }
 
     /// `Avg(t)` of replica `r`. O(n).
@@ -234,7 +376,9 @@ impl<'g> VoterBatch<'g> {
         self.rngs.len()
     }
 
-    /// Steps taken so far (common to all replicas).
+    /// Steps the batch has been driven so far (see
+    /// [`ReplicaBatch::time`]; after a [`VoterBatch::run_to_consensus`]
+    /// call, retired replicas stopped at their own `VoterReport::steps`).
     pub fn time(&self) -> u64 {
         self.time
     }
@@ -284,6 +428,98 @@ impl<'g> VoterBatch<'g> {
     pub fn replica_discordant_edges(&self, r: usize) -> u64 {
         assert!(r < self.replicas(), "replica {r} out of range");
         self.discord[r]
+    }
+
+    /// Nodes per replica.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Drives every replica to consensus or to its per-replica step
+    /// budget, returning one [`VoterReport`] per replica in original
+    /// replica order.
+    ///
+    /// The voter sibling of [`ReplicaBatch::run_until_converged`]: live
+    /// replicas are stepped in blocks of `check_every` steps (0 = one
+    /// block per `n`) across `threads` scoped workers (0 = available
+    /// parallelism), converged replicas retire early and the SoA opinion
+    /// buffer is compacted. The incremental discordant-edge count makes
+    /// the consensus check O(1) *per step*, so every reported consensus
+    /// time is exact and bit-identical to the scalar
+    /// [`crate::VoterModel::run_to_consensus`] with the same seed,
+    /// independent of thread count, retirement order and batch size.
+    /// `max_steps` is a per-call budget per replica.
+    pub fn run_to_consensus(
+        &mut self,
+        max_steps: u64,
+        check_every: u64,
+        threads: usize,
+    ) -> Vec<VoterReport> {
+        let r_total = self.replicas();
+        let n = self.n;
+        let mut reports = vec![
+            VoterReport {
+                steps: 0,
+                winner: None,
+            };
+            r_total
+        ];
+        if r_total == 0 {
+            return reports;
+        }
+        let graph = self.graph;
+        let check_every = resolve_check_every(check_every, n);
+        let threads = resolve_threads(threads);
+        let mut slot_replica: Vec<usize> = (0..r_total).collect();
+        let mut outcomes = vec![BlockOutcome::default(); r_total];
+        let mut live = r_total;
+        let mut t_call = 0u64;
+        // Zero-step first pass: consensus is checked before the first
+        // step, mirroring the scalar driver.
+        let mut block = 0u64;
+        loop {
+            run_voter_block_parallel(
+                graph,
+                n,
+                &mut self.opinions,
+                &mut self.discord,
+                &mut self.rngs,
+                &mut outcomes[..live],
+                block,
+                threads,
+            );
+            for slot in 0..live {
+                let outcome = outcomes[slot];
+                reports[slot_replica[slot]] = VoterReport {
+                    steps: t_call + outcome.steps,
+                    winner: outcome.converged.then(|| self.opinions[slot * n]),
+                };
+            }
+            t_call += block;
+            let opinions = &mut self.opinions;
+            let discord = &mut self.discord;
+            let rngs = &mut self.rngs;
+            live = compact_retired(live, &mut outcomes, &mut slot_replica, |a, b| {
+                swap_rows(opinions, n, a, b);
+                discord.swap(a, b);
+                rngs.swap(a, b);
+            });
+            if live == 0 || t_call >= max_steps {
+                break;
+            }
+            block = check_every.min(max_steps - t_call);
+        }
+        self.time += t_call;
+
+        let opinions = &mut self.opinions;
+        let discord = &mut self.discord;
+        let rngs = &mut self.rngs;
+        restore_slot_order(&mut slot_replica, |a, b| {
+            swap_rows(opinions, n, a, b);
+            discord.swap(a, b);
+            rngs.swap(a, b);
+        });
+        reports
     }
 }
 
@@ -453,6 +689,214 @@ mod tests {
                 "replica {r} consensus time changed"
             );
         }
+    }
+
+    #[test]
+    fn converge_exact_matches_scalar_driver_bitwise() {
+        // StopRule::Exact must reproduce the scalar per-step stopping rule
+        // exactly: same stopping step, same converged flag, same final
+        // values (bitwise) and the same reported potential.
+        let g = generators::complete(12).unwrap();
+        let xi0: Vec<f64> = (0..12).map(|i| f64::from(i) * 0.7 - 3.0).collect();
+        let params = NodeModelParams::new(0.45, 2).unwrap();
+        let spec = KernelSpec::Node(params);
+        let seeds = [31u64, 32, 33, 34, 35];
+        let eps = 1e-8;
+        let budget = 1_000_000;
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        let config = crate::ConvergeConfig::new(eps, budget)
+            .with_stop(crate::StopRule::Exact)
+            .with_threads(2);
+        let reports = batch.run_until_converged(config).unwrap();
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut scalar = NodeModel::new(&g, xi0.clone(), params).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let scalar_report = crate::run_until_converged(&mut scalar, &mut rng, eps, budget);
+            assert_eq!(reports[r].steps, scalar_report.steps, "replica {r} steps");
+            assert_eq!(reports[r].converged, scalar_report.converged);
+            assert_eq!(
+                reports[r].potential.to_bits(),
+                scalar_report.potential.to_bits(),
+                "replica {r} potential"
+            );
+            assert_eq!(
+                scalar.state().values(),
+                batch.replica_values(r),
+                "replica {r} final values"
+            );
+            assert!(reports[r].converged, "test scenario should converge");
+        }
+        // Stopping times differ across seeds, so compaction actually ran.
+        let mut steps: Vec<u64> = reports.iter().map(|r| r.steps).collect();
+        steps.dedup();
+        assert!(steps.len() > 1, "want distinct stopping times: {steps:?}");
+    }
+
+    #[test]
+    fn converge_block_matches_kernel_driver() {
+        let g = generators::torus(4, 4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) - 8.0).collect();
+        let spec = KernelSpec::Edge(crate::EdgeModelParams::new(0.5).unwrap());
+        let seeds = [7u64, 8, 9];
+        let eps = 1e-7;
+        let budget = 500_000;
+        let check = 40;
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        let config = crate::ConvergeConfig::new(eps, budget).with_check_every(check);
+        let reports = batch.run_until_converged(config).unwrap();
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut kernel = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let kernel_report =
+                crate::run_kernel_until_converged(&mut kernel, &mut rng, eps, budget, check);
+            assert_eq!(reports[r].steps, kernel_report.steps, "replica {r}");
+            assert_eq!(reports[r].converged, kernel_report.converged);
+            assert_eq!(
+                reports[r].potential.to_bits(),
+                kernel_report.potential.to_bits()
+            );
+            assert_eq!(kernel.values(), batch.replica_values(r));
+        }
+    }
+
+    #[test]
+    fn converge_independent_of_thread_count_and_batch_size() {
+        let g = generators::complete(10).unwrap();
+        let xi0: Vec<f64> = (0..10).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 3).unwrap());
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let eps = 1e-9;
+        for stop in [crate::StopRule::Block, crate::StopRule::Exact] {
+            let run = |seed_set: &[u64], threads: usize| {
+                let mut batch = ReplicaBatch::new(&g, spec, &xi0, seed_set).unwrap();
+                let config = crate::ConvergeConfig::new(eps, 1_000_000)
+                    .with_stop(stop)
+                    .with_threads(threads);
+                let reports = batch.run_until_converged(config).unwrap();
+                let values: Vec<Vec<f64>> = (0..seed_set.len())
+                    .map(|r| batch.replica_values(r).to_vec())
+                    .collect();
+                (reports, values)
+            };
+            let (ref_reports, ref_values) = run(&seeds, 1);
+            for threads in [2usize, 3, 8, 17] {
+                let (reports, values) = run(&seeds, threads);
+                assert_eq!(reports, ref_reports, "threads={threads}, {stop:?}");
+                assert_eq!(values, ref_values, "threads={threads}, {stop:?}");
+            }
+            // Batch-size independence: each replica solo reproduces its
+            // in-batch report and stopping state.
+            for (r, &seed) in seeds.iter().enumerate() {
+                let (solo_reports, solo_values) = run(&[seed], 1);
+                assert_eq!(solo_reports[0], ref_reports[r], "solo replica {r}");
+                assert_eq!(solo_values[0], ref_values[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn converge_exact_independent_of_check_every() {
+        // In exact mode the block length is pure scheduling: results must
+        // not depend on it.
+        let g = generators::torus(4, 4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.3 - 2.0).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+        let seeds = [11u64, 12, 13];
+        let run = |check_every: u64| {
+            let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+            let config = crate::ConvergeConfig::new(1e-8, 2_000_000)
+                .with_stop(crate::StopRule::Exact)
+                .with_check_every(check_every)
+                .with_threads(1);
+            batch.run_until_converged(config).unwrap()
+        };
+        let reference = run(1);
+        for check in [7u64, 16, 1000, 1 << 40] {
+            assert_eq!(run(check), reference, "check_every={check}");
+        }
+    }
+
+    #[test]
+    fn converge_entry_and_budget_edge_cases() {
+        let g = generators::cycle(6).unwrap();
+        let spec = KernelSpec::Edge(crate::EdgeModelParams::new(0.5).unwrap());
+        // Already-converged initial state: zero steps, immediate retire.
+        let mut batch = ReplicaBatch::new(&g, spec, &[2.5; 6], &[1, 2]).unwrap();
+        let reports = batch
+            .run_until_converged(crate::ConvergeConfig::new(1e-12, 1_000))
+            .unwrap();
+        for report in &reports {
+            assert!(report.converged);
+            assert_eq!(report.steps, 0);
+            assert!(report.potential >= 0.0);
+        }
+        assert_eq!(batch.time(), 0);
+
+        // Budget exhaustion: per-replica steps equal the budget exactly.
+        let xi0: Vec<f64> = (0..6).map(f64::from).collect();
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &[1, 2, 3]).unwrap();
+        let reports = batch
+            .run_until_converged(crate::ConvergeConfig::new(1e-30, 123).with_check_every(50))
+            .unwrap();
+        for report in &reports {
+            assert!(!report.converged);
+            assert_eq!(report.steps, 123);
+        }
+        assert_eq!(batch.time(), 123);
+
+        // Empty batch and invalid epsilon.
+        let mut empty = ReplicaBatch::new(&g, spec, &[0.0; 6], &[]).unwrap();
+        assert!(empty
+            .run_until_converged(crate::ConvergeConfig::new(1e-9, 10))
+            .unwrap()
+            .is_empty());
+        assert!(matches!(
+            batch.run_until_converged(crate::ConvergeConfig::new(-1.0, 10)),
+            Err(CoreError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn voter_run_to_consensus_matches_scalar() {
+        let g = generators::complete(8).unwrap();
+        let ops0: Vec<u32> = (0..8).collect();
+        let seeds = [41u64, 42, 43, 44, 45, 46];
+        for threads in [1usize, 3, 6] {
+            let mut batch = VoterBatch::new(&g, &ops0, &seeds).unwrap();
+            let reports = batch.run_to_consensus(100_000, 64, threads);
+            for (r, &seed) in seeds.iter().enumerate() {
+                let mut scalar = VoterModel::new(&g, ops0.clone()).unwrap();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let scalar_report = scalar.run_to_consensus(&mut rng, 100_000);
+                assert_eq!(
+                    reports[r].steps, scalar_report.steps,
+                    "replica {r} consensus time (threads={threads})"
+                );
+                assert_eq!(reports[r].winner, scalar_report.winner);
+                assert_eq!(scalar.opinions(), batch.replica_opinions(r));
+            }
+        }
+    }
+
+    #[test]
+    fn voter_run_to_consensus_edge_cases() {
+        let g = generators::cycle(5).unwrap();
+        // Already at consensus: zero steps, winner reported.
+        let mut batch = VoterBatch::new(&g, &[9; 5], &[1, 2]).unwrap();
+        let reports = batch.run_to_consensus(1_000, 0, 0);
+        for report in &reports {
+            assert_eq!(report.steps, 0);
+            assert_eq!(report.winner, Some(9));
+        }
+        // Budget exhaustion.
+        let ops0: Vec<u32> = (0..5).collect();
+        let mut batch = VoterBatch::new(&g, &ops0, &[7]).unwrap();
+        let reports = batch.run_to_consensus(3, 0, 1);
+        assert_eq!(reports[0].steps, 3);
+        assert_eq!(reports[0].winner, None);
+        // Empty batch.
+        let mut empty = VoterBatch::new(&g, &ops0, &[]).unwrap();
+        assert!(empty.run_to_consensus(10, 0, 0).is_empty());
     }
 
     #[test]

@@ -28,10 +28,12 @@
 //! [`StepKernel`]: crate::StepKernel
 //! [`VoterKernel`]: crate::VoterKernel
 
+use crate::engine::{resolve_threads, validate_epsilon, ConvergenceReport};
 use crate::error::CoreError;
 use crate::kernel::{
-    run_steps, run_voter_steps, slice_average, slice_potential_pi, slice_weighted_average,
-    validate_values, KernelSpec,
+    compact_retired, restore_slot_order, run_replica_block_parallel, run_steps, run_voter_steps,
+    slice_average, slice_potential_pi, slice_weighted_average, swap_rows, validate_values,
+    BlockCheck, BlockOutcome, KernelSpec,
 };
 use od_graph::{ChurnModel, DynamicGraph, Graph, NodeId};
 use rand::rngs::StdRng;
@@ -532,6 +534,129 @@ impl DynamicReplicaBatch {
         Ok(applied)
     }
 
+    /// Drives every replica to ε-convergence or to `max_epochs` epochs of
+    /// `steps_per_epoch` steps each, churning the shared topology at every
+    /// epoch boundary. Returns one [`ConvergenceReport`] per replica in
+    /// original replica order (`steps` counts process steps, so converged
+    /// replicas report multiples of `steps_per_epoch`).
+    ///
+    /// The dynamic sibling of [`crate::ReplicaBatch::run_until_converged`]:
+    /// live replicas are stepped in parallel on the frozen topology
+    /// (`threads` scoped workers, 0 = available parallelism), then the
+    /// epoch's churn is applied and committed, and `φ` is evaluated on the
+    /// **post-churn** topology — the same block-granular stopping rule the
+    /// DYN-CHURN sweep has always used. Converged replicas retire early
+    /// and the SoA buffer is compacted; because churn draws from its own
+    /// dedicated RNG once per epoch regardless of how many replicas are
+    /// live, every replica's trajectory and stopping time is a function of
+    /// `(churn_seed, its own seed)` only — independent of thread count,
+    /// retirement order and batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidEpsilon`] for a negative or non-finite
+    /// threshold; otherwise the same errors as
+    /// [`DynamicStepKernel::step_epoch`] (the values are left at the
+    /// failing epoch boundary).
+    pub fn run_until_converged(
+        &mut self,
+        steps_per_epoch: u64,
+        max_epochs: u64,
+        epsilon: f64,
+        threads: usize,
+    ) -> Result<Vec<ConvergenceReport>, CoreError> {
+        validate_epsilon(epsilon)?;
+        let r_total = self.replicas();
+        let n = self.n;
+        let mut reports = vec![ConvergenceReport::default(); r_total];
+        if r_total == 0 {
+            return Ok(reports);
+        }
+        let threads = resolve_threads(threads);
+        let spec = self.spec;
+        let mut slot_replica: Vec<usize> = (0..r_total).collect();
+        let mut outcomes = vec![BlockOutcome::default(); r_total];
+        let mut trackers = Vec::new(); // epoch-granular: no tracked state
+        let mut live = r_total;
+        let mut t_call = 0u64;
+        let mut epochs = 0u64;
+        let result = loop {
+            // Evaluate phi on the current committed topology (a zero-step
+            // block computes the boundary potential in parallel; on the
+            // first pass this is the entry check, afterwards the
+            // post-churn epoch-boundary check), record, retire + compact.
+            run_replica_block_parallel(
+                self.graph.graph(),
+                spec,
+                &BlockCheck::Boundary { epsilon },
+                n,
+                &mut self.values,
+                &mut self.rngs,
+                &mut trackers,
+                &mut outcomes[..live],
+                0,
+                threads,
+            );
+            for slot in 0..live {
+                let outcome = outcomes[slot];
+                reports[slot_replica[slot]] = ConvergenceReport {
+                    steps: t_call,
+                    converged: outcome.converged,
+                    potential: outcome.potential,
+                    weighted_average: outcome.weighted_average,
+                };
+            }
+            let values = &mut self.values;
+            let rngs = &mut self.rngs;
+            live = compact_retired(live, &mut outcomes, &mut slot_replica, |a, b| {
+                swap_rows(values, n, a, b);
+                rngs.swap(a, b);
+            });
+            if live == 0 || epochs == max_epochs {
+                break Ok(());
+            }
+            // One epoch: step the live replicas on the frozen committed
+            // CSR, then churn + commit + revalidate, exactly as
+            // `step_epoch`.
+            run_replica_block_parallel(
+                self.graph.graph(),
+                spec,
+                &BlockCheck::None,
+                n,
+                &mut self.values,
+                &mut self.rngs,
+                &mut trackers,
+                &mut outcomes[..live],
+                steps_per_epoch,
+                threads,
+            );
+            self.time += steps_per_epoch;
+            t_call += steps_per_epoch;
+            match churn_epoch(
+                &mut self.graph,
+                &self.churn,
+                &mut self.churn_rng,
+                self.epoch,
+                Some(spec),
+            ) {
+                Ok(applied) => {
+                    self.epoch += 1;
+                    epochs += 1;
+                    self.mutations += applied;
+                }
+                Err(err) => break Err(err),
+            }
+        };
+
+        let values = &mut self.values;
+        let rngs = &mut self.rngs;
+        restore_slot_order(&mut slot_replica, |a, b| {
+            swap_rows(values, n, a, b);
+            rngs.swap(a, b);
+        });
+        result.map(|()| reports)
+    }
+
     /// `Avg(t)` of replica `r`. O(n).
     pub fn replica_average(&self, r: usize) -> f64 {
         slice_average(self.replica_values(r))
@@ -757,6 +882,135 @@ mod tests {
         }
         assert_eq!(dynamic.dynamic_graph().rebuilds(), 0);
         assert_eq!(dynamic.dynamic_graph().patches(), 0);
+    }
+
+    #[test]
+    fn dynamic_converge_matches_hand_rolled_epoch_loop() {
+        // The engine must reproduce the exact stopping rule the DYN-CHURN
+        // sweep used before it: potential checked on the post-churn
+        // topology at every epoch boundary, time recorded as the boundary
+        // step count.
+        let g = generators::torus(4, 4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) - 7.5).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+        let seeds = [21u64, 22, 23, 24];
+        let eps = 1e-10;
+        let (steps_per_epoch, max_epochs) = (16u64, 600u64);
+        let make = || {
+            DynamicReplicaBatch::new(
+                DynamicGraph::new(g.clone()),
+                spec,
+                &xi0,
+                &seeds,
+                ChurnModel::edge_swap(2),
+                77,
+            )
+            .unwrap()
+        };
+
+        // Hand-rolled reference: step every replica every epoch, record
+        // the first boundary at which each satisfies the threshold.
+        let mut reference = make();
+        let mut done: Vec<Option<u64>> = vec![None; seeds.len()];
+        while reference.epoch() < max_epochs && done.iter().any(Option::is_none) {
+            reference.step_epoch(steps_per_epoch).unwrap();
+            for (r, slot) in done.iter_mut().enumerate() {
+                if slot.is_none() && reference.replica_potential_pi(r) <= eps {
+                    *slot = Some(reference.time());
+                }
+            }
+        }
+
+        for threads in [1usize, 4] {
+            let mut engine = make();
+            let reports = engine
+                .run_until_converged(steps_per_epoch, max_epochs, eps, threads)
+                .unwrap();
+            for (r, report) in reports.iter().enumerate() {
+                assert_eq!(
+                    done[r],
+                    report.converged.then_some(report.steps),
+                    "replica {r} stopping time (threads={threads})"
+                );
+            }
+            assert!(reports.iter().all(|r| r.converged), "scenario converges");
+        }
+    }
+
+    #[test]
+    fn dynamic_converge_independent_of_batch_size() {
+        let g = generators::torus(4, 4).unwrap();
+        let xi0: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.4 - 3.0).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+        let seeds = [5u64, 6, 7, 8];
+        let run = |seed_set: &[u64]| {
+            let mut batch = DynamicReplicaBatch::new(
+                DynamicGraph::new(g.clone()),
+                spec,
+                &xi0,
+                seed_set,
+                ChurnModel::edge_swap(3),
+                13,
+            )
+            .unwrap();
+            batch.run_until_converged(16, 500, 1e-9, 1).unwrap()
+        };
+        let wide = run(&seeds);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let solo = run(&[seed]);
+            assert_eq!(solo[0], wide[r], "replica {r} depends on batch size");
+        }
+    }
+
+    #[test]
+    fn dynamic_converge_rate0_equals_static_engine() {
+        let g = generators::complete(10).unwrap();
+        let xi0: Vec<f64> = (0..10).map(f64::from).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 3).unwrap());
+        let seeds = [1u64, 2, 3];
+        let (eps, steps_per_epoch) = (1e-9, 25u64);
+        let mut fixed = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        let static_reports = fixed
+            .run_until_converged(
+                crate::ConvergeConfig::new(eps, 500 * steps_per_epoch)
+                    .with_check_every(steps_per_epoch),
+            )
+            .unwrap();
+        let mut dynamic = DynamicReplicaBatch::new(
+            DynamicGraph::new(g.clone()),
+            spec,
+            &xi0,
+            &seeds,
+            ChurnModel::Static,
+            99,
+        )
+        .unwrap();
+        let dynamic_reports = dynamic
+            .run_until_converged(steps_per_epoch, 500, eps, 2)
+            .unwrap();
+        assert_eq!(static_reports, dynamic_reports);
+        for r in 0..seeds.len() {
+            assert_bits_identical(fixed.replica_values(r), dynamic.replica_values(r));
+        }
+    }
+
+    #[test]
+    fn dynamic_converge_rejects_bad_epsilon() {
+        let g = generators::cycle(6).unwrap();
+        let spec = KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap());
+        let mut batch = DynamicReplicaBatch::new(
+            DynamicGraph::new(g),
+            spec,
+            &[0.0; 6],
+            &[1],
+            ChurnModel::Static,
+            0,
+        )
+        .unwrap();
+        assert!(matches!(
+            batch.run_until_converged(10, 10, f64::NAN, 1),
+            Err(CoreError::InvalidEpsilon { .. })
+        ));
     }
 
     #[test]

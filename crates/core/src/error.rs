@@ -38,6 +38,13 @@ pub enum CoreError {
     /// A churn model failed to evolve the topology of a dynamic kernel
     /// (infeasible degree floor, invalid snapshot, exhausted retries).
     ChurnFailed(od_graph::GraphError),
+    /// The ε-convergence threshold handed to a convergence driver must be
+    /// finite and non-negative (`φ` is a non-negative quadratic form, so a
+    /// negative or NaN threshold can never be met meaningfully).
+    InvalidEpsilon {
+        /// The rejected threshold.
+        epsilon: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -57,6 +64,9 @@ impl fmt::Display for CoreError {
                 write!(f, "initial value at index {index} is not finite")
             }
             CoreError::ChurnFailed(err) => write!(f, "topology churn failed: {err}"),
+            CoreError::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon must be finite and >= 0, got {epsilon}")
+            }
         }
     }
 }
@@ -85,5 +95,8 @@ mod tests {
         assert!(CoreError::NonFiniteValue { index: 2 }
             .to_string()
             .contains("index 2"));
+        assert!(CoreError::InvalidEpsilon { epsilon: -1.0 }
+            .to_string()
+            .contains("epsilon"));
     }
 }

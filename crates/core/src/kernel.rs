@@ -27,7 +27,9 @@
 use crate::error::CoreError;
 use crate::params::{EdgeModelParams, Laziness, NodeModelParams};
 use crate::sampling::sample_k_neighbors;
+use crate::state::REFRESH_INTERVAL;
 use od_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 
 /// Which averaging process a kernel advances, with its parameters.
@@ -160,10 +162,23 @@ pub(crate) fn slice_weighted_average(graph: &Graph, values: &[f64]) -> f64 {
 /// The paper's potential `φ(ξ) = ⟨ξ,ξ⟩_π − ⟨1,ξ⟩_π²` (Eq. 3), computed in
 /// two passes with the weighted mean as gauge (same cancellation-avoidance
 /// strategy as [`crate::OpinionState`]).
+///
+/// Like [`crate::OpinionState::potential_pi`], the result is clamped at 0:
+/// the scalar and batched convergence paths share the contract that `φ` is
+/// never reported negative, so an ε-convergence flag cannot flip on a
+/// rounding artifact (pinned by the potential proptest in
+/// `tests/kernel_prop.rs`).
 pub(crate) fn slice_potential_pi(graph: &Graph, values: &[f64]) -> f64 {
+    slice_potential_and_mean(graph, values).0
+}
+
+/// [`slice_potential_pi`] fused with its first pass: returns `(φ, M)`
+/// where `M` is the weighted mean used as gauge, so block-boundary checks
+/// get the `F` estimate for free.
+pub(crate) fn slice_potential_and_mean(graph: &Graph, values: &[f64]) -> (f64, f64) {
     let mu = slice_weighted_average(graph, values);
     let two_m = graph.directed_edge_count() as f64;
-    values
+    let phi = values
         .iter()
         .enumerate()
         .map(|(u, &x)| {
@@ -171,7 +186,503 @@ pub(crate) fn slice_potential_pi(graph: &Graph, values: &[f64]) -> f64 {
             graph.degree(u as NodeId) as f64 / two_m * c * c
         })
         .sum::<f64>()
-        .max(0.0)
+        .max(0.0);
+    (phi, mu)
+}
+
+/// Incrementally maintained potential for the tracked convergence path,
+/// mirroring [`crate::OpinionState`]'s arithmetic **expression for
+/// expression**: the same construction-time gauge (the weighted mean of
+/// the values at tracking start), the same `set_value` update formulas,
+/// the same [`REFRESH_INTERVAL`] drift refresh, and the same clamp at 0.
+///
+/// Because every float operation matches, a kernel run driven by the
+/// tracked stopping rule ([`crate::StopRule::Exact`]) stops at **exactly**
+/// the step a scalar [`run_until_converged`] run from the same state and
+/// seed would — the property the convergence equivalence gates in
+/// `tests/batch_equivalence.rs` pin.
+///
+/// [`run_until_converged`]: crate::run_until_converged
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PotentialTracker {
+    /// Centering offset: the weighted mean at tracking start (fixed, like
+    /// `OpinionState`'s construction-time gauge).
+    gauge: f64,
+    /// Σ π_u (ξ_u − gauge).
+    weighted_sum_c: f64,
+    /// Σ π_u (ξ_u − gauge)².
+    weighted_sq_sum_c: f64,
+    updates_since_refresh: u64,
+}
+
+impl PotentialTracker {
+    /// Starts tracking `values` (mirrors `OpinionState::new` +
+    /// `refresh_sums`).
+    pub(crate) fn new(pi: &[f64], values: &[f64]) -> Self {
+        let gauge = pi.iter().zip(values).map(|(w, v)| w * v).sum();
+        let mut tracker = PotentialTracker {
+            gauge,
+            weighted_sum_c: 0.0,
+            weighted_sq_sum_c: 0.0,
+            updates_since_refresh: 0,
+        };
+        tracker.refresh(pi, values);
+        tracker
+    }
+
+    /// Recomputes the running sums from scratch (mirrors
+    /// `OpinionState::refresh_sums`; the gauge stays fixed).
+    fn refresh(&mut self, pi: &[f64], values: &[f64]) {
+        self.weighted_sum_c = 0.0;
+        self.weighted_sq_sum_c = 0.0;
+        for (v, w) in values.iter().zip(pi) {
+            let c = v - self.gauge;
+            self.weighted_sum_c += w * c;
+            self.weighted_sq_sum_c += w * c * c;
+        }
+        self.updates_since_refresh = 0;
+    }
+
+    /// Records `ξ_u: old → new` with weight `w = π_u` in O(1) (mirrors
+    /// `OpinionState::set_value`). The caller refreshes via
+    /// [`PotentialTracker::maybe_refresh`] after the value write.
+    #[inline]
+    fn record(&mut self, w: f64, old: f64, new: f64) {
+        let old_c = old - self.gauge;
+        let new_c = new - self.gauge;
+        self.weighted_sum_c += w * (new_c - old_c);
+        self.weighted_sq_sum_c += w * (new_c * new_c - old_c * old_c);
+        self.updates_since_refresh += 1;
+    }
+
+    /// Refreshes the sums when the drift interval elapsed (mirrors the
+    /// refresh embedded in `OpinionState::set_value`).
+    #[inline]
+    fn maybe_refresh(&mut self, pi: &[f64], values: &[f64]) {
+        if self.updates_since_refresh >= REFRESH_INTERVAL {
+            self.refresh(pi, values);
+        }
+    }
+
+    /// `φ(ξ(t))`, clamped at 0 (mirrors `OpinionState::potential_pi`).
+    #[inline]
+    pub(crate) fn potential_pi(&self) -> f64 {
+        (self.weighted_sq_sum_c - self.weighted_sum_c * self.weighted_sum_c).max(0.0)
+    }
+
+    /// `M(t) = Σ π_u ξ_u(t)` (mirrors `OpinionState::weighted_average`,
+    /// so an exact-mode `F` estimate is bit-identical to the scalar
+    /// `estimate_convergence_value` path).
+    #[inline]
+    pub(crate) fn weighted_average(&self) -> f64 {
+        self.weighted_sum_c + self.gauge
+    }
+}
+
+/// Advances up to `max_steps` steps of `spec` over `values` with the
+/// tracked O(1) per-step convergence check, stopping at the first step `T`
+/// (counted from this call) with `φ(ξ(T)) ≤ ε`. Returns `(steps taken,
+/// converged)`.
+///
+/// The loop structure mirrors the scalar engine exactly: the potential is
+/// checked *before* each step (so an already-converged state takes zero
+/// steps), lazy skips consume their coin flip and count against the
+/// budget, and the update arithmetic is the same expression as
+/// [`run_steps`]. `tracker` persists across calls, so chaining block-sized
+/// calls is indistinguishable from one long call.
+#[allow(clippy::too_many_arguments)] // mirrors run_steps + tracking state
+pub(crate) fn run_steps_tracked_until<R: RngCore + ?Sized>(
+    graph: &Graph,
+    spec: KernelSpec,
+    pi: &[f64],
+    values: &mut [f64],
+    tracker: &mut PotentialTracker,
+    sample: &mut Vec<NodeId>,
+    perm: &mut Vec<u32>,
+    max_steps: u64,
+    epsilon: f64,
+    rng: &mut R,
+) -> (u64, bool) {
+    let mut taken = 0u64;
+    match spec {
+        KernelSpec::Node(params) => {
+            let n = graph.n();
+            let alpha = params.alpha();
+            let k = params.k();
+            let lazy = params.laziness() == Laziness::Lazy;
+            loop {
+                if tracker.potential_pi() <= epsilon {
+                    return (taken, true);
+                }
+                if taken == max_steps {
+                    return (taken, false);
+                }
+                taken += 1;
+                if lazy && rng.gen_bool(0.5) {
+                    continue;
+                }
+                let u = rng.gen_range(0..n);
+                sample_k_neighbors(graph.neighbors(u as NodeId), k, sample, perm, rng);
+                let mean =
+                    sample.iter().map(|&v| values[v as usize]).sum::<f64>() / sample.len() as f64;
+                let old = values[u];
+                let new = alpha * old + (1.0 - alpha) * mean;
+                values[u] = new;
+                tracker.record(pi[u], old, new);
+                tracker.maybe_refresh(pi, values);
+            }
+        }
+        KernelSpec::Edge(params) => {
+            let two_m = graph.directed_edge_count();
+            let alpha = params.alpha();
+            let lazy = params.laziness() == Laziness::Lazy;
+            loop {
+                if tracker.potential_pi() <= epsilon {
+                    return (taken, true);
+                }
+                if taken == max_steps {
+                    return (taken, false);
+                }
+                taken += 1;
+                if lazy && rng.gen_bool(0.5) {
+                    continue;
+                }
+                let edge = graph.directed_edge(rng.gen_range(0..two_m));
+                let tail = edge.tail as usize;
+                let old = values[tail];
+                let new = alpha * old + (1.0 - alpha) * values[edge.head as usize];
+                values[tail] = new;
+                tracker.record(pi[tail], old, new);
+                tracker.maybe_refresh(pi, values);
+            }
+        }
+    }
+}
+
+/// [`run_voter_steps_tracked`] with the consensus stopping rule folded in:
+/// advances up to `max_steps` voter steps, stopping at the first step with
+/// `discord == 0` (checked *before* each step, mirroring
+/// [`crate::VoterModel::run_to_consensus`]). Returns `(steps taken,
+/// consensus)`. The RNG draw sequence for the steps actually taken is
+/// identical to the scalar model's.
+pub(crate) fn run_voter_steps_tracked_until<R: RngCore + ?Sized>(
+    graph: &Graph,
+    opinions: &mut [u32],
+    discord: &mut u64,
+    max_steps: u64,
+    rng: &mut R,
+) -> (u64, bool) {
+    let mut taken = 0u64;
+    loop {
+        if *discord == 0 {
+            return (taken, true);
+        }
+        if taken == max_steps {
+            return (taken, false);
+        }
+        taken += 1;
+        voter_step_tracked(graph, opinions, discord, rng);
+    }
+}
+
+/// Outcome of stepping one replica through one convergence block.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BlockOutcome {
+    /// Steps actually taken within the block (less than the block length
+    /// only when a tracked replica crossed the threshold mid-block).
+    pub steps: u64,
+    /// `φ` after the last step taken (`NaN` under [`BlockCheck::None`]).
+    pub potential: f64,
+    /// `M(t) = Σ π_u ξ_u(t)` after the last step taken — the `F` estimate
+    /// when converged. Tracker-based under [`BlockCheck::Tracked`]
+    /// (bit-identical to `OpinionState::weighted_average`), the fused
+    /// first pass of the `φ` evaluation under [`BlockCheck::Boundary`],
+    /// `NaN` under [`BlockCheck::None`].
+    pub weighted_average: f64,
+    /// Whether the replica satisfied `φ ≤ ε` within the block.
+    pub converged: bool,
+}
+
+/// How a convergence block detects the ε-threshold.
+pub(crate) enum BlockCheck<'a> {
+    /// Advance only; the caller checks later (the dynamic driver evaluates
+    /// `φ` on the *post-churn* topology).
+    None,
+    /// One two-pass `φ` evaluation at the block boundary (block-granular
+    /// stopping; maximum step throughput).
+    Boundary {
+        /// ε-convergence threshold.
+        epsilon: f64,
+    },
+    /// Tracked O(1) per-step check — the scalar-identical stopping rule.
+    Tracked {
+        /// ε-convergence threshold.
+        epsilon: f64,
+        /// Stationary distribution shared by every replica.
+        pi: &'a [f64],
+    },
+}
+
+/// Steps one replica through one block under `check`.
+#[allow(clippy::too_many_arguments)] // private leaf of the block runners
+fn converge_replica_block(
+    graph: &Graph,
+    spec: KernelSpec,
+    check: &BlockCheck<'_>,
+    values: &mut [f64],
+    tracker: Option<&mut PotentialTracker>,
+    sample: &mut Vec<NodeId>,
+    perm: &mut Vec<u32>,
+    block: u64,
+    rng: &mut StdRng,
+) -> BlockOutcome {
+    match check {
+        BlockCheck::None => {
+            run_steps(graph, spec, values, sample, perm, block, rng);
+            BlockOutcome {
+                steps: block,
+                potential: f64::NAN,
+                weighted_average: f64::NAN,
+                converged: false,
+            }
+        }
+        BlockCheck::Boundary { epsilon } => {
+            run_steps(graph, spec, values, sample, perm, block, rng);
+            let (potential, weighted_average) = slice_potential_and_mean(graph, values);
+            BlockOutcome {
+                steps: block,
+                potential,
+                weighted_average,
+                converged: potential <= *epsilon,
+            }
+        }
+        BlockCheck::Tracked { epsilon, pi } => {
+            let tracker = tracker.expect("tracked block without a tracker");
+            let (steps, converged) = run_steps_tracked_until(
+                graph, spec, pi, values, tracker, sample, perm, block, *epsilon, rng,
+            );
+            BlockOutcome {
+                steps,
+                potential: tracker.potential_pi(),
+                weighted_average: tracker.weighted_average(),
+                converged,
+            }
+        }
+    }
+}
+
+/// Advances the first `outcomes.len()` (live) replicas of a replica-major
+/// buffer by one convergence block, in parallel.
+///
+/// The live prefix is partitioned into contiguous per-worker ranges and
+/// stepped under `std::thread::scope`; each worker owns its own sampling
+/// scratch, and every replica draws only from its own RNG and reads only
+/// its own row, so the result is **independent of the thread count and of
+/// the partition** — bit for bit. With `threads <= 1` (or a single live
+/// replica) everything runs inline on the calling thread.
+///
+/// `trackers` must hold one tracker per live replica under
+/// [`BlockCheck::Tracked`] and may be empty otherwise.
+#[allow(clippy::too_many_arguments)] // shared leaf of the three drivers
+pub(crate) fn run_replica_block_parallel(
+    graph: &Graph,
+    spec: KernelSpec,
+    check: &BlockCheck<'_>,
+    n: usize,
+    values: &mut [f64],
+    rngs: &mut [StdRng],
+    trackers: &mut [PotentialTracker],
+    outcomes: &mut [BlockOutcome],
+    block: u64,
+    threads: usize,
+) {
+    let live = outcomes.len();
+    debug_assert!(rngs.len() >= live);
+    debug_assert!(values.len() >= live * n);
+    let workers = threads.clamp(1, live.max(1));
+    if workers <= 1 {
+        let (mut sample, mut perm) = spec.scratch(graph);
+        for (slot, outcome) in outcomes.iter_mut().enumerate() {
+            *outcome = converge_replica_block(
+                graph,
+                spec,
+                check,
+                &mut values[slot * n..(slot + 1) * n],
+                trackers.get_mut(slot),
+                &mut sample,
+                &mut perm,
+                block,
+                &mut rngs[slot],
+            );
+        }
+        return;
+    }
+    let base = live / workers;
+    let extra = live % workers;
+    std::thread::scope(|scope| {
+        let mut values = &mut values[..live * n];
+        let mut rngs = &mut rngs[..live];
+        let mut trackers = trackers;
+        let mut outcomes = outcomes;
+        for w in 0..workers {
+            let cnt = base + usize::from(w < extra);
+            if cnt == 0 {
+                break;
+            }
+            let (v, rest) = values.split_at_mut(cnt * n);
+            values = rest;
+            let (r, rest) = rngs.split_at_mut(cnt);
+            rngs = rest;
+            let (o, rest) = outcomes.split_at_mut(cnt);
+            outcomes = rest;
+            let t_cnt = if trackers.is_empty() { 0 } else { cnt };
+            let (t, rest) = trackers.split_at_mut(t_cnt);
+            trackers = rest;
+            scope.spawn(move || {
+                let (mut sample, mut perm) = spec.scratch(graph);
+                for (i, outcome) in o.iter_mut().enumerate() {
+                    *outcome = converge_replica_block(
+                        graph,
+                        spec,
+                        check,
+                        &mut v[i * n..(i + 1) * n],
+                        t.get_mut(i),
+                        &mut sample,
+                        &mut perm,
+                        block,
+                        &mut r[i],
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// Voter sibling of [`run_replica_block_parallel`]: advances the live
+/// prefix of a voter batch by one block with the O(1) consensus check,
+/// stopping each replica at its exact consensus step. Same thread-count
+/// independence argument (per-replica RNGs, disjoint rows).
+#[allow(clippy::too_many_arguments)] // shared leaf of the voter driver
+pub(crate) fn run_voter_block_parallel(
+    graph: &Graph,
+    n: usize,
+    opinions: &mut [u32],
+    discords: &mut [u64],
+    rngs: &mut [StdRng],
+    outcomes: &mut [BlockOutcome],
+    block: u64,
+    threads: usize,
+) {
+    let live = outcomes.len();
+    let run_one = |opinions: &mut [u32], discord: &mut u64, rng: &mut StdRng| {
+        let (steps, converged) =
+            run_voter_steps_tracked_until(graph, opinions, discord, block, rng);
+        BlockOutcome {
+            steps,
+            potential: *discord as f64,
+            weighted_average: f64::NAN,
+            converged,
+        }
+    };
+    let workers = threads.clamp(1, live.max(1));
+    if workers <= 1 {
+        for (slot, outcome) in outcomes.iter_mut().enumerate() {
+            *outcome = run_one(
+                &mut opinions[slot * n..(slot + 1) * n],
+                &mut discords[slot],
+                &mut rngs[slot],
+            );
+        }
+        return;
+    }
+    let base = live / workers;
+    let extra = live % workers;
+    std::thread::scope(|scope| {
+        let mut opinions = &mut opinions[..live * n];
+        let mut discords = &mut discords[..live];
+        let mut rngs = &mut rngs[..live];
+        let mut outcomes = outcomes;
+        for w in 0..workers {
+            let cnt = base + usize::from(w < extra);
+            if cnt == 0 {
+                break;
+            }
+            let (ops, rest) = opinions.split_at_mut(cnt * n);
+            opinions = rest;
+            let (d, rest) = discords.split_at_mut(cnt);
+            discords = rest;
+            let (r, rest) = rngs.split_at_mut(cnt);
+            rngs = rest;
+            let (o, rest) = outcomes.split_at_mut(cnt);
+            outcomes = rest;
+            scope.spawn(move || {
+                for (i, outcome) in o.iter_mut().enumerate() {
+                    *outcome = run_one(&mut ops[i * n..(i + 1) * n], &mut d[i], &mut r[i]);
+                }
+            });
+        }
+    });
+}
+
+/// Swaps rows `a` and `b` of a row-major `R × n` buffer (the compaction
+/// primitive of the batched convergence drivers).
+pub(crate) fn swap_rows<T>(buf: &mut [T], n: usize, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (left, right) = buf.split_at_mut(hi * n);
+    left[lo * n..(lo + 1) * n].swap_with_slice(&mut right[..n]);
+}
+
+/// One retirement + compaction sweep shared by the batched convergence
+/// drivers: stably partitions the live prefix so that slots whose
+/// [`BlockOutcome::converged`] flag is set move behind the new live
+/// boundary, swapping `outcomes` and `slot_replica` itself and delegating
+/// the driver-specific per-slot storage (value rows, RNGs, trackers,
+/// discord counts) to `swap_extra(a, b)`. Returns the new live count.
+/// Callers record reports from `outcomes` *before* compacting.
+pub(crate) fn compact_retired(
+    live: usize,
+    outcomes: &mut [BlockOutcome],
+    slot_replica: &mut [usize],
+    mut swap_extra: impl FnMut(usize, usize),
+) -> usize {
+    let mut write = 0;
+    for slot in 0..live {
+        if !outcomes[slot].converged {
+            if write != slot {
+                outcomes.swap(write, slot);
+                slot_replica.swap(write, slot);
+                swap_extra(write, slot);
+            }
+            write += 1;
+        }
+    }
+    write
+}
+
+/// Undoes the slot permutation left behind by retirement compaction:
+/// `slot_replica[slot]` names the replica currently stored in `slot`;
+/// after this returns, slot `r` holds replica `r` again. `swap(a, b)` must
+/// swap the *storage* of slots `a` and `b` (value rows, RNGs, any per-slot
+/// state). O(R) swaps.
+pub(crate) fn restore_slot_order(slot_replica: &mut [usize], mut swap: impl FnMut(usize, usize)) {
+    let r_total = slot_replica.len();
+    let mut pos_of = vec![0usize; r_total];
+    for (slot, &rep) in slot_replica.iter().enumerate() {
+        pos_of[rep] = slot;
+    }
+    for target in 0..r_total {
+        let src = pos_of[target];
+        if src != target {
+            swap(target, src);
+            let displaced = slot_replica[target];
+            slot_replica.swap(target, src);
+            pos_of[displaced] = src;
+            pos_of[target] = target;
+        }
+    }
 }
 
 /// Allocation-free step kernel for the averaging processes.
@@ -379,6 +890,37 @@ pub(crate) fn run_voter_steps<R: RngCore + ?Sized>(
     }
 }
 
+/// One tracked voter step: uniform node adopts a uniform neighbour's
+/// opinion (two RNG draws, identical to [`run_voter_steps`] and the
+/// scalar `VoterModel::step`), adjusting the discordant-edge count with
+/// one O(d_u) neighbourhood scan when the opinion actually flips. The
+/// single home of the discord-maintenance invariant shared by
+/// [`run_voter_steps_tracked`] and [`run_voter_steps_tracked_until`].
+#[inline]
+fn voter_step_tracked<R: RngCore + ?Sized>(
+    graph: &Graph,
+    opinions: &mut [u32],
+    discord: &mut u64,
+    rng: &mut R,
+) {
+    let u = rng.gen_range(0..graph.n());
+    let neighbors = graph.neighbors(u as NodeId);
+    let v = neighbors[rng.gen_range(0..neighbors.len())];
+    let new = opinions[v as usize];
+    let old = opinions[u];
+    if old != new {
+        let mut delta = 0i64;
+        for &w in neighbors {
+            let other = opinions[w as usize];
+            delta += i64::from(new != other) - i64::from(old != other);
+        }
+        *discord = discord
+            .checked_add_signed(delta)
+            .expect("discordant-edge count went negative");
+        opinions[u] = new;
+    }
+}
+
 /// Number of undirected edges whose endpoints currently disagree. On a
 /// connected graph this is zero exactly at consensus — the invariant
 /// behind [`crate::VoterBatch`]'s O(1) consensus check.
@@ -402,24 +944,8 @@ pub(crate) fn run_voter_steps_tracked<R: RngCore + ?Sized>(
     steps: u64,
     rng: &mut R,
 ) {
-    let n = graph.n();
     for _ in 0..steps {
-        let u = rng.gen_range(0..n);
-        let neighbors = graph.neighbors(u as NodeId);
-        let v = neighbors[rng.gen_range(0..neighbors.len())];
-        let new = opinions[v as usize];
-        let old = opinions[u];
-        if old != new {
-            let mut delta = 0i64;
-            for &w in neighbors {
-                let other = opinions[w as usize];
-                delta += i64::from(new != other) - i64::from(old != other);
-            }
-            *discord = discord
-                .checked_add_signed(delta)
-                .expect("discordant-edge count went negative");
-            opinions[u] = new;
-        }
+        voter_step_tracked(graph, opinions, discord, rng);
     }
 }
 

@@ -65,7 +65,7 @@ pub use dynamic::{DynamicReplicaBatch, DynamicStepKernel, DynamicVoterKernel};
 pub use edge_model::EdgeModel;
 pub use engine::{
     estimate_convergence_value, run_kernel_until_converged, run_until_converged, trace_potential,
-    ConvergenceReport,
+    ConvergeConfig, ConvergenceReport, StopRule,
 };
 pub use error::CoreError;
 pub use kernel::{KernelSpec, StepKernel, VoterKernel};

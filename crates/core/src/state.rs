@@ -2,8 +2,10 @@ use crate::error::CoreError;
 use od_graph::{Graph, NodeId};
 
 /// How many single-coordinate updates may elapse before the running sums
-/// are recomputed from scratch, bounding floating-point drift.
-const REFRESH_INTERVAL: u64 = 1 << 20;
+/// are recomputed from scratch, bounding floating-point drift. Shared with
+/// the tracked-potential convergence path (`od_core::kernel`), which
+/// mirrors this state's incremental arithmetic update-for-update.
+pub(crate) const REFRESH_INTERVAL: u64 = 1 << 20;
 
 /// The value vector `ξ(t)` together with the running aggregates the paper's
 /// analysis uses, maintained in O(1) per update:
@@ -130,6 +132,13 @@ impl OpinionState {
     /// The paper's potential `φ(ξ(t)) = ⟨ξ,ξ⟩_π − ⟨1,ξ⟩_π²` (Eq. 3),
     /// clamped at 0 against rounding. The process is ε-converged when this
     /// is at most ε.
+    ///
+    /// The clamp is a cross-path contract: every potential evaluation in
+    /// the crate — this incremental path, the kernels' on-demand
+    /// `slice_potential_pi`, and the tracked convergence path — returns a
+    /// non-negative value, so a `converged` flag can never flip on a
+    /// `-1e-18` rounding artifact (pinned by the potential proptest in
+    /// `tests/kernel_prop.rs`).
     pub fn potential_pi(&self) -> f64 {
         (self.weighted_sq_sum_c - self.weighted_sum_c * self.weighted_sum_c).max(0.0)
     }

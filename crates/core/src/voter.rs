@@ -24,7 +24,8 @@ pub struct VoterModel<'g> {
 /// Outcome of a voter-model run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VoterReport {
-    /// Steps until consensus (or the step budget if not reached).
+    /// Steps taken **by this run** until consensus (or the per-call step
+    /// budget if not reached).
     pub steps: u64,
     /// The winning opinion if consensus was reached.
     pub winner: Option<u32>,
@@ -108,13 +109,18 @@ impl<'g> VoterModel<'g> {
         }
     }
 
-    /// Runs until consensus or `max_steps`.
+    /// Runs until consensus or `max_steps` further steps. Like the
+    /// averaging drivers, `max_steps` is a **per-call budget**: a model
+    /// that already took steps gets the full budget, and the report counts
+    /// only this call's steps.
     pub fn run_to_consensus(&mut self, rng: &mut dyn RngCore, max_steps: u64) -> VoterReport {
-        while !self.is_consensus() && self.time < max_steps {
+        let mut taken = 0u64;
+        while !self.is_consensus() && taken < max_steps {
             self.step(rng);
+            taken += 1;
         }
         VoterReport {
-            steps: self.time,
+            steps: taken,
             winner: self.consensus_opinion(),
         }
     }
@@ -185,5 +191,22 @@ mod tests {
         let report = v.run_to_consensus(&mut r, 10);
         assert_eq!(report.steps, 10);
         assert_eq!(report.winner, None);
+    }
+
+    #[test]
+    fn consensus_budget_is_per_call() {
+        // Regression: the budget used to be compared against lifetime
+        // time(), so a pre-stepped model got a truncated budget and the
+        // report counted lifetime steps.
+        let g = generators::cycle(50).unwrap();
+        let opinions: Vec<u32> = (0..50).collect();
+        let mut v = VoterModel::new(&g, opinions).unwrap();
+        let mut r = StdRng::seed_from_u64(10);
+        for _ in 0..25 {
+            v.step(&mut r);
+        }
+        let report = v.run_to_consensus(&mut r, 10);
+        assert_eq!(report.steps, 10, "budget must be per-call");
+        assert_eq!(v.time(), 35, "the call must actually take 10 steps");
     }
 }

@@ -1,11 +1,17 @@
 //! Shared helpers for the experiment modules.
 
 use od_core::{
-    run_until_converged, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess,
+    run_until_converged, ConvergeConfig, ConvergenceReport, EdgeModel, EdgeModelParams, KernelSpec,
+    NodeModel, NodeModelParams, OpinionProcess, ReplicaBatch, StopRule,
 };
 use od_graph::Graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Replicas per [`ReplicaBatch`] in the batched convergence sweeps: big
+/// enough to amortise the shared-graph setup, small enough to keep every
+/// worker thread busy at quick-mode trial counts.
+pub const CONVERGE_REPLICAS_PER_BATCH: usize = 16;
 
 /// Balanced ±1 initial values (exactly centered for even `n`; centered by
 /// subtraction otherwise). The paper's bounds are scale-free in `‖ξ(0)‖²`,
@@ -66,6 +72,76 @@ pub fn estimate_f_edge(graph: &Graph, alpha: f64, xi0: &[f64], seed: u64, eps: f
         "EdgeModel failed to converge in {budget} steps"
     );
     model.state().weighted_average()
+}
+
+/// Runs one seed chunk of a NodeModel convergence sweep through the
+/// batched engine ([`ReplicaBatch::run_until_converged`]) with the
+/// scalar-identical [`StopRule::Exact`] stopping rule, so per-trial
+/// stopping times and trajectories are bit-identical to the scalar
+/// [`run_until_converged`] path this replaces. Inner threads are pinned to
+/// 1 because `monte_carlo_batched` already parallelises across chunks.
+fn node_converge_chunk(
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    seeds: &[u64],
+    eps: f64,
+) -> Vec<ConvergenceReport> {
+    let params = NodeModelParams::new(alpha, k).expect("valid params");
+    let mut batch =
+        ReplicaBatch::new(graph, KernelSpec::Node(params), xi0, seeds).expect("valid batch");
+    batch
+        .run_until_converged(
+            ConvergeConfig::new(eps, step_budget(graph))
+                .with_stop(StopRule::Exact)
+                .with_threads(1),
+        )
+        .expect("valid epsilon")
+}
+
+/// Batched sibling of [`steps_to_eps_node`]: ε-convergence steps for one
+/// seed chunk, identical per seed to the scalar helper.
+pub fn steps_to_eps_node_batched(
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    seeds: &[u64],
+    eps: f64,
+) -> Vec<u64> {
+    node_converge_chunk(graph, alpha, k, xi0, seeds, eps)
+        .into_iter()
+        .map(|r| r.steps)
+        .collect()
+}
+
+/// Batched sibling of [`estimate_f_node`]: one `F = M(T)` estimate per
+/// seed in the chunk. The exact stopping rule carries the tracked
+/// weighted average through the report, so each `F` is **bit-identical**
+/// to the scalar `estimate_f_node` result for the same seed.
+///
+/// # Panics
+///
+/// Panics if any replica fails to converge within the step budget.
+pub fn estimate_f_node_batched(
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    seeds: &[u64],
+    eps: f64,
+) -> Vec<f64> {
+    node_converge_chunk(graph, alpha, k, xi0, seeds, eps)
+        .into_iter()
+        .map(|report| {
+            assert!(
+                report.converged,
+                "NodeModel replica failed to converge within the step budget"
+            );
+            report.weighted_average
+        })
+        .collect()
 }
 
 /// Steps for a NodeModel to reach `φ ≤ eps`.

@@ -1,12 +1,41 @@
 //! T22-CONV / T22-K / T24-CONV / PB2 — convergence-time experiments.
 
 use super::common;
-use crate::runner::monte_carlo_stats;
+use crate::runner::{monte_carlo_batched, monte_carlo_stats};
 use crate::ExperimentContext;
 use od_core::theory;
 use od_graph::{generators, Graph};
 use od_linalg::{eigen, spectra};
-use od_stats::{fmt_float, Table};
+use od_stats::{fmt_float, SeedSequence, Table, Welford};
+
+/// NodeModel ε-convergence times through the batched engine: one
+/// `ReplicaBatch` per seed chunk with the scalar-identical exact stopping
+/// rule, so the measured `T(ε)` statistics are unchanged from the scalar
+/// per-trial path this replaced — only the setup cost and memory layout
+/// differ (see `od-core`'s convergence engine).
+fn node_steps_stats(
+    g: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    trials: usize,
+    seeds: SeedSequence,
+    eps: f64,
+) -> Welford {
+    monte_carlo_batched(
+        trials,
+        seeds,
+        common::CONVERGE_REPLICAS_PER_BATCH,
+        |_, chunk| {
+            common::steps_to_eps_node_batched(g, alpha, k, xi0, chunk, eps)
+                .into_iter()
+                .map(|s| s as f64)
+                .collect()
+        },
+    )
+    .into_iter()
+    .collect()
+}
 
 /// Regular families with analytic lazy-walk gaps.
 fn regular_families(sizes: &[usize]) -> Vec<(String, Graph, f64)> {
@@ -66,9 +95,7 @@ pub fn node_convergence(ctx: &ExperimentContext) -> Vec<Table> {
             .unwrap()
             .potential_pi();
         let seeds = ctx.seeds.child(100 + idx as u64);
-        let stats = monte_carlo_stats(trials, seeds, |seed| {
-            common::steps_to_eps_node(&g, alpha, k, &xi0, seed, eps) as f64
-        });
+        let stats = node_steps_stats(&g, alpha, k, &xi0, trials, seeds, eps);
         let measured = stats.mean().unwrap();
         let predicted = theory::node_convergence_steps(g.n(), lambda2, alpha, k, phi0, eps);
         t.push_row(vec![
@@ -113,9 +140,7 @@ pub fn k_dependence(ctx: &ExperimentContext) -> Vec<Table> {
     let mut t1 = None;
     for (idx, &k) in [1usize, 2, 3, 6].iter().enumerate() {
         let seeds = ctx.seeds.child(200 + idx as u64);
-        let stats = monte_carlo_stats(trials, seeds, |seed| {
-            common::steps_to_eps_node(&g, alpha, k, &xi0, seed, eps) as f64
-        });
+        let stats = node_steps_stats(&g, alpha, k, &xi0, trials, seeds, eps);
         let measured = stats.mean().unwrap();
         let predicted = theory::node_convergence_steps(g.n(), lambda2, alpha, k, phi0, eps);
         let t1_val = *t1.get_or_insert(measured);
@@ -171,6 +196,10 @@ pub fn edge_convergence(ctx: &ExperimentContext) -> Vec<Table> {
             xi0.iter().map(|v| (v - mean) * (v - mean)).sum()
         };
         let seeds = ctx.seeds.child(300 + idx as u64);
+        // Stays on the scalar path: this sweep stops on the *uniform*
+        // potential φ̄_V (Prop. D.1), which the batched engine's φ_π
+        // stopping rules don't cover yet (ROADMAP: convergence-engine
+        // follow-ups).
         let stats = monte_carlo_stats(trials, seeds, |seed| {
             common::steps_to_eps_edge_uniform(&g, alpha, &xi0, seed, eps) as f64
         });
@@ -224,9 +253,7 @@ pub fn lower_bound(ctx: &ExperimentContext) -> Vec<Table> {
             .unwrap()
             .potential_pi();
         let seeds = ctx.seeds.child(400 + idx as u64);
-        let stats = monte_carlo_stats(trials, seeds, |seed| {
-            common::steps_to_eps_node(&g, alpha, 1, &xi0, seed, eps) as f64
-        });
+        let stats = node_steps_stats(&g, alpha, 1, &xi0, trials, seeds, eps);
         let measured = stats.mean().unwrap();
         let predicted = theory::node_convergence_steps(n, spec.lambda2, alpha, 1, phi0, eps);
         t.push_row(vec![

@@ -12,10 +12,14 @@
 //! batched engine bit for bit (gated by `tests/batch_equivalence.rs`).
 //!
 //! Trials run through `monte_carlo_batched` with a [`DynamicReplicaBatch`]
-//! per chunk. The churn seed is fixed per sweep cell (not per chunk), so
-//! every replica sees the same topology trajectory and per-trial results
-//! are independent of batch size and thread schedule, exactly like the
-//! static sweeps.
+//! per chunk, driven by the batched convergence engine
+//! ([`DynamicReplicaBatch::run_until_converged`]): converged replicas
+//! retire early (no more steps wasted on finished trajectories) and the
+//! SoA buffer is compacted, with the same epoch-boundary stopping rule the
+//! old hand-rolled loop used. The churn seed is fixed per sweep cell (not
+//! per chunk), so every replica sees the same topology trajectory and
+//! per-trial results are independent of batch size and thread schedule,
+//! exactly like the static sweeps.
 
 use super::common;
 use crate::runner::monte_carlo_batched;
@@ -74,20 +78,21 @@ pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
                 churn_seed,
             )
             .expect("valid dynamic batch");
-            let mut done: Vec<Option<u64>> = vec![None; chunk.len()];
-            while batch.epoch() < max_epochs && done.iter().any(Option::is_none) {
-                batch
-                    .step_epoch(steps_per_epoch)
-                    .expect("degree-preserving churn cannot break the spec");
-                for (r, slot) in done.iter_mut().enumerate() {
-                    if slot.is_none() && batch.replica_potential_pi(r) <= EPS {
-                        *slot = Some(batch.time());
-                    }
-                }
-            }
+            // Inner threads pinned to 1: monte_carlo_batched already
+            // parallelises across chunks.
+            let reports = batch
+                .run_until_converged(steps_per_epoch, max_epochs, EPS, 1)
+                .expect("degree-preserving churn cannot break the spec");
             let mutations = batch.mutations();
-            done.into_iter()
-                .map(|d| (d.unwrap_or(budget), d.is_some(), mutations))
+            reports
+                .into_iter()
+                .map(|r| {
+                    (
+                        if r.converged { r.steps } else { budget },
+                        r.converged,
+                        mutations,
+                    )
+                })
                 .collect()
         });
         let steps: Welford = cell.iter().map(|&(s, _, _)| s as f64).collect();
@@ -131,16 +136,12 @@ mod tests {
                     99,
                 )
                 .unwrap();
-                let mut done: Vec<Option<u64>> = vec![None; chunk.len()];
-                while batch.epoch() < 400 && done.iter().any(Option::is_none) {
-                    batch.step_epoch(16).unwrap();
-                    for (r, slot) in done.iter_mut().enumerate() {
-                        if slot.is_none() && batch.replica_potential_pi(r) <= 1e-10 {
-                            *slot = Some(batch.time());
-                        }
-                    }
-                }
-                done.into_iter().map(|d| d.unwrap_or(u64::MAX)).collect()
+                batch
+                    .run_until_converged(16, 400, 1e-10, 1)
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| if r.converged { r.steps } else { u64::MAX })
+                    .collect()
             })
         };
         let one = run(1);

@@ -24,10 +24,20 @@ fn empirical_var_node(
     xi0: &[f64],
     trials: usize,
 ) -> Welford {
+    // Batched convergence engine with the scalar-identical exact stopping
+    // rule: trial `i` stops at the same step as the scalar
+    // `estimate_f_node` path this replaced, from the same seed, so the
+    // Var(F) statistics are preserved (F is read off the identical
+    // stopping state).
     let seeds = ctx.seeds.child(child);
-    monte_carlo_stats(trials, seeds, |seed| {
-        common::estimate_f_node(g, alpha, k, xi0, seed, F_EPS)
-    })
+    monte_carlo_batched(
+        trials,
+        seeds,
+        common::CONVERGE_REPLICAS_PER_BATCH,
+        |_, chunk| common::estimate_f_node_batched(g, alpha, k, xi0, chunk, F_EPS),
+    )
+    .into_iter()
+    .collect()
 }
 
 /// T22-VAR: `Var(F)·n²/‖ξ‖²` is Θ(1), independent of graph structure and

@@ -20,9 +20,10 @@
 //! (`ChurnModel::Static` and `edge_swap(0)`).
 
 use opinion_dynamics::core::{
-    DynamicReplicaBatch, DynamicStepKernel, DynamicVoterKernel, EdgeModel, EdgeModelParams,
-    KernelSpec, NodeModel, NodeModelParams, OpinionProcess, ReplicaBatch, StepKernel, VoterBatch,
-    VoterKernel, VoterModel,
+    run_kernel_until_converged, run_until_converged, ConvergeConfig, DynamicReplicaBatch,
+    DynamicStepKernel, DynamicVoterKernel, EdgeModel, EdgeModelParams, KernelSpec, NodeModel,
+    NodeModelParams, OpinionProcess, ReplicaBatch, StepKernel, StopRule, VoterBatch, VoterKernel,
+    VoterModel,
 };
 use opinion_dynamics::graph::{generators, ChurnModel, DynamicGraph, Graph};
 use rand::rngs::StdRng;
@@ -124,21 +125,7 @@ fn run_averaging_cell<'g>(
 fn averaging_matrix_batched_equals_scalar() {
     let mut cells = 0usize;
     for (graph_name, g) in matrix_graphs() {
-        let d_min = g.min_degree();
-        let mut specs: Vec<(String, KernelSpec)> = Vec::new();
-        for k in [1usize, 2, 4] {
-            if k <= d_min {
-                specs.push((
-                    format!("node(k={k})"),
-                    KernelSpec::Node(NodeModelParams::new(0.35, k).unwrap()),
-                ));
-            }
-        }
-        specs.push((
-            "edge".to_string(),
-            KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap()),
-        ));
-        for (model_name, spec) in specs {
+        for (model_name, spec) in matrix_specs(&g) {
             let name = format!("{graph_name} × {model_name}");
             let solo = run_averaging_cell(&name, &g, spec, &SEEDS[..1]);
             let wide = run_averaging_cell(&name, &g, spec, &SEEDS);
@@ -231,22 +218,8 @@ fn rate0_churns() -> [(&'static str, ChurnModel); 2] {
 fn dynamic_rate0_matrix_equals_static() {
     let mut cells = 0usize;
     for (graph_name, g) in matrix_graphs() {
-        let d_min = g.min_degree();
-        let mut specs: Vec<(String, KernelSpec)> = Vec::new();
-        for k in [1usize, 2, 4] {
-            if k <= d_min {
-                specs.push((
-                    format!("node(k={k})"),
-                    KernelSpec::Node(NodeModelParams::new(0.35, k).unwrap()),
-                ));
-            }
-        }
-        specs.push((
-            "edge".to_string(),
-            KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap()),
-        ));
         let xi0 = initial_values(g.n());
-        for (model_name, spec) in specs {
+        for (model_name, spec) in matrix_specs(&g) {
             for (churn_name, churn) in rate0_churns() {
                 let name = format!("{graph_name} × {model_name} × {churn_name}");
 
@@ -345,6 +318,240 @@ fn dynamic_voter_rate0_matrix_equals_static() {
         }
     }
     assert_eq!(cells, 10, "voter gate must cover 5 graphs x 2 spellings");
+}
+
+/// The spec columns of the averaging matrix for a given graph.
+fn matrix_specs(g: &Graph) -> Vec<(String, KernelSpec)> {
+    let d_min = g.min_degree();
+    let mut specs: Vec<(String, KernelSpec)> = Vec::new();
+    for k in [1usize, 2, 4] {
+        if k <= d_min {
+            specs.push((
+                format!("node(k={k})"),
+                KernelSpec::Node(NodeModelParams::new(0.35, k).unwrap()),
+            ));
+        }
+    }
+    specs.push((
+        "edge".to_string(),
+        KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap()),
+    ));
+    specs
+}
+
+/// Convergence-engine gate over the full averaging matrix: the batched
+/// sweep with [`StopRule::Exact`] must be **bit-identical to per-replica
+/// scalar `run_until_converged` under the same seeds** — stopping time,
+/// converged flag, reported potential, and final values — and the reports
+/// must be independent of thread count, retirement order (stopping times
+/// differ across seeds, so compaction genuinely reshuffles the buffer)
+/// and batch size.
+#[test]
+fn convergence_matrix_batched_equals_scalar() {
+    const EPS: f64 = 1e-6;
+    const BUDGET: u64 = 4_000_000;
+    let mut cells = 0usize;
+    for (graph_name, g) in matrix_graphs() {
+        let xi0 = initial_values(g.n());
+        for (model_name, spec) in matrix_specs(&g) {
+            let name = format!("{graph_name} × {model_name}");
+
+            // Scalar references, one per seed.
+            let scalar: Vec<(opinion_dynamics::core::ConvergenceReport, Vec<f64>)> = SEEDS
+                .iter()
+                .map(|&seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    match spec {
+                        KernelSpec::Node(p) => {
+                            let mut m = NodeModel::new(&g, xi0.clone(), p).unwrap();
+                            let report = run_until_converged(&mut m, &mut rng, EPS, BUDGET);
+                            (report, m.state().values().to_vec())
+                        }
+                        KernelSpec::Edge(p) => {
+                            let mut m = EdgeModel::new(&g, xi0.clone(), p).unwrap();
+                            let report = run_until_converged(&mut m, &mut rng, EPS, BUDGET);
+                            (report, m.state().values().to_vec())
+                        }
+                    }
+                })
+                .collect();
+            assert!(
+                scalar.iter().all(|(r, _)| r.converged),
+                "{name}: scalar reference did not converge"
+            );
+
+            // Batched sweep, several thread counts.
+            for threads in [1usize, 4] {
+                let mut batch = ReplicaBatch::new(&g, spec, &xi0, &SEEDS).unwrap();
+                let reports = batch
+                    .run_until_converged(
+                        ConvergeConfig::new(EPS, BUDGET)
+                            .with_stop(StopRule::Exact)
+                            .with_threads(threads),
+                    )
+                    .unwrap();
+                for (r, (scalar_report, scalar_values)) in scalar.iter().enumerate() {
+                    assert_eq!(
+                        reports[r].steps, scalar_report.steps,
+                        "{name}: replica {r} stopping time (threads={threads})"
+                    );
+                    assert_eq!(reports[r].converged, scalar_report.converged);
+                    assert_eq!(
+                        reports[r].potential.to_bits(),
+                        scalar_report.potential.to_bits(),
+                        "{name}: replica {r} potential (threads={threads})"
+                    );
+                    // The F estimate (M(T), read by estimate_convergence_value
+                    // and the Var(F) sweeps) must also match bit for bit.
+                    assert_eq!(
+                        reports[r].weighted_average.to_bits(),
+                        scalar_report.weighted_average.to_bits(),
+                        "{name}: replica {r} F estimate (threads={threads})"
+                    );
+                    assert_bits_identical(
+                        scalar_values,
+                        batch.replica_values(r),
+                        &format!("{name}, converged replica {r} (threads={threads})"),
+                    );
+                }
+            }
+
+            // Batch-size independence: each seed solo reproduces its
+            // in-batch report.
+            let mut solo = ReplicaBatch::new(&g, spec, &xi0, &SEEDS[..1]).unwrap();
+            let solo_reports = solo
+                .run_until_converged(ConvergeConfig::new(EPS, BUDGET).with_stop(StopRule::Exact))
+                .unwrap();
+            assert_eq!(solo_reports[0].steps, scalar[0].0.steps, "{name}: solo");
+            assert_bits_identical(&scalar[0].1, solo.replica_values(0), &name);
+
+            cells += 1;
+        }
+    }
+    assert!(
+        cells >= 15,
+        "convergence matrix shrank: only {cells} cells ran"
+    );
+}
+
+/// Block-rule arm of the convergence gate: with the same `check_every`,
+/// the batched sweep must match per-replica `run_kernel_until_converged`
+/// exactly (that driver is itself gated bit-identical to scalar
+/// stepping), across the graph matrix.
+#[test]
+fn convergence_block_rule_matches_kernel_driver_matrix() {
+    const EPS: f64 = 1e-6;
+    const BUDGET: u64 = 4_000_000;
+    const CHECK: u64 = 250;
+    for (graph_name, g) in matrix_graphs() {
+        let xi0 = initial_values(g.n());
+        let spec = KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap());
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &SEEDS).unwrap();
+        let reports = batch
+            .run_until_converged(ConvergeConfig::new(EPS, BUDGET).with_check_every(CHECK))
+            .unwrap();
+        for (r, &seed) in SEEDS.iter().enumerate() {
+            let mut kernel = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let kernel_report =
+                run_kernel_until_converged(&mut kernel, &mut rng, EPS, BUDGET, CHECK);
+            assert_eq!(
+                reports[r].steps, kernel_report.steps,
+                "{graph_name}: replica {r} block stopping time"
+            );
+            assert_eq!(reports[r].converged, kernel_report.converged);
+            assert_eq!(
+                reports[r].potential.to_bits(),
+                kernel_report.potential.to_bits()
+            );
+            assert_bits_identical(
+                kernel.values(),
+                batch.replica_values(r),
+                &format!("{graph_name}, block replica {r}"),
+            );
+        }
+    }
+}
+
+/// Voter arm of the convergence gate: batched `run_to_consensus` must
+/// report the exact scalar consensus times and winners under the same
+/// seeds, for several thread counts, across the graph matrix.
+#[test]
+fn voter_consensus_matrix_batched_equals_scalar() {
+    const BUDGET: u64 = 2_000_000;
+    for (graph_name, g) in matrix_graphs() {
+        let opinions0: Vec<u32> = (0..g.n() as u32).map(|i| i % 3).collect();
+        let scalar: Vec<(opinion_dynamics::core::VoterReport, Vec<u32>)> = SEEDS
+            .iter()
+            .map(|&seed| {
+                let mut m = VoterModel::new(&g, opinions0.clone()).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let report = m.run_to_consensus(&mut rng, BUDGET);
+                (report, m.opinions().to_vec())
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let mut batch = VoterBatch::new(&g, &opinions0, &SEEDS).unwrap();
+            let reports = batch.run_to_consensus(BUDGET, 0, threads);
+            for (r, (scalar_report, scalar_opinions)) in scalar.iter().enumerate() {
+                assert_eq!(
+                    &reports[r], scalar_report,
+                    "{graph_name}: replica {r} voter report (threads={threads})"
+                );
+                assert_eq!(
+                    scalar_opinions,
+                    batch.replica_opinions(r),
+                    "{graph_name}: replica {r} opinions (threads={threads})"
+                );
+            }
+        }
+    }
+}
+
+/// Dynamic arm at churn rate 0: the evolving-topology convergence driver
+/// must agree with the static block-rule engine (same epoch = block
+/// length), for both rate-0 churn spellings.
+#[test]
+fn dynamic_convergence_rate0_matrix_equals_static() {
+    const EPS: f64 = 1e-6;
+    const EPOCH: u64 = 250;
+    const MAX_EPOCHS: u64 = 16_000;
+    for (graph_name, g) in matrix_graphs() {
+        let xi0 = initial_values(g.n());
+        let spec = KernelSpec::Node(NodeModelParams::new(0.35, 2).unwrap());
+        let mut fixed = ReplicaBatch::new(&g, spec, &xi0, &SEEDS).unwrap();
+        let static_reports = fixed
+            .run_until_converged(
+                ConvergeConfig::new(EPS, MAX_EPOCHS * EPOCH).with_check_every(EPOCH),
+            )
+            .unwrap();
+        for (churn_name, churn) in rate0_churns() {
+            let mut dynamic = DynamicReplicaBatch::new(
+                DynamicGraph::new(g.clone()),
+                spec,
+                &xi0,
+                &SEEDS,
+                churn,
+                0xC0FFEE,
+            )
+            .unwrap();
+            let reports = dynamic
+                .run_until_converged(EPOCH, MAX_EPOCHS, EPS, 2)
+                .unwrap();
+            assert_eq!(
+                reports, static_reports,
+                "{graph_name} × {churn_name}: dynamic rate-0 convergence diverged"
+            );
+            for r in 0..SEEDS.len() {
+                assert_bits_identical(
+                    fixed.replica_values(r),
+                    dynamic.replica_values(r),
+                    &format!("{graph_name} × {churn_name}, replica {r}"),
+                );
+            }
+            assert_eq!(dynamic.mutations(), 0);
+        }
+    }
 }
 
 #[test]

@@ -10,8 +10,8 @@
 //! generator's valid range.
 
 use opinion_dynamics::core::{
-    EdgeModel, EdgeModelParams, KernelSpec, NodeModel, NodeModelParams, OpinionProcess, StepKernel,
-    VoterKernel, VoterModel,
+    EdgeModel, EdgeModelParams, KernelSpec, NodeModel, NodeModelParams, OpinionProcess,
+    ReplicaBatch, StepKernel, VoterKernel, VoterModel,
 };
 use opinion_dynamics::graph::{generators, Graph};
 use proptest::prelude::*;
@@ -137,6 +137,72 @@ proptest! {
         kernel.step_many(steps, &mut rng);
 
         assert_bits_identical(scalar.state().values(), kernel.values())?;
+    }
+
+    /// Potential-clamping consistency: the scalar incremental potential
+    /// (`OpinionState::potential_pi`, gauge-centered running sums) and the
+    /// batched two-pass potential (`StepKernel::potential_pi` /
+    /// `ReplicaBatch::replica_potential_pi`) must agree on random
+    /// instances and must **both be non-negative**, including on
+    /// near-converged states where rounding could otherwise surface a
+    /// `-1e-18` artifact and flip a `converged` flag on one path but not
+    /// the other.
+    #[test]
+    fn potential_paths_agree_and_are_nonnegative(
+        family in 0usize..FAMILIES,
+        size in 4usize..24,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..u64::MAX,
+        steps in 0u64..4000,
+        alpha in 0.0f64..0.95,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        let params = EdgeModelParams::new(alpha).unwrap();
+        let xi0 = initial_values(g.n(), run_seed);
+
+        // Drive the scalar process somewhere between fresh and fully
+        // converged (long runs land in the tiny-φ regime the clamp
+        // protects).
+        let mut scalar = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        for _ in 0..steps {
+            scalar.step(&mut rng);
+        }
+        let scalar_phi = scalar.state().potential_pi();
+
+        // Batched paths on the *identical* value vector.
+        let spec = KernelSpec::Edge(params);
+        let values = scalar.state().values().to_vec();
+        let kernel = StepKernel::new(&g, values.clone(), spec).unwrap();
+        let mut batch = ReplicaBatch::new(&g, spec, &values, &[run_seed]).unwrap();
+        let kernel_phi = kernel.potential_pi();
+        let batch_phi = batch.replica_potential_pi(0);
+
+        prop_assert!(scalar_phi >= 0.0, "scalar potential negative: {}", scalar_phi);
+        prop_assert!(kernel_phi >= 0.0, "kernel potential negative: {}", kernel_phi);
+        prop_assert!(batch_phi >= 0.0, "batch potential negative: {}", batch_phi);
+        // Kernel and batch share one two-pass evaluation: bit-equal.
+        prop_assert_eq!(kernel_phi.to_bits(), batch_phi.to_bits());
+        // Scalar (incremental, construction-time gauge) vs batched
+        // (two-pass, current-mean gauge) agree to rounding on the value
+        // scale.
+        let scale = 1.0 + values.iter().map(|v| v * v).sum::<f64>();
+        prop_assert!(
+            (scalar_phi - kernel_phi).abs() <= 1e-9 * scale,
+            "potential paths diverged: scalar {} vs batched {}",
+            scalar_phi,
+            kernel_phi
+        );
+        // And the batched driver honours the clamp: with the replica's own
+        // (non-negative) potential as threshold, it must retire at step 0
+        // with a non-negative reported potential — a negative artifact on
+        // either side of the comparison would break this.
+        let report = batch
+            .run_until_converged(opinion_dynamics::core::ConvergeConfig::new(kernel_phi, 0))
+            .unwrap();
+        prop_assert!(report[0].converged);
+        prop_assert_eq!(report[0].steps, 0);
+        prop_assert!(report[0].potential >= 0.0);
     }
 
     /// Voter model: identical opinion trajectories, every generator family.

@@ -14,9 +14,18 @@
 //! outlier classification, HTML reports); the numbers it prints are honest
 //! medians over real samples, which is what the perf-trajectory entries in
 //! `CHANGES.md` track.
+//!
+//! Setting the `OD_BENCH_JSON` environment variable to a file path makes
+//! the harness additionally mirror every completed benchmark into that
+//! file as a JSON array of `{id, median_ns, mean_ns, min_ns, samples,
+//! iters_per_sample}` objects (rewritten after each benchmark, so a
+//! partial run still leaves valid JSON). CI uses this to emit
+//! machine-readable medians (e.g. `BENCH_converge.json`) next to the
+//! human-readable table in `CHANGES.md`.
 
 #![forbid(unsafe_code)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -234,6 +243,32 @@ impl Criterion {
             samples.len(),
             iters_per_sample,
         );
+        record_json(id, median, mean, min, samples.len(), iters_per_sample);
+    }
+}
+
+/// Mirrors one benchmark result into the `OD_BENCH_JSON` file (no-op when
+/// the variable is unset). The whole array is rewritten on every append so
+/// the file is valid JSON even if the run is interrupted.
+fn record_json(id: &str, median: f64, mean: f64, min: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("OD_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    static ROWS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let rows = ROWS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut rows = rows.lock().expect("bench json mutex poisoned");
+    // Benchmark ids are plain ASCII (group/function names), so Rust's
+    // string escaping is valid JSON escaping here.
+    rows.push(format!(
+        "  {{\"id\": {id:?}, \"median_ns\": {median:.1}, \"mean_ns\": {mean:.1}, \
+         \"min_ns\": {min:.1}, \"samples\": {samples}, \"iters_per_sample\": {iters}}}"
+    ));
+    let body = format!("[\n{}\n]\n", rows.join(",\n"));
+    if let Err(err) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {path}: {err}");
     }
 }
 
