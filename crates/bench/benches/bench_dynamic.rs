@@ -10,8 +10,10 @@
 //!   degree-preserving edge swaps committed via the in-place patch path.
 //! * `dynamic/edge_epoch1024steps` — the same for the EdgeModel.
 //! * `dynamic/churn_commit` — churn + commit alone: 64 swaps patched in
-//!   place, and a 64-rewire epoch that forces a full (back-buffer-reusing)
-//!   CSR rebuild.
+//!   place, a 64-rewire epoch committed via the shifted patch (bulk-copied
+//!   untouched ranges + rebuilt touched rows), and a wholesale `set_edges`
+//!   replacement that still pays the full (back-buffer-reusing) CSR
+//!   rebuild.
 //!
 //! CI runs this target in smoke mode (`--sample-size 2`); the tracked
 //! medians in `CHANGES.md` come from full runs.
@@ -96,16 +98,37 @@ fn churn_commit_only(c: &mut Criterion) {
                 dg.commit()
             });
         });
-        // Degree-changing rewires: full rebuild into the reused back
-        // buffer — the amortised O(n + m) path.
-        group.bench_function(format!("{name}/rewire64_rebuild"), |b| {
+        // Degree-changing rewires: shifted patch into the back buffer —
+        // untouched CSR ranges are bulk-copied with offsets moved by the
+        // running degree delta, only touched rows are rebuilt
+        // (O(Δ + m/cacheline); historically a full O(n + m)
+        // scatter-and-sort rebuild, ≈ 50 ms at n = 10^6). One commit
+        // before `iter` warms the double buffer, so the rows measure the
+        // allocation-free steady state.
+        group.bench_function(format!("{name}/rewire64_shift"), |b| {
             let mut dg = DynamicGraph::new(g.clone());
             let churn = ChurnModel::rewire(64, 1);
             let mut rng = StdRng::seed_from_u64(4);
             let mut epoch = 0u64;
+            churn.apply(&mut dg, epoch, &mut rng).unwrap();
+            epoch += 1;
+            dg.commit();
             b.iter(|| {
                 churn.apply(&mut dg, epoch, &mut rng).unwrap();
                 epoch += 1;
+                dg.commit()
+            });
+        });
+        // Wholesale edge-set replacement (set_edges): the remaining full
+        // rebuild into the reused back buffer — the amortised O(n + m)
+        // path.
+        group.bench_function(format!("{name}/set_edges_rebuild"), |b| {
+            let mut dg = DynamicGraph::new(g.clone());
+            let edges: Vec<(u32, u32)> = dg.edges().to_vec();
+            dg.set_edges(&edges).unwrap();
+            dg.commit();
+            b.iter(|| {
+                dg.set_edges(&edges).unwrap();
                 dg.commit()
             });
         });

@@ -227,7 +227,9 @@ impl<'g> ReplicaBatch<'g> {
         };
         let mut trackers: Vec<PotentialTracker> = if exact {
             (0..r_total)
-                .map(|r| PotentialTracker::new(&pi, &self.values[r * n..(r + 1) * n]))
+                .map(|r| {
+                    PotentialTracker::new(&pi, &self.values[r * n..(r + 1) * n], config.potential)
+                })
                 .collect()
         } else {
             Vec::new()
@@ -240,10 +242,12 @@ impl<'g> ReplicaBatch<'g> {
         } else {
             BlockCheck::Boundary {
                 epsilon: config.epsilon,
+                kind: config.potential,
             }
         };
         let mut slot_replica: Vec<usize> = (0..r_total).collect();
         let mut outcomes = vec![BlockOutcome::default(); r_total];
+        let mut blocks = vec![0u64; r_total];
         let mut live = r_total;
         let mut t_call = 0u64;
         // The first pass is a zero-step block: the scalar rule checks φ
@@ -251,6 +255,7 @@ impl<'g> ReplicaBatch<'g> {
         // with zero steps.
         let mut block = 0u64;
         loop {
+            blocks[..live].fill(block);
             run_replica_block_parallel(
                 graph,
                 spec,
@@ -260,7 +265,7 @@ impl<'g> ReplicaBatch<'g> {
                 &mut self.rngs,
                 &mut trackers,
                 &mut outcomes[..live],
-                block,
+                &blocks,
                 threads,
             );
             for slot in 0..live {
@@ -313,6 +318,159 @@ impl<'g> ReplicaBatch<'g> {
     pub fn replica_potential_pi(&self, r: usize) -> f64 {
         slice_potential_pi(self.graph, self.replica_values(r))
     }
+}
+
+/// Retirement-aware Monte-Carlo convergence sweep: drives one trial per
+/// seed to ε-convergence through a **fixed-capacity** structure-of-arrays
+/// window, re-filling retired slots with fresh seeds so the buffer stays
+/// full for the whole sweep. Returns one [`ConvergenceReport`] per seed,
+/// in seed order.
+///
+/// [`ReplicaBatch::run_until_converged`] sizes its SoA buffer at the full
+/// replica count; on long sweeps with heavy-tailed `T(ε)` the buffer
+/// drains as fast replicas retire, leaving a tail where a few stragglers
+/// keep the whole window alive. This runner instead admits trials into a
+/// window of `capacity` rows: whenever a slot retires (convergence *or*
+/// per-trial budget exhaustion), the next pending seed is copied in —
+/// `ξ(0)`, a fresh `StdRng`, a fresh tracker — and stepping continues
+/// with a dense buffer.
+///
+/// Every trial draws only from its own seed-derived RNG and owns its own
+/// row, and each trial's personal block schedule (a zero-step entry
+/// check, then `check_every`-sized blocks capped by its remaining budget)
+/// is independent of when it was admitted. Its report is therefore
+/// **bit-identical** to the same seed run through
+/// [`ReplicaBatch::run_until_converged`] or solo — independent of
+/// `capacity`, thread count and admission order (gated across capacities
+/// in `tests/batch_equivalence.rs`).
+///
+/// `capacity` is clamped to `[1, seeds.len()]`; `config` has the same
+/// semantics as in [`ReplicaBatch::run_until_converged`] (`max_steps` is
+/// a per-trial budget).
+///
+/// # Errors
+///
+/// The same as [`crate::StepKernel::new`] for the scenario, plus
+/// [`CoreError::InvalidEpsilon`] from the config.
+pub fn run_converge_streaming(
+    graph: &Graph,
+    spec: KernelSpec,
+    xi0: &[f64],
+    seeds: &[u64],
+    capacity: usize,
+    config: ConvergeConfig,
+) -> Result<Vec<ConvergenceReport>, CoreError> {
+    config.validate()?;
+    crate::kernel::validate_values(graph, xi0)?;
+    spec.validate(graph)?;
+    let n = xi0.len();
+    let total = seeds.len();
+    let mut reports = vec![ConvergenceReport::default(); total];
+    if total == 0 {
+        return Ok(reports);
+    }
+    let capacity = capacity.clamp(1, total);
+    let check_every = config.resolved_check_every(n);
+    let threads = config.resolved_threads();
+    let exact = config.stop == StopRule::Exact;
+    let pi: Vec<f64> = if exact {
+        graph.stationary_distribution()
+    } else {
+        Vec::new()
+    };
+    let check = if exact {
+        BlockCheck::Tracked {
+            epsilon: config.epsilon,
+            pi: &pi,
+        }
+    } else {
+        BlockCheck::Boundary {
+            epsilon: config.epsilon,
+            kind: config.potential,
+        }
+    };
+    let mut values = vec![0.0f64; capacity * n];
+    let mut rngs: Vec<StdRng> = Vec::with_capacity(capacity);
+    let mut trackers: Vec<PotentialTracker> = Vec::with_capacity(capacity);
+    let mut slot_trial = vec![0usize; capacity];
+    let mut taken = vec![0u64; capacity];
+    let mut blocks = vec![0u64; capacity];
+    let mut outcomes = vec![BlockOutcome::default(); capacity];
+    let mut next = 0usize;
+    let mut live = 0usize;
+    loop {
+        // Admit pending trials into the free suffix. Each starts with a
+        // zero-length entry block — the scalar rule checks the potential
+        // before the first step, so already-converged initial states
+        // retire with zero steps, exactly like the batched driver.
+        while live < capacity && next < total {
+            let slot = live;
+            values[slot * n..(slot + 1) * n].copy_from_slice(xi0);
+            let rng = StdRng::seed_from_u64(seeds[next]);
+            if slot < rngs.len() {
+                rngs[slot] = rng;
+            } else {
+                rngs.push(rng);
+            }
+            if exact {
+                let tracker =
+                    PotentialTracker::new(&pi, &values[slot * n..(slot + 1) * n], config.potential);
+                if slot < trackers.len() {
+                    trackers[slot] = tracker;
+                } else {
+                    trackers.push(tracker);
+                }
+            }
+            slot_trial[slot] = next;
+            taken[slot] = 0;
+            blocks[slot] = 0;
+            live += 1;
+            next += 1;
+        }
+        if live == 0 {
+            break;
+        }
+        run_replica_block_parallel(
+            graph,
+            spec,
+            &check,
+            n,
+            &mut values,
+            &mut rngs,
+            &mut trackers,
+            &mut outcomes[..live],
+            &blocks,
+            threads,
+        );
+        for slot in 0..live {
+            let outcome = outcomes[slot];
+            taken[slot] += outcome.steps;
+            reports[slot_trial[slot]] = ConvergenceReport {
+                steps: taken[slot],
+                converged: outcome.converged,
+                potential: outcome.potential,
+                weighted_average: outcome.weighted_average,
+            };
+            // Budget-exhausted trials retire alongside converged ones so
+            // their slot can be re-filled; the report above has already
+            // recorded the honest `converged: false`.
+            if !outcome.converged && taken[slot] >= config.max_steps {
+                outcomes[slot].converged = true;
+            }
+        }
+        live = compact_retired(live, &mut outcomes, &mut slot_trial, |a, b| {
+            swap_rows(&mut values, n, a, b);
+            rngs.swap(a, b);
+            if exact {
+                trackers.swap(a, b);
+            }
+            taken.swap(a, b);
+        });
+        for slot in 0..live {
+            blocks[slot] = check_every.min(config.max_steps - taken[slot]);
+        }
+    }
+    Ok(reports)
 }
 
 /// `R` independent replicas of a voter-model scenario (structure-of-arrays
@@ -853,6 +1011,147 @@ mod tests {
         assert!(matches!(
             batch.run_until_converged(crate::ConvergeConfig::new(-1.0, 10)),
             Err(CoreError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn converge_exact_uniform_matches_scalar_uniform_loop() {
+        // The uniform-potential arm (Prop. D.1's φ̄_V) must stop at
+        // exactly the step the scalar `potential_uniform` loop does —
+        // the property the T24-CONV sweep relies on.
+        let g = generators::star(10).unwrap();
+        let xi0: Vec<f64> = (0..10).map(|i| f64::from(i) * 0.8 - 3.0).collect();
+        let params = crate::EdgeModelParams::new(0.5).unwrap();
+        let spec = KernelSpec::Edge(params);
+        let seeds = [61u64, 62, 63, 64];
+        let eps = 1e-9;
+        let budget = 2_000_000;
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        let config = crate::ConvergeConfig::new(eps, budget)
+            .with_stop(crate::StopRule::Exact)
+            .with_potential(crate::PotentialKind::Uniform)
+            .with_threads(2);
+        let reports = batch.run_until_converged(config).unwrap();
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut scalar = crate::EdgeModel::new(&g, xi0.clone(), params).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut taken = 0u64;
+            while scalar.state().potential_uniform() > eps && taken < budget {
+                scalar.step(&mut rng);
+                taken += 1;
+            }
+            assert_eq!(reports[r].steps, taken, "replica {r} uniform stopping time");
+            assert!(reports[r].converged);
+            assert_eq!(
+                reports[r].potential.to_bits(),
+                scalar.state().potential_uniform().to_bits(),
+                "replica {r} reported uniform potential"
+            );
+            assert_eq!(
+                reports[r].weighted_average.to_bits(),
+                scalar.state().average().to_bits(),
+                "replica {r} uniform F estimate (Avg)"
+            );
+            assert_eq!(scalar.state().values(), batch.replica_values(r));
+        }
+        let mut steps: Vec<u64> = reports.iter().map(|r| r.steps).collect();
+        steps.dedup();
+        assert!(steps.len() > 1, "want distinct stopping times: {steps:?}");
+    }
+
+    #[test]
+    fn converge_block_uniform_stops_on_uniform_potential() {
+        let g = generators::star(8).unwrap();
+        let xi0: Vec<f64> = (0..8).map(f64::from).collect();
+        let spec = KernelSpec::Edge(crate::EdgeModelParams::new(0.5).unwrap());
+        let eps = 1e-6;
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &[5, 6]).unwrap();
+        let config = crate::ConvergeConfig::new(eps, 1_000_000)
+            .with_check_every(64)
+            .with_potential(crate::PotentialKind::Uniform);
+        let reports = batch.run_until_converged(config).unwrap();
+        for (r, report) in reports.iter().enumerate() {
+            assert!(report.converged, "replica {r}");
+            assert_eq!(report.steps % 64, 0, "block granularity");
+            // The reported potential is the two-pass uniform potential of
+            // the stopping state.
+            let vals = batch.replica_values(r);
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let direct: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum();
+            assert!((report.potential - direct).abs() < 1e-12);
+            assert!(report.potential <= eps);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batched_engine_across_capacities() {
+        // The retirement-aware streaming runner must reproduce the
+        // batched engine's per-seed reports bit for bit, for every
+        // window capacity and both stopping rules.
+        let g = generators::complete(10).unwrap();
+        let xi0: Vec<f64> = (0..10).map(|i| f64::from(i) * 0.6 - 2.0).collect();
+        let spec = KernelSpec::Node(NodeModelParams::new(0.45, 2).unwrap());
+        let seeds = [71u64, 72, 73, 74, 75, 76, 77];
+        for stop in [crate::StopRule::Block, crate::StopRule::Exact] {
+            let config = crate::ConvergeConfig::new(1e-8, 1_000_000)
+                .with_stop(stop)
+                .with_check_every(32)
+                .with_threads(1);
+            let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+            let reference = batch.run_until_converged(config).unwrap();
+            for capacity in [1usize, 2, 3, seeds.len(), 100] {
+                for threads in [1usize, 3] {
+                    let got = run_converge_streaming(
+                        &g,
+                        spec,
+                        &xi0,
+                        &seeds,
+                        capacity,
+                        config.with_threads(threads),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        got, reference,
+                        "capacity={capacity}, threads={threads}, {stop:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_handles_budget_exhaustion_and_refill() {
+        // A tiny budget retires every trial unconverged; the window must
+        // still drain the whole seed list and report per-trial budgets.
+        let g = generators::cycle(8).unwrap();
+        let xi0: Vec<f64> = (0..8).map(f64::from).collect();
+        let spec = KernelSpec::Edge(crate::EdgeModelParams::new(0.5).unwrap());
+        let seeds: Vec<u64> = (0..9).collect();
+        let config = crate::ConvergeConfig::new(1e-30, 123).with_check_every(50);
+        let reports = run_converge_streaming(&g, spec, &xi0, &seeds, 2, config).unwrap();
+        assert_eq!(reports.len(), 9);
+        for report in &reports {
+            assert!(!report.converged);
+            assert_eq!(report.steps, 123);
+        }
+        // Empty seed list and invalid inputs.
+        assert!(run_converge_streaming(&g, spec, &xi0, &[], 4, config)
+            .unwrap()
+            .is_empty());
+        assert!(matches!(
+            run_converge_streaming(
+                &g,
+                spec,
+                &xi0,
+                &[1],
+                4,
+                crate::ConvergeConfig::new(-1.0, 10)
+            ),
+            Err(CoreError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            run_converge_streaming(&g, spec, &xi0[..3], &[1], 4, config),
+            Err(CoreError::LengthMismatch { .. })
         ));
     }
 

@@ -576,6 +576,7 @@ impl DynamicReplicaBatch {
         let spec = self.spec;
         let mut slot_replica: Vec<usize> = (0..r_total).collect();
         let mut outcomes = vec![BlockOutcome::default(); r_total];
+        let mut blocks = vec![0u64; r_total];
         let mut trackers = Vec::new(); // epoch-granular: no tracked state
         let mut live = r_total;
         let mut t_call = 0u64;
@@ -585,16 +586,20 @@ impl DynamicReplicaBatch {
             // block computes the boundary potential in parallel; on the
             // first pass this is the entry check, afterwards the
             // post-churn epoch-boundary check), record, retire + compact.
+            blocks[..live].fill(0);
             run_replica_block_parallel(
                 self.graph.graph(),
                 spec,
-                &BlockCheck::Boundary { epsilon },
+                &BlockCheck::Boundary {
+                    epsilon,
+                    kind: crate::engine::PotentialKind::Pi,
+                },
                 n,
                 &mut self.values,
                 &mut self.rngs,
                 &mut trackers,
                 &mut outcomes[..live],
-                0,
+                &blocks,
                 threads,
             );
             for slot in 0..live {
@@ -618,6 +623,7 @@ impl DynamicReplicaBatch {
             // One epoch: step the live replicas on the frozen committed
             // CSR, then churn + commit + revalidate, exactly as
             // `step_epoch`.
+            blocks[..live].fill(steps_per_epoch);
             run_replica_block_parallel(
                 self.graph.graph(),
                 spec,
@@ -627,7 +633,7 @@ impl DynamicReplicaBatch {
                 &mut self.rngs,
                 &mut trackers,
                 &mut outcomes[..live],
-                steps_per_epoch,
+                &blocks,
                 threads,
             );
             self.time += steps_per_epoch;

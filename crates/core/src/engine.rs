@@ -116,6 +116,29 @@ pub fn estimate_convergence_value<P: OpinionProcess + ?Sized>(
     report.converged.then_some(report.weighted_average)
 }
 
+/// Which potential a convergence driver thresholds against.
+///
+/// The paper defines two quadratic gauges on the value vector: the
+/// π-weighted potential `φ(ξ) = ⟨ξ,ξ⟩_π − ⟨1,ξ⟩_π²` (Eq. 3), natural for
+/// the NodeModel martingale, and the uniform-weight potential
+/// `φ̄_V(ξ) = Σξ² − (Σξ)²/n` of Prop. D.1, under which the EdgeModel's
+/// one-step contraction is analysed. The tracked stopping machinery is
+/// weight-generic: only the weight vector (and the normalisation of the
+/// cross term) differs between the two arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PotentialKind {
+    /// `φ(ξ)` with weights `π_u = d_u/2m` (Eq. 3) — the default.
+    #[default]
+    Pi,
+    /// `φ̄_V(ξ)` with uniform weights (Prop. D.1). Under
+    /// [`StopRule::Exact`] the tracker mirrors
+    /// [`crate::OpinionState::potential_uniform`] bit for bit, so batched
+    /// stopping times equal the scalar `potential_uniform`-loop exactly.
+    /// The reported `weighted_average` is then the plain average `Avg(T)`
+    /// (the EdgeModel's `F` estimate, Prop. D.1(i)).
+    Uniform,
+}
+
 /// How a batched convergence driver detects the ε-threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopRule {
@@ -149,6 +172,9 @@ pub struct ConvergeConfig {
     pub check_every: u64,
     /// How convergence is detected.
     pub stop: StopRule,
+    /// Which potential the threshold applies to (`φ` of Eq. 3 by
+    /// default; `φ̄_V` of Prop. D.1 with [`PotentialKind::Uniform`]).
+    pub potential: PotentialKind,
     /// Worker threads for intra-batch parallelism. `0` means
     /// `std::thread::available_parallelism()`. Results are identical for
     /// every thread count.
@@ -163,6 +189,7 @@ impl ConvergeConfig {
             max_steps,
             check_every: 0,
             stop: StopRule::Block,
+            potential: PotentialKind::Pi,
             threads: 0,
         }
     }
@@ -171,6 +198,13 @@ impl ConvergeConfig {
     #[must_use]
     pub fn with_stop(mut self, stop: StopRule) -> Self {
         self.stop = stop;
+        self
+    }
+
+    /// Selects the potential the ε-threshold applies to.
+    #[must_use]
+    pub fn with_potential(mut self, potential: PotentialKind) -> Self {
+        self.potential = potential;
         self
     }
 

@@ -24,6 +24,7 @@
 //! [`OpinionProcess`]: crate::OpinionProcess
 //! [`OpinionState`]: crate::OpinionState
 
+use crate::engine::PotentialKind;
 use crate::error::CoreError;
 use crate::params::{EdgeModelParams, Laziness, NodeModelParams};
 use crate::sampling::sample_k_neighbors;
@@ -190,37 +191,65 @@ pub(crate) fn slice_potential_and_mean(graph: &Graph, values: &[f64]) -> (f64, f
     (phi, mu)
 }
 
+/// Uniform-weight sibling of [`slice_potential_and_mean`]: returns
+/// `(φ̄_V, Avg)` where `φ̄_V(ξ) = Σ(ξ_u − Avg)²` is the Prop. D.1
+/// potential, clamped at 0 like every potential evaluation in the crate.
+pub(crate) fn slice_potential_uniform_and_mean(values: &[f64]) -> (f64, f64) {
+    let mu = slice_average(values);
+    let phi = values
+        .iter()
+        .map(|&x| {
+            let c = x - mu;
+            c * c
+        })
+        .sum::<f64>()
+        .max(0.0);
+    (phi, mu)
+}
+
 /// Incrementally maintained potential for the tracked convergence path,
 /// mirroring [`crate::OpinionState`]'s arithmetic **expression for
-/// expression**: the same construction-time gauge (the weighted mean of
-/// the values at tracking start), the same `set_value` update formulas,
-/// the same [`REFRESH_INTERVAL`] drift refresh, and the same clamp at 0.
+/// expression**: the same construction-time gauge (the π-weighted mean of
+/// the values at tracking start — also for the uniform arm, exactly as
+/// `OpinionState` centers all four running sums at one gauge), the same
+/// `set_value` update formulas, the same [`REFRESH_INTERVAL`] drift
+/// refresh, and the same clamp at 0.
 ///
-/// Because every float operation matches, a kernel run driven by the
-/// tracked stopping rule ([`crate::StopRule::Exact`]) stops at **exactly**
-/// the step a scalar [`run_until_converged`] run from the same state and
-/// seed would — the property the convergence equivalence gates in
-/// `tests/batch_equivalence.rs` pin.
+/// The tracker is weight-generic ([`PotentialKind`]): the π arm mirrors
+/// `OpinionState::potential_pi`, the uniform arm mirrors
+/// `OpinionState::potential_uniform` (Prop. D.1's `φ̄_V`). Because every
+/// float operation matches, a kernel run driven by the tracked stopping
+/// rule ([`crate::StopRule::Exact`]) stops at **exactly** the step a
+/// scalar [`run_until_converged`] run (or `potential_uniform` loop) from
+/// the same state and seed would — the property the convergence
+/// equivalence gates in `tests/batch_equivalence.rs` pin.
 ///
 /// [`run_until_converged`]: crate::run_until_converged
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PotentialTracker {
-    /// Centering offset: the weighted mean at tracking start (fixed, like
-    /// `OpinionState`'s construction-time gauge).
+    kind: PotentialKind,
+    /// `n` as f64, the cross-term normaliser of the uniform arm.
+    n: f64,
+    /// Centering offset: the π-weighted mean at tracking start (fixed,
+    /// like `OpinionState`'s construction-time gauge — both arms).
     gauge: f64,
-    /// Σ π_u (ξ_u − gauge).
+    /// π arm: Σ π_u (ξ_u − gauge). Uniform arm: Σ (ξ_u − gauge).
     weighted_sum_c: f64,
-    /// Σ π_u (ξ_u − gauge)².
+    /// π arm: Σ π_u (ξ_u − gauge)². Uniform arm: Σ (ξ_u − gauge)².
     weighted_sq_sum_c: f64,
     updates_since_refresh: u64,
 }
 
 impl PotentialTracker {
     /// Starts tracking `values` (mirrors `OpinionState::new` +
-    /// `refresh_sums`).
-    pub(crate) fn new(pi: &[f64], values: &[f64]) -> Self {
+    /// `refresh_sums`). `pi` is always the stationary distribution — the
+    /// uniform arm still uses it for the gauge, exactly as `OpinionState`
+    /// centers its plain sums at the π-weighted mean.
+    pub(crate) fn new(pi: &[f64], values: &[f64], kind: PotentialKind) -> Self {
         let gauge = pi.iter().zip(values).map(|(w, v)| w * v).sum();
         let mut tracker = PotentialTracker {
+            kind,
+            n: values.len() as f64,
             gauge,
             weighted_sum_c: 0.0,
             weighted_sq_sum_c: 0.0,
@@ -235,23 +264,43 @@ impl PotentialTracker {
     fn refresh(&mut self, pi: &[f64], values: &[f64]) {
         self.weighted_sum_c = 0.0;
         self.weighted_sq_sum_c = 0.0;
-        for (v, w) in values.iter().zip(pi) {
-            let c = v - self.gauge;
-            self.weighted_sum_c += w * c;
-            self.weighted_sq_sum_c += w * c * c;
+        match self.kind {
+            PotentialKind::Pi => {
+                for (v, w) in values.iter().zip(pi) {
+                    let c = v - self.gauge;
+                    self.weighted_sum_c += w * c;
+                    self.weighted_sq_sum_c += w * c * c;
+                }
+            }
+            PotentialKind::Uniform => {
+                for v in values {
+                    let c = v - self.gauge;
+                    self.weighted_sum_c += c;
+                    self.weighted_sq_sum_c += c * c;
+                }
+            }
         }
         self.updates_since_refresh = 0;
     }
 
     /// Records `ξ_u: old → new` with weight `w = π_u` in O(1) (mirrors
-    /// `OpinionState::set_value`). The caller refreshes via
+    /// `OpinionState::set_value`; the uniform arm mirrors the plain sums,
+    /// which ignore `w`). The caller refreshes via
     /// [`PotentialTracker::maybe_refresh`] after the value write.
     #[inline]
     fn record(&mut self, w: f64, old: f64, new: f64) {
         let old_c = old - self.gauge;
         let new_c = new - self.gauge;
-        self.weighted_sum_c += w * (new_c - old_c);
-        self.weighted_sq_sum_c += w * (new_c * new_c - old_c * old_c);
+        match self.kind {
+            PotentialKind::Pi => {
+                self.weighted_sum_c += w * (new_c - old_c);
+                self.weighted_sq_sum_c += w * (new_c * new_c - old_c * old_c);
+            }
+            PotentialKind::Uniform => {
+                self.weighted_sum_c += new_c - old_c;
+                self.weighted_sq_sum_c += new_c * new_c - old_c * old_c;
+            }
+        }
         self.updates_since_refresh += 1;
     }
 
@@ -264,18 +313,33 @@ impl PotentialTracker {
         }
     }
 
-    /// `φ(ξ(t))`, clamped at 0 (mirrors `OpinionState::potential_pi`).
+    /// The tracked potential, clamped at 0: `φ` (mirrors
+    /// `OpinionState::potential_pi`) or `φ̄_V` (mirrors
+    /// `OpinionState::potential_uniform`), by construction kind.
     #[inline]
     pub(crate) fn potential_pi(&self) -> f64 {
-        (self.weighted_sq_sum_c - self.weighted_sum_c * self.weighted_sum_c).max(0.0)
+        match self.kind {
+            PotentialKind::Pi => {
+                (self.weighted_sq_sum_c - self.weighted_sum_c * self.weighted_sum_c).max(0.0)
+            }
+            PotentialKind::Uniform => (self.weighted_sq_sum_c
+                - self.weighted_sum_c * self.weighted_sum_c / self.n)
+                .max(0.0),
+        }
     }
 
-    /// `M(t) = Σ π_u ξ_u(t)` (mirrors `OpinionState::weighted_average`,
-    /// so an exact-mode `F` estimate is bit-identical to the scalar
-    /// `estimate_convergence_value` path).
+    /// The `F` estimate carried through reports: `M(t) = Σ π_u ξ_u(t)`
+    /// on the π arm (mirrors `OpinionState::weighted_average`, so an
+    /// exact-mode `F` estimate is bit-identical to the scalar
+    /// `estimate_convergence_value` path), `Avg(t)` on the uniform arm
+    /// (mirrors `OpinionState::average` — the EdgeModel's `F` estimate,
+    /// Prop. D.1(i)).
     #[inline]
     pub(crate) fn weighted_average(&self) -> f64 {
-        self.weighted_sum_c + self.gauge
+        match self.kind {
+            PotentialKind::Pi => self.weighted_sum_c + self.gauge,
+            PotentialKind::Uniform => self.weighted_sum_c / self.n + self.gauge,
+        }
     }
 }
 
@@ -408,11 +472,13 @@ pub(crate) enum BlockCheck<'a> {
     /// Advance only; the caller checks later (the dynamic driver evaluates
     /// `φ` on the *post-churn* topology).
     None,
-    /// One two-pass `φ` evaluation at the block boundary (block-granular
-    /// stopping; maximum step throughput).
+    /// One two-pass potential evaluation at the block boundary
+    /// (block-granular stopping; maximum step throughput).
     Boundary {
         /// ε-convergence threshold.
         epsilon: f64,
+        /// Which potential is thresholded (`φ` or `φ̄_V`).
+        kind: PotentialKind,
     },
     /// Tracked O(1) per-step check — the scalar-identical stopping rule.
     Tracked {
@@ -446,9 +512,12 @@ fn converge_replica_block(
                 converged: false,
             }
         }
-        BlockCheck::Boundary { epsilon } => {
+        BlockCheck::Boundary { epsilon, kind } => {
             run_steps(graph, spec, values, sample, perm, block, rng);
-            let (potential, weighted_average) = slice_potential_and_mean(graph, values);
+            let (potential, weighted_average) = match kind {
+                PotentialKind::Pi => slice_potential_and_mean(graph, values),
+                PotentialKind::Uniform => slice_potential_uniform_and_mean(values),
+            };
             BlockOutcome {
                 steps: block,
                 potential,
@@ -472,7 +541,11 @@ fn converge_replica_block(
 }
 
 /// Advances the first `outcomes.len()` (live) replicas of a replica-major
-/// buffer by one convergence block, in parallel.
+/// buffer by one convergence block, in parallel. `blocks[slot]` is the
+/// block length of slot `slot` — the batched drivers pass a uniform fill,
+/// while the streaming runner ([`crate::run_converge_streaming`]) hands
+/// freshly admitted replicas a zero-length entry block and budget-capped
+/// stragglers their personal remainder.
 ///
 /// The live prefix is partitioned into contiguous per-worker ranges and
 /// stepped under `std::thread::scope`; each worker owns its own sampling
@@ -483,7 +556,7 @@ fn converge_replica_block(
 ///
 /// `trackers` must hold one tracker per live replica under
 /// [`BlockCheck::Tracked`] and may be empty otherwise.
-#[allow(clippy::too_many_arguments)] // shared leaf of the three drivers
+#[allow(clippy::too_many_arguments)] // shared leaf of the batched drivers
 pub(crate) fn run_replica_block_parallel(
     graph: &Graph,
     spec: KernelSpec,
@@ -493,11 +566,12 @@ pub(crate) fn run_replica_block_parallel(
     rngs: &mut [StdRng],
     trackers: &mut [PotentialTracker],
     outcomes: &mut [BlockOutcome],
-    block: u64,
+    blocks: &[u64],
     threads: usize,
 ) {
     let live = outcomes.len();
     debug_assert!(rngs.len() >= live);
+    debug_assert!(blocks.len() >= live);
     debug_assert!(values.len() >= live * n);
     let workers = threads.clamp(1, live.max(1));
     if workers <= 1 {
@@ -511,7 +585,7 @@ pub(crate) fn run_replica_block_parallel(
                 trackers.get_mut(slot),
                 &mut sample,
                 &mut perm,
-                block,
+                blocks[slot],
                 &mut rngs[slot],
             );
         }
@@ -524,6 +598,7 @@ pub(crate) fn run_replica_block_parallel(
         let mut rngs = &mut rngs[..live];
         let mut trackers = trackers;
         let mut outcomes = outcomes;
+        let mut blocks = &blocks[..live];
         for w in 0..workers {
             let cnt = base + usize::from(w < extra);
             if cnt == 0 {
@@ -535,6 +610,8 @@ pub(crate) fn run_replica_block_parallel(
             rngs = rest;
             let (o, rest) = outcomes.split_at_mut(cnt);
             outcomes = rest;
+            let (bl, rest) = blocks.split_at(cnt);
+            blocks = rest;
             let t_cnt = if trackers.is_empty() { 0 } else { cnt };
             let (t, rest) = trackers.split_at_mut(t_cnt);
             trackers = rest;
@@ -549,7 +626,7 @@ pub(crate) fn run_replica_block_parallel(
                         t.get_mut(i),
                         &mut sample,
                         &mut perm,
-                        block,
+                        bl[i],
                         &mut r[i],
                     );
                 }

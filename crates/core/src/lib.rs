@@ -60,12 +60,12 @@ mod state;
 pub mod theory;
 mod voter;
 
-pub use batch::{ReplicaBatch, VoterBatch};
+pub use batch::{run_converge_streaming, ReplicaBatch, VoterBatch};
 pub use dynamic::{DynamicReplicaBatch, DynamicStepKernel, DynamicVoterKernel};
 pub use edge_model::EdgeModel;
 pub use engine::{
     estimate_convergence_value, run_kernel_until_converged, run_until_converged, trace_potential,
-    ConvergeConfig, ConvergenceReport, StopRule,
+    ConvergeConfig, ConvergenceReport, PotentialKind, StopRule,
 };
 pub use error::CoreError;
 pub use kernel::{KernelSpec, StepKernel, VoterKernel};

@@ -3,12 +3,20 @@
 //! ```text
 //! run-experiments --all [--quick]
 //! run-experiments P58 L57 FIG1 [--quick]
+//! run-experiments scenario <file.scn> [--quick]
 //! run-experiments --list
 //! ```
 //!
 //! Tables print to stdout; CSV copies land in `results/<ID>_<i>.csv`.
+//! The `scenario` subcommand parses a declarative `.scn` scenario file
+//! (see `examples/scenarios/` and the README "Scenarios" section), lets
+//! the unified Scenario API (`od-sim`) dispatch it to the optimal
+//! engine, and prints the per-trial summary. `--quick` caps the trial
+//! count for CI smoke runs.
 
 use od_experiments::{find, registry, ExperimentContext};
+use od_sim::{ScenarioSpec, Simulation};
+use od_stats::{fmt_float, Table};
 use std::io::Write;
 
 fn main() {
@@ -24,6 +32,23 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
+    // The subcommand is the first non-flag argument, so `--quick` may
+    // come before or after it.
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if positional.first().map(|a| a.as_str()) == Some("scenario") {
+        let files = &positional[1..];
+        if files.is_empty() {
+            eprintln!("usage: run_experiments scenario <file.scn> [--quick]");
+            std::process::exit(2);
+        }
+        for file in files {
+            if let Err(e) = run_scenario_file(file, quick) {
+                eprintln!("{file}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let ctx = if quick {
         ExperimentContext::quick()
     } else {
@@ -78,8 +103,66 @@ fn main() {
     }
 }
 
+/// Parses, dispatches and summarises one `.scn` scenario file. In quick
+/// mode the replica count is capped at 4 (a CI smoke run, not a
+/// measurement).
+fn run_scenario_file(path: &str, quick: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut spec = ScenarioSpec::parse(&text)?;
+    if quick {
+        spec.replicas = spec.replicas.min(4);
+    }
+    let name = spec.name.clone().unwrap_or_else(|| path.to_string());
+    let sim = Simulation::from_spec(&spec)?;
+    println!(
+        "\n=== scenario {name} — engine: {} (n = {}, m = {}, {} trial(s)) ===",
+        sim.engine(),
+        sim.graph().n(),
+        sim.graph().m(),
+        spec.replicas,
+    );
+    let start = std::time::Instant::now();
+    let report = sim.run()?;
+    let steps = report.steps_summary();
+    let mut t = Table::new(
+        format!("scenario {name} — per-trial summary"),
+        &["metric", "value"],
+    );
+    t.push_row(vec!["engine".into(), report.engine.to_string()]);
+    t.push_row(vec!["trials".into(), report.trials.len().to_string()]);
+    t.push_row(vec![
+        "converged".into(),
+        report.converged_count().to_string(),
+    ]);
+    t.push_row(vec!["steps_mean".into(), fmt_float(steps.mean)]);
+    t.push_row(vec!["steps_median".into(), fmt_float(steps.median)]);
+    t.push_row(vec!["steps_std".into(), fmt_float(steps.std)]);
+    t.push_row(vec!["steps_min".into(), fmt_float(steps.min)]);
+    t.push_row(vec!["steps_max".into(), fmt_float(steps.max)]);
+    if let Some(estimate) = report.estimate_summary() {
+        t.push_row(vec!["F_mean".into(), fmt_float(estimate.mean)]);
+        t.push_row(vec!["F_std".into(), fmt_float(estimate.std)]);
+    }
+    if report.max_mutations() > 0 {
+        t.push_row(vec![
+            "topology_mutations".into(),
+            report.max_mutations().to_string(),
+        ]);
+    }
+    if let Some(trace) = &report.trace {
+        t.push_row(vec!["trace_samples".into(), trace.len().to_string()]);
+        t.push_row(vec![
+            "trace_final_phi".into(),
+            fmt_float(trace.last().map_or(f64::NAN, |&(_, phi)| phi)),
+        ]);
+    }
+    println!("{}", t.to_plain_text());
+    println!("[finished in {:.1}s]", start.elapsed().as_secs_f64());
+    Ok(())
+}
+
 fn print_usage() {
-    println!("usage: run-experiments [--quick] --all | <ID>... | --list");
+    println!("usage: run-experiments [--quick] --all | <ID>... | scenario <file.scn>... | --list");
     println!("experiments:");
     for e in registry() {
         println!("  {:10} {}", e.id, e.description);

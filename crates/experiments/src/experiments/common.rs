@@ -1,32 +1,137 @@
 //! Shared helpers for the experiment modules.
+//!
+//! The convergence-driven sweeps (T22-CONV / T22-K / PB2, the Var(F)
+//! estimations, T24-CONV, DYN-CHURN) all run through the unified Scenario
+//! API (`od-sim`): the experiment builds one declarative [`ScenarioSpec`]
+//! and the `Simulation` dispatcher picks the engine — the retirement-aware
+//! streaming convergence runner for static sweeps, the dynamic batch under
+//! churn. Because trial `i` always runs from `seeds.seed(i)` with the
+//! scalar-identical exact stopping rule, the per-trial statistics are
+//! **bit-identical** to the direct-engine (and original scalar) paths the
+//! scenarios replaced — `tests/batch_equivalence.rs` gates exactly that.
+//!
+//! The scalar helpers below remain the independent reference
+//! implementations those gates (and the smaller experiments) compare
+//! against.
 
 use od_core::{
-    run_until_converged, ConvergeConfig, ConvergenceReport, EdgeModel, EdgeModelParams, KernelSpec,
-    NodeModel, NodeModelParams, OpinionProcess, ReplicaBatch, StopRule,
+    run_until_converged, EdgeModel, EdgeModelParams, NodeModel, NodeModelParams, OpinionProcess,
 };
 use od_graph::Graph;
+use od_sim::{
+    GraphSpec, InitSpec, ModelSpec, PotentialSpec, ScenarioSpec, Simulation, SimulationReport,
+    StopRuleSpec, StopSpec,
+};
+use od_stats::SeedSequence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Replicas per [`ReplicaBatch`] in the batched convergence sweeps: big
-/// enough to amortise the shared-graph setup, small enough to keep every
-/// worker thread busy at quick-mode trial counts.
-pub const CONVERGE_REPLICAS_PER_BATCH: usize = 16;
+pub use od_sim::pm_one;
 
-/// Balanced ±1 initial values (exactly centered for even `n`; centered by
-/// subtraction otherwise). The paper's bounds are scale-free in `‖ξ(0)‖²`,
-/// and ±1 keeps `‖ξ‖² = n` so normalized variances are easy to read.
-pub fn pm_one(n: usize) -> Vec<f64> {
-    let mut v: Vec<f64> = (0..n)
-        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
-        .collect();
-    if n % 2 == 1 {
-        let mean = v.iter().sum::<f64>() / n as f64;
-        for x in &mut v {
-            *x -= mean;
-        }
-    }
-    v
+/// Builds the scenario every static ε-convergence sweep shares: `trials`
+/// replicas of `model` on `graph` from `xi0`, the scalar-identical exact
+/// stopping rule on `potential`, per-trial seeds derived from `seeds`.
+/// `graph_spec` is the descriptive generator entry; the sweep runs on the
+/// supplied `graph` instance (shared with the experiment's spectral
+/// predictions).
+#[allow(clippy::too_many_arguments)] // one declarative sweep cell
+pub fn converge_simulation(
+    graph_spec: GraphSpec,
+    graph: &Graph,
+    model: ModelSpec,
+    potential: PotentialSpec,
+    xi0: &[f64],
+    trials: usize,
+    seeds: SeedSequence,
+    eps: f64,
+) -> Simulation {
+    let mut spec = ScenarioSpec::new(model, graph_spec, 0);
+    spec.init = InitSpec::PmOne; // overridden below; keeps the spec valid
+    spec.replicas = trials;
+    spec.seed = seeds.master();
+    spec.stop = StopSpec::Converge {
+        epsilon: eps,
+        rule: StopRuleSpec::Exact,
+        potential,
+        budget: step_budget(graph),
+    };
+    Simulation::from_spec_with_graph(&spec, graph.clone())
+        .expect("experiment scenarios are valid")
+        .with_initial_values(xi0.to_vec())
+        .expect("xi0 matches the graph")
+}
+
+/// NodeModel ε-convergence sweep through the Scenario API (see
+/// [`converge_simulation`]); returns the unified report.
+#[allow(clippy::too_many_arguments)] // one declarative sweep cell
+pub fn run_node_converge(
+    graph_spec: GraphSpec,
+    graph: &Graph,
+    alpha: f64,
+    k: usize,
+    xi0: &[f64],
+    trials: usize,
+    seeds: SeedSequence,
+    eps: f64,
+) -> SimulationReport {
+    converge_simulation(
+        graph_spec,
+        graph,
+        ModelSpec::Node {
+            alpha,
+            k,
+            lazy: false,
+        },
+        PotentialSpec::Pi,
+        xi0,
+        trials,
+        seeds,
+        eps,
+    )
+    .run()
+    .expect("scenario sweep runs")
+}
+
+/// EdgeModel sweep to `φ̄_V ≤ eps` (Prop. D.1's uniform potential)
+/// through the Scenario API — the exact-uniform arm of the convergence
+/// engine, bit-identical to the scalar `potential_uniform` loop.
+pub fn run_edge_converge_uniform(
+    graph_spec: GraphSpec,
+    graph: &Graph,
+    alpha: f64,
+    xi0: &[f64],
+    trials: usize,
+    seeds: SeedSequence,
+    eps: f64,
+) -> SimulationReport {
+    converge_simulation(
+        graph_spec,
+        graph,
+        ModelSpec::Edge { alpha, lazy: false },
+        PotentialSpec::Uniform,
+        xi0,
+        trials,
+        seeds,
+        eps,
+    )
+    .run()
+    .expect("scenario sweep runs")
+}
+
+/// Per-trial `F = M(T)` estimates from a converged scenario report.
+///
+/// # Panics
+///
+/// Panics if any trial failed to converge within the step budget.
+pub fn f_estimates(report: &SimulationReport) -> Vec<f64> {
+    report
+        .trials
+        .iter()
+        .map(|t| {
+            assert!(t.converged, "trial failed to converge within the budget");
+            t.estimate
+        })
+        .collect()
 }
 
 /// Runs a NodeModel to `φ ≤ eps` and returns the estimated convergence
@@ -74,77 +179,7 @@ pub fn estimate_f_edge(graph: &Graph, alpha: f64, xi0: &[f64], seed: u64, eps: f
     model.state().weighted_average()
 }
 
-/// Runs one seed chunk of a NodeModel convergence sweep through the
-/// batched engine ([`ReplicaBatch::run_until_converged`]) with the
-/// scalar-identical [`StopRule::Exact`] stopping rule, so per-trial
-/// stopping times and trajectories are bit-identical to the scalar
-/// [`run_until_converged`] path this replaces. Inner threads are pinned to
-/// 1 because `monte_carlo_batched` already parallelises across chunks.
-fn node_converge_chunk(
-    graph: &Graph,
-    alpha: f64,
-    k: usize,
-    xi0: &[f64],
-    seeds: &[u64],
-    eps: f64,
-) -> Vec<ConvergenceReport> {
-    let params = NodeModelParams::new(alpha, k).expect("valid params");
-    let mut batch =
-        ReplicaBatch::new(graph, KernelSpec::Node(params), xi0, seeds).expect("valid batch");
-    batch
-        .run_until_converged(
-            ConvergeConfig::new(eps, step_budget(graph))
-                .with_stop(StopRule::Exact)
-                .with_threads(1),
-        )
-        .expect("valid epsilon")
-}
-
-/// Batched sibling of [`steps_to_eps_node`]: ε-convergence steps for one
-/// seed chunk, identical per seed to the scalar helper.
-pub fn steps_to_eps_node_batched(
-    graph: &Graph,
-    alpha: f64,
-    k: usize,
-    xi0: &[f64],
-    seeds: &[u64],
-    eps: f64,
-) -> Vec<u64> {
-    node_converge_chunk(graph, alpha, k, xi0, seeds, eps)
-        .into_iter()
-        .map(|r| r.steps)
-        .collect()
-}
-
-/// Batched sibling of [`estimate_f_node`]: one `F = M(T)` estimate per
-/// seed in the chunk. The exact stopping rule carries the tracked
-/// weighted average through the report, so each `F` is **bit-identical**
-/// to the scalar `estimate_f_node` result for the same seed.
-///
-/// # Panics
-///
-/// Panics if any replica fails to converge within the step budget.
-pub fn estimate_f_node_batched(
-    graph: &Graph,
-    alpha: f64,
-    k: usize,
-    xi0: &[f64],
-    seeds: &[u64],
-    eps: f64,
-) -> Vec<f64> {
-    node_converge_chunk(graph, alpha, k, xi0, seeds, eps)
-        .into_iter()
-        .map(|report| {
-            assert!(
-                report.converged,
-                "NodeModel replica failed to converge within the step budget"
-            );
-            report.weighted_average
-        })
-        .collect()
-}
-
-/// Steps for a NodeModel to reach `φ ≤ eps`.
+/// Steps for a NodeModel to reach `φ ≤ eps` (scalar reference path).
 pub fn steps_to_eps_node(
     graph: &Graph,
     alpha: f64,
@@ -160,7 +195,7 @@ pub fn steps_to_eps_node(
 }
 
 /// Steps for an EdgeModel to reach `φ̄_V ≤ eps` (the potential of
-/// Prop. D.1).
+/// Prop. D.1; scalar reference path for the exact-uniform engine arm).
 pub fn steps_to_eps_edge_uniform(
     graph: &Graph,
     alpha: f64,
@@ -178,7 +213,8 @@ pub fn steps_to_eps_edge_uniform(
     model.time()
 }
 
-/// A generous per-run step budget scaling with graph size.
-fn step_budget(graph: &Graph) -> u64 {
+/// A generous per-run step budget scaling with graph size — the budget
+/// every convergence scenario and scalar reference shares.
+pub fn step_budget(graph: &Graph) -> u64 {
     200_000_000u64.min(2_000_000u64.max((graph.n() as u64).pow(2) * 2_000))
 }

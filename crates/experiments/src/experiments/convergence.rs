@@ -1,19 +1,25 @@
 //! T22-CONV / T22-K / T24-CONV / PB2 — convergence-time experiments.
+//!
+//! All four sweeps run through the unified Scenario API (`od-sim`): each
+//! builds one declarative spec and the dispatcher routes it to the
+//! convergence engine (the retirement-aware streaming runner with the
+//! scalar-identical exact stopping rule), so the measured statistics are
+//! bit-identical to the scalar per-trial paths these sweeps replaced —
+//! gated in `tests/batch_equivalence.rs`.
 
 use super::common;
-use crate::runner::{monte_carlo_batched, monte_carlo_stats};
 use crate::ExperimentContext;
 use od_core::theory;
 use od_graph::{generators, Graph};
 use od_linalg::{eigen, spectra};
+use od_sim::GraphSpec;
 use od_stats::{fmt_float, SeedSequence, Table, Welford};
 
-/// NodeModel ε-convergence times through the batched engine: one
-/// `ReplicaBatch` per seed chunk with the scalar-identical exact stopping
-/// rule, so the measured `T(ε)` statistics are unchanged from the scalar
-/// per-trial path this replaced — only the setup cost and memory layout
-/// differ (see `od-core`'s convergence engine).
+/// NodeModel ε-convergence times through the Scenario API: per-trial
+/// stopping times under the exact stopping rule, folded in trial order.
+#[allow(clippy::too_many_arguments)] // one declarative sweep cell
 fn node_steps_stats(
+    graph_spec: GraphSpec,
     g: &Graph,
     alpha: f64,
     k: usize,
@@ -22,43 +28,50 @@ fn node_steps_stats(
     seeds: SeedSequence,
     eps: f64,
 ) -> Welford {
-    monte_carlo_batched(
-        trials,
-        seeds,
-        common::CONVERGE_REPLICAS_PER_BATCH,
-        |_, chunk| {
-            common::steps_to_eps_node_batched(g, alpha, k, xi0, chunk, eps)
-                .into_iter()
-                .map(|s| s as f64)
-                .collect()
-        },
-    )
-    .into_iter()
-    .collect()
+    common::run_node_converge(graph_spec, g, alpha, k, xi0, trials, seeds, eps)
+        .trials
+        .iter()
+        .map(|t| t.steps as f64)
+        .collect()
 }
 
 /// Regular families with analytic lazy-walk gaps.
-fn regular_families(sizes: &[usize]) -> Vec<(String, Graph, f64)> {
+fn regular_families(sizes: &[usize]) -> Vec<(String, GraphSpec, Graph, f64)> {
     let mut out = Vec::new();
     for &n in sizes {
         let g = generators::cycle(n).unwrap();
         let gap = spectra::lazy_gap_regular(&spectra::cycle_adjacency(n), 2);
-        out.push((format!("cycle({n})"), g, 1.0 - gap));
+        out.push((format!("cycle({n})"), GraphSpec::Cycle { n }, g, 1.0 - gap));
 
         let g = generators::complete(n).unwrap();
         let gap = spectra::lazy_gap_regular(&spectra::complete_adjacency(n), n - 1);
-        out.push((format!("complete({n})"), g, 1.0 - gap));
+        out.push((
+            format!("complete({n})"),
+            GraphSpec::Complete { n },
+            g,
+            1.0 - gap,
+        ));
     }
     // Tori and hypercubes at their natural sizes.
     for &s in &[4usize, 6] {
         let g = generators::torus(s, s).unwrap();
         let gap = spectra::lazy_gap_regular(&spectra::torus_adjacency(s, s), 4);
-        out.push((format!("torus({s}x{s})"), g, 1.0 - gap));
+        out.push((
+            format!("torus({s}x{s})"),
+            GraphSpec::Torus { rows: s, cols: s },
+            g,
+            1.0 - gap,
+        ));
     }
     for &d in &[4usize, 5] {
         let g = generators::hypercube(d).unwrap();
         let gap = spectra::lazy_gap_regular(&spectra::hypercube_adjacency(d), d);
-        out.push((format!("hypercube({d})"), g, 1.0 - gap));
+        out.push((
+            format!("hypercube({d})"),
+            GraphSpec::Hypercube { dim: d },
+            g,
+            1.0 - gap,
+        ));
     }
     out
 }
@@ -89,13 +102,13 @@ pub fn node_convergence(ctx: &ExperimentContext) -> Vec<Table> {
             "ratio",
         ],
     );
-    for (idx, (name, g, lambda2)) in regular_families(sizes).into_iter().enumerate() {
+    for (idx, (name, graph_spec, g, lambda2)) in regular_families(sizes).into_iter().enumerate() {
         let xi0 = common::pm_one(g.n());
         let phi0 = od_core::OpinionState::new(&g, xi0.clone())
             .unwrap()
             .potential_pi();
         let seeds = ctx.seeds.child(100 + idx as u64);
-        let stats = node_steps_stats(&g, alpha, k, &xi0, trials, seeds, eps);
+        let stats = node_steps_stats(graph_spec, &g, alpha, k, &xi0, trials, seeds, eps);
         let measured = stats.mean().unwrap();
         let predicted = theory::node_convergence_steps(g.n(), lambda2, alpha, k, phi0, eps);
         t.push_row(vec![
@@ -140,7 +153,16 @@ pub fn k_dependence(ctx: &ExperimentContext) -> Vec<Table> {
     let mut t1 = None;
     for (idx, &k) in [1usize, 2, 3, 6].iter().enumerate() {
         let seeds = ctx.seeds.child(200 + idx as u64);
-        let stats = node_steps_stats(&g, alpha, k, &xi0, trials, seeds, eps);
+        let stats = node_steps_stats(
+            GraphSpec::Hypercube { dim: d },
+            &g,
+            alpha,
+            k,
+            &xi0,
+            trials,
+            seeds,
+            eps,
+        );
         let measured = stats.mean().unwrap();
         let predicted = theory::node_convergence_steps(g.n(), lambda2, alpha, k, phi0, eps);
         let t1_val = *t1.get_or_insert(measured);
@@ -159,20 +181,54 @@ pub fn k_dependence(ctx: &ExperimentContext) -> Vec<Table> {
 /// T24-CONV: measured EdgeModel time to `φ̄_V ≤ ε` vs the Prop. D.1
 /// prediction `m log(φ̄_V(0)/ε) / (α(1−α)λ₂(L))`, on regular *and*
 /// irregular graphs.
+///
+/// Runs through the Scenario API on the convergence engine's
+/// exact-**uniform** stopping arm (`PotentialKind::Uniform`): stopping
+/// times are bit-identical to the scalar `potential_uniform` loop this
+/// sweep historically used, but trials now share one streaming SoA
+/// window with early retirement.
 pub fn edge_convergence(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(20, 5);
     let eps = 1e-9;
     let alpha = 0.5;
-    let mut cases: Vec<(String, Graph)> = vec![
-        ("cycle(32)".into(), generators::cycle(32).unwrap()),
-        ("complete(32)".into(), generators::complete(32).unwrap()),
-        ("star(32)".into(), generators::star(32).unwrap()),
-        ("barbell(8)".into(), generators::barbell(8).unwrap()),
-        ("path(32)".into(), generators::path(32).unwrap()),
+    let mut cases: Vec<(String, GraphSpec, Graph)> = vec![
+        (
+            "cycle(32)".into(),
+            GraphSpec::Cycle { n: 32 },
+            generators::cycle(32).unwrap(),
+        ),
+        (
+            "complete(32)".into(),
+            GraphSpec::Complete { n: 32 },
+            generators::complete(32).unwrap(),
+        ),
+        (
+            "star(32)".into(),
+            GraphSpec::Star { n: 32 },
+            generators::star(32).unwrap(),
+        ),
+        (
+            "barbell(8)".into(),
+            GraphSpec::Barbell { k: 8 },
+            generators::barbell(8).unwrap(),
+        ),
+        (
+            "path(32)".into(),
+            GraphSpec::Path { n: 32 },
+            generators::path(32).unwrap(),
+        ),
     ];
     if !ctx.quick {
-        cases.push(("torus(6x6)".into(), generators::torus(6, 6).unwrap()));
-        cases.push(("binary_tree(5)".into(), generators::binary_tree(5).unwrap()));
+        cases.push((
+            "torus(6x6)".into(),
+            GraphSpec::Torus { rows: 6, cols: 6 },
+            generators::torus(6, 6).unwrap(),
+        ));
+        cases.push((
+            "binary_tree(5)".into(),
+            GraphSpec::BinaryTree { levels: 5 },
+            generators::binary_tree(5).unwrap(),
+        ));
     }
     let mut t = Table::new(
         format!(
@@ -188,7 +244,7 @@ pub fn edge_convergence(ctx: &ExperimentContext) -> Vec<Table> {
             "ratio",
         ],
     );
-    for (idx, (name, g)) in cases.into_iter().enumerate() {
+    for (idx, (name, graph_spec, g)) in cases.into_iter().enumerate() {
         let lambda2 = eigen::laplacian_spectrum(&g, 1e-11, 2_000_000).lambda2;
         let xi0 = common::pm_one(g.n());
         let phi0: f64 = {
@@ -196,13 +252,9 @@ pub fn edge_convergence(ctx: &ExperimentContext) -> Vec<Table> {
             xi0.iter().map(|v| (v - mean) * (v - mean)).sum()
         };
         let seeds = ctx.seeds.child(300 + idx as u64);
-        // Stays on the scalar path: this sweep stops on the *uniform*
-        // potential φ̄_V (Prop. D.1), which the batched engine's φ_π
-        // stopping rules don't cover yet (ROADMAP: convergence-engine
-        // follow-ups).
-        let stats = monte_carlo_stats(trials, seeds, |seed| {
-            common::steps_to_eps_edge_uniform(&g, alpha, &xi0, seed, eps) as f64
-        });
+        let report =
+            common::run_edge_converge_uniform(graph_spec, &g, alpha, &xi0, trials, seeds, eps);
+        let stats: Welford = report.trials.iter().map(|t| t.steps as f64).collect();
         let measured = stats.mean().unwrap();
         let predicted = theory::edge_convergence_steps(g.m(), lambda2, alpha, phi0, eps);
         t.push_row(vec![
@@ -220,7 +272,9 @@ pub fn edge_convergence(ctx: &ExperimentContext) -> Vec<Table> {
 
 /// PB2: starting from the second eigenvector is the worst case — the
 /// upper bound is tight there, and generic initial vectors of the same
-/// norm converge no slower than the prediction.
+/// norm converge no slower than the prediction. (The eigenvector initial
+/// state is programmatic — `Simulation::with_initial_values` — since no
+/// declarative init distribution expresses it.)
 pub fn lower_bound(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(20, 6);
     let eps = 1e-9;
@@ -253,7 +307,16 @@ pub fn lower_bound(ctx: &ExperimentContext) -> Vec<Table> {
             .unwrap()
             .potential_pi();
         let seeds = ctx.seeds.child(400 + idx as u64);
-        let stats = node_steps_stats(&g, alpha, 1, &xi0, trials, seeds, eps);
+        let stats = node_steps_stats(
+            GraphSpec::Cycle { n },
+            &g,
+            alpha,
+            1,
+            &xi0,
+            trials,
+            seeds,
+            eps,
+        );
         let measured = stats.mean().unwrap();
         let predicted = theory::node_convergence_steps(n, spec.lambda2, alpha, 1, phi0, eps);
         t.push_row(vec![

@@ -11,21 +11,20 @@
 //! the "diffusion loves rewiring" folklore. Rate 0 reproduces the static
 //! batched engine bit for bit (gated by `tests/batch_equivalence.rs`).
 //!
-//! Trials run through `monte_carlo_batched` with a [`DynamicReplicaBatch`]
-//! per chunk, driven by the batched convergence engine
-//! ([`DynamicReplicaBatch::run_until_converged`]): converged replicas
-//! retire early (no more steps wasted on finished trajectories) and the
-//! SoA buffer is compacted, with the same epoch-boundary stopping rule the
-//! old hand-rolled loop used. The churn seed is fixed per sweep cell (not
-//! per chunk), so every replica sees the same topology trajectory and
-//! per-trial results are independent of batch size and thread schedule,
-//! exactly like the static sweeps.
+//! Each sweep cell is one declarative scenario: the Scenario API
+//! dispatches it to `DynamicReplicaBatch::run_until_converged` (the
+//! epoch-boundary stopping rule, early retirement, SoA compaction) over
+//! seed chunks. The churn seed is fixed per cell (not per chunk), so
+//! every replica sees the same topology trajectory and per-trial results
+//! are independent of batch size and thread schedule, exactly like the
+//! static sweeps.
 
-use super::common;
-use crate::runner::monte_carlo_batched;
 use crate::ExperimentContext;
-use od_core::{DynamicReplicaBatch, KernelSpec, NodeModelParams};
-use od_graph::{generators, ChurnModel, DynamicGraph};
+use od_graph::generators;
+use od_sim::{
+    ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, PotentialSpec, ScenarioSpec,
+    Simulation, StopRuleSpec, StopSpec,
+};
 use od_stats::{fmt_float, Table, Welford};
 
 /// ε for the potential-based convergence check (Eq. 3).
@@ -34,6 +33,46 @@ const EPS: f64 = 1e-12;
 /// Swaps-per-epoch sweep points.
 const CHURN_RATES: [usize; 4] = [0, 1, 4, 16];
 
+/// The declarative scenario of one DYN-CHURN sweep cell.
+#[allow(clippy::too_many_arguments)] // one declarative sweep cell
+fn cell_scenario(
+    side: usize,
+    swaps: usize,
+    steps_per_epoch: u64,
+    max_epochs: u64,
+    trials: usize,
+    seed: u64,
+    churn_seed: u64,
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        ModelSpec::Node {
+            alpha: 0.5,
+            k: 2,
+            lazy: false,
+        },
+        GraphSpec::Torus {
+            rows: side,
+            cols: side,
+        },
+        0,
+    );
+    spec.init = InitSpec::PmOne;
+    spec.replicas = trials;
+    spec.seed = seed;
+    spec.churn = Some(ChurnSpec {
+        model: ChurnModelSpec::EdgeSwap { swaps },
+        steps_per_epoch,
+        seed: churn_seed,
+    });
+    spec.stop = StopSpec::Converge {
+        epsilon: EPS,
+        rule: StopRuleSpec::Block,
+        potential: PotentialSpec::Pi,
+        budget: max_epochs * steps_per_epoch,
+    };
+    spec
+}
+
 /// DYN-CHURN: NodeModel ε-convergence time vs edge-swap churn rate on a
 /// torus, batched over a shared evolving topology.
 pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
@@ -41,11 +80,8 @@ pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
     let side = if ctx.quick { 8 } else { 16 };
     let g = generators::torus(side, side).expect("torus dimensions are valid");
     let n = g.n();
-    let xi0 = common::pm_one(n);
-    let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).expect("valid params"));
     let steps_per_epoch = n as u64;
     let max_epochs: u64 = if ctx.quick { 1_500 } else { 3_000 };
-    let budget = max_epochs * steps_per_epoch;
 
     let mut t = Table::new(
         format!(
@@ -67,44 +103,27 @@ pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
         // (churn seed, trial seed) — batch-size independent.
         let churn_seed = ctx.seeds.child(940).seed(idx as u64);
         let seeds = ctx.seeds.child(941 + idx as u64);
-        let cell: Vec<(u64, bool, u64)> = monte_carlo_batched(trials, seeds, 16, |_, chunk| {
-            let churn = ChurnModel::edge_swap(swaps);
-            let mut batch = DynamicReplicaBatch::new(
-                DynamicGraph::new(g.clone()),
-                spec,
-                &xi0,
-                chunk,
-                churn,
-                churn_seed,
-            )
-            .expect("valid dynamic batch");
-            // Inner threads pinned to 1: monte_carlo_batched already
-            // parallelises across chunks.
-            let reports = batch
-                .run_until_converged(steps_per_epoch, max_epochs, EPS, 1)
-                .expect("degree-preserving churn cannot break the spec");
-            let mutations = batch.mutations();
-            reports
-                .into_iter()
-                .map(|r| {
-                    (
-                        if r.converged { r.steps } else { budget },
-                        r.converged,
-                        mutations,
-                    )
-                })
-                .collect()
-        });
-        let steps: Welford = cell.iter().map(|&(s, _, _)| s as f64).collect();
-        let converged = cell.iter().filter(|&&(_, ok, _)| ok).count();
-        let mutations = cell.iter().map(|&(_, _, m)| m).max().unwrap_or(0);
+        let spec = cell_scenario(
+            side,
+            swaps,
+            steps_per_epoch,
+            max_epochs,
+            trials,
+            seeds.master(),
+            churn_seed,
+        );
+        let report = Simulation::from_spec_with_graph(&spec, g.clone())
+            .expect("sweep cell is a valid scenario")
+            .run()
+            .expect("degree-preserving churn cannot break the spec");
+        let steps: Welford = report.trials.iter().map(|t| t.steps as f64).collect();
         t.push_row(vec![
             swaps.to_string(),
             fmt_float(steps.mean().unwrap_or(f64::NAN)),
             fmt_float(steps.standard_error().unwrap_or(f64::NAN)),
             fmt_float(steps.mean().unwrap_or(f64::NAN) / steps_per_epoch as f64),
-            fmt_float(converged as f64 / trials as f64),
-            mutations.to_string(),
+            fmt_float(report.converged_count() as f64 / trials as f64),
+            report.max_mutations().to_string(),
         ]);
     }
     vec![t]
@@ -113,7 +132,6 @@ pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::monte_carlo_batched;
     use od_stats::SeedSequence;
 
     /// The schedule-independence contract the sweep relies on: per-trial
@@ -122,27 +140,21 @@ mod tests {
     /// cell's churn seed alone.
     #[test]
     fn dynamic_sweep_results_independent_of_batch_size() {
-        let g = generators::torus(4, 4).unwrap();
-        let xi0 = common::pm_one(16);
-        let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
         let run = |batch_size: usize| -> Vec<u64> {
-            monte_carlo_batched(10, SeedSequence::new(5), batch_size, |_, chunk| {
-                let mut batch = DynamicReplicaBatch::new(
-                    DynamicGraph::new(g.clone()),
-                    spec,
-                    &xi0,
-                    chunk,
-                    ChurnModel::edge_swap(2),
-                    99,
-                )
-                .unwrap();
-                batch
-                    .run_until_converged(16, 400, 1e-10, 1)
-                    .unwrap()
-                    .into_iter()
-                    .map(|r| if r.converged { r.steps } else { u64::MAX })
-                    .collect()
-            })
+            let mut spec = cell_scenario(4, 2, 16, 400, 10, SeedSequence::new(5).master(), 99);
+            spec.batch = batch_size;
+            spec.stop = StopSpec::Converge {
+                epsilon: 1e-10,
+                rule: StopRuleSpec::Block,
+                potential: PotentialSpec::Pi,
+                budget: 400 * 16,
+            };
+            let report = Simulation::from_spec(&spec).unwrap().run().unwrap();
+            report
+                .trials
+                .iter()
+                .map(|t| if t.converged { t.steps } else { u64::MAX })
+                .collect()
         };
         let one = run(1);
         let four = run(4);

@@ -8,6 +8,7 @@ use od_core::{theory, EdgeModelParams, KernelSpec, NodeModelParams, ReplicaBatch
 use od_dual::variance::{centered_norm_sq, predict_variance, variance_k1_closed_form};
 use od_dual::QChain;
 use od_graph::{generators, Graph};
+use od_sim::GraphSpec;
 use od_stats::{fmt_float, Table, Welford};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,29 +16,25 @@ use rand::SeedableRng;
 /// Estimation tolerance for the convergence value per trial.
 const F_EPS: f64 = 1e-10;
 
+#[allow(clippy::too_many_arguments)] // one declarative sweep cell
 fn empirical_var_node(
     ctx: &ExperimentContext,
     child: u64,
+    graph_spec: GraphSpec,
     g: &Graph,
     alpha: f64,
     k: usize,
     xi0: &[f64],
     trials: usize,
 ) -> Welford {
-    // Batched convergence engine with the scalar-identical exact stopping
+    // One Scenario-API sweep on the convergence engine's exact stopping
     // rule: trial `i` stops at the same step as the scalar
     // `estimate_f_node` path this replaced, from the same seed, so the
     // Var(F) statistics are preserved (F is read off the identical
-    // stopping state).
+    // stopping state, bit for bit).
     let seeds = ctx.seeds.child(child);
-    monte_carlo_batched(
-        trials,
-        seeds,
-        common::CONVERGE_REPLICAS_PER_BATCH,
-        |_, chunk| common::estimate_f_node_batched(g, alpha, k, xi0, chunk, F_EPS),
-    )
-    .into_iter()
-    .collect()
+    let report = common::run_node_converge(graph_spec, g, alpha, k, xi0, trials, seeds, F_EPS);
+    common::f_estimates(&report).into_iter().collect()
 }
 
 /// T22-VAR: `Var(F)·n²/‖ξ‖²` is Θ(1), independent of graph structure and
@@ -48,18 +45,31 @@ pub fn structure_independence(ctx: &ExperimentContext) -> Vec<Table> {
     let alpha = 0.5;
     let xi0 = common::pm_one(n);
     let norm = centered_norm_sq(&xi0);
+    // The two random-regular instances share one RNG stream (seed 777),
+    // so they are supplied programmatically; the GraphSpec entries are
+    // descriptive (`Simulation::from_spec_with_graph`).
     let mut rng = StdRng::seed_from_u64(777);
-    let cases: Vec<(String, Graph)> = vec![
-        (format!("cycle({n})"), generators::cycle(n).unwrap()),
+    let cases: Vec<(String, GraphSpec, Graph)> = vec![
+        (
+            format!("cycle({n})"),
+            GraphSpec::Cycle { n },
+            generators::cycle(n).unwrap(),
+        ),
         (
             format!("random_regular({n},4)"),
+            GraphSpec::RandomRegular { n, d: 4, seed: 777 },
             generators::random_regular(n, 4, &mut rng).unwrap(),
         ),
         (
             format!("random_regular({n},8)"),
+            GraphSpec::RandomRegular { n, d: 8, seed: 777 },
             generators::random_regular(n, 8, &mut rng).unwrap(),
         ),
-        (format!("complete({n})"), generators::complete(n).unwrap()),
+        (
+            format!("complete({n})"),
+            GraphSpec::Complete { n },
+            generators::complete(n).unwrap(),
+        ),
     ];
     let mut t = Table::new(
         format!(
@@ -75,14 +85,22 @@ pub fn structure_independence(ctx: &ExperimentContext) -> Vec<Table> {
             "z_score",
         ],
     );
-    for (idx, (name, g)) in cases.iter().enumerate() {
+    for (idx, (name, graph_spec, g)) in cases.iter().enumerate() {
         let d = g.regular_degree().expect("regular");
         for (jdx, &k) in [1usize, 2].iter().enumerate() {
             if k > d {
                 continue;
             }
-            let stats =
-                empirical_var_node(ctx, 500 + (idx * 4 + jdx) as u64, g, alpha, k, &xi0, trials);
+            let stats = empirical_var_node(
+                ctx,
+                500 + (idx * 4 + jdx) as u64,
+                *graph_spec,
+                g,
+                alpha,
+                k,
+                &xi0,
+                trials,
+            );
             let emp = stats.sample_variance().unwrap();
             let se = stats.variance_standard_error().unwrap();
             let chain = QChain::new(g, alpha, k).unwrap();
@@ -155,17 +173,41 @@ pub fn exact_prediction(ctx: &ExperimentContext) -> Vec<Table> {
             "z_score",
         ],
     );
-    let cases: Vec<(&str, Graph, usize)> = vec![
-        ("cycle(16)", generators::cycle(16).unwrap(), 1),
-        ("complete(16)", generators::complete(16).unwrap(), 1),
-        ("hypercube(4)", generators::hypercube(4).unwrap(), 2),
-        ("petersen", generators::petersen(), 3),
+    let cases: Vec<(&str, GraphSpec, Graph, usize)> = vec![
+        (
+            "cycle(16)",
+            GraphSpec::Cycle { n: 16 },
+            generators::cycle(16).unwrap(),
+            1,
+        ),
+        (
+            "complete(16)",
+            GraphSpec::Complete { n: 16 },
+            generators::complete(16).unwrap(),
+            1,
+        ),
+        (
+            "hypercube(4)",
+            GraphSpec::Hypercube { dim: 4 },
+            generators::hypercube(4).unwrap(),
+            2,
+        ),
+        ("petersen", GraphSpec::Petersen, generators::petersen(), 3),
     ];
-    for (idx, (name, g, k)) in cases.iter().enumerate() {
+    for (idx, (name, graph_spec, g, k)) in cases.iter().enumerate() {
         // A non-uniform initial vector exercises the edge term of the
         // quadratic form (±1 alternating vectors make it degenerate).
         let xi0: Vec<f64> = (0..g.n()).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
-        let stats = empirical_var_node(ctx, 700 + idx as u64, g, alpha, *k, &xi0, trials);
+        let stats = empirical_var_node(
+            ctx,
+            700 + idx as u64,
+            *graph_spec,
+            g,
+            alpha,
+            *k,
+            &xi0,
+            trials,
+        );
         let emp = stats.sample_variance().unwrap();
         let se = stats.variance_standard_error().unwrap();
         let chain = QChain::new(g, alpha, *k).unwrap();
@@ -194,7 +236,7 @@ pub fn exact_prediction(ctx: &ExperimentContext) -> Vec<Table> {
             "lower_paper",
         ],
     );
-    for (name, g, k) in &cases {
+    for (name, _, g, k) in &cases {
         let d = g.regular_degree().unwrap() as f64;
         let n = g.n() as f64;
         let kf = *k as f64;

@@ -1,0 +1,955 @@
+//! [`Simulation`]: validates a [`ScenarioSpec`], picks the optimal engine
+//! and runs it, returning one unified [`SimulationReport`].
+//!
+//! # Dispatch table
+//!
+//! | scenario shape | engine |
+//! |---|---|
+//! | averaging, R = 1, `output trace` | scalar process + `trace_potential` (recorded run) |
+//! | averaging, static, `stop steps` | `ReplicaBatch::step_many` over seed chunks |
+//! | averaging, static, `stop converge` | `run_converge_streaming` (retirement-aware SoA window) |
+//! | averaging, churn, `stop steps` | `DynamicReplicaBatch::step_epoch` over seed chunks |
+//! | averaging, churn, `stop converge` | `DynamicReplicaBatch::run_until_converged` |
+//! | voter, static, `stop steps` | `VoterBatch::step_many` |
+//! | voter, static, `stop consensus` | `VoterBatch::run_to_consensus` |
+//! | voter, churn | `DynamicVoterKernel` epoch loop per trial |
+//!
+//! Trial `i` always runs from `SeedSequence::new(spec.seed).seed(i)`, and
+//! every engine keeps per-trial results a function of that seed alone —
+//! so a scenario's statistics are **bit-identical** to the direct engine
+//! call it replaces, independent of batch size, window capacity and
+//! thread count (gated in `tests/batch_equivalence.rs`).
+
+use crate::runner::monte_carlo_batched_threads;
+use crate::spec::{
+    ChurnSpec, ModelSpec, OutputSpec, ScenarioSpec, SimError, StopRuleSpec, StopSpec,
+};
+use od_core::{
+    run_converge_streaming, trace_potential, ConvergeConfig, ConvergenceReport,
+    DynamicReplicaBatch, DynamicVoterKernel, EdgeModel, KernelSpec, NodeModel, OpinionProcess,
+    ReplicaBatch, StopRule, VoterBatch,
+};
+use od_graph::{ChurnModel, DynamicGraph, Graph};
+use od_stats::{SeedSequence, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The engine a scenario dispatches to (see the module-level table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Scalar recorded run: one replica, incremental aggregates, a
+    /// potential trace.
+    ScalarRecorded,
+    /// `ReplicaBatch::step_many` over seed chunks.
+    StaticSteps,
+    /// The retirement-aware streaming convergence runner
+    /// (`od_core::run_converge_streaming`).
+    StaticConverge,
+    /// `DynamicReplicaBatch::step_epoch` over seed chunks.
+    DynamicSteps,
+    /// `DynamicReplicaBatch::run_until_converged` (epoch-boundary rule).
+    DynamicConverge,
+    /// `VoterBatch::step_many`.
+    VoterSteps,
+    /// `VoterBatch::run_to_consensus` (O(1) incremental consensus checks,
+    /// early retirement).
+    VoterConsensus,
+    /// Per-trial `DynamicVoterKernel` epoch loop.
+    DynamicVoter,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Engine::ScalarRecorded => "scalar-recorded",
+            Engine::StaticSteps => "replica-batch",
+            Engine::StaticConverge => "streaming-converge",
+            Engine::DynamicSteps => "dynamic-replica-batch",
+            Engine::DynamicConverge => "dynamic-converge",
+            Engine::VoterSteps => "voter-batch",
+            Engine::VoterConsensus => "voter-consensus",
+            Engine::DynamicVoter => "dynamic-voter",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One trial's outcome, engine-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// Steps the trial took (its stopping time, or the fixed horizon).
+    pub steps: u64,
+    /// Whether the stopping condition was met: ε-convergence for
+    /// averaging converge runs, consensus for voter runs (fixed-horizon
+    /// voter trials report whether the *end state* happens to be at
+    /// consensus). Always `false` for fixed-horizon averaging runs, which
+    /// have no threshold.
+    pub converged: bool,
+    /// The stopped potential (`φ` or `φ̄_V` per the spec); `NaN` for
+    /// voter trials.
+    pub potential: f64,
+    /// The `F` estimate: `M(T)` under the π potential, `Avg(T)` under
+    /// the uniform potential; `NaN` for voter trials.
+    pub estimate: f64,
+    /// The winning opinion (voter trials at consensus).
+    pub winner: Option<u32>,
+    /// Elementary topology mutations the trial's environment saw (churn
+    /// scenarios; 0 on static graphs).
+    pub mutations: u64,
+}
+
+impl TrialResult {
+    fn from_convergence(report: &ConvergenceReport, mutations: u64) -> TrialResult {
+        TrialResult {
+            steps: report.steps,
+            converged: report.converged,
+            potential: report.potential,
+            estimate: report.weighted_average,
+            winner: None,
+            mutations,
+        }
+    }
+}
+
+/// The unified result of a scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// The engine the scenario dispatched to.
+    pub engine: Engine,
+    /// Per-trial results, in trial (seed) order.
+    pub trials: Vec<TrialResult>,
+    /// `(t, φ(ξ(t)))` samples for `output trace` scenarios.
+    pub trace: Option<Vec<(u64, f64)>>,
+}
+
+impl SimulationReport {
+    /// Number of trials that met their stopping condition.
+    pub fn converged_count(&self) -> usize {
+        self.trials.iter().filter(|t| t.converged).count()
+    }
+
+    /// Summary of per-trial stopping times (steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report.
+    pub fn steps_summary(&self) -> Summary {
+        Summary::of(
+            &self
+                .trials
+                .iter()
+                .map(|t| t.steps as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Summary of the `F` estimates over **converged** trials (`None` if
+    /// no trial converged or the model has no estimate).
+    pub fn estimate_summary(&self) -> Option<Summary> {
+        let estimates: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.converged && !t.estimate.is_nan())
+            .map(|t| t.estimate)
+            .collect();
+        (!estimates.is_empty()).then(|| Summary::of(&estimates))
+    }
+
+    /// Maximum mutation count any trial's environment saw (the shared
+    /// churn trajectory of the longest-lived chunk).
+    pub fn max_mutations(&self) -> u64 {
+        self.trials.iter().map(|t| t.mutations).max().unwrap_or(0)
+    }
+}
+
+/// A validated, runnable scenario: the spec plus its resolved graph and
+/// initial state. Build one with [`Simulation::from_spec`], optionally
+/// override the graph or initial state (for programmatic inputs the text
+/// format cannot express, e.g. an eigenvector initial condition), then
+/// [`Simulation::run`].
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    spec: ScenarioSpec,
+    graph: Graph,
+    xi0: Vec<f64>,
+    opinions0: Vec<u32>,
+}
+
+impl Simulation {
+    /// Validates `spec`, builds its graph and initial state, and checks
+    /// the model against the graph exactly as the engines would.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invalid`] for semantic violations, [`SimError::Graph`]
+    /// from the generator, [`SimError::Core`] if the model rejects the
+    /// graph (`k > d_min`, disconnected, …).
+    pub fn from_spec(spec: &ScenarioSpec) -> Result<Simulation, SimError> {
+        spec.validate()?;
+        let graph = spec.graph.build()?;
+        Simulation::assemble(spec.clone(), graph)
+    }
+
+    /// Like [`Simulation::from_spec`], but runs on the given graph
+    /// instance instead of building `spec.graph` — for callers that share
+    /// one instance with a direct-engine comparison or a spectral
+    /// predictor (the spec's `graph` field is then purely descriptive).
+    ///
+    /// # Errors
+    ///
+    /// The same as [`Simulation::from_spec`].
+    pub fn from_spec_with_graph(spec: &ScenarioSpec, graph: Graph) -> Result<Simulation, SimError> {
+        spec.validate()?;
+        Simulation::assemble(spec.clone(), graph)
+    }
+
+    /// Replaces the graph (e.g. an instance shared with a direct-engine
+    /// comparison), re-resolving the initial state for the new size.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Core`] if the model rejects the new graph.
+    pub fn with_graph(self, graph: Graph) -> Result<Simulation, SimError> {
+        Simulation::assemble(self.spec, graph)
+    }
+
+    /// Overrides the averaging initial values (inputs the declarative
+    /// init distributions cannot express, e.g. a worst-case eigenvector).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invalid`] on a voter scenario or length mismatch.
+    pub fn with_initial_values(mut self, xi0: Vec<f64>) -> Result<Simulation, SimError> {
+        if !self.spec.model.is_averaging() {
+            return Err(SimError::Invalid(
+                "voter scenarios take opinions, not values".into(),
+            ));
+        }
+        if xi0.len() != self.graph.n() {
+            return Err(SimError::Invalid(format!(
+                "{} initial values for {} nodes",
+                xi0.len(),
+                self.graph.n()
+            )));
+        }
+        self.xi0 = xi0;
+        Ok(self)
+    }
+
+    /// Overrides the voter initial opinions.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invalid`] on an averaging scenario or length mismatch.
+    pub fn with_opinions(mut self, opinions0: Vec<u32>) -> Result<Simulation, SimError> {
+        if self.spec.model.is_averaging() {
+            return Err(SimError::Invalid(
+                "averaging scenarios take values, not opinions".into(),
+            ));
+        }
+        if opinions0.len() != self.graph.n() {
+            return Err(SimError::Invalid(format!(
+                "{} initial opinions for {} nodes",
+                opinions0.len(),
+                self.graph.n()
+            )));
+        }
+        self.opinions0 = opinions0;
+        Ok(self)
+    }
+
+    fn assemble(spec: ScenarioSpec, graph: Graph) -> Result<Simulation, SimError> {
+        let n = graph.n();
+        if let crate::spec::InitSpec::Indicator { node } = spec.init {
+            // Graph-dependent init check: a typo'd node id would
+            // otherwise silently yield an all-zero initial state.
+            if node >= n {
+                return Err(SimError::Invalid(format!(
+                    "indicator node {node} out of range for an {n}-node graph"
+                )));
+            }
+        }
+        let (xi0, opinions0) = if spec.model.is_averaging() {
+            (spec.init.values(n), Vec::new())
+        } else {
+            (Vec::new(), spec.init.opinions(n))
+        };
+        let sim = Simulation {
+            spec,
+            graph,
+            xi0,
+            opinions0,
+        };
+        // Validate the (graph, init, model) triple once, through the same
+        // constructors the engines use, so dispatch cannot fail later.
+        match sim.spec.model {
+            ModelSpec::Voter => {
+                VoterBatch::new(&sim.graph, &sim.opinions0, &[])?;
+            }
+            _ => {
+                ReplicaBatch::new(&sim.graph, sim.spec.model.kernel_spec()?, &sim.xi0, &[])?;
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The spec this simulation was built from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The resolved graph instance.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The engine this scenario dispatches to — a pure function of the
+    /// spec shape (see the module docs).
+    pub fn engine(&self) -> Engine {
+        match (&self.spec.model, &self.spec.churn, &self.spec.stop) {
+            (ModelSpec::Voter, None, StopSpec::Consensus { .. }) => Engine::VoterConsensus,
+            (ModelSpec::Voter, None, _) => Engine::VoterSteps,
+            (ModelSpec::Voter, Some(_), _) => Engine::DynamicVoter,
+            _ if matches!(self.spec.output, OutputSpec::Trace { .. }) => Engine::ScalarRecorded,
+            (_, None, StopSpec::Converge { .. }) => Engine::StaticConverge,
+            (_, None, _) => Engine::StaticSteps,
+            (_, Some(_), StopSpec::Converge { .. }) => Engine::DynamicConverge,
+            (_, Some(_), _) => Engine::DynamicSteps,
+        }
+    }
+
+    /// Runs the scenario on its dispatched engine.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Core`] if an engine rejects the scenario mid-run (e.g.
+    /// degree-changing churn broke the sampling preconditions).
+    pub fn run(&self) -> Result<SimulationReport, SimError> {
+        let engine = self.engine();
+        let trials = match engine {
+            Engine::ScalarRecorded => return self.run_scalar_recorded(),
+            Engine::StaticConverge => self.run_static_converge()?,
+            Engine::StaticSteps => self.run_static_steps()?,
+            Engine::DynamicConverge => self.run_dynamic_converge()?,
+            Engine::DynamicSteps => self.run_dynamic_steps()?,
+            Engine::VoterConsensus => self.run_voter_consensus(),
+            Engine::VoterSteps => self.run_voter_steps(),
+            Engine::DynamicVoter => self.run_dynamic_voter()?,
+        };
+        Ok(SimulationReport {
+            engine,
+            trials,
+            trace: None,
+        })
+    }
+
+    fn seeds(&self) -> SeedSequence {
+        SeedSequence::new(self.spec.seed)
+    }
+
+    fn trial_seeds(&self) -> Vec<u64> {
+        let seq = self.seeds();
+        (0..self.spec.replicas as u64)
+            .map(|i| seq.seed(i))
+            .collect()
+    }
+
+    fn kernel_spec(&self) -> KernelSpec {
+        self.spec
+            .model
+            .kernel_spec()
+            .expect("assemble validated the model")
+    }
+
+    fn churn_parts(&self) -> (ChurnModel, u64, u64) {
+        let ChurnSpec {
+            model,
+            steps_per_epoch,
+            seed,
+        } = self.spec.churn.expect("dynamic engine requires churn");
+        let churn = model.build().expect("validate checked churn parameters");
+        (churn, steps_per_epoch, seed)
+    }
+
+    fn run_scalar_recorded(&self) -> Result<SimulationReport, SimError> {
+        let StopSpec::Steps { steps } = self.spec.stop else {
+            unreachable!("validate pins trace output to a fixed horizon");
+        };
+        let OutputSpec::Trace { every } = self.spec.output else {
+            unreachable!("scalar-recorded dispatch requires trace output");
+        };
+        let mut rng = StdRng::seed_from_u64(self.seeds().seed(0));
+        let (trace, potential, estimate) = match self.kernel_spec() {
+            KernelSpec::Node(params) => {
+                let mut process = NodeModel::new(&self.graph, self.xi0.clone(), params)?;
+                let trace = trace_potential(&mut process, &mut rng, steps, every);
+                let state = process.state();
+                (trace, state.potential_pi(), state.weighted_average())
+            }
+            KernelSpec::Edge(params) => {
+                let mut process = EdgeModel::new(&self.graph, self.xi0.clone(), params)?;
+                let trace = trace_potential(&mut process, &mut rng, steps, every);
+                let state = process.state();
+                (trace, state.potential_pi(), state.weighted_average())
+            }
+        };
+        Ok(SimulationReport {
+            engine: Engine::ScalarRecorded,
+            trials: vec![TrialResult {
+                steps,
+                converged: false,
+                potential,
+                estimate,
+                winner: None,
+                mutations: 0,
+            }],
+            trace: Some(trace),
+        })
+    }
+
+    fn converge_config(&self) -> ConvergeConfig {
+        let StopSpec::Converge {
+            epsilon,
+            rule,
+            potential,
+            budget,
+        } = self.spec.stop
+        else {
+            unreachable!("converge dispatch requires a converge stop")
+        };
+        ConvergeConfig::new(epsilon, budget)
+            .with_stop(match rule {
+                StopRuleSpec::Exact => StopRule::Exact,
+                StopRuleSpec::Block => StopRule::Block,
+            })
+            .with_potential(potential.kind())
+            .with_check_every(self.spec.check_every)
+            .with_threads(self.spec.threads)
+    }
+
+    fn run_static_converge(&self) -> Result<Vec<TrialResult>, SimError> {
+        let reports = run_converge_streaming(
+            &self.graph,
+            self.kernel_spec(),
+            &self.xi0,
+            &self.trial_seeds(),
+            self.spec.resolved_batch(),
+            self.converge_config(),
+        )?;
+        Ok(reports
+            .iter()
+            .map(|r| TrialResult::from_convergence(r, 0))
+            .collect())
+    }
+
+    fn run_static_steps(&self) -> Result<Vec<TrialResult>, SimError> {
+        let StopSpec::Steps { steps } = self.spec.stop else {
+            unreachable!("steps dispatch requires a steps stop")
+        };
+        let spec = self.kernel_spec();
+        let trials = monte_carlo_batched_threads(
+            self.spec.replicas,
+            self.seeds(),
+            self.spec.resolved_batch(),
+            self.spec.threads,
+            |_, chunk| {
+                let mut batch = ReplicaBatch::new(&self.graph, spec, &self.xi0, chunk)
+                    .expect("assemble validated the scenario");
+                batch.step_many(steps);
+                (0..chunk.len())
+                    .map(|r| TrialResult {
+                        steps,
+                        converged: false,
+                        potential: batch.replica_potential_pi(r),
+                        estimate: batch.replica_weighted_average(r),
+                        winner: None,
+                        mutations: 0,
+                    })
+                    .collect()
+            },
+        );
+        Ok(trials)
+    }
+
+    fn run_dynamic_converge(&self) -> Result<Vec<TrialResult>, SimError> {
+        let StopSpec::Converge {
+            epsilon, budget, ..
+        } = self.spec.stop
+        else {
+            unreachable!("converge dispatch requires a converge stop")
+        };
+        let spec = self.kernel_spec();
+        let (churn, steps_per_epoch, churn_seed) = self.churn_parts();
+        let max_epochs = budget / steps_per_epoch;
+        let trials: Vec<Result<TrialResult, od_core::CoreError>> = monte_carlo_batched_threads(
+            self.spec.replicas,
+            self.seeds(),
+            self.spec.resolved_batch(),
+            self.spec.threads,
+            |_, chunk| {
+                // One churn stream per scenario: every chunk replays the
+                // same topology trajectory from `churn_seed`, so trial
+                // results are independent of the chunking.
+                let run = || {
+                    let mut batch = DynamicReplicaBatch::new(
+                        DynamicGraph::new(self.graph.clone()),
+                        spec,
+                        &self.xi0,
+                        chunk,
+                        churn.clone(),
+                        churn_seed,
+                    )?;
+                    // Inner threads pinned to 1: the runner already
+                    // parallelises across chunks.
+                    let reports =
+                        batch.run_until_converged(steps_per_epoch, max_epochs, epsilon, 1)?;
+                    let mutations = batch.mutations();
+                    Ok(reports
+                        .iter()
+                        .map(|r| TrialResult::from_convergence(r, mutations))
+                        .collect::<Vec<_>>())
+                };
+                match run() {
+                    Ok(results) => results.into_iter().map(Ok).collect(),
+                    Err(e) => chunk.iter().map(|_| Err(clone_err(&e))).collect(),
+                }
+            },
+        );
+        trials
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(SimError::Core)
+    }
+
+    fn run_dynamic_steps(&self) -> Result<Vec<TrialResult>, SimError> {
+        let StopSpec::Steps { steps } = self.spec.stop else {
+            unreachable!("steps dispatch requires a steps stop")
+        };
+        let spec = self.kernel_spec();
+        let (churn, steps_per_epoch, churn_seed) = self.churn_parts();
+        let epochs = steps / steps_per_epoch;
+        let trials: Vec<Result<TrialResult, od_core::CoreError>> = monte_carlo_batched_threads(
+            self.spec.replicas,
+            self.seeds(),
+            self.spec.resolved_batch(),
+            self.spec.threads,
+            |_, chunk| {
+                let run = || {
+                    let mut batch = DynamicReplicaBatch::new(
+                        DynamicGraph::new(self.graph.clone()),
+                        spec,
+                        &self.xi0,
+                        chunk,
+                        churn.clone(),
+                        churn_seed,
+                    )?;
+                    for _ in 0..epochs {
+                        batch.step_epoch(steps_per_epoch)?;
+                    }
+                    Ok((0..chunk.len())
+                        .map(|r| TrialResult {
+                            steps,
+                            converged: false,
+                            potential: batch.replica_potential_pi(r),
+                            estimate: batch.replica_weighted_average(r),
+                            winner: None,
+                            mutations: batch.mutations(),
+                        })
+                        .collect::<Vec<_>>())
+                };
+                match run() {
+                    Ok(results) => results.into_iter().map(Ok).collect(),
+                    Err(e) => chunk.iter().map(|_| Err(clone_err(&e))).collect(),
+                }
+            },
+        );
+        trials
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(SimError::Core)
+    }
+
+    fn run_voter_consensus(&self) -> Vec<TrialResult> {
+        let StopSpec::Consensus { budget } = self.spec.stop else {
+            unreachable!("consensus dispatch requires a consensus stop")
+        };
+        monte_carlo_batched_threads(
+            self.spec.replicas,
+            self.seeds(),
+            self.spec.resolved_batch(),
+            self.spec.threads,
+            |_, chunk| {
+                let mut batch = VoterBatch::new(&self.graph, &self.opinions0, chunk)
+                    .expect("assemble validated the scenario");
+                let reports = batch.run_to_consensus(budget, self.spec.check_every, 1);
+                reports
+                    .iter()
+                    .map(|r| TrialResult {
+                        steps: r.steps,
+                        converged: r.winner.is_some(),
+                        potential: f64::NAN,
+                        estimate: f64::NAN,
+                        winner: r.winner,
+                        mutations: 0,
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    fn run_voter_steps(&self) -> Vec<TrialResult> {
+        let StopSpec::Steps { steps } = self.spec.stop else {
+            unreachable!("steps dispatch requires a steps stop")
+        };
+        monte_carlo_batched_threads(
+            self.spec.replicas,
+            self.seeds(),
+            self.spec.resolved_batch(),
+            self.spec.threads,
+            |_, chunk| {
+                let mut batch = VoterBatch::new(&self.graph, &self.opinions0, chunk)
+                    .expect("assemble validated the scenario");
+                batch.step_many(steps);
+                (0..chunk.len())
+                    .map(|r| {
+                        let consensus = batch.replica_is_consensus(r);
+                        TrialResult {
+                            steps,
+                            converged: consensus,
+                            potential: f64::NAN,
+                            estimate: f64::NAN,
+                            winner: consensus.then(|| batch.replica_opinions(r)[0]),
+                            mutations: 0,
+                        }
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    fn run_dynamic_voter(&self) -> Result<Vec<TrialResult>, SimError> {
+        let budget = match self.spec.stop {
+            StopSpec::Consensus { budget } => budget,
+            StopSpec::Steps { steps } => steps,
+            StopSpec::Converge { .. } => {
+                unreachable!("validate rejects voter + converge")
+            }
+        };
+        let stop_at_consensus = matches!(self.spec.stop, StopSpec::Consensus { .. });
+        let (churn, steps_per_epoch, churn_seed) = self.churn_parts();
+        let max_epochs = budget / steps_per_epoch;
+        let trials: Vec<Result<TrialResult, od_core::CoreError>> = monte_carlo_batched_threads(
+            self.spec.replicas,
+            self.seeds(),
+            1,
+            self.spec.threads,
+            |_, chunk| {
+                let run = |seed: u64| {
+                    let mut kernel = DynamicVoterKernel::new(
+                        DynamicGraph::new(self.graph.clone()),
+                        self.opinions0.clone(),
+                        churn.clone(),
+                        churn_seed,
+                    )?;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    // Consensus is checked at epoch boundaries (the
+                    // dynamic voter has no incremental discord counter
+                    // yet — see ROADMAP), so stopping times are
+                    // epoch-granular.
+                    while kernel.epoch() < max_epochs
+                        && !(stop_at_consensus && kernel.is_consensus())
+                    {
+                        kernel.step_epoch(steps_per_epoch, &mut rng)?;
+                    }
+                    let consensus = kernel.is_consensus();
+                    Ok(TrialResult {
+                        steps: kernel.time(),
+                        converged: consensus,
+                        potential: f64::NAN,
+                        estimate: f64::NAN,
+                        winner: consensus.then(|| kernel.opinions()[0]),
+                        mutations: kernel.mutations(),
+                    })
+                };
+                chunk.iter().map(|&seed| run(seed)).collect()
+            },
+        );
+        trials
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(SimError::Core)
+    }
+}
+
+/// `CoreError` is `Clone`; this free function just keeps the closure
+/// bodies tidy where one chunk-level error fans out to its trials.
+fn clone_err(e: &od_core::CoreError) -> od_core::CoreError {
+    e.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChurnModelSpec, GraphSpec, InitSpec, PotentialSpec};
+
+    fn converge_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(
+            ModelSpec::Node {
+                alpha: 0.5,
+                k: 2,
+                lazy: false,
+            },
+            GraphSpec::Complete { n: 12 },
+            0,
+        );
+        spec.replicas = 5;
+        spec.seed = 99;
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-8,
+            rule: StopRuleSpec::Exact,
+            potential: PotentialSpec::Pi,
+            budget: 1_000_000,
+        };
+        spec
+    }
+
+    #[test]
+    fn dispatch_table() {
+        let mut spec = converge_spec();
+        assert_eq!(
+            Simulation::from_spec(&spec).unwrap().engine(),
+            Engine::StaticConverge
+        );
+        spec.stop = StopSpec::Steps { steps: 100 };
+        assert_eq!(
+            Simulation::from_spec(&spec).unwrap().engine(),
+            Engine::StaticSteps
+        );
+        spec.replicas = 1;
+        spec.output = OutputSpec::Trace { every: 10 };
+        assert_eq!(
+            Simulation::from_spec(&spec).unwrap().engine(),
+            Engine::ScalarRecorded
+        );
+        spec.output = OutputSpec::Reports;
+        spec.replicas = 5;
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps: 2 },
+            steps_per_epoch: 10,
+            seed: 3,
+        });
+        assert_eq!(
+            Simulation::from_spec(&spec).unwrap().engine(),
+            Engine::DynamicSteps
+        );
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-8,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: 1_000,
+        };
+        assert_eq!(
+            Simulation::from_spec(&spec).unwrap().engine(),
+            Engine::DynamicConverge
+        );
+        let mut voter = ScenarioSpec::new(ModelSpec::Voter, GraphSpec::Complete { n: 8 }, 100);
+        assert_eq!(
+            Simulation::from_spec(&voter).unwrap().engine(),
+            Engine::VoterSteps
+        );
+        voter.stop = StopSpec::Consensus { budget: 100_000 };
+        assert_eq!(
+            Simulation::from_spec(&voter).unwrap().engine(),
+            Engine::VoterConsensus
+        );
+        voter.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps: 1 },
+            steps_per_epoch: 10,
+            seed: 1,
+        });
+        assert_eq!(
+            Simulation::from_spec(&voter).unwrap().engine(),
+            Engine::DynamicVoter
+        );
+    }
+
+    #[test]
+    fn static_converge_matches_direct_engine() {
+        // The scenario path must be the direct ReplicaBatch call, bit for
+        // bit, per seed.
+        let spec = converge_spec();
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.engine, Engine::StaticConverge);
+        assert_eq!(report.converged_count(), 5);
+
+        let mut direct =
+            ReplicaBatch::new(sim.graph(), sim.kernel_spec(), &sim.xi0, &sim.trial_seeds())
+                .unwrap();
+        let reports = direct.run_until_converged(sim.converge_config()).unwrap();
+        for (trial, reference) in report.trials.iter().zip(&reports) {
+            assert_eq!(trial.steps, reference.steps);
+            assert_eq!(trial.potential.to_bits(), reference.potential.to_bits());
+            assert_eq!(
+                trial.estimate.to_bits(),
+                reference.weighted_average.to_bits()
+            );
+        }
+        // Capacity and thread overrides never change results.
+        for (batch, threads) in [(1usize, 1usize), (2, 3), (64, 2)] {
+            let mut spec = converge_spec();
+            spec.batch = batch;
+            spec.threads = threads;
+            let again = Simulation::from_spec(&spec).unwrap().run().unwrap();
+            assert_eq!(again.trials, report.trials, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn voter_consensus_matches_direct_engine() {
+        let mut spec = ScenarioSpec::new(ModelSpec::Voter, GraphSpec::Complete { n: 8 }, 0);
+        spec.replicas = 6;
+        spec.seed = 5;
+        spec.init = InitSpec::Opinions { levels: 4 };
+        spec.stop = StopSpec::Consensus { budget: 200_000 };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.engine, Engine::VoterConsensus);
+        assert_eq!(report.converged_count(), 6);
+
+        let mut direct = VoterBatch::new(sim.graph(), &sim.opinions0, &sim.trial_seeds()).unwrap();
+        let reports = direct.run_to_consensus(200_000, 0, 1);
+        for (trial, reference) in report.trials.iter().zip(&reports) {
+            assert_eq!(trial.steps, reference.steps);
+            assert_eq!(trial.winner, reference.winner);
+        }
+    }
+
+    #[test]
+    fn dynamic_converge_matches_direct_engine() {
+        let mut spec = converge_spec();
+        spec.graph = GraphSpec::Torus { rows: 4, cols: 4 };
+        spec.replicas = 4;
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps: 2 },
+            steps_per_epoch: 16,
+            seed: 77,
+        });
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-9,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: 16 * 2_000,
+        };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.engine, Engine::DynamicConverge);
+        assert!(report.converged_count() > 0);
+        assert!(report.max_mutations() > 0);
+
+        let mut direct = DynamicReplicaBatch::new(
+            DynamicGraph::new(sim.graph().clone()),
+            sim.kernel_spec(),
+            &sim.xi0,
+            &sim.trial_seeds(),
+            ChurnModel::edge_swap(2),
+            77,
+        )
+        .unwrap();
+        let reports = direct.run_until_converged(16, 2_000, 1e-9, 1).unwrap();
+        for (trial, reference) in report.trials.iter().zip(&reports) {
+            assert_eq!(trial.steps, reference.steps);
+            assert_eq!(trial.converged, reference.converged);
+        }
+        // Chunking never changes dynamic results either (shared churn
+        // stream per scenario). `mutations` is chunk metadata — how long
+        // the trial's chunk kept churning — so it is excluded here.
+        let mut solo = spec.clone();
+        solo.batch = 1;
+        let again = Simulation::from_spec(&solo).unwrap().run().unwrap();
+        let strip = |trials: &[TrialResult]| {
+            trials
+                .iter()
+                .map(|t| TrialResult { mutations: 0, ..*t })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&again.trials), strip(&report.trials));
+    }
+
+    #[test]
+    fn scalar_recorded_run_produces_a_trace() {
+        let mut spec = ScenarioSpec::new(
+            ModelSpec::Edge {
+                alpha: 0.5,
+                lazy: false,
+            },
+            GraphSpec::Cycle { n: 16 },
+            2_000,
+        );
+        spec.output = OutputSpec::Trace { every: 500 };
+        spec.seed = 11;
+        let report = Simulation::from_spec(&spec).unwrap().run().unwrap();
+        assert_eq!(report.engine, Engine::ScalarRecorded);
+        let trace = report.trace.as_ref().unwrap();
+        assert_eq!(trace.len(), 1 + 4);
+        assert_eq!(trace[0].0, 0);
+        assert!(trace.last().unwrap().1 <= trace[0].1);
+        assert_eq!(report.trials.len(), 1);
+    }
+
+    #[test]
+    fn overrides_validate() {
+        let spec = converge_spec();
+        let sim = Simulation::from_spec(&spec).unwrap();
+        assert!(sim.clone().with_initial_values(vec![1.0; 3]).is_err());
+        assert!(sim.clone().with_opinions(vec![0; 12]).is_err());
+        let replaced = sim
+            .clone()
+            .with_graph(od_graph::generators::complete(6).unwrap())
+            .unwrap();
+        assert_eq!(replaced.graph().n(), 6);
+        // k > d_min is rejected at graph replacement, like the engines.
+        assert!(sim
+            .with_graph(od_graph::generators::path(6).unwrap())
+            .is_err());
+        // Zero replicas rejected before any engine runs.
+        let mut bad = converge_spec();
+        bad.replicas = 0;
+        assert!(matches!(
+            Simulation::from_spec(&bad),
+            Err(SimError::Invalid(_))
+        ));
+        // An out-of-range indicator node is a proper error, not a silent
+        // all-zero (= instantly "converged") initial state.
+        let mut bad = converge_spec();
+        bad.init = InitSpec::Indicator { node: 99 };
+        assert!(matches!(
+            Simulation::from_spec(&bad),
+            Err(SimError::Invalid(_))
+        ));
+        bad.init = InitSpec::Indicator { node: 3 };
+        assert!(Simulation::from_spec(&bad).is_ok());
+    }
+
+    #[test]
+    fn dynamic_voter_runs_to_consensus() {
+        let mut spec = ScenarioSpec::new(ModelSpec::Voter, GraphSpec::Complete { n: 8 }, 0);
+        spec.replicas = 3;
+        spec.seed = 21;
+        spec.init = InitSpec::Distinct;
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps: 1 },
+            steps_per_epoch: 8,
+            seed: 5,
+        });
+        spec.stop = StopSpec::Consensus { budget: 8 * 50_000 };
+        let report = Simulation::from_spec(&spec).unwrap().run().unwrap();
+        assert_eq!(report.engine, Engine::DynamicVoter);
+        assert_eq!(report.converged_count(), 3);
+        for trial in &report.trials {
+            assert!(trial.winner.is_some());
+            assert_eq!(trial.steps % 8, 0, "epoch-granular consensus time");
+        }
+    }
+}

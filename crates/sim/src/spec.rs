@@ -1,0 +1,1339 @@
+//! The declarative scenario description and its hand-rolled text format.
+//!
+//! A [`ScenarioSpec`] names one point in the paper's experiment space —
+//! model × topology (static or churned) × initial state × replicas ×
+//! stopping rule — without naming an engine. [`crate::Simulation`] picks
+//! the optimal engine from the spec (see the dispatch table in the crate
+//! docs and `README.md`).
+//!
+//! # Text format
+//!
+//! One `key value` pair per line; `#` starts a comment; keys may appear
+//! in any order; structured values use `sub=val` tokens. The environment
+//! vendors no serde, so the format is hand-rolled; [`ScenarioSpec::parse`]
+//! and the [`std::fmt::Display`] impl round-trip exactly
+//! (`parse ∘ to_string = id`, property-gated in `tests/spec_prop.rs`).
+//!
+//! ```text
+//! # NodeModel ε-convergence sweep on the 6-cube.
+//! scenario t22-hypercube
+//! model node alpha=0.5 k=2 lazy=false
+//! graph hypercube dim=6
+//! init pm_one
+//! replicas 30
+//! seed 42
+//! stop converge eps=0.000000001 rule=exact potential=pi budget=2000000
+//! ```
+
+use od_graph::{ChurnModel, Graph, GraphError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while parsing, validating or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A line of the text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The spec is structurally well-formed but semantically invalid
+    /// (zero replicas, bad ε, model/init mismatch, …).
+    Invalid(String),
+    /// Graph construction or churn failed.
+    Graph(GraphError),
+    /// An engine rejected the scenario.
+    Core(od_core::CoreError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            SimError::Invalid(message) => write!(f, "invalid scenario: {message}"),
+            SimError::Graph(err) => write!(f, "graph error: {err}"),
+            SimError::Core(err) => write!(f, "engine error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<GraphError> for SimError {
+    fn from(err: GraphError) -> Self {
+        SimError::Graph(err)
+    }
+}
+
+impl From<od_core::CoreError> for SimError {
+    fn from(err: od_core::CoreError) -> Self {
+        SimError::Core(err)
+    }
+}
+
+/// Which averaging process (or baseline) a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelSpec {
+    /// The NodeModel (Definition 2.1).
+    Node {
+        /// Self-weight `α ∈ [0, 1)`.
+        alpha: f64,
+        /// Neighbour sample size `k ≥ 1`.
+        k: usize,
+        /// Section 4's lazy variant (skip each step w.p. 1/2).
+        lazy: bool,
+    },
+    /// The EdgeModel (Definition 2.3).
+    Edge {
+        /// Self-weight `α ∈ [0, 1)`.
+        alpha: f64,
+        /// Section 4's lazy variant.
+        lazy: bool,
+    },
+    /// The discrete voter model (§2 baseline).
+    Voter,
+}
+
+impl ModelSpec {
+    /// Whether this is a continuous averaging process (vs the voter).
+    pub fn is_averaging(&self) -> bool {
+        !matches!(self, ModelSpec::Voter)
+    }
+
+    /// The kernel spec for the averaging models.
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors from `od-core`.
+    pub fn kernel_spec(&self) -> Result<od_core::KernelSpec, SimError> {
+        let lazify = |lazy: bool| {
+            if lazy {
+                od_core::Laziness::Lazy
+            } else {
+                od_core::Laziness::Active
+            }
+        };
+        match *self {
+            ModelSpec::Node { alpha, k, lazy } => Ok(od_core::KernelSpec::Node(
+                od_core::NodeModelParams::new(alpha, k)?.with_laziness(lazify(lazy)),
+            )),
+            ModelSpec::Edge { alpha, lazy } => Ok(od_core::KernelSpec::Edge(
+                od_core::EdgeModelParams::new(alpha)?.with_laziness(lazify(lazy)),
+            )),
+            ModelSpec::Voter => Err(SimError::Invalid(
+                "the voter model has no averaging kernel spec".into(),
+            )),
+        }
+    }
+}
+
+/// A graph generator plus its parameters — every family `od-graph`
+/// provides. Random families carry their own construction seed so a
+/// scenario names one reproducible instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // field meanings match the od-graph generators 1:1
+pub enum GraphSpec {
+    Cycle {
+        n: usize,
+    },
+    Path {
+        n: usize,
+    },
+    Complete {
+        n: usize,
+    },
+    Star {
+        n: usize,
+    },
+    CompleteBipartite {
+        a: usize,
+        b: usize,
+    },
+    Grid {
+        rows: usize,
+        cols: usize,
+    },
+    Torus {
+        rows: usize,
+        cols: usize,
+    },
+    Hypercube {
+        dim: usize,
+    },
+    BinaryTree {
+        levels: usize,
+    },
+    Petersen,
+    Barbell {
+        k: usize,
+    },
+    Lollipop {
+        k: usize,
+        tail: usize,
+    },
+    Gnp {
+        n: usize,
+        p: f64,
+        seed: u64,
+    },
+    Gnm {
+        n: usize,
+        m: usize,
+        seed: u64,
+    },
+    RandomRegular {
+        n: usize,
+        d: usize,
+        seed: u64,
+    },
+    WattsStrogatz {
+        n: usize,
+        k: usize,
+        p: f64,
+        seed: u64,
+    },
+    BarabasiAlbert {
+        n: usize,
+        m: usize,
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Builds the named graph instance.
+    ///
+    /// # Errors
+    ///
+    /// The underlying generator's error.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        use od_graph::generators as g;
+        match *self {
+            GraphSpec::Cycle { n } => g::cycle(n),
+            GraphSpec::Path { n } => g::path(n),
+            GraphSpec::Complete { n } => g::complete(n),
+            GraphSpec::Star { n } => g::star(n),
+            GraphSpec::CompleteBipartite { a, b } => g::complete_bipartite(a, b),
+            GraphSpec::Grid { rows, cols } => g::grid2d(rows, cols, false),
+            GraphSpec::Torus { rows, cols } => g::torus(rows, cols),
+            GraphSpec::Hypercube { dim } => g::hypercube(dim),
+            GraphSpec::BinaryTree { levels } => g::binary_tree(levels),
+            GraphSpec::Petersen => Ok(g::petersen()),
+            GraphSpec::Barbell { k } => g::barbell(k),
+            GraphSpec::Lollipop { k, tail } => g::lollipop(k, tail),
+            GraphSpec::Gnp { n, p, seed } => {
+                g::gnp_connected(n, p, &mut StdRng::seed_from_u64(seed))
+            }
+            GraphSpec::Gnm { n, m, seed } => {
+                g::gnm_connected(n, m, &mut StdRng::seed_from_u64(seed))
+            }
+            GraphSpec::RandomRegular { n, d, seed } => {
+                g::random_regular(n, d, &mut StdRng::seed_from_u64(seed))
+            }
+            GraphSpec::WattsStrogatz { n, k, p, seed } => {
+                g::watts_strogatz(n, k, p, &mut StdRng::seed_from_u64(seed))
+            }
+            GraphSpec::BarabasiAlbert { n, m, seed } => {
+                g::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed))
+            }
+        }
+    }
+}
+
+/// The initial state distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitSpec {
+    /// Balanced ±1 values (exactly centered for even `n`, centered by
+    /// subtraction otherwise) — the experiments' standard `ξ(0)`.
+    PmOne,
+    /// Linear ramp from `lo` (node 0) to `hi` (node n−1).
+    Linear {
+        /// Value at node 0.
+        lo: f64,
+        /// Value at node n−1.
+        hi: f64,
+    },
+    /// Every node starts at `value`.
+    Constant {
+        /// The common initial value.
+        value: f64,
+    },
+    /// `1.0` at `node`, `0.0` elsewhere (the duality unit vector).
+    Indicator {
+        /// The distinguished node.
+        node: usize,
+    },
+    /// Voter: node `i` starts with opinion `i % levels` (`levels ≥ 1`).
+    Opinions {
+        /// Number of distinct opinions.
+        levels: usize,
+    },
+    /// Voter: node `i` starts with its own opinion `i`.
+    Distinct,
+}
+
+impl InitSpec {
+    /// Whether this initial state feeds an averaging process.
+    pub fn is_averaging(&self) -> bool {
+        !matches!(self, InitSpec::Opinions { .. } | InitSpec::Distinct)
+    }
+
+    /// The averaging initial values for an `n`-node graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on voter variants, and on an out-of-range
+    /// [`InitSpec::Indicator`] node (`Simulation` rejects both with a
+    /// proper error before resolving values).
+    pub fn values(&self, n: usize) -> Vec<f64> {
+        match *self {
+            InitSpec::PmOne => pm_one(n),
+            InitSpec::Linear { lo, hi } => (0..n)
+                .map(|i| {
+                    if n == 1 {
+                        lo
+                    } else {
+                        lo + (hi - lo) * i as f64 / (n - 1) as f64
+                    }
+                })
+                .collect(),
+            InitSpec::Constant { value } => vec![value; n],
+            InitSpec::Indicator { node } => {
+                assert!(node < n, "indicator node {node} out of range for {n} nodes");
+                let mut v = vec![0.0; n];
+                v[node] = 1.0;
+                v
+            }
+            InitSpec::Opinions { .. } | InitSpec::Distinct => {
+                panic!("voter init has no f64 values")
+            }
+        }
+    }
+
+    /// The voter initial opinions for an `n`-node graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on averaging variants (guarded by
+    /// [`ScenarioSpec::validate`]).
+    pub fn opinions(&self, n: usize) -> Vec<u32> {
+        match *self {
+            InitSpec::Opinions { levels } => (0..n as u32).map(|i| i % levels as u32).collect(),
+            InitSpec::Distinct => (0..n as u32).collect(),
+            _ => panic!("averaging init has no opinions"),
+        }
+    }
+}
+
+/// Balanced ±1 initial values (exactly centered for even `n`; centered by
+/// subtraction otherwise). The paper's bounds are scale-free in
+/// `‖ξ(0)‖²`, and ±1 keeps `‖ξ‖² = n` so normalized variances are easy
+/// to read. The single home of the experiments' standard `ξ(0)`.
+pub fn pm_one(n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    if n % 2 == 1 {
+        let mean = v.iter().sum::<f64>() / n as f64;
+        for x in &mut v {
+            *x -= mean;
+        }
+    }
+    v
+}
+
+/// How the topology evolves between epochs (omit for a static graph).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// The churn family and its parameters.
+    pub model: ChurnModelSpec,
+    /// Process steps per epoch (the churn cadence).
+    pub steps_per_epoch: u64,
+    /// Seed of the dedicated churn RNG: every replica of the scenario
+    /// sees the same topology trajectory.
+    pub seed: u64,
+}
+
+/// The churn families representable in the text format
+/// (`ChurnModel::TemporalReplay` carries whole edge lists and is
+/// programmatic-only — pass it through `Simulation` overrides).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // field meanings match od_graph::ChurnModel 1:1
+pub enum ChurnModelSpec {
+    EdgeSwap { swaps: usize },
+    Rewire { rewires: usize, min_degree: usize },
+    GnpResample { p: f64, min_degree: usize },
+}
+
+impl ChurnModelSpec {
+    /// The `od-graph` churn model.
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors from `od-graph`.
+    pub fn build(&self) -> Result<ChurnModel, GraphError> {
+        match *self {
+            ChurnModelSpec::EdgeSwap { swaps } => Ok(ChurnModel::edge_swap(swaps)),
+            ChurnModelSpec::Rewire {
+                rewires,
+                min_degree,
+            } => Ok(ChurnModel::rewire(rewires, min_degree)),
+            ChurnModelSpec::GnpResample { p, min_degree } => {
+                ChurnModel::gnp_resample(p, min_degree)
+            }
+        }
+    }
+}
+
+/// How the batched convergence engine detects the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopRuleSpec {
+    /// Scalar-identical per-step stopping (`od_core::StopRule::Exact`).
+    Exact,
+    /// Block-boundary stopping (`od_core::StopRule::Block`). Under churn
+    /// this is the epoch-boundary rule of the dynamic engine.
+    Block,
+}
+
+/// Which potential the ε-threshold applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PotentialSpec {
+    /// `φ` of Eq. 3 (π-weighted).
+    Pi,
+    /// `φ̄_V` of Prop. D.1 (uniform weights).
+    Uniform,
+}
+
+impl PotentialSpec {
+    /// The `od-core` potential kind.
+    pub fn kind(&self) -> od_core::PotentialKind {
+        match self {
+            PotentialSpec::Pi => od_core::PotentialKind::Pi,
+            PotentialSpec::Uniform => od_core::PotentialKind::Uniform,
+        }
+    }
+}
+
+/// When a trial stops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopSpec {
+    /// A fixed step horizon.
+    Steps {
+        /// Steps per trial.
+        steps: u64,
+    },
+    /// ε-convergence of the chosen potential, within a step budget.
+    Converge {
+        /// The threshold ε.
+        epsilon: f64,
+        /// Detection rule.
+        rule: StopRuleSpec,
+        /// Which potential is thresholded.
+        potential: PotentialSpec,
+        /// Per-trial step budget.
+        budget: u64,
+    },
+    /// Voter consensus, within a step budget.
+    Consensus {
+        /// Per-trial step budget.
+        budget: u64,
+    },
+}
+
+/// What a run returns beyond the per-trial reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputSpec {
+    /// Per-trial reports plus summary statistics (the default).
+    Reports,
+    /// Additionally record a `(t, φ(ξ(t)))` potential trace — single
+    /// replica, static graph, fixed step horizon (the scalar recorded
+    /// path).
+    Trace {
+        /// Sampling interval in steps.
+        every: u64,
+    },
+}
+
+/// One declarative point in the paper's experiment space. See the module
+/// docs for the text format and [`crate::Simulation`] for the engine
+/// dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Optional human-readable name (`scenario <name>`).
+    pub name: Option<String>,
+    /// The process.
+    pub model: ModelSpec,
+    /// The topology.
+    pub graph: GraphSpec,
+    /// Topology evolution; `None` = static graph.
+    pub churn: Option<ChurnSpec>,
+    /// The initial state distribution.
+    pub init: InitSpec,
+    /// Number of independent trials (replicas).
+    pub replicas: usize,
+    /// Master seed; trial `i` runs from
+    /// `SeedSequence::new(seed).seed(i)`, matching the Monte-Carlo
+    /// runner's derivation exactly.
+    pub seed: u64,
+    /// The stopping rule.
+    pub stop: StopSpec,
+    /// Block length between convergence checks (0 = auto, one block per
+    /// `n` steps). Ignored under churn (the epoch is the block).
+    pub check_every: u64,
+    /// Worker threads (0 = available parallelism). Results never depend
+    /// on this.
+    pub threads: usize,
+    /// Replicas per structure-of-arrays batch / streaming-window
+    /// capacity (0 = auto). Results never depend on this.
+    pub batch: usize,
+    /// Output selection.
+    pub output: OutputSpec,
+}
+
+/// Default streaming-window / batch capacity when `batch = 0`.
+pub const DEFAULT_BATCH: usize = 16;
+
+impl ScenarioSpec {
+    /// A minimal valid spec: one replica of `model` on `graph`, default
+    /// init for the model family, stopping after `steps` steps.
+    pub fn new(model: ModelSpec, graph: GraphSpec, steps: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            name: None,
+            model,
+            graph,
+            churn: None,
+            init: if model.is_averaging() {
+                InitSpec::PmOne
+            } else {
+                InitSpec::Distinct
+            },
+            replicas: 1,
+            seed: 0,
+            stop: StopSpec::Steps { steps },
+            check_every: 0,
+            threads: 0,
+            batch: 0,
+            output: OutputSpec::Reports,
+        }
+    }
+
+    /// The effective batch / streaming-window capacity.
+    pub fn resolved_batch(&self) -> usize {
+        if self.batch == 0 {
+            DEFAULT_BATCH
+        } else {
+            self.batch
+        }
+    }
+
+    /// Validates the spec's internal consistency (graph-independent
+    /// checks; graph-dependent ones — `k ≤ d_min`, connectivity — happen
+    /// at [`crate::Simulation::from_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invalid`] naming the first violated rule.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let invalid = |message: &str| Err(SimError::Invalid(message.into()));
+        if let Some(name) = &self.name {
+            // The text format is line-based with `#` comments and the
+            // parser joins a name's whitespace-separated tokens with
+            // single spaces, so a name must be non-empty, `#`-free and
+            // already in that normalized form or the exact parse/Display
+            // round trip breaks.
+            let normalized = name.split_whitespace().collect::<Vec<_>>().join(" ");
+            if name.is_empty() || name.contains('#') || normalized != *name {
+                return invalid(
+                    "scenario name must be non-empty, single-line, '#'-free and \
+                     single-space separated",
+                );
+            }
+        }
+        if self.replicas == 0 {
+            return invalid("replicas must be at least 1");
+        }
+        match self.model {
+            ModelSpec::Node { alpha, k, .. } => {
+                if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+                    return invalid("node model alpha must lie in [0, 1)");
+                }
+                if k == 0 {
+                    return invalid("node model k must be at least 1");
+                }
+            }
+            ModelSpec::Edge { alpha, .. } => {
+                if !alpha.is_finite() || !(0.0..1.0).contains(&alpha) {
+                    return invalid("edge model alpha must lie in [0, 1)");
+                }
+            }
+            ModelSpec::Voter => {}
+        }
+        if self.model.is_averaging() != self.init.is_averaging() {
+            return invalid("init distribution does not match the model family (voter opinions vs averaging values)");
+        }
+        if let InitSpec::Opinions { levels } = self.init {
+            if levels == 0 {
+                return invalid("opinions init needs at least 1 level");
+            }
+        }
+        match self.stop {
+            StopSpec::Steps { .. } => {}
+            StopSpec::Converge {
+                epsilon,
+                rule,
+                potential,
+                ..
+            } => {
+                if !self.model.is_averaging() {
+                    return invalid("the voter model stops on consensus, not epsilon-convergence");
+                }
+                if !epsilon.is_finite() || epsilon < 0.0 {
+                    return invalid("epsilon must be finite and non-negative");
+                }
+                if self.churn.is_some() {
+                    if rule != StopRuleSpec::Block {
+                        return invalid(
+                            "under churn, convergence is checked at epoch boundaries (rule=block)",
+                        );
+                    }
+                    if potential != PotentialSpec::Pi {
+                        return invalid("under churn, only the pi potential is supported");
+                    }
+                }
+            }
+            StopSpec::Consensus { .. } => {
+                if self.model.is_averaging() {
+                    return invalid("consensus stopping applies to the voter model only");
+                }
+            }
+        }
+        if let Some(churn) = &self.churn {
+            if churn.steps_per_epoch == 0 {
+                return invalid("churn epoch must be at least 1 step");
+            }
+            if let ChurnModelSpec::GnpResample { p, .. } = churn.model {
+                if !(0.0..=1.0).contains(&p) {
+                    return invalid("gnp_resample probability must lie in [0, 1]");
+                }
+            }
+            let horizon = match self.stop {
+                StopSpec::Steps { steps } => steps,
+                StopSpec::Converge { budget, .. } | StopSpec::Consensus { budget } => budget,
+            };
+            if !horizon.is_multiple_of(churn.steps_per_epoch) {
+                return invalid("the step horizon/budget must be a whole number of churn epochs");
+            }
+        }
+        if let OutputSpec::Trace { every } = self.output {
+            if every == 0 {
+                return invalid("trace sampling interval must be at least 1");
+            }
+            if self.replicas != 1 {
+                return invalid("trace output needs exactly 1 replica (the scalar recorded path)");
+            }
+            if self.churn.is_some() {
+                return invalid("trace output needs a static graph");
+            }
+            if !self.model.is_averaging() {
+                return invalid("trace output records the averaging potential, not voter opinions");
+            }
+            if !matches!(self.stop, StopSpec::Steps { .. }) {
+                return invalid("trace output needs a fixed step horizon (stop steps)");
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the text format (see the module docs). Unknown keys,
+    /// malformed numbers, duplicate keys and missing required keys
+    /// (`model`, `graph`, `stop`) are errors; everything else defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Parse`] with the offending line, or
+    /// [`SimError::Invalid`] if the parsed spec fails
+    /// [`ScenarioSpec::validate`].
+    pub fn parse(text: &str) -> Result<ScenarioSpec, SimError> {
+        parse::parse(text)
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    /// The canonical text form: every field explicit, fixed key order, so
+    /// `parse(spec.to_string()) == spec` exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.name {
+            writeln!(f, "scenario {name}")?;
+        }
+        match self.model {
+            ModelSpec::Node { alpha, k, lazy } => {
+                writeln!(f, "model node alpha={alpha} k={k} lazy={lazy}")?;
+            }
+            ModelSpec::Edge { alpha, lazy } => {
+                writeln!(f, "model edge alpha={alpha} lazy={lazy}")?;
+            }
+            ModelSpec::Voter => writeln!(f, "model voter")?,
+        }
+        match self.graph {
+            GraphSpec::Cycle { n } => writeln!(f, "graph cycle n={n}")?,
+            GraphSpec::Path { n } => writeln!(f, "graph path n={n}")?,
+            GraphSpec::Complete { n } => writeln!(f, "graph complete n={n}")?,
+            GraphSpec::Star { n } => writeln!(f, "graph star n={n}")?,
+            GraphSpec::CompleteBipartite { a, b } => {
+                writeln!(f, "graph complete_bipartite a={a} b={b}")?;
+            }
+            GraphSpec::Grid { rows, cols } => writeln!(f, "graph grid rows={rows} cols={cols}")?,
+            GraphSpec::Torus { rows, cols } => writeln!(f, "graph torus rows={rows} cols={cols}")?,
+            GraphSpec::Hypercube { dim } => writeln!(f, "graph hypercube dim={dim}")?,
+            GraphSpec::BinaryTree { levels } => writeln!(f, "graph binary_tree levels={levels}")?,
+            GraphSpec::Petersen => writeln!(f, "graph petersen")?,
+            GraphSpec::Barbell { k } => writeln!(f, "graph barbell k={k}")?,
+            GraphSpec::Lollipop { k, tail } => writeln!(f, "graph lollipop k={k} tail={tail}")?,
+            GraphSpec::Gnp { n, p, seed } => writeln!(f, "graph gnp n={n} p={p} seed={seed}")?,
+            GraphSpec::Gnm { n, m, seed } => writeln!(f, "graph gnm n={n} m={m} seed={seed}")?,
+            GraphSpec::RandomRegular { n, d, seed } => {
+                writeln!(f, "graph random_regular n={n} d={d} seed={seed}")?;
+            }
+            GraphSpec::WattsStrogatz { n, k, p, seed } => {
+                writeln!(f, "graph watts_strogatz n={n} k={k} p={p} seed={seed}")?;
+            }
+            GraphSpec::BarabasiAlbert { n, m, seed } => {
+                writeln!(f, "graph barabasi_albert n={n} m={m} seed={seed}")?;
+            }
+        }
+        match self.init {
+            InitSpec::PmOne => writeln!(f, "init pm_one")?,
+            InitSpec::Linear { lo, hi } => writeln!(f, "init linear lo={lo} hi={hi}")?,
+            InitSpec::Constant { value } => writeln!(f, "init constant value={value}")?,
+            InitSpec::Indicator { node } => writeln!(f, "init indicator node={node}")?,
+            InitSpec::Opinions { levels } => writeln!(f, "init opinions levels={levels}")?,
+            InitSpec::Distinct => writeln!(f, "init distinct")?,
+        }
+        if let Some(churn) = &self.churn {
+            let (epoch, seed) = (churn.steps_per_epoch, churn.seed);
+            match churn.model {
+                ChurnModelSpec::EdgeSwap { swaps } => {
+                    writeln!(f, "churn edge_swap swaps={swaps} epoch={epoch} seed={seed}")?;
+                }
+                ChurnModelSpec::Rewire {
+                    rewires,
+                    min_degree,
+                } => writeln!(
+                    f,
+                    "churn rewire rewires={rewires} floor={min_degree} epoch={epoch} seed={seed}"
+                )?,
+                ChurnModelSpec::GnpResample { p, min_degree } => writeln!(
+                    f,
+                    "churn gnp_resample p={p} floor={min_degree} epoch={epoch} seed={seed}"
+                )?,
+            }
+        }
+        writeln!(f, "replicas {}", self.replicas)?;
+        writeln!(f, "seed {}", self.seed)?;
+        match self.stop {
+            StopSpec::Steps { steps } => writeln!(f, "stop steps count={steps}")?,
+            StopSpec::Converge {
+                epsilon,
+                rule,
+                potential,
+                budget,
+            } => {
+                let rule = match rule {
+                    StopRuleSpec::Exact => "exact",
+                    StopRuleSpec::Block => "block",
+                };
+                let potential = match potential {
+                    PotentialSpec::Pi => "pi",
+                    PotentialSpec::Uniform => "uniform",
+                };
+                writeln!(
+                    f,
+                    "stop converge eps={epsilon} rule={rule} potential={potential} budget={budget}"
+                )?;
+            }
+            StopSpec::Consensus { budget } => writeln!(f, "stop consensus budget={budget}")?,
+        }
+        writeln!(f, "check_every {}", self.check_every)?;
+        writeln!(f, "threads {}", self.threads)?;
+        writeln!(f, "batch {}", self.batch)?;
+        match self.output {
+            OutputSpec::Reports => writeln!(f, "output reports"),
+            OutputSpec::Trace { every } => writeln!(f, "output trace every={every}"),
+        }
+    }
+}
+
+mod parse {
+    use super::*;
+
+    /// `k=v` token map with duplicate and completeness checking.
+    struct Fields<'a> {
+        line: usize,
+        map: HashMap<&'a str, &'a str>,
+    }
+
+    impl<'a> Fields<'a> {
+        fn new(line: usize, tokens: &[&'a str]) -> Result<Self, SimError> {
+            let mut map = HashMap::new();
+            for token in tokens {
+                let Some((key, value)) = token.split_once('=') else {
+                    return Err(err(line, format!("expected key=value, got '{token}'")));
+                };
+                if map.insert(key, value).is_some() {
+                    return Err(err(line, format!("duplicate field '{key}'")));
+                }
+            }
+            Ok(Fields { line, map })
+        }
+
+        fn take<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, SimError> {
+            let Some(raw) = self.map.remove(key) else {
+                return Err(err(self.line, format!("missing field '{key}'")));
+            };
+            raw.parse()
+                .map_err(|_| err(self.line, format!("malformed value for '{key}': '{raw}'")))
+        }
+
+        fn finish(self) -> Result<(), SimError> {
+            if let Some(key) = self.map.keys().next() {
+                return Err(err(self.line, format!("unknown field '{key}'")));
+            }
+            Ok(())
+        }
+    }
+
+    fn err(line: usize, message: String) -> SimError {
+        SimError::Parse { line, message }
+    }
+
+    pub(super) fn parse(text: &str) -> Result<ScenarioSpec, SimError> {
+        let mut name: Option<String> = None;
+        let mut model: Option<ModelSpec> = None;
+        let mut graph: Option<GraphSpec> = None;
+        let mut churn: Option<ChurnSpec> = None;
+        let mut init: Option<InitSpec> = None;
+        let mut replicas: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut stop: Option<StopSpec> = None;
+        let mut check_every: Option<u64> = None;
+        let mut threads: Option<usize> = None;
+        let mut batch: Option<usize> = None;
+        let mut output: Option<OutputSpec> = None;
+
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw_line.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut tokens = content.split_whitespace();
+            let key = tokens.next().expect("non-empty line has a first token");
+            let rest: Vec<&str> = tokens.collect();
+            let dup = |slot_taken: bool| {
+                if slot_taken {
+                    Err(err(line, format!("duplicate key '{key}'")))
+                } else {
+                    Ok(())
+                }
+            };
+            match key {
+                "scenario" => {
+                    dup(name.is_some())?;
+                    if rest.is_empty() {
+                        return Err(err(line, "scenario needs a name".into()));
+                    }
+                    name = Some(rest.join(" "));
+                }
+                "model" => {
+                    dup(model.is_some())?;
+                    model = Some(parse_model(line, &rest)?);
+                }
+                "graph" => {
+                    dup(graph.is_some())?;
+                    graph = Some(parse_graph(line, &rest)?);
+                }
+                "churn" => {
+                    dup(churn.is_some())?;
+                    churn = Some(parse_churn(line, &rest)?);
+                }
+                "init" => {
+                    dup(init.is_some())?;
+                    init = Some(parse_init(line, &rest)?);
+                }
+                "replicas" => {
+                    dup(replicas.is_some())?;
+                    replicas = Some(parse_scalar(line, key, &rest)?);
+                }
+                "seed" => {
+                    dup(seed.is_some())?;
+                    seed = Some(parse_scalar(line, key, &rest)?);
+                }
+                "stop" => {
+                    dup(stop.is_some())?;
+                    stop = Some(parse_stop(line, &rest)?);
+                }
+                "check_every" => {
+                    dup(check_every.is_some())?;
+                    check_every = Some(parse_scalar(line, key, &rest)?);
+                }
+                "threads" => {
+                    dup(threads.is_some())?;
+                    threads = Some(parse_scalar(line, key, &rest)?);
+                }
+                "batch" => {
+                    dup(batch.is_some())?;
+                    batch = Some(parse_scalar(line, key, &rest)?);
+                }
+                "output" => {
+                    dup(output.is_some())?;
+                    output = Some(parse_output(line, &rest)?);
+                }
+                other => return Err(err(line, format!("unknown key '{other}'"))),
+            }
+        }
+
+        let Some(model) = model else {
+            return Err(SimError::Invalid("missing 'model' line".into()));
+        };
+        let Some(graph) = graph else {
+            return Err(SimError::Invalid("missing 'graph' line".into()));
+        };
+        let Some(stop) = stop else {
+            return Err(SimError::Invalid("missing 'stop' line".into()));
+        };
+        let spec = ScenarioSpec {
+            name,
+            model,
+            graph,
+            churn,
+            init: init.unwrap_or(if model.is_averaging() {
+                InitSpec::PmOne
+            } else {
+                InitSpec::Distinct
+            }),
+            replicas: replicas.unwrap_or(1),
+            seed: seed.unwrap_or(0),
+            stop,
+            check_every: check_every.unwrap_or(0),
+            threads: threads.unwrap_or(0),
+            batch: batch.unwrap_or(0),
+            output: output.unwrap_or(OutputSpec::Reports),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn parse_scalar<T: std::str::FromStr>(
+        line: usize,
+        key: &str,
+        rest: &[&str],
+    ) -> Result<T, SimError> {
+        if rest.len() != 1 {
+            return Err(err(line, format!("'{key}' takes exactly one value")));
+        }
+        rest[0]
+            .parse()
+            .map_err(|_| err(line, format!("malformed value for '{key}': '{}'", rest[0])))
+    }
+
+    fn variant_fields<'a>(
+        line: usize,
+        what: &str,
+        rest: &'a [&'a str],
+    ) -> Result<(&'a str, Fields<'a>), SimError> {
+        let Some((&variant, fields)) = rest.split_first() else {
+            return Err(err(line, format!("'{what}' needs a variant")));
+        };
+        Ok((variant, Fields::new(line, fields)?))
+    }
+
+    fn parse_model(line: usize, rest: &[&str]) -> Result<ModelSpec, SimError> {
+        let (variant, mut f) = variant_fields(line, "model", rest)?;
+        let model = match variant {
+            "node" => ModelSpec::Node {
+                alpha: f.take("alpha")?,
+                k: f.take("k")?,
+                lazy: f.take("lazy")?,
+            },
+            "edge" => ModelSpec::Edge {
+                alpha: f.take("alpha")?,
+                lazy: f.take("lazy")?,
+            },
+            "voter" => ModelSpec::Voter,
+            other => return Err(err(line, format!("unknown model '{other}'"))),
+        };
+        f.finish()?;
+        Ok(model)
+    }
+
+    fn parse_graph(line: usize, rest: &[&str]) -> Result<GraphSpec, SimError> {
+        let (variant, mut f) = variant_fields(line, "graph", rest)?;
+        let graph = match variant {
+            "cycle" => GraphSpec::Cycle { n: f.take("n")? },
+            "path" => GraphSpec::Path { n: f.take("n")? },
+            "complete" => GraphSpec::Complete { n: f.take("n")? },
+            "star" => GraphSpec::Star { n: f.take("n")? },
+            "complete_bipartite" => GraphSpec::CompleteBipartite {
+                a: f.take("a")?,
+                b: f.take("b")?,
+            },
+            "grid" => GraphSpec::Grid {
+                rows: f.take("rows")?,
+                cols: f.take("cols")?,
+            },
+            "torus" => GraphSpec::Torus {
+                rows: f.take("rows")?,
+                cols: f.take("cols")?,
+            },
+            "hypercube" => GraphSpec::Hypercube {
+                dim: f.take("dim")?,
+            },
+            "binary_tree" => GraphSpec::BinaryTree {
+                levels: f.take("levels")?,
+            },
+            "petersen" => GraphSpec::Petersen,
+            "barbell" => GraphSpec::Barbell { k: f.take("k")? },
+            "lollipop" => GraphSpec::Lollipop {
+                k: f.take("k")?,
+                tail: f.take("tail")?,
+            },
+            "gnp" => GraphSpec::Gnp {
+                n: f.take("n")?,
+                p: f.take("p")?,
+                seed: f.take("seed")?,
+            },
+            "gnm" => GraphSpec::Gnm {
+                n: f.take("n")?,
+                m: f.take("m")?,
+                seed: f.take("seed")?,
+            },
+            "random_regular" => GraphSpec::RandomRegular {
+                n: f.take("n")?,
+                d: f.take("d")?,
+                seed: f.take("seed")?,
+            },
+            "watts_strogatz" => GraphSpec::WattsStrogatz {
+                n: f.take("n")?,
+                k: f.take("k")?,
+                p: f.take("p")?,
+                seed: f.take("seed")?,
+            },
+            "barabasi_albert" => GraphSpec::BarabasiAlbert {
+                n: f.take("n")?,
+                m: f.take("m")?,
+                seed: f.take("seed")?,
+            },
+            other => return Err(err(line, format!("unknown graph generator '{other}'"))),
+        };
+        f.finish()?;
+        Ok(graph)
+    }
+
+    fn parse_init(line: usize, rest: &[&str]) -> Result<InitSpec, SimError> {
+        let (variant, mut f) = variant_fields(line, "init", rest)?;
+        let init = match variant {
+            "pm_one" => InitSpec::PmOne,
+            "linear" => InitSpec::Linear {
+                lo: f.take("lo")?,
+                hi: f.take("hi")?,
+            },
+            "constant" => InitSpec::Constant {
+                value: f.take("value")?,
+            },
+            "indicator" => InitSpec::Indicator {
+                node: f.take("node")?,
+            },
+            "opinions" => InitSpec::Opinions {
+                levels: f.take("levels")?,
+            },
+            "distinct" => InitSpec::Distinct,
+            other => return Err(err(line, format!("unknown init distribution '{other}'"))),
+        };
+        f.finish()?;
+        Ok(init)
+    }
+
+    fn parse_churn(line: usize, rest: &[&str]) -> Result<ChurnSpec, SimError> {
+        let (variant, mut f) = variant_fields(line, "churn", rest)?;
+        let model = match variant {
+            "edge_swap" => ChurnModelSpec::EdgeSwap {
+                swaps: f.take("swaps")?,
+            },
+            "rewire" => ChurnModelSpec::Rewire {
+                rewires: f.take("rewires")?,
+                min_degree: f.take("floor")?,
+            },
+            "gnp_resample" => ChurnModelSpec::GnpResample {
+                p: f.take("p")?,
+                min_degree: f.take("floor")?,
+            },
+            other => return Err(err(line, format!("unknown churn model '{other}'"))),
+        };
+        let spec = ChurnSpec {
+            model,
+            steps_per_epoch: f.take("epoch")?,
+            seed: f.take("seed")?,
+        };
+        f.finish()?;
+        Ok(spec)
+    }
+
+    fn parse_stop(line: usize, rest: &[&str]) -> Result<StopSpec, SimError> {
+        let (variant, mut f) = variant_fields(line, "stop", rest)?;
+        let stop = match variant {
+            "steps" => StopSpec::Steps {
+                steps: f.take("count")?,
+            },
+            "converge" => {
+                let epsilon = f.take("eps")?;
+                let rule = match f.take::<String>("rule")?.as_str() {
+                    "exact" => StopRuleSpec::Exact,
+                    "block" => StopRuleSpec::Block,
+                    other => return Err(err(line, format!("unknown stop rule '{other}'"))),
+                };
+                let potential = match f.take::<String>("potential")?.as_str() {
+                    "pi" => PotentialSpec::Pi,
+                    "uniform" => PotentialSpec::Uniform,
+                    other => return Err(err(line, format!("unknown potential '{other}'"))),
+                };
+                StopSpec::Converge {
+                    epsilon,
+                    rule,
+                    potential,
+                    budget: f.take("budget")?,
+                }
+            }
+            "consensus" => StopSpec::Consensus {
+                budget: f.take("budget")?,
+            },
+            other => return Err(err(line, format!("unknown stop rule '{other}'"))),
+        };
+        f.finish()?;
+        Ok(stop)
+    }
+
+    fn parse_output(line: usize, rest: &[&str]) -> Result<OutputSpec, SimError> {
+        let (variant, mut f) = variant_fields(line, "output", rest)?;
+        let output = match variant {
+            "reports" => OutputSpec::Reports,
+            "trace" => OutputSpec::Trace {
+                every: f.take("every")?,
+            },
+            other => return Err(err(line, format!("unknown output '{other}'"))),
+        };
+        f.finish()?;
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: Some("demo".into()),
+            model: ModelSpec::Node {
+                alpha: 0.5,
+                k: 2,
+                lazy: false,
+            },
+            graph: GraphSpec::Torus { rows: 8, cols: 8 },
+            churn: Some(ChurnSpec {
+                model: ChurnModelSpec::EdgeSwap { swaps: 4 },
+                steps_per_epoch: 64,
+                seed: 7,
+            }),
+            init: InitSpec::PmOne,
+            replicas: 8,
+            seed: 42,
+            stop: StopSpec::Converge {
+                epsilon: 1e-10,
+                rule: StopRuleSpec::Block,
+                potential: PotentialSpec::Pi,
+                budget: 64 * 1000,
+            },
+            check_every: 0,
+            threads: 1,
+            batch: 4,
+            output: OutputSpec::Reports,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let spec = sample_spec();
+        let text = spec.to_string();
+        let parsed = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(parsed, spec);
+        // And the canonical form is a fixed point.
+        assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn parses_comments_defaults_and_order_insensitivity() {
+        let text = "\n# a comment\nstop steps count=100   # trailing comment\n\ngraph petersen\nmodel voter\n";
+        let spec = ScenarioSpec::parse(text).unwrap();
+        assert_eq!(spec.model, ModelSpec::Voter);
+        assert_eq!(spec.graph, GraphSpec::Petersen);
+        assert_eq!(spec.init, InitSpec::Distinct);
+        assert_eq!(spec.replicas, 1);
+        assert_eq!(spec.output, OutputSpec::Reports);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = [
+            "model node alpha=0.5 k=2 lazy=false", // no graph/stop
+            "model nodule\ngraph petersen\nstop steps count=1", // unknown model
+            "model voter\ngraph petersen\nstop steps count=x", // bad number
+            "model voter\ngraph petersen\nstop steps count=1\nzap 3", // unknown key
+            "model voter\ngraph petersen\ngraph petersen\nstop steps count=1", // duplicate
+            "model node alpha=0.5 k=2 lazy=false extra=1\ngraph petersen\nstop steps count=1",
+            "model node alpha=0.5\ngraph petersen\nstop steps count=1", // missing field
+        ];
+        for text in bad {
+            assert!(ScenarioSpec::parse(text).is_err(), "accepted: {text}");
+        }
+    }
+
+    #[test]
+    fn rejects_semantic_violations() {
+        // Zero replicas.
+        let mut spec = sample_spec();
+        spec.replicas = 0;
+        assert!(matches!(spec.validate(), Err(SimError::Invalid(_))));
+        // Negative epsilon.
+        let mut spec = sample_spec();
+        spec.stop = StopSpec::Converge {
+            epsilon: -1.0,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: 64,
+        };
+        assert!(spec.validate().is_err());
+        // Voter model with averaging init.
+        let mut spec = sample_spec();
+        spec.model = ModelSpec::Voter;
+        assert!(spec.validate().is_err());
+        // Churn with exact rule.
+        let mut spec = sample_spec();
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-9,
+            rule: StopRuleSpec::Exact,
+            potential: PotentialSpec::Pi,
+            budget: 6400,
+        };
+        assert!(spec.validate().is_err());
+        // Budget not a whole number of epochs.
+        let mut spec = sample_spec();
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-9,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: 65,
+        };
+        assert!(spec.validate().is_err());
+        // Trace with many replicas.
+        let mut spec = sample_spec();
+        spec.churn = None;
+        spec.stop = StopSpec::Steps { steps: 100 };
+        spec.output = OutputSpec::Trace { every: 10 };
+        assert!(spec.validate().is_err());
+        spec.replicas = 1;
+        assert!(spec.validate().is_ok());
+        // Names that would break the line-based round trip: comments,
+        // newlines, and whitespace the parser would normalize away.
+        for bad in [
+            "",
+            "with # comment",
+            "two\nlines",
+            " lead",
+            "trail ",
+            "a  b",
+            "tab\tb",
+        ] {
+            let mut spec = sample_spec();
+            spec.name = Some(bad.into());
+            assert!(spec.validate().is_err(), "accepted name {bad:?}");
+        }
+        let mut spec = sample_spec();
+        spec.name = Some("multi word name".into());
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn graph_specs_build_every_family() {
+        let specs = [
+            GraphSpec::Cycle { n: 8 },
+            GraphSpec::Path { n: 8 },
+            GraphSpec::Complete { n: 8 },
+            GraphSpec::Star { n: 8 },
+            GraphSpec::CompleteBipartite { a: 3, b: 4 },
+            GraphSpec::Grid { rows: 3, cols: 4 },
+            GraphSpec::Torus { rows: 4, cols: 4 },
+            GraphSpec::Hypercube { dim: 3 },
+            GraphSpec::BinaryTree { levels: 3 },
+            GraphSpec::Petersen,
+            GraphSpec::Barbell { k: 4 },
+            GraphSpec::Lollipop { k: 4, tail: 3 },
+            GraphSpec::Gnp {
+                n: 16,
+                p: 0.4,
+                seed: 1,
+            },
+            GraphSpec::Gnm {
+                n: 16,
+                m: 24,
+                seed: 1,
+            },
+            GraphSpec::RandomRegular {
+                n: 12,
+                d: 4,
+                seed: 1,
+            },
+            GraphSpec::WattsStrogatz {
+                n: 16,
+                k: 2,
+                p: 0.2,
+                seed: 1,
+            },
+            GraphSpec::BarabasiAlbert {
+                n: 16,
+                m: 2,
+                seed: 1,
+            },
+        ];
+        assert_eq!(specs.len(), 17, "cover all 17 generator families");
+        for spec in specs {
+            let g = spec.build().unwrap();
+            assert!(g.is_connected(), "{spec:?}");
+            // Random families are reproducible from their seed.
+            assert_eq!(spec.build().unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn init_distributions() {
+        assert_eq!(pm_one(4), vec![1.0, -1.0, 1.0, -1.0]);
+        assert!(pm_one(5).iter().sum::<f64>().abs() < 1e-12);
+        assert_eq!(
+            InitSpec::Linear { lo: 0.0, hi: 3.0 }.values(4),
+            vec![0.0, 1.0, 2.0, 3.0]
+        );
+        assert_eq!(InitSpec::Constant { value: 2.5 }.values(3), vec![2.5; 3]);
+        assert_eq!(
+            InitSpec::Indicator { node: 1 }.values(3),
+            vec![0.0, 1.0, 0.0]
+        );
+        assert_eq!(
+            InitSpec::Opinions { levels: 3 }.opinions(5),
+            vec![0, 1, 2, 0, 1]
+        );
+        assert_eq!(InitSpec::Distinct.opinions(3), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Property suite for the scenario text format: `parse ∘ format = id`
+//! over randomly generated valid specs, and rejection of malformed
+//! inputs.
+
+use od_sim::{
+    ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, OutputSpec, PotentialSpec,
+    ScenarioSpec, SimError, StopRuleSpec, StopSpec,
+};
+use proptest::prelude::*;
+
+/// Deterministically expands a handful of random draws into one valid
+/// spec, covering every model, graph family, init, churn, stop and
+/// output variant.
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    model_pick: usize,
+    graph_pick: usize,
+    init_pick: usize,
+    churn_pick: usize,
+    stop_pick: usize,
+    named: bool,
+    alpha: f64,
+    p: f64,
+    size: usize,
+    seed: u64,
+    replicas: usize,
+    epoch: u64,
+    budget_epochs: u64,
+) -> ScenarioSpec {
+    let model = match model_pick % 3 {
+        0 => ModelSpec::Node {
+            alpha,
+            k: 1,
+            lazy: model_pick.is_multiple_of(2),
+        },
+        1 => ModelSpec::Edge {
+            alpha,
+            lazy: model_pick.is_multiple_of(2),
+        },
+        _ => ModelSpec::Voter,
+    };
+    let n = size.max(6);
+    let graph = match graph_pick % 17 {
+        0 => GraphSpec::Cycle { n },
+        1 => GraphSpec::Path { n },
+        2 => GraphSpec::Complete { n },
+        3 => GraphSpec::Star { n },
+        4 => GraphSpec::CompleteBipartite { a: n / 2, b: n / 2 },
+        5 => GraphSpec::Grid { rows: 3, cols: n },
+        6 => GraphSpec::Torus { rows: 4, cols: n },
+        7 => GraphSpec::Hypercube { dim: 3 + n % 4 },
+        8 => GraphSpec::BinaryTree { levels: 3 + n % 3 },
+        9 => GraphSpec::Petersen,
+        10 => GraphSpec::Barbell { k: n },
+        11 => GraphSpec::Lollipop { k: n, tail: n / 2 },
+        12 => GraphSpec::Gnp { n, p, seed },
+        13 => GraphSpec::Gnm { n, m: 2 * n, seed },
+        14 => GraphSpec::RandomRegular {
+            n: n + n % 2,
+            d: 4,
+            seed,
+        },
+        15 => GraphSpec::WattsStrogatz { n, k: 2, p, seed },
+        _ => GraphSpec::BarabasiAlbert { n, m: 2, seed },
+    };
+    let init = if model.is_averaging() {
+        match init_pick % 4 {
+            0 => InitSpec::PmOne,
+            1 => InitSpec::Linear { lo: -p, hi: alpha },
+            2 => InitSpec::Constant { value: alpha },
+            _ => InitSpec::Indicator { node: n / 2 },
+        }
+    } else {
+        match init_pick % 2 {
+            0 => InitSpec::Distinct,
+            _ => InitSpec::Opinions {
+                levels: 1 + init_pick % 5,
+            },
+        }
+    };
+    let churn = match churn_pick % 4 {
+        0 => None,
+        1 => Some(ChurnModelSpec::EdgeSwap {
+            swaps: churn_pick % 8,
+        }),
+        2 => Some(ChurnModelSpec::Rewire {
+            rewires: 1 + churn_pick % 8,
+            min_degree: 1,
+        }),
+        _ => Some(ChurnModelSpec::GnpResample { p, min_degree: 2 }),
+    }
+    .map(|model| ChurnSpec {
+        model,
+        steps_per_epoch: epoch,
+        seed,
+    });
+    // Budgets are whole epochs whenever churn is present.
+    let budget = budget_epochs * epoch;
+    let stop = if model.is_averaging() {
+        match stop_pick % 3 {
+            0 => StopSpec::Steps { steps: budget },
+            _ => StopSpec::Converge {
+                epsilon: p * 1e-6,
+                rule: if churn.is_some() || stop_pick.is_multiple_of(2) {
+                    StopRuleSpec::Block
+                } else {
+                    StopRuleSpec::Exact
+                },
+                potential: if churn.is_none() && stop_pick % 3 == 2 {
+                    PotentialSpec::Uniform
+                } else {
+                    PotentialSpec::Pi
+                },
+                budget,
+            },
+        }
+    } else {
+        match stop_pick % 2 {
+            0 => StopSpec::Steps { steps: budget },
+            _ => StopSpec::Consensus { budget },
+        }
+    };
+    let trace_ok = model.is_averaging()
+        && churn.is_none()
+        && matches!(stop, StopSpec::Steps { .. })
+        && replicas == 1;
+    ScenarioSpec {
+        name: named.then(|| format!("prop-{graph_pick}-{stop_pick}")),
+        model,
+        graph,
+        churn,
+        init,
+        replicas,
+        seed: seed.wrapping_mul(0x9E37_79B9),
+        stop,
+        check_every: (seed % 5) * 100,
+        threads: replicas % 4,
+        batch: replicas % 7,
+        output: if trace_ok && stop_pick.is_multiple_of(5) {
+            OutputSpec::Trace { every: epoch }
+        } else {
+            OutputSpec::Reports
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse ∘ format = id over random valid specs, and the canonical
+    /// text form is a fixed point of the round trip.
+    #[test]
+    fn parse_format_roundtrip(
+        model_pick in 0usize..64,
+        graph_pick in 0usize..64,
+        init_pick in 0usize..64,
+        churn_pick in 0usize..64,
+        stop_pick in 0usize..64,
+        named in 0usize..2,
+        alpha in 0.0f64..1.0,
+        p in 0.01f64..0.99,
+        size in 6usize..40,
+        seed in 0u64..u64::MAX,
+        replicas in 1usize..64,
+        epoch in 1u64..1000,
+        budget_epochs in 1u64..1000,
+    ) {
+        let spec = build_spec(
+            model_pick, graph_pick, init_pick, churn_pick, stop_pick, named == 1,
+            alpha, p, size, seed, replicas, epoch, budget_epochs,
+        );
+        prop_assert!(spec.validate().is_ok(), "generator produced an invalid spec: {spec:?}");
+        let text = spec.to_string();
+        let parsed = match ScenarioSpec::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => return Err(TestCaseError::fail(format!("format not parseable: {e}\n{text}"))),
+        };
+        prop_assert_eq!(&parsed, &spec, "round trip changed the spec");
+        prop_assert_eq!(parsed.to_string(), text, "canonical form is not a fixed point");
+    }
+
+    /// Corrupting any single line of a valid canonical form is caught:
+    /// either a parse error or a validation error, never a silently
+    /// different spec.
+    #[test]
+    fn corrupted_lines_are_rejected_or_detected(
+        graph_pick in 0usize..64,
+        stop_pick in 0usize..64,
+        line_pick in 0usize..16,
+        seed in 0u64..u64::MAX,
+    ) {
+        let spec = build_spec(
+            0, graph_pick, 0, 0, stop_pick, false,
+            0.5, 0.3, 12, seed, 8, 10, 50,
+        );
+        let text = spec.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        let target = line_pick % lines.len();
+        let mut corrupted: Vec<String> = lines.iter().map(|l| (*l).to_string()).collect();
+        corrupted[target] = format!("{} bogus=1", corrupted[target]);
+        let outcome = ScenarioSpec::parse(&corrupted.join("\n"));
+        match outcome {
+            Err(_) => {}
+            Ok(reparsed) => prop_assert_eq!(
+                reparsed, spec,
+                "corruption silently changed the spec on line {}", target + 1
+            ),
+        }
+    }
+}
+
+#[test]
+fn rejection_catalogue() {
+    // The concrete malformed-spec catalogue the satellite task names:
+    // bad epsilon, zero replicas, unknown generator — plus structural
+    // errors around them.
+    let base = "model node alpha=0.5 k=2 lazy=false\ngraph torus rows=4 cols=4\n";
+    let cases = [
+        // Bad epsilon.
+        format!("{base}stop converge eps=-1e-9 rule=exact potential=pi budget=100"),
+        format!("{base}stop converge eps=nope rule=exact potential=pi budget=100"),
+        // Zero replicas.
+        format!("{base}replicas 0\nstop steps count=10"),
+        // Unknown generator.
+        "model voter\ngraph dodecahedron n=20\nstop steps count=10".to_string(),
+        // Unknown stop rule / potential.
+        format!("{base}stop converge eps=1e-9 rule=fuzzy potential=pi budget=100"),
+        format!("{base}stop converge eps=1e-9 rule=exact potential=psi budget=100"),
+        // Missing required keys.
+        "model voter\nstop steps count=10".to_string(),
+        "graph petersen\nstop steps count=10".to_string(),
+        format!("{base}replicas 4"),
+    ];
+    for text in &cases {
+        let parsed = ScenarioSpec::parse(text);
+        assert!(parsed.is_err(), "accepted malformed spec:\n{text}");
+        match parsed.unwrap_err() {
+            SimError::Parse { .. } | SimError::Invalid(_) => {}
+            other => panic!("unexpected error class {other:?} for:\n{text}"),
+        }
+    }
+}

@@ -18,6 +18,13 @@ impl SeedSequence {
         SeedSequence { master }
     }
 
+    /// The master seed. `SeedSequence::new(seq.master())` reproduces the
+    /// sequence exactly — the hook that lets a declarative scenario spec
+    /// (`od-sim`) carry a derived child sequence as one plain integer.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
     /// The seed for trial `index`. Pure function: the same `(master, index)`
     /// always produces the same seed, so trials can be distributed across
     /// threads in any order.

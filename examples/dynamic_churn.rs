@@ -1,53 +1,69 @@
-//! Dynamic graphs: the NodeModel on a torus whose edges are churned by
-//! degree-preserving swaps between epochs. More churn turns the torus
-//! into an expander-like small world, so convergence gets *faster*.
+//! Dynamic graphs through the Scenario API: the NodeModel on a torus
+//! whose edges are churned by degree-preserving swaps between epochs.
+//! More churn turns the torus into an expander-like small world, so
+//! convergence gets *faster* — each sweep cell is one declarative
+//! scenario dispatched to the dynamic convergence engine.
 //!
 //! ```text
 //! cargo run --release --example dynamic_churn
 //! ```
 
-use opinion_dynamics::core::{DynamicStepKernel, KernelSpec, NodeModelParams};
-use opinion_dynamics::graph::{generators, ChurnModel, DynamicGraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use opinion_dynamics::sim::{
+    ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, PotentialSpec, ScenarioSpec,
+    Simulation, StopRuleSpec, StopSpec,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let side = 16;
-    let n = side * side;
-    let xi0: Vec<f64> = (0..n)
-        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
-        .collect();
-    let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2)?);
-    let steps_per_epoch = n as u64;
-    let eps = 1e-12;
+    let n = (side * side) as u64;
+    let steps_per_epoch = n;
+    let max_epochs = 5_000;
 
     println!("NodeModel(k=2, alpha=0.5) on torus({side}x{side}), epoch = {steps_per_epoch} steps");
     println!(
-        "{:>16} {:>14} {:>12} {:>10}",
-        "swaps/epoch", "steps to eps", "epochs", "rebuilds"
+        "{:>16} {:>18} {:>14} {:>12} {:>10}",
+        "swaps/epoch", "engine", "mean steps", "epochs", "mutations"
     );
 
     for swaps in [0usize, 1, 4, 16, 64] {
-        let graph = DynamicGraph::new(generators::torus(side, side)?);
-        let mut kernel = DynamicStepKernel::new(
-            graph,
-            xi0.clone(),
-            spec,
-            ChurnModel::edge_swap(swaps),
-            9_000 + swaps as u64, // churn stream per rate
-        )?;
-        let mut rng = StdRng::seed_from_u64(2023);
-        while kernel.potential_pi() > eps && kernel.epoch() < 5_000 {
-            kernel.step_epoch(steps_per_epoch, &mut rng)?;
-        }
-        // Degree-preserving swaps never rebuild the CSR: every commit is
-        // an in-place row patch.
+        let mut spec = ScenarioSpec::new(
+            ModelSpec::Node {
+                alpha: 0.5,
+                k: 2,
+                lazy: false,
+            },
+            GraphSpec::Torus {
+                rows: side,
+                cols: side,
+            },
+            0,
+        );
+        spec.init = InitSpec::PmOne;
+        spec.replicas = 4;
+        spec.seed = 2023;
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps },
+            steps_per_epoch,
+            seed: 9_000 + swaps as u64, // churn stream per rate
+        });
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-12,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: max_epochs * steps_per_epoch,
+        };
+
+        let sim = Simulation::from_spec(&spec)?;
+        let engine = sim.engine();
+        let report = sim.run()?;
+        let steps = report.steps_summary();
         println!(
-            "{:>16} {:>14} {:>12} {:>10}",
+            "{:>16} {:>18} {:>14.0} {:>12.1} {:>10}",
             swaps,
-            kernel.time(),
-            kernel.epoch(),
-            kernel.dynamic_graph().rebuilds()
+            engine.to_string(),
+            steps.mean,
+            steps.mean / steps_per_epoch as f64,
+            report.max_mutations(),
         );
     }
     Ok(())

@@ -1,52 +1,55 @@
-//! Quickstart: run the paper's NodeModel on a small social graph and watch
-//! the opinions converge to a common value `F` near the initial average.
+//! Quickstart: declare a scenario for the paper's NodeModel on a small
+//! social graph and let the unified Scenario API pick the engine — the
+//! opinions converge to a common value `F` near the initial average.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use opinion_dynamics::core::{run_until_converged, NodeModel, NodeModelParams, OpinionProcess};
-use opinion_dynamics::graph::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use opinion_dynamics::sim::{ScenarioSpec, Simulation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A 4-regular torus stands in for a small peer network.
-    let graph = generators::torus(8, 8)?;
-    let n = graph.n();
-
-    // Every agent starts with an opinion in [0, 10): say, a budget estimate.
-    let xi0: Vec<f64> = (0..n).map(|i| (i % 10) as f64).collect();
-    let initial_average = xi0.iter().sum::<f64>() / n as f64;
-
-    // NodeModel parameters: keep alpha = 1/2 of your own opinion, average
-    // the other half over k = 2 randomly observed neighbours.
-    let params = NodeModelParams::new(0.5, 2)?;
-    let mut process = NodeModel::new(&graph, xi0, params)?;
-    let mut rng = StdRng::seed_from_u64(2023);
-
-    println!("n = {n} agents on a torus, initial average = {initial_average:.4}");
+    // One declarative spec instead of hand-picking an engine: a 4-regular
+    // torus stands in for a small peer network; every agent keeps
+    // alpha = 1/2 of its own opinion and averages the other half over
+    // k = 2 randomly observed neighbours, until the potential phi (Eq. 3)
+    // drops below 1e-12. Eight independent replicas estimate F.
+    let spec = ScenarioSpec::parse(
+        "scenario quickstart\n\
+         model node alpha=0.5 k=2 lazy=false\n\
+         graph torus rows=8 cols=8\n\
+         init linear lo=0 hi=9\n\
+         replicas 8\n\
+         seed 2023\n\
+         stop converge eps=0.000000000001 rule=exact potential=pi budget=100000000\n",
+    )?;
+    let sim = Simulation::from_spec(&spec)?;
+    let n = sim.graph().n();
     println!(
-        "initial potential phi = {:.6}",
-        process.state().potential_pi()
+        "n = {n} agents on a torus; dispatching to the `{}` engine",
+        sim.engine()
     );
 
-    // Run to epsilon-convergence (Eq. 3 potential below 1e-12).
-    let report = run_until_converged(&mut process, &mut rng, 1e-12, 100_000_000);
-    assert!(report.converged, "should converge well within budget");
+    let report = sim.run()?;
+    assert_eq!(report.converged_count(), 8, "should converge within budget");
 
-    let f = process.state().average();
+    // The torus is regular, so E[F] is the plain initial average 4.5.
+    let steps = report.steps_summary();
+    let f = report.estimate_summary().expect("all replicas converged");
     println!(
-        "converged after {} steps: F = {f:.4} (|F - Avg(0)| = {:.4})",
-        report.steps,
-        (f - initial_average).abs()
+        "{} replicas converged after {:.0} steps on average (min {:.0}, max {:.0})",
+        report.trials.len(),
+        steps.mean,
+        steps.min,
+        steps.max,
     );
     println!(
-        "discrepancy (max - min) at convergence: {:.2e}",
-        process.state().discrepancy()
+        "F estimates: mean = {:.4}, std = {:.4} (initial average = 4.5)",
+        f.mean, f.std
     );
 
-    // Theorem 2.2(2): Var(F) = Θ(|xi|^2 / n^2) — so for these inputs the
-    // deviation above should be well below 1 with high probability.
+    // Theorem 2.2(2): Var(F) = Theta(|xi|^2 / n^2) — so the deviation
+    // above should be well below 1 with high probability.
+    assert!((f.mean - 4.5).abs() < 1.0);
     Ok(())
 }

@@ -14,6 +14,10 @@
 //! * [`core`] — the paper's processes: `NodeModel` (Def. 2.1), `EdgeModel`
 //!   (Def. 2.3), the voter model, potential functions and the convergence
 //!   engine.
+//! * [`sim`] — the unified Scenario API: a declarative `ScenarioSpec`
+//!   (with a parse/format text form, see `examples/scenarios/`) and a
+//!   `Simulation` dispatcher that routes every scenario to the optimal
+//!   engine automatically, plus the parallel Monte-Carlo runner.
 //! * [`dual`] — the Diffusion Process, the Random Walk Process, the two-walk
 //!   `Q`-chain with its closed-form stationary distribution (Lemma 5.7) and
 //!   the exact variance predictor (Prop. 5.8).
@@ -73,4 +77,5 @@ pub use od_dual as dual;
 pub use od_graph as graph;
 pub use od_linalg as linalg;
 pub use od_runtime as runtime;
+pub use od_sim as sim;
 pub use od_stats as stats;

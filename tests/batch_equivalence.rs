@@ -20,12 +20,17 @@
 //! (`ChurnModel::Static` and `edge_swap(0)`).
 
 use opinion_dynamics::core::{
-    run_kernel_until_converged, run_until_converged, ConvergeConfig, DynamicReplicaBatch,
-    DynamicStepKernel, DynamicVoterKernel, EdgeModel, EdgeModelParams, KernelSpec, NodeModel,
-    NodeModelParams, OpinionProcess, ReplicaBatch, StepKernel, StopRule, VoterBatch, VoterKernel,
-    VoterModel,
+    run_converge_streaming, run_kernel_until_converged, run_until_converged, ConvergeConfig,
+    DynamicReplicaBatch, DynamicStepKernel, DynamicVoterKernel, EdgeModel, EdgeModelParams,
+    KernelSpec, NodeModel, NodeModelParams, OpinionProcess, PotentialKind, ReplicaBatch,
+    StepKernel, StopRule, VoterBatch, VoterKernel, VoterModel,
 };
 use opinion_dynamics::graph::{generators, ChurnModel, DynamicGraph, Graph};
+use opinion_dynamics::sim::{
+    ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, PotentialSpec, ScenarioSpec,
+    Simulation, StopRuleSpec, StopSpec,
+};
+use opinion_dynamics::stats::SeedSequence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -550,6 +555,300 @@ fn dynamic_convergence_rate0_matrix_equals_static() {
                 );
             }
             assert_eq!(dynamic.mutations(), 0);
+        }
+    }
+}
+
+/// The matrix graphs with their declarative `GraphSpec` spellings — the
+/// scenario gates run through `Simulation::from_spec`, so this also pins
+/// that every spelling rebuilds the exact matrix instance.
+fn matrix_graph_specs() -> Vec<(&'static str, GraphSpec, Graph)> {
+    let specs = [
+        GraphSpec::Cycle { n: 24 },
+        GraphSpec::Torus { rows: 5, cols: 5 },
+        GraphSpec::Hypercube { dim: 4 },
+        GraphSpec::Complete { n: 12 },
+        GraphSpec::Gnp {
+            n: 20,
+            p: 0.3,
+            seed: 0xE2,
+        },
+    ];
+    matrix_graphs()
+        .into_iter()
+        .zip(specs)
+        .map(|((name, g), spec)| {
+            assert_eq!(
+                spec.build().unwrap(),
+                g,
+                "{name}: GraphSpec does not rebuild the matrix instance"
+            );
+            (name, spec, g)
+        })
+        .collect()
+}
+
+/// Seeds the Scenario API derives for a spec — `SeedSequence::new(seed)`,
+/// trial `i` gets `.seed(i)` — made explicit so the direct-engine
+/// references in the gates below run from the very same seeds.
+fn scenario_trial_seeds(seed: u64, replicas: usize) -> Vec<u64> {
+    let seq = SeedSequence::new(seed);
+    (0..replicas as u64).map(|i| seq.seed(i)).collect()
+}
+
+/// Scenario-API gate, static converge arm: a declarative spec routed
+/// through `Simulation` (the retirement-aware streaming engine) must be
+/// **bit-identical** to the direct `ReplicaBatch::run_until_converged`
+/// call it replaces — per trial: stopping time, potential bits and `F`
+/// bits — across the graph matrix, both stopping rules, and several
+/// window capacities. This is the T22-CONV / T22-K / PB2 / Var(F)
+/// routing contract.
+#[test]
+fn scenario_static_converge_matrix_equals_direct_engine() {
+    const EPS: f64 = 1e-6;
+    const BUDGET: u64 = 4_000_000;
+    const SEED: u64 = 0x5CE2A101;
+    let mut cells = 0usize;
+    for (graph_name, graph_spec, g) in matrix_graph_specs() {
+        let xi0 = initial_values(g.n());
+        for (rule, stop) in [
+            (StopRuleSpec::Exact, StopRule::Exact),
+            (StopRuleSpec::Block, StopRule::Block),
+        ] {
+            let name = format!("{graph_name} × {rule:?}");
+            let kspec = KernelSpec::Node(NodeModelParams::new(0.35, 2).unwrap());
+            let mut direct =
+                ReplicaBatch::new(&g, kspec, &xi0, &scenario_trial_seeds(SEED, 8)).unwrap();
+            let reference = direct
+                .run_until_converged(ConvergeConfig::new(EPS, BUDGET).with_stop(stop))
+                .unwrap();
+
+            for batch in [0usize, 1, 3] {
+                let mut spec = ScenarioSpec::new(
+                    ModelSpec::Node {
+                        alpha: 0.35,
+                        k: 2,
+                        lazy: false,
+                    },
+                    graph_spec,
+                    0,
+                );
+                spec.replicas = 8;
+                spec.seed = SEED;
+                spec.batch = batch;
+                spec.stop = StopSpec::Converge {
+                    epsilon: EPS,
+                    rule,
+                    potential: PotentialSpec::Pi,
+                    budget: BUDGET,
+                };
+                let sim = Simulation::from_spec(&spec)
+                    .unwrap()
+                    .with_initial_values(xi0.clone())
+                    .unwrap();
+                let report = sim.run().unwrap();
+                for (r, (trial, reference)) in report.trials.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        trial.steps, reference.steps,
+                        "{name}: trial {r} stopping time (batch={batch})"
+                    );
+                    assert_eq!(trial.converged, reference.converged);
+                    assert_eq!(
+                        trial.potential.to_bits(),
+                        reference.potential.to_bits(),
+                        "{name}: trial {r} potential (batch={batch})"
+                    );
+                    assert_eq!(
+                        trial.estimate.to_bits(),
+                        reference.weighted_average.to_bits(),
+                        "{name}: trial {r} F estimate (batch={batch})"
+                    );
+                }
+            }
+            cells += 1;
+        }
+    }
+    assert_eq!(
+        cells, 10,
+        "scenario converge gate must cover 5 graphs × 2 rules"
+    );
+}
+
+/// Scenario-API gate, exact-uniform arm (the T24-CONV routing contract):
+/// an EdgeModel scenario stopping on `φ̄_V` (Prop. D.1) must stop at
+/// exactly the step the scalar `potential_uniform` loop does, per seed,
+/// across the graph matrix.
+#[test]
+fn scenario_uniform_exact_matrix_equals_scalar_loop() {
+    const EPS: f64 = 1e-6;
+    const BUDGET: u64 = 4_000_000;
+    const SEED: u64 = 0x5CE2A102;
+    for (graph_name, graph_spec, g) in matrix_graph_specs() {
+        let xi0 = initial_values(g.n());
+        let mut spec = ScenarioSpec::new(
+            ModelSpec::Edge {
+                alpha: 0.5,
+                lazy: false,
+            },
+            graph_spec,
+            0,
+        );
+        spec.replicas = 6;
+        spec.seed = SEED;
+        spec.stop = StopSpec::Converge {
+            epsilon: EPS,
+            rule: StopRuleSpec::Exact,
+            potential: PotentialSpec::Uniform,
+            budget: BUDGET,
+        };
+        let report = Simulation::from_spec(&spec)
+            .unwrap()
+            .with_initial_values(xi0.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let params = EdgeModelParams::new(0.5).unwrap();
+        for (r, &seed) in scenario_trial_seeds(SEED, 6).iter().enumerate() {
+            let mut scalar = EdgeModel::new(&g, xi0.clone(), params).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut taken = 0u64;
+            while scalar.state().potential_uniform() > EPS && taken < BUDGET {
+                scalar.step(&mut rng);
+                taken += 1;
+            }
+            assert_eq!(
+                report.trials[r].steps, taken,
+                "{graph_name}: trial {r} uniform stopping time"
+            );
+            assert!(report.trials[r].converged);
+            assert_eq!(
+                report.trials[r].potential.to_bits(),
+                scalar.state().potential_uniform().to_bits(),
+                "{graph_name}: trial {r} uniform potential"
+            );
+        }
+    }
+}
+
+/// Scenario-API gate, dynamic arm (the DYN-CHURN routing contract): a
+/// churned scenario must reproduce the direct
+/// `DynamicReplicaBatch::run_until_converged` sweep — same churn seed,
+/// same per-trial stopping times — and stay batch-size independent.
+#[test]
+fn scenario_dynamic_churn_matrix_equals_direct_engine() {
+    const EPS: f64 = 1e-6;
+    const EPOCH: u64 = 250;
+    const MAX_EPOCHS: u64 = 16_000;
+    const SEED: u64 = 0x5CE2A103;
+    const CHURN_SEED: u64 = 0xC0FFEE;
+    for (graph_name, graph_spec, g) in matrix_graph_specs() {
+        let xi0 = initial_values(g.n());
+        let kspec = KernelSpec::Node(NodeModelParams::new(0.35, 2).unwrap());
+        let mut direct = DynamicReplicaBatch::new(
+            DynamicGraph::new(g.clone()),
+            kspec,
+            &xi0,
+            &scenario_trial_seeds(SEED, 8),
+            ChurnModel::edge_swap(2),
+            CHURN_SEED,
+        )
+        .unwrap();
+        let reference = direct
+            .run_until_converged(EPOCH, MAX_EPOCHS, EPS, 1)
+            .unwrap();
+
+        for batch in [0usize, 3] {
+            let mut spec = ScenarioSpec::new(
+                ModelSpec::Node {
+                    alpha: 0.35,
+                    k: 2,
+                    lazy: false,
+                },
+                graph_spec,
+                0,
+            );
+            spec.replicas = 8;
+            spec.seed = SEED;
+            spec.batch = batch;
+            spec.churn = Some(ChurnSpec {
+                model: ChurnModelSpec::EdgeSwap { swaps: 2 },
+                steps_per_epoch: EPOCH,
+                seed: CHURN_SEED,
+            });
+            spec.stop = StopSpec::Converge {
+                epsilon: EPS,
+                rule: StopRuleSpec::Block,
+                potential: PotentialSpec::Pi,
+                budget: MAX_EPOCHS * EPOCH,
+            };
+            let report = Simulation::from_spec(&spec)
+                .unwrap()
+                .with_initial_values(xi0.clone())
+                .unwrap()
+                .run()
+                .unwrap();
+            for (r, (trial, reference)) in report.trials.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    trial.steps, reference.steps,
+                    "{graph_name}: trial {r} dynamic stopping time (batch={batch})"
+                );
+                assert_eq!(
+                    trial.converged, reference.converged,
+                    "{graph_name}: trial {r}"
+                );
+            }
+        }
+    }
+}
+
+/// Scenario-API gate, voter arm: a consensus scenario must reproduce the
+/// direct `VoterBatch::run_to_consensus` reports per seed.
+#[test]
+fn scenario_voter_consensus_matrix_equals_direct_engine() {
+    const BUDGET: u64 = 2_000_000;
+    const SEED: u64 = 0x5CE2A104;
+    for (graph_name, graph_spec, g) in matrix_graph_specs() {
+        let opinions0: Vec<u32> = (0..g.n() as u32).map(|i| i % 3).collect();
+        let mut direct = VoterBatch::new(&g, &opinions0, &scenario_trial_seeds(SEED, 8)).unwrap();
+        let reference = direct.run_to_consensus(BUDGET, 0, 1);
+
+        let mut spec = ScenarioSpec::new(ModelSpec::Voter, graph_spec, 0);
+        spec.replicas = 8;
+        spec.seed = SEED;
+        spec.init = InitSpec::Opinions { levels: 3 };
+        spec.stop = StopSpec::Consensus { budget: BUDGET };
+        let report = Simulation::from_spec(&spec).unwrap().run().unwrap();
+        for (r, (trial, reference)) in report.trials.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                trial.steps, reference.steps,
+                "{graph_name}: trial {r} consensus time"
+            );
+            assert_eq!(trial.winner, reference.winner, "{graph_name}: trial {r}");
+        }
+    }
+}
+
+/// The retirement-aware streaming runner is the engine behind the static
+/// converge scenarios; gate it directly against the batched engine across
+/// window capacities at the root level too (the od-core unit suite covers
+/// the smaller cases).
+#[test]
+fn streaming_window_capacities_match_batched_engine() {
+    const EPS: f64 = 1e-6;
+    const BUDGET: u64 = 4_000_000;
+    let (_, g) = matrix_graphs().swap_remove(2); // hypercube(4)
+    let xi0 = initial_values(g.n());
+    let spec = KernelSpec::Node(NodeModelParams::new(0.35, 2).unwrap());
+    let seeds: Vec<u64> = (0..12).map(|i| 7_000 + i).collect();
+    for stop in [StopRule::Exact, StopRule::Block] {
+        let config = ConvergeConfig::new(EPS, BUDGET)
+            .with_stop(stop)
+            .with_potential(PotentialKind::Pi);
+        let mut batch = ReplicaBatch::new(&g, spec, &xi0, &seeds).unwrap();
+        let reference = batch.run_until_converged(config).unwrap();
+        for capacity in [1usize, 4, 12] {
+            let got = run_converge_streaming(&g, spec, &xi0, &seeds, capacity, config).unwrap();
+            assert_eq!(got, reference, "capacity={capacity}, {stop:?}");
         }
     }
 }

@@ -111,6 +111,12 @@ proptest! {
     /// Rewiring churn: CSR well-formed, edge count preserved, degree
     /// floor respected — on every generator family. (Floor 1 is always
     /// feasible: every family is connected with `d_min >= 1`.)
+    ///
+    /// Rewires change degrees, so every mutating commit must take the
+    /// **shifted-patch** route (never a full rebuild), and the shifted
+    /// CSR must equal a from-scratch construction of the logical edge
+    /// list exactly — offsets, sorted rows and tails are all determined
+    /// by the edge set, so `Graph` equality is the full oracle.
     #[test]
     fn rewire_churn_respects_floor_on_every_generator(
         family in 0usize..FAMILIES,
@@ -126,15 +132,32 @@ proptest! {
         let churn = ChurnModel::rewire(rewires, 1);
         let mut rng = StdRng::seed_from_u64(churn_seed);
         for epoch in 0..epochs {
-            churn.apply(&mut dg, epoch, &mut rng).unwrap();
-            dg.commit();
+            let applied = churn.apply(&mut dg, epoch, &mut rng).unwrap();
+            let outcome = dg.commit();
+            if applied > 0 {
+                // Several rewires can net out to a degree-preserving
+                // delta (in-place patch) or cancel entirely (unchanged);
+                // a genuinely degree-changing delta takes the shifted
+                // patch. Edge deltas must never force the full rebuild.
+                prop_assert!(
+                    outcome != CommitOutcome::Rebuilt,
+                    "degree-changing edge delta forced a full rebuild"
+                );
+            }
             if let Err(e) = dg.graph().check_invariants() {
                 return Err(TestCaseError::fail(format!("epoch {epoch}: {e}")));
             }
             prop_assert_eq!(dg.graph().m(), m, "rewiring changed the edge count");
             prop_assert!(dg.graph().min_degree() >= 1, "degree floor violated");
+            let reference = Graph::from_edges(dg.n(), dg.edges()).unwrap();
+            prop_assert_eq!(
+                dg.graph(),
+                &reference,
+                "shifted CSR diverged from a from-scratch rebuild"
+            );
             assert_csr_matches_logical(&dg)?;
         }
+        prop_assert_eq!(dg.rebuilds(), 0, "rewiring must never force a full rebuild");
     }
 
     /// G(n,p) resampling: CSR well-formed and degree floor met after
