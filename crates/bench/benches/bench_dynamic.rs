@@ -11,9 +11,11 @@
 //! * `dynamic/edge_epoch1024steps` — the same for the EdgeModel.
 //! * `dynamic/churn_commit` — churn + commit alone: 64 swaps patched in
 //!   place, a 64-rewire epoch committed via the shifted patch (bulk-copied
-//!   untouched ranges + rebuilt touched rows), and a wholesale `set_edges`
-//!   replacement that still pays the full (back-buffer-reusing) CSR
-//!   rebuild.
+//!   untouched ranges + rebuilt touched rows), and `set_edges`
+//!   replacements, which now **diff against the committed CSR**: an
+//!   identical list is a merge sweep + no-op commit, a one-chord delta a
+//!   merge sweep + two-row patch (the historical wholesale O(n + m)
+//!   rebuild is gone).
 //!
 //! CI runs this target in smoke mode (`--sample-size 2`); the tracked
 //! medians in `CHANGES.md` come from full runs.
@@ -119,16 +121,42 @@ fn churn_commit_only(c: &mut Criterion) {
                 dg.commit()
             });
         });
-        // Wholesale edge-set replacement (set_edges): the remaining full
-        // rebuild into the reused back buffer — the amortised O(n + m)
-        // path.
-        group.bench_function(format!("{name}/set_edges_rebuild"), |b| {
+        // Wholesale edge-set replacement (set_edges) with an *identical*
+        // list: since `set_edges` diffs against the committed CSR, this
+        // is the merge sweep plus a no-op commit. The row is bounded by
+        // the O(m) staging (validate + dedup + sort of the handed-in
+        // list), which also dominated the historical unconditional
+        // rebuild — the diff's win is the commit route, not this sweep.
+        group.bench_function(format!("{name}/set_edges_identical"), |b| {
             let mut dg = DynamicGraph::new(g.clone());
             let edges: Vec<(u32, u32)> = dg.edges().to_vec();
             dg.set_edges(&edges).unwrap();
             dg.commit();
             b.iter(|| {
                 dg.set_edges(&edges).unwrap();
+                dg.commit()
+            });
+        });
+        // set_edges with a small real delta: the diff stages only the
+        // changed edges, so each iteration pays the merge sweep plus a
+        // two-row patch commit instead of a wholesale rebuild. Toggling
+        // one long-range chord per iteration keeps the graph valid (the
+        // chord never coincides with a torus edge) and the work steady.
+        group.bench_function(format!("{name}/set_edges_delta1"), |b| {
+            let mut dg = DynamicGraph::new(g.clone());
+            let base: Vec<(u32, u32)> = dg.edges().to_vec();
+            let n = dg.graph().n() as u32;
+            let mut with_chord = base.clone();
+            with_chord.push((0, n / 2 + 1));
+            let mut flip = 0u32;
+            b.iter(|| {
+                let edges = if flip.is_multiple_of(2) {
+                    &with_chord
+                } else {
+                    &base
+                };
+                flip += 1;
+                dg.set_edges(edges).unwrap();
                 dg.commit()
             });
         });

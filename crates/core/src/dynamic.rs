@@ -31,9 +31,10 @@
 use crate::engine::{resolve_threads, validate_epsilon, ConvergenceReport};
 use crate::error::CoreError;
 use crate::kernel::{
-    compact_retired, restore_slot_order, run_replica_block_parallel, run_steps, run_voter_steps,
-    slice_average, slice_potential_pi, slice_weighted_average, swap_rows, validate_values,
-    BlockCheck, BlockOutcome, KernelSpec,
+    compact_retired, count_discordant_edges, restore_slot_order, run_replica_block_parallel,
+    run_steps, run_voter_epoch_parallel, run_voter_steps, run_voter_steps_tracked, slice_average,
+    slice_potential_pi, slice_weighted_average, swap_rows, validate_values, BlockCheck,
+    BlockOutcome, KernelSpec,
 };
 use od_graph::{ChurnModel, DynamicGraph, Graph, NodeId};
 use rand::rngs::StdRng;
@@ -47,7 +48,7 @@ use rand::{RngCore, SeedableRng};
 ///
 /// Degree-preserving churn (edge swaps) skips the O(n) revalidation —
 /// the preconditions held before, so they still hold.
-fn churn_epoch(
+pub(crate) fn churn_epoch(
     graph: &mut DynamicGraph,
     churn: &ChurnModel,
     churn_rng: &mut StdRng,
@@ -681,6 +682,331 @@ impl DynamicReplicaBatch {
     }
 }
 
+/// One replica's outcome from
+/// [`DynamicVoterBatch::run_to_consensus`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicVoterReport {
+    /// Steps the replica ran before retiring (epoch-granular: consensus
+    /// is detected at epoch boundaries, so this is a multiple of
+    /// `steps_per_epoch`).
+    pub steps: u64,
+    /// The unanimous opinion, if consensus was reached within the budget.
+    pub winner: Option<u32>,
+    /// Elementary topology mutations the shared environment had applied
+    /// by the time this replica retired.
+    pub mutations: u64,
+}
+
+/// [`VoterBatch`](crate::VoterBatch) over an evolving topology: `R`
+/// independent voter replicas share **one** evolving environment
+/// (the voter sibling of [`DynamicReplicaBatch`]).
+///
+/// Each replica keeps its own opinion row, its own step RNG and an
+/// incrementally maintained discordant-edge count; churn draws from one
+/// dedicated RNG once per epoch regardless of `R`, so every replica's
+/// trajectory is a function of `(churn_seed, its own seed)` only —
+/// independent of batch size, retirement order and thread count, exactly
+/// like the averaging batches.
+///
+/// The discord counter makes the per-epoch consensus check O(1) per
+/// replica instead of the former O(n) opinion scan; it is **recomputed
+/// at churn boundaries** (one O(m) sweep per live replica, only after an
+/// epoch whose churn actually mutated the topology), because moving
+/// edges invalidates the incremental count.
+#[derive(Debug, Clone)]
+pub struct DynamicVoterBatch {
+    graph: DynamicGraph,
+    churn: ChurnModel,
+    churn_rng: StdRng,
+    n: usize,
+    /// Replica-major `R × n` opinion storage.
+    opinions: Vec<u32>,
+    /// Per-replica discordant-edge count on the committed topology.
+    discords: Vec<u64>,
+    rngs: Vec<StdRng>,
+    time: u64,
+    epoch: u64,
+    mutations: u64,
+}
+
+impl DynamicVoterBatch {
+    /// Creates `seeds.len()` voter replicas on a shared evolving
+    /// topology, all starting from `opinions0`, replica `r` seeded with
+    /// `seeds[r]`. Validation mirrors [`crate::VoterBatch::new`] on the
+    /// committed CSR.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Disconnected`] or [`CoreError::LengthMismatch`].
+    pub fn new(
+        mut graph: DynamicGraph,
+        opinions0: &[u32],
+        seeds: &[u64],
+        churn: ChurnModel,
+        churn_seed: u64,
+    ) -> Result<Self, CoreError> {
+        graph.commit();
+        if !graph.graph().is_connected() || graph.n() < 2 {
+            return Err(CoreError::Disconnected);
+        }
+        if opinions0.len() != graph.n() {
+            return Err(CoreError::LengthMismatch {
+                values: opinions0.len(),
+                nodes: graph.n(),
+            });
+        }
+        let n = opinions0.len();
+        let mut opinions = Vec::with_capacity(n * seeds.len());
+        for _ in 0..seeds.len() {
+            opinions.extend_from_slice(opinions0);
+        }
+        // All replicas start identical: one O(m) scan seeds every
+        // incremental counter.
+        let discord0 = count_discordant_edges(graph.graph(), opinions0);
+        Ok(DynamicVoterBatch {
+            graph,
+            churn,
+            churn_rng: StdRng::seed_from_u64(churn_seed),
+            n,
+            opinions,
+            discords: vec![discord0; seeds.len()],
+            rngs: seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect(),
+            time: 0,
+            epoch: 0,
+            mutations: 0,
+        })
+    }
+
+    /// The committed CSR shared by every replica.
+    pub fn graph(&self) -> &Graph {
+        self.graph.graph()
+    }
+
+    /// The underlying dynamic graph.
+    pub fn dynamic_graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Number of replicas `R`.
+    pub fn replicas(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Nodes per replica.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Steps taken so far (retired replicas stopped at their own
+    /// [`DynamicVoterReport::steps`]).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total elementary topology mutations applied so far.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Replica `r`'s opinion vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
+    pub fn replica_opinions(&self, r: usize) -> &[u32] {
+        assert!(r < self.replicas(), "replica {r} out of range");
+        &self.opinions[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Whether replica `r`'s opinions are unanimous. The O(1) discord
+    /// count screens out the common case; zero discord only implies
+    /// consensus on a *connected* topology, and degree-changing churn
+    /// guarantees no more than `d_min >= 1`, so a zero count falls back
+    /// to the O(n) scan the per-trial loop has always used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
+    pub fn replica_is_consensus(&self, r: usize) -> bool {
+        assert!(r < self.replicas(), "replica {r} out of range");
+        self.discords[r] == 0 && self.replica_opinions(r).windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Number of edges whose endpoints disagree in replica `r`, on the
+    /// current committed topology. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= replicas()`.
+    pub fn replica_discordant_edges(&self, r: usize) -> u64 {
+        assert!(r < self.replicas(), "replica {r} out of range");
+        self.discords[r]
+    }
+
+    /// Recomputes every live replica's discord count after a topology
+    /// change (one O(m) sweep per replica).
+    fn recompute_discords(&mut self, live: usize) {
+        let graph = self.graph.graph();
+        for slot in 0..live {
+            self.discords[slot] =
+                count_discordant_edges(graph, &self.opinions[slot * self.n..(slot + 1) * self.n]);
+        }
+    }
+
+    /// Advances every replica by `steps` voter steps on the frozen
+    /// topology, then applies **one** churn epoch shared by all replicas
+    /// (recomputing the discord counters when churn mutated the
+    /// topology). Returns the number of elementary mutations this epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`DynamicVoterKernel::step_epoch`].
+    pub fn step_epoch(&mut self, steps: u64) -> Result<u64, CoreError> {
+        for (r, rng) in self.rngs.iter_mut().enumerate() {
+            run_voter_steps_tracked(
+                self.graph.graph(),
+                &mut self.opinions[r * self.n..(r + 1) * self.n],
+                &mut self.discords[r],
+                steps,
+                rng,
+            );
+        }
+        self.time += steps;
+        let applied = churn_epoch(
+            &mut self.graph,
+            &self.churn,
+            &mut self.churn_rng,
+            self.epoch,
+            None,
+        )?;
+        self.epoch += 1;
+        self.mutations += applied;
+        if applied > 0 {
+            self.recompute_discords(self.replicas());
+        }
+        Ok(applied)
+    }
+
+    /// Drives every replica to consensus or to `max_epochs` epochs of
+    /// `steps_per_epoch` steps each, churning the shared topology at
+    /// every epoch boundary. Returns one [`DynamicVoterReport`] per
+    /// replica in original replica order.
+    ///
+    /// Consensus is checked at epoch boundaries (before the first epoch
+    /// and after each churn), so stopping times are **epoch-granular and
+    /// bit-identical to the per-trial [`DynamicVoterKernel`] loop** the
+    /// scenario dispatcher used before this driver existed: live
+    /// replicas step the *full* epoch (consensus is absorbing — the
+    /// draws a scalar loop would burn past consensus touch nothing),
+    /// across `threads` scoped workers (0 = available parallelism), and
+    /// converged replicas retire early with the SoA buffer compacted.
+    /// Each retired replica records the mutation count of the shared
+    /// environment at its own retirement boundary, exactly as a solo
+    /// kernel run would.
+    ///
+    /// # Errors
+    ///
+    /// The same as [`DynamicVoterKernel::step_epoch`] (the opinions are
+    /// left at the failing epoch boundary).
+    pub fn run_to_consensus(
+        &mut self,
+        steps_per_epoch: u64,
+        max_epochs: u64,
+        threads: usize,
+    ) -> Result<Vec<DynamicVoterReport>, CoreError> {
+        let r_total = self.replicas();
+        let n = self.n;
+        let mut reports = vec![DynamicVoterReport::default(); r_total];
+        if r_total == 0 {
+            return Ok(reports);
+        }
+        let threads = resolve_threads(threads);
+        let mut slot_replica: Vec<usize> = (0..r_total).collect();
+        let mut outcomes = vec![BlockOutcome::default(); r_total];
+        let mut live = r_total;
+        let mut t_call = 0u64;
+        let mut epochs = 0u64;
+        let result = loop {
+            // Boundary check (the entry check on the first pass): the
+            // O(1) discord screen plus the per-trial loop's O(n)
+            // unanimity scan when it hits zero. Record, retire, compact.
+            for slot in 0..live {
+                let row = &self.opinions[slot * n..(slot + 1) * n];
+                let consensus = self.discords[slot] == 0 && row.windows(2).all(|w| w[0] == w[1]);
+                outcomes[slot] = BlockOutcome {
+                    steps: 0,
+                    potential: self.discords[slot] as f64,
+                    weighted_average: f64::NAN,
+                    converged: consensus,
+                };
+                reports[slot_replica[slot]] = DynamicVoterReport {
+                    steps: t_call,
+                    winner: consensus.then(|| row[0]),
+                    mutations: self.mutations,
+                };
+            }
+            let opinions = &mut self.opinions;
+            let discords = &mut self.discords;
+            let rngs = &mut self.rngs;
+            live = compact_retired(live, &mut outcomes, &mut slot_replica, |a, b| {
+                swap_rows(opinions, n, a, b);
+                discords.swap(a, b);
+                rngs.swap(a, b);
+            });
+            if live == 0 || epochs == max_epochs {
+                break Ok(());
+            }
+            // One epoch: full block for every live replica (no early
+            // exit — the per-trial loop keeps drawing through consensus
+            // and frozen states), then churn + commit + revalidate.
+            run_voter_epoch_parallel(
+                self.graph.graph(),
+                n,
+                &mut self.opinions,
+                &mut self.discords,
+                &mut self.rngs,
+                live,
+                steps_per_epoch,
+                threads,
+            );
+            self.time += steps_per_epoch;
+            t_call += steps_per_epoch;
+            match churn_epoch(
+                &mut self.graph,
+                &self.churn,
+                &mut self.churn_rng,
+                self.epoch,
+                None,
+            ) {
+                Ok(applied) => {
+                    self.epoch += 1;
+                    epochs += 1;
+                    self.mutations += applied;
+                    if applied > 0 {
+                        self.recompute_discords(live);
+                    }
+                }
+                Err(err) => break Err(err),
+            }
+        };
+
+        let opinions = &mut self.opinions;
+        let discords = &mut self.discords;
+        let rngs = &mut self.rngs;
+        restore_slot_order(&mut slot_replica, |a, b| {
+            swap_rows(opinions, n, a, b);
+            discords.swap(a, b);
+            rngs.swap(a, b);
+        });
+        result.map(|()| reports)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1016,6 +1342,193 @@ mod tests {
         assert!(matches!(
             batch.run_until_converged(10, 10, f64::NAN, 1),
             Err(CoreError::InvalidEpsilon { .. })
+        ));
+    }
+
+    /// The per-trial reference the scenario dispatcher used before
+    /// `DynamicVoterBatch`: epoch loop on a solo `DynamicVoterKernel`,
+    /// consensus checked (O(n) scan) at epoch boundaries.
+    fn per_trial_voter_reference(
+        g: &Graph,
+        ops0: &[u32],
+        seed: u64,
+        churn: &ChurnModel,
+        churn_seed: u64,
+        steps_per_epoch: u64,
+        max_epochs: u64,
+    ) -> DynamicVoterReport {
+        let mut kernel = DynamicVoterKernel::new(
+            DynamicGraph::new(g.clone()),
+            ops0.to_vec(),
+            churn.clone(),
+            churn_seed,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        while kernel.epoch() < max_epochs && !kernel.is_consensus() {
+            kernel.step_epoch(steps_per_epoch, &mut rng).unwrap();
+        }
+        let consensus = kernel.is_consensus();
+        DynamicVoterReport {
+            steps: kernel.time(),
+            winner: consensus.then(|| kernel.opinions()[0]),
+            mutations: kernel.mutations(),
+        }
+    }
+
+    #[test]
+    fn dynamic_voter_batch_matches_per_trial_loop() {
+        // The batched driver must pin consensus times (and winners and
+        // per-replica mutation counts) bit-identical to the per-trial
+        // kernel loop, for every thread count.
+        let g = generators::torus(4, 4).unwrap();
+        let ops0: Vec<u32> = (0..16).map(|i| i % 4).collect();
+        let seeds = [31u64, 32, 33, 34, 35];
+        let (steps_per_epoch, max_epochs) = (8u64, 40_000u64);
+        for churn in [
+            ChurnModel::Static,
+            ChurnModel::edge_swap(2),
+            ChurnModel::rewire(1, 1),
+        ] {
+            let expected: Vec<DynamicVoterReport> = seeds
+                .iter()
+                .map(|&s| {
+                    per_trial_voter_reference(&g, &ops0, s, &churn, 55, steps_per_epoch, max_epochs)
+                })
+                .collect();
+            for threads in [1usize, 3] {
+                let mut batch = DynamicVoterBatch::new(
+                    DynamicGraph::new(g.clone()),
+                    &ops0,
+                    &seeds,
+                    churn.clone(),
+                    55,
+                )
+                .unwrap();
+                let reports = batch
+                    .run_to_consensus(steps_per_epoch, max_epochs, threads)
+                    .unwrap();
+                assert_eq!(reports, expected, "churn {churn:?}, threads {threads}");
+                assert!(reports.iter().all(|r| r.winner.is_some()));
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_voter_batch_consensus_independent_of_batch_size() {
+        let g = generators::hypercube(3).unwrap();
+        let ops0: Vec<u32> = (0..8).collect();
+        let seeds = [3u64, 4, 5, 6];
+        let run = |seed_set: &[u64]| {
+            let mut batch = DynamicVoterBatch::new(
+                DynamicGraph::new(g.clone()),
+                &ops0,
+                seed_set,
+                ChurnModel::edge_swap(1),
+                9,
+            )
+            .unwrap();
+            batch.run_to_consensus(16, 50_000, 1).unwrap()
+        };
+        let wide = run(&seeds);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let solo = run(&[seed]);
+            assert_eq!(solo[0], wide[r], "replica {r} depends on batch size");
+        }
+    }
+
+    #[test]
+    fn dynamic_voter_batch_step_epoch_matches_per_trial_kernel() {
+        // Fixed-horizon stepping: opinions after E epochs must equal the
+        // per-trial kernel's, and the incremental discord counts must
+        // match a brute-force recount after every churn boundary.
+        let g = generators::torus(5, 5).unwrap();
+        let ops0: Vec<u32> = (0..25).map(|i| i % 3).collect();
+        let seeds = [11u64, 12, 13];
+        let churn = ChurnModel::rewire(2, 1);
+        let mut batch = DynamicVoterBatch::new(
+            DynamicGraph::new(g.clone()),
+            &ops0,
+            &seeds,
+            churn.clone(),
+            21,
+        )
+        .unwrap();
+        let mut kernels: Vec<(DynamicVoterKernel, StdRng)> = seeds
+            .iter()
+            .map(|&s| {
+                (
+                    DynamicVoterKernel::new(
+                        DynamicGraph::new(g.clone()),
+                        ops0.clone(),
+                        churn.clone(),
+                        21,
+                    )
+                    .unwrap(),
+                    StdRng::seed_from_u64(s),
+                )
+            })
+            .collect();
+        for _ in 0..12 {
+            batch.step_epoch(25).unwrap();
+            for (r, (kernel, rng)) in kernels.iter_mut().enumerate() {
+                kernel.step_epoch(25, rng).unwrap();
+                assert_eq!(kernel.opinions(), batch.replica_opinions(r));
+                assert_eq!(kernel.is_consensus(), batch.replica_is_consensus(r));
+                let brute = batch
+                    .graph()
+                    .edges()
+                    .filter(|&(u, v)| {
+                        batch.replica_opinions(r)[u as usize]
+                            != batch.replica_opinions(r)[v as usize]
+                    })
+                    .count() as u64;
+                assert_eq!(batch.replica_discordant_edges(r), brute, "replica {r}");
+            }
+        }
+        assert_eq!(batch.time(), 12 * 25);
+        assert!(batch.mutations() > 0);
+    }
+
+    #[test]
+    fn dynamic_voter_batch_entry_and_empty_cases() {
+        let g = generators::cycle(6).unwrap();
+        // Already at consensus: zero steps, zero mutations, winner
+        // reported — the per-trial loop's entry check.
+        let mut batch = DynamicVoterBatch::new(
+            DynamicGraph::new(g.clone()),
+            &[7; 6],
+            &[1, 2],
+            ChurnModel::edge_swap(1),
+            3,
+        )
+        .unwrap();
+        let reports = batch.run_to_consensus(8, 1_000, 1).unwrap();
+        for report in &reports {
+            assert_eq!(
+                *report,
+                DynamicVoterReport {
+                    steps: 0,
+                    winner: Some(7),
+                    mutations: 0
+                }
+            );
+        }
+        assert_eq!(batch.mutations(), 0, "no epoch ran, no churn applied");
+        // Empty batch.
+        let mut empty = DynamicVoterBatch::new(
+            DynamicGraph::new(g.clone()),
+            &[0, 1, 0, 1, 0, 1],
+            &[],
+            ChurnModel::Static,
+            0,
+        )
+        .unwrap();
+        assert!(empty.run_to_consensus(8, 10, 1).unwrap().is_empty());
+        // Validation mirrors the static VoterBatch.
+        assert!(matches!(
+            DynamicVoterBatch::new(DynamicGraph::new(g), &[0; 4], &[1], ChurnModel::Static, 0),
+            Err(CoreError::LengthMismatch { .. })
         ));
     }
 

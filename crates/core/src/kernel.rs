@@ -701,6 +701,70 @@ pub(crate) fn run_voter_block_parallel(
     });
 }
 
+/// Epoch sibling of [`run_voter_block_parallel`] for the dynamic voter
+/// driver: advances the first `live` replicas by the **full** block with
+/// the incremental discord count maintained, *without* the early
+/// consensus exit. The per-trial dynamic loop keeps drawing through
+/// consensus (voter steps are no-ops there) and through frozen
+/// zero-discord states churn may later thaw, and epoch-granular stopping
+/// must replay the identical RNG stream. Same thread-count independence
+/// argument as the block runner (per-replica RNGs, disjoint rows).
+#[allow(clippy::too_many_arguments)] // one driver entry point, mirrors run_voter_block_parallel
+pub(crate) fn run_voter_epoch_parallel(
+    graph: &Graph,
+    n: usize,
+    opinions: &mut [u32],
+    discords: &mut [u64],
+    rngs: &mut [StdRng],
+    live: usize,
+    block: u64,
+    threads: usize,
+) {
+    let workers = threads.clamp(1, live.max(1));
+    if workers <= 1 {
+        for slot in 0..live {
+            run_voter_steps_tracked(
+                graph,
+                &mut opinions[slot * n..(slot + 1) * n],
+                &mut discords[slot],
+                block,
+                &mut rngs[slot],
+            );
+        }
+        return;
+    }
+    let base = live / workers;
+    let extra = live % workers;
+    std::thread::scope(|scope| {
+        let mut opinions = &mut opinions[..live * n];
+        let mut discords = &mut discords[..live];
+        let mut rngs = &mut rngs[..live];
+        for w in 0..workers {
+            let cnt = base + usize::from(w < extra);
+            if cnt == 0 {
+                break;
+            }
+            let (ops, rest) = opinions.split_at_mut(cnt * n);
+            opinions = rest;
+            let (d, rest) = discords.split_at_mut(cnt);
+            discords = rest;
+            let (r, rest) = rngs.split_at_mut(cnt);
+            rngs = rest;
+            scope.spawn(move || {
+                for i in 0..cnt {
+                    run_voter_steps_tracked(
+                        graph,
+                        &mut ops[i * n..(i + 1) * n],
+                        &mut d[i],
+                        block,
+                        &mut r[i],
+                    );
+                }
+            });
+        }
+    });
+}
+
 /// Swaps rows `a` and `b` of a row-major `R × n` buffer (the compaction
 /// primitive of the batched convergence drivers).
 pub(crate) fn swap_rows<T>(buf: &mut [T], n: usize, a: usize, b: usize) {

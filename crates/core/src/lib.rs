@@ -52,6 +52,8 @@ mod edge_model;
 mod engine;
 mod error;
 mod kernel;
+#[cfg(feature = "lane")]
+mod lane;
 mod node_model;
 mod params;
 mod process;
@@ -61,7 +63,10 @@ pub mod theory;
 mod voter;
 
 pub use batch::{run_converge_streaming, ReplicaBatch, VoterBatch};
-pub use dynamic::{DynamicReplicaBatch, DynamicStepKernel, DynamicVoterKernel};
+pub use dynamic::{
+    DynamicReplicaBatch, DynamicStepKernel, DynamicVoterBatch, DynamicVoterKernel,
+    DynamicVoterReport,
+};
 pub use edge_model::EdgeModel;
 pub use engine::{
     estimate_convergence_value, run_kernel_until_converged, run_until_converged, trace_potential,
@@ -69,6 +74,10 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use kernel::{KernelSpec, StepKernel, VoterKernel};
+#[cfg(feature = "lane")]
+pub use lane::{
+    to_lane_major, to_replica_major, DynamicLaneReplicaBatch, LaneReplicaBatch, LaneRngs,
+};
 pub use node_model::NodeModel;
 pub use params::{EdgeModelParams, Laziness, NodeModelParams};
 pub use process::{OpinionProcess, StepRecord};

@@ -19,11 +19,13 @@
 //!   offsets moved by the running degree delta, and only the touched rows
 //!   are rebuilt — O(Δ + m/cacheline) instead of the full rebuild's
 //!   per-edge scatter + per-row sort (≈ 50 ms at n = 10⁶);
-//! * **amortised rebuild** for wholesale edge-set replacements
-//!   ([`DynamicGraph::set_edges`]: temporal snapshots, G(n,p) resamples):
-//!   the spare *back buffer* is swapped in and refilled from the logical
-//!   edge list, reusing its allocations, so steady-state rebuilds are
-//!   allocation-free.
+//! * **amortised rebuild** only when the staged delta rivals the edge
+//!   count itself (a fresh G(n,p) resample): the spare *back buffer* is
+//!   swapped in and refilled from the logical edge list, reusing its
+//!   allocations, so steady-state rebuilds are allocation-free. Wholesale
+//!   [`DynamicGraph::set_edges`] replacements are *diffed* against the
+//!   committed CSR first, so temporal snapshots that share most of their
+//!   edges ride the patch routes above instead of rebuilding.
 //!
 //! [`ChurnModel`] describes *how* the topology evolves between epochs:
 //! degree-preserving edge swaps, small-world rewiring, per-epoch G(n,p)
@@ -71,8 +73,9 @@ pub enum CommitOutcome {
     /// degree delta, only touched rows rebuilt — O(Δ + m/cacheline)
     /// instead of the full O(n + m) scatter-and-sort rebuild.
     Shifted,
-    /// Full CSR rebuild into the (reused) back buffer (wholesale edge-set
-    /// replacements: temporal snapshots, G(n,p) resampling).
+    /// Full CSR rebuild into the (reused) back buffer — taken only when a
+    /// [`DynamicGraph::set_edges`] replacement diffs to a delta rivalling
+    /// the edge count itself (e.g. a fresh G(n,p) resample).
     Rebuilt,
 }
 
@@ -107,9 +110,11 @@ pub struct DynamicGraph {
     pending_add: Vec<(NodeId, NodeId)>,
     /// Staged removals still present in `front`.
     pending_remove: Vec<(NodeId, NodeId)>,
-    /// A wholesale [`DynamicGraph::set_edges`] invalidated the delta
-    /// overlay; the next commit must rebuild.
+    /// A wholesale [`DynamicGraph::set_edges`] staged a delta rivalling
+    /// the edge count; the next commit must rebuild.
     full_rebuild: bool,
+    /// Sorted-key scratch reused by the [`DynamicGraph::set_edges`] diff.
+    diff_keys: Vec<u64>,
     rebuilds: u64,
     patches: u64,
     shifts: u64,
@@ -143,6 +148,7 @@ impl DynamicGraph {
             pending_add: Vec::new(),
             pending_remove: Vec::new(),
             full_rebuild: false,
+            diff_keys: Vec::new(),
             rebuilds: 0,
             patches: 0,
             shifts: 0,
@@ -292,7 +298,17 @@ impl DynamicGraph {
     }
 
     /// Replaces the whole logical edge set (temporal snapshots, G(n,p)
-    /// resampling). The next [`DynamicGraph::commit`] always rebuilds.
+    /// resampling).
+    ///
+    /// The replacement is **diffed against the committed CSR**: the new
+    /// set's sorted key list is merged with the front buffer's (already
+    /// sorted) edge stream in O(m log m), and the symmetric difference is
+    /// staged as an ordinary edge delta — so the next
+    /// [`DynamicGraph::commit`] takes the cheapest route the delta allows
+    /// (identical set → [`CommitOutcome::Unchanged`], small delta → the
+    /// in-place or shifted patch). Only a replacement whose delta rivals
+    /// the edge count itself (e.g. a fresh G(n,p) resample) still marks
+    /// the full O(n + m) rebuild.
     ///
     /// # Errors
     ///
@@ -315,12 +331,48 @@ impl DynamicGraph {
             new_degrees[key.0 as usize] += 1;
             new_degrees[key.1 as usize] += 1;
         }
+        // Stage the symmetric difference vs the committed front buffer.
+        // Pending lists always describe logical-vs-front, so the diff
+        // replaces any previously staged delta wholesale.
+        self.pending_add.clear();
+        self.pending_remove.clear();
+        let pack = |(u, v): (NodeId, NodeId)| ((u as u64) << 32) | v as u64;
+        let unpack = |k: u64| ((k >> 32) as NodeId, (k & 0xFFFF_FFFF) as NodeId);
+        self.diff_keys.clear();
+        self.diff_keys.extend(new_edges.iter().copied().map(pack));
+        self.diff_keys.sort_unstable();
+        {
+            let keys = &self.diff_keys;
+            let pending_add = &mut self.pending_add;
+            let pending_remove = &mut self.pending_remove;
+            let mut i = 0usize;
+            for front_edge in self.front.edges() {
+                let fk = pack(front_edge);
+                while i < keys.len() && keys[i] < fk {
+                    pending_add.push(unpack(keys[i]));
+                    i += 1;
+                }
+                if i < keys.len() && keys[i] == fk {
+                    i += 1;
+                } else {
+                    pending_remove.push(front_edge);
+                }
+            }
+            for &k in &keys[i..] {
+                pending_add.push(unpack(k));
+            }
+        }
+        // A delta rivalling the edge count would touch nearly every row;
+        // the scatter-and-sort rebuild is cheaper there.
+        let delta = self.pending_add.len() + self.pending_remove.len();
+        self.full_rebuild = 2 * delta > new_edges.len() + self.front.m();
+        if self.full_rebuild {
+            self.pending_add.clear();
+            self.pending_remove.clear();
+        }
         self.edges = new_edges;
         self.edge_index = new_index;
         self.degrees = new_degrees;
-        self.pending_add.clear();
-        self.pending_remove.clear();
-        self.full_rebuild = true;
         Ok(())
     }
 
@@ -856,11 +908,15 @@ mod tests {
         let churn = ChurnModel::gnp_resample(0.15, 2).unwrap();
         for epoch in 0..5 {
             churn.apply(&mut dg, epoch, &mut r).unwrap();
-            assert_eq!(dg.commit(), CommitOutcome::Rebuilt);
+            // Whatever route the diff picked, the committed CSR must
+            // equal a from-scratch construction of the resampled set.
+            let outcome = dg.commit();
+            assert_ne!(outcome, CommitOutcome::Unchanged, "epoch {epoch}");
             assert!(dg.min_degree() >= 2);
+            let reference = Graph::from_edges(dg.n(), dg.edges()).unwrap();
+            assert_eq!(dg.graph(), &reference, "epoch {epoch}");
             dg.graph().check_invariants().unwrap();
         }
-        assert_eq!(dg.rebuilds(), 5);
         assert!(ChurnModel::gnp_resample(1.5, 0).is_err());
     }
 
@@ -961,9 +1017,56 @@ mod tests {
     }
 
     #[test]
+    fn set_edges_diffs_against_committed_csr() {
+        let mut dg = DynamicGraph::new(generators::cycle(12).unwrap());
+        let cycle: Vec<(NodeId, NodeId)> = dg.edges().to_vec();
+        // Identical replacement: the diff is empty, commit is free.
+        dg.set_edges(&cycle).unwrap();
+        assert!(!dg.is_dirty());
+        assert_eq!(dg.commit(), CommitOutcome::Unchanged);
+        // Same degree sequence, two edges exchanged: in-place patch.
+        let mut swapped = cycle.clone();
+        swapped.retain(|&e| e != (0, 1) && e != (6, 7));
+        swapped.push((0, 7));
+        swapped.push((1, 6));
+        dg.set_edges(&swapped).unwrap();
+        assert_eq!(dg.commit(), CommitOutcome::Patched);
+        let reference = Graph::from_edges(dg.n(), dg.edges()).unwrap();
+        assert_eq!(dg.graph(), &reference);
+        // Small degree-changing delta: shifted patch, never a rebuild.
+        let mut extended = swapped.clone();
+        extended.push((0, 6));
+        dg.set_edges(&extended).unwrap();
+        assert_eq!(dg.commit(), CommitOutcome::Shifted);
+        let reference = Graph::from_edges(dg.n(), dg.edges()).unwrap();
+        assert_eq!(dg.graph(), &reference);
+        assert_eq!(dg.rebuilds(), 0);
+        dg.graph().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_edges_diff_replaces_previously_staged_delta() {
+        // Stage an incremental mutation, then issue a wholesale
+        // replacement *without committing in between*: the diff must be
+        // taken against the committed CSR, superseding the staged delta.
+        let mut dg = DynamicGraph::new(generators::cycle(8).unwrap());
+        dg.remove_edge(0, 1).unwrap();
+        dg.add_edge(0, 2).unwrap();
+        let target: Vec<(NodeId, NodeId)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+        dg.set_edges(&target).unwrap();
+        // The replacement restored the original cycle, so nothing is
+        // pending against the committed CSR.
+        assert!(!dg.is_dirty());
+        assert_eq!(dg.commit(), CommitOutcome::Unchanged);
+        let reference = Graph::from_edges(dg.n(), dg.edges()).unwrap();
+        assert_eq!(dg.graph(), &reference);
+    }
+
+    #[test]
     fn rebuild_reuses_back_buffer() {
-        // Wholesale edge-set replacement still takes the full-rebuild
-        // route into the reused back buffer.
+        // A replacement disjoint from the committed set diffs to a delta
+        // of 2m, exceeding the threshold: full-rebuild route into the
+        // reused back buffer.
         let mut dg = DynamicGraph::new(generators::cycle(12).unwrap());
         let first: Vec<(NodeId, NodeId)> = (0..12).map(|i| (i, (i + 2) % 12)).collect();
         dg.set_edges(&first).unwrap();

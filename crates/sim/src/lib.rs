@@ -56,5 +56,5 @@ pub mod spec;
 pub use sim::{Engine, Simulation, SimulationReport, TrialResult};
 pub use spec::{
     pm_one, ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, OutputSpec, PotentialSpec,
-    ScenarioSpec, SimError, StopRuleSpec, StopSpec, DEFAULT_BATCH,
+    ScenarioSpec, SimError, StopRuleSpec, StopSpec, TierSpec, DEFAULT_BATCH,
 };

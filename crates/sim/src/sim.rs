@@ -12,13 +12,23 @@
 //! | averaging, churn, `stop converge` | `DynamicReplicaBatch::run_until_converged` |
 //! | voter, static, `stop steps` | `VoterBatch::step_many` |
 //! | voter, static, `stop consensus` | `VoterBatch::run_to_consensus` |
-//! | voter, churn | `DynamicVoterKernel` epoch loop per trial |
+//! | voter, churn | `DynamicVoterBatch` (incremental discord counter, epoch-boundary retirement) |
+//! | averaging, `tier lane`, static | `LaneReplicaBatch` (`lane` feature; all replicas in one lane-major batch) |
+//! | averaging, `tier lane`, churn | `DynamicLaneReplicaBatch` (`lane` feature; shared schedule and churn trajectory) |
 //!
 //! Trial `i` always runs from `SeedSequence::new(spec.seed).seed(i)`, and
-//! every engine keeps per-trial results a function of that seed alone —
-//! so a scenario's statistics are **bit-identical** to the direct engine
-//! call it replaces, independent of batch size, window capacity and
-//! thread count (gated in `tests/batch_equivalence.rs`).
+//! every **exact-tier** engine keeps per-trial results a function of that
+//! seed alone — so a scenario's statistics are **bit-identical** to the
+//! direct engine call it replaces, independent of batch size, window
+//! capacity and thread count (gated in `tests/batch_equivalence.rs`).
+//!
+//! The **lane tier** (`tier lane` in the spec, behind the `lane` cargo
+//! feature) instead runs *all* replicas as one lane-major SIMD batch: the
+//! `batch` and `threads` knobs are documented no-ops there (chunking would
+//! defeat the lane-major layout), per-replica results are drawn from the
+//! correct marginal law but are **not** bit-comparable with the exact
+//! tier, and when the feature is compiled out a `tier lane` spec falls
+//! back to the exact engines. See `od_core::LaneReplicaBatch`.
 
 use crate::runner::monte_carlo_batched_threads;
 use crate::spec::{
@@ -26,7 +36,7 @@ use crate::spec::{
 };
 use od_core::{
     run_converge_streaming, trace_potential, ConvergeConfig, ConvergenceReport,
-    DynamicReplicaBatch, DynamicVoterKernel, EdgeModel, KernelSpec, NodeModel, OpinionProcess,
+    DynamicReplicaBatch, DynamicVoterBatch, EdgeModel, KernelSpec, NodeModel, OpinionProcess,
     ReplicaBatch, StopRule, VoterBatch,
 };
 use od_graph::{ChurnModel, DynamicGraph, Graph};
@@ -55,8 +65,23 @@ pub enum Engine {
     /// `VoterBatch::run_to_consensus` (O(1) incremental consensus checks,
     /// early retirement).
     VoterConsensus,
-    /// Per-trial `DynamicVoterKernel` epoch loop.
+    /// `DynamicVoterBatch::run_to_consensus` / `step_epoch` (incremental
+    /// discord counter recomputed at churn boundaries, epoch-boundary
+    /// retirement). Stopping times are bit-identical to the per-trial
+    /// `DynamicVoterKernel` loop this engine replaced.
     DynamicVoter,
+    /// `LaneReplicaBatch::step_many`: the lane-major SIMD tier, all
+    /// replicas in one batch (`lane` feature, `tier lane`).
+    LaneSteps,
+    /// `LaneReplicaBatch::run_until_converged` (block-boundary rule,
+    /// frozen — not retired — lanes).
+    LaneConverge,
+    /// `DynamicLaneReplicaBatch::step_epoch`: lane kernels over one
+    /// shared churn trajectory.
+    DynamicLaneSteps,
+    /// `DynamicLaneReplicaBatch::run_until_converged` (epoch-boundary
+    /// rule, frozen lanes).
+    DynamicLaneConverge,
 }
 
 impl fmt::Display for Engine {
@@ -70,6 +95,10 @@ impl fmt::Display for Engine {
             Engine::VoterSteps => "voter-batch",
             Engine::VoterConsensus => "voter-consensus",
             Engine::DynamicVoter => "dynamic-voter",
+            Engine::LaneSteps => "lane-batch",
+            Engine::LaneConverge => "lane-converge",
+            Engine::DynamicLaneSteps => "dynamic-lane-batch",
+            Engine::DynamicLaneConverge => "dynamic-lane-converge",
         };
         write!(f, "{name}")
     }
@@ -307,14 +336,25 @@ impl Simulation {
     /// The engine this scenario dispatches to — a pure function of the
     /// spec shape (see the module docs).
     pub fn engine(&self) -> Engine {
+        // `tier lane` only takes effect when the `lane` feature is
+        // compiled in — otherwise the spec (still valid) falls back to
+        // the exact engines. Validation already restricts lane specs to
+        // averaging models without traces, with block/pi stopping.
+        let lane = cfg!(feature = "lane")
+            && self.spec.tier == crate::spec::TierSpec::Lane
+            && self.spec.model.is_averaging();
         match (&self.spec.model, &self.spec.churn, &self.spec.stop) {
             (ModelSpec::Voter, None, StopSpec::Consensus { .. }) => Engine::VoterConsensus,
             (ModelSpec::Voter, None, _) => Engine::VoterSteps,
             (ModelSpec::Voter, Some(_), _) => Engine::DynamicVoter,
             _ if matches!(self.spec.output, OutputSpec::Trace { .. }) => Engine::ScalarRecorded,
+            (_, None, StopSpec::Converge { .. }) if lane => Engine::LaneConverge,
             (_, None, StopSpec::Converge { .. }) => Engine::StaticConverge,
+            (_, None, _) if lane => Engine::LaneSteps,
             (_, None, _) => Engine::StaticSteps,
+            (_, Some(_), StopSpec::Converge { .. }) if lane => Engine::DynamicLaneConverge,
             (_, Some(_), StopSpec::Converge { .. }) => Engine::DynamicConverge,
+            (_, Some(_), _) if lane => Engine::DynamicLaneSteps,
             (_, Some(_), _) => Engine::DynamicSteps,
         }
     }
@@ -336,6 +376,21 @@ impl Simulation {
             Engine::VoterConsensus => self.run_voter_consensus(),
             Engine::VoterSteps => self.run_voter_steps(),
             Engine::DynamicVoter => self.run_dynamic_voter()?,
+            #[cfg(feature = "lane")]
+            Engine::LaneSteps => self.run_lane_steps()?,
+            #[cfg(feature = "lane")]
+            Engine::LaneConverge => self.run_lane_converge()?,
+            #[cfg(feature = "lane")]
+            Engine::DynamicLaneSteps => self.run_dynamic_lane_steps()?,
+            #[cfg(feature = "lane")]
+            Engine::DynamicLaneConverge => self.run_dynamic_lane_converge()?,
+            #[cfg(not(feature = "lane"))]
+            Engine::LaneSteps
+            | Engine::LaneConverge
+            | Engine::DynamicLaneSteps
+            | Engine::DynamicLaneConverge => {
+                unreachable!("engine() never selects a lane engine without the lane feature")
+            }
         };
         Ok(SimulationReport {
             engine,
@@ -638,47 +693,173 @@ impl Simulation {
         };
         let stop_at_consensus = matches!(self.spec.stop, StopSpec::Consensus { .. });
         let (churn, steps_per_epoch, churn_seed) = self.churn_parts();
+        // Consensus is checked at epoch boundaries (an O(1) discord
+        // screen plus an all-equal scan), so stopping times are
+        // epoch-granular — exactly like the per-trial kernel loop this
+        // batched driver replaced.
         let max_epochs = budget / steps_per_epoch;
         let trials: Vec<Result<TrialResult, od_core::CoreError>> = monte_carlo_batched_threads(
             self.spec.replicas,
             self.seeds(),
-            1,
+            self.spec.resolved_batch(),
             self.spec.threads,
             |_, chunk| {
-                let run = |seed: u64| {
-                    let mut kernel = DynamicVoterKernel::new(
+                let run = || -> Result<Vec<TrialResult>, od_core::CoreError> {
+                    let mut batch = DynamicVoterBatch::new(
                         DynamicGraph::new(self.graph.clone()),
-                        self.opinions0.clone(),
+                        &self.opinions0,
+                        chunk,
                         churn.clone(),
                         churn_seed,
                     )?;
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    // Consensus is checked at epoch boundaries (the
-                    // dynamic voter has no incremental discord counter
-                    // yet — see ROADMAP), so stopping times are
-                    // epoch-granular.
-                    while kernel.epoch() < max_epochs
-                        && !(stop_at_consensus && kernel.is_consensus())
-                    {
-                        kernel.step_epoch(steps_per_epoch, &mut rng)?;
+                    if stop_at_consensus {
+                        let reports = batch.run_to_consensus(steps_per_epoch, max_epochs, 1)?;
+                        Ok(reports
+                            .iter()
+                            .map(|r| TrialResult {
+                                steps: r.steps,
+                                converged: r.winner.is_some(),
+                                potential: f64::NAN,
+                                estimate: f64::NAN,
+                                winner: r.winner,
+                                mutations: r.mutations,
+                            })
+                            .collect())
+                    } else {
+                        for _ in 0..max_epochs {
+                            batch.step_epoch(steps_per_epoch)?;
+                        }
+                        Ok((0..chunk.len())
+                            .map(|r| {
+                                let consensus = batch.replica_is_consensus(r);
+                                TrialResult {
+                                    steps: batch.time(),
+                                    converged: consensus,
+                                    potential: f64::NAN,
+                                    estimate: f64::NAN,
+                                    winner: consensus.then(|| batch.replica_opinions(r)[0]),
+                                    mutations: batch.mutations(),
+                                }
+                            })
+                            .collect())
                     }
-                    let consensus = kernel.is_consensus();
-                    Ok(TrialResult {
-                        steps: kernel.time(),
-                        converged: consensus,
-                        potential: f64::NAN,
-                        estimate: f64::NAN,
-                        winner: consensus.then(|| kernel.opinions()[0]),
-                        mutations: kernel.mutations(),
-                    })
                 };
-                chunk.iter().map(|&seed| run(seed)).collect()
+                match run() {
+                    Ok(results) => results.into_iter().map(Ok).collect(),
+                    Err(e) => chunk.iter().map(|_| Err(clone_err(&e))).collect(),
+                }
             },
         );
         trials
             .into_iter()
             .collect::<Result<Vec<_>, _>>()
             .map_err(SimError::Core)
+    }
+
+    /// The lane tier runs all replicas as one lane-major batch, so the
+    /// `batch`/`threads` chunking knobs do not apply; lane `j` draws its
+    /// private randomness from trial seed `j`, and the shared step
+    /// schedule is a deterministic function of the whole seed set.
+    #[cfg(feature = "lane")]
+    fn run_lane_steps(&self) -> Result<Vec<TrialResult>, SimError> {
+        let StopSpec::Steps { steps } = self.spec.stop else {
+            unreachable!("steps dispatch requires a steps stop")
+        };
+        let mut batch = od_core::LaneReplicaBatch::new(
+            &self.graph,
+            self.kernel_spec(),
+            &self.xi0,
+            &self.trial_seeds(),
+        )?;
+        batch.step_many(steps);
+        Ok((0..batch.lanes())
+            .map(|r| TrialResult {
+                steps,
+                converged: false,
+                potential: batch.replica_potential_pi(r),
+                estimate: batch.replica_weighted_average(r),
+                winner: None,
+                mutations: 0,
+            })
+            .collect())
+    }
+
+    #[cfg(feature = "lane")]
+    fn run_lane_converge(&self) -> Result<Vec<TrialResult>, SimError> {
+        let StopSpec::Converge {
+            epsilon, budget, ..
+        } = self.spec.stop
+        else {
+            unreachable!("converge dispatch requires a converge stop")
+        };
+        // validate() pinned rule=block and potential=pi for lane specs.
+        let mut batch = od_core::LaneReplicaBatch::new(
+            &self.graph,
+            self.kernel_spec(),
+            &self.xi0,
+            &self.trial_seeds(),
+        )?;
+        let reports = batch.run_until_converged(epsilon, budget, self.spec.check_every)?;
+        Ok(reports
+            .iter()
+            .map(|r| TrialResult::from_convergence(r, 0))
+            .collect())
+    }
+
+    #[cfg(feature = "lane")]
+    fn run_dynamic_lane_steps(&self) -> Result<Vec<TrialResult>, SimError> {
+        let StopSpec::Steps { steps } = self.spec.stop else {
+            unreachable!("steps dispatch requires a steps stop")
+        };
+        let (churn, steps_per_epoch, churn_seed) = self.churn_parts();
+        let epochs = steps / steps_per_epoch;
+        let mut batch = od_core::DynamicLaneReplicaBatch::new(
+            DynamicGraph::new(self.graph.clone()),
+            self.kernel_spec(),
+            &self.xi0,
+            &self.trial_seeds(),
+            churn,
+            churn_seed,
+        )?;
+        for _ in 0..epochs {
+            batch.step_epoch(steps_per_epoch)?;
+        }
+        Ok((0..batch.lanes())
+            .map(|r| TrialResult {
+                steps,
+                converged: false,
+                potential: batch.replica_potential_pi(r),
+                estimate: batch.replica_weighted_average(r),
+                winner: None,
+                mutations: batch.mutations(),
+            })
+            .collect())
+    }
+
+    #[cfg(feature = "lane")]
+    fn run_dynamic_lane_converge(&self) -> Result<Vec<TrialResult>, SimError> {
+        let StopSpec::Converge {
+            epsilon, budget, ..
+        } = self.spec.stop
+        else {
+            unreachable!("converge dispatch requires a converge stop")
+        };
+        let (churn, steps_per_epoch, churn_seed) = self.churn_parts();
+        let max_epochs = budget / steps_per_epoch;
+        let mut batch = od_core::DynamicLaneReplicaBatch::new(
+            DynamicGraph::new(self.graph.clone()),
+            self.kernel_spec(),
+            &self.xi0,
+            &self.trial_seeds(),
+            churn,
+            churn_seed,
+        )?;
+        let reports = batch.run_until_converged(steps_per_epoch, max_epochs, epsilon)?;
+        let mutations = batch.mutations();
+        Ok(reports
+            .iter()
+            .map(|r| TrialResult::from_convergence(r, mutations))
+            .collect())
     }
 }
 
@@ -950,6 +1131,166 @@ mod tests {
         for trial in &report.trials {
             assert!(trial.winner.is_some());
             assert_eq!(trial.steps % 8, 0, "epoch-granular consensus time");
+        }
+    }
+
+    #[test]
+    fn lane_tier_dispatch_and_fallback() {
+        // `tier lane` selects the lane engines when the feature is
+        // compiled in and falls back to the exact engines otherwise —
+        // the same spec stays runnable either way.
+        let lane_on = cfg!(feature = "lane");
+        let mut spec = converge_spec();
+        spec.tier = crate::spec::TierSpec::Lane;
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-8,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: 1_000_000,
+        };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let expect = if lane_on {
+            Engine::LaneConverge
+        } else {
+            Engine::StaticConverge
+        };
+        assert_eq!(sim.engine(), expect);
+        let report = sim.run().unwrap();
+        assert_eq!(report.engine, expect);
+        assert_eq!(report.converged_count(), 5);
+        for trial in &report.trials {
+            assert!(trial.potential <= 1e-8);
+            // The F estimate stays in the initial hull under both tiers.
+            assert!((-1.0..=1.0).contains(&trial.estimate));
+        }
+
+        spec.stop = StopSpec::Steps { steps: 5_000 };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let expect = if lane_on {
+            Engine::LaneSteps
+        } else {
+            Engine::StaticSteps
+        };
+        assert_eq!(sim.engine(), expect);
+        let report = sim.run().unwrap();
+        assert_eq!(report.engine, expect);
+        assert_eq!(report.trials.len(), 5);
+        assert!(report.trials.iter().all(|t| t.estimate.is_finite()));
+
+        spec.graph = GraphSpec::Torus { rows: 4, cols: 4 };
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps: 2 },
+            steps_per_epoch: 16,
+            seed: 77,
+        });
+        spec.stop = StopSpec::Steps { steps: 16 * 50 };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let expect = if lane_on {
+            Engine::DynamicLaneSteps
+        } else {
+            Engine::DynamicSteps
+        };
+        assert_eq!(sim.engine(), expect);
+        let report = sim.run().unwrap();
+        assert_eq!(report.engine, expect);
+        assert!(report.max_mutations() > 0);
+
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-9,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: 16 * 5_000,
+        };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let expect = if lane_on {
+            Engine::DynamicLaneConverge
+        } else {
+            Engine::DynamicConverge
+        };
+        assert_eq!(sim.engine(), expect);
+        let report = sim.run().unwrap();
+        assert_eq!(report.engine, expect);
+        assert_eq!(report.converged_count(), 5);
+        for trial in &report.trials {
+            assert_eq!(trial.steps % 16, 0, "epoch-granular stopping");
+        }
+    }
+
+    #[test]
+    fn dynamic_voter_batch_pins_per_trial_loop() {
+        // The batched dispatch must reproduce the retired per-trial
+        // `DynamicVoterKernel` loop bit-for-bit, for every batch size and
+        // thread count, in both stop modes.
+        let mut spec = ScenarioSpec::new(ModelSpec::Voter, GraphSpec::Cycle { n: 10 }, 0);
+        spec.replicas = 6;
+        spec.seed = 77;
+        spec.init = InitSpec::Distinct;
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::Rewire {
+                rewires: 1,
+                min_degree: 1,
+            },
+            steps_per_epoch: 16,
+            seed: 13,
+        });
+        for stop in [
+            StopSpec::Consensus {
+                budget: 16 * 20_000,
+            },
+            StopSpec::Steps { steps: 16 * 25 },
+        ] {
+            spec.stop = stop;
+            let sim = Simulation::from_spec(&spec).unwrap();
+            // Per-trial reference: the exact loop `run_dynamic_voter` ran
+            // before `DynamicVoterBatch` existed.
+            let (churn, spe, churn_seed) = sim.churn_parts();
+            let budget = match spec.stop {
+                StopSpec::Consensus { budget } => budget,
+                StopSpec::Steps { steps } => steps,
+                StopSpec::Converge { .. } => unreachable!(),
+            };
+            let stop_at_consensus = matches!(spec.stop, StopSpec::Consensus { .. });
+            let max_epochs = budget / spe;
+            let reference: Vec<TrialResult> = (0..spec.replicas as u64)
+                .map(|i| {
+                    let mut kernel = od_core::DynamicVoterKernel::new(
+                        DynamicGraph::new(sim.graph().clone()),
+                        sim.opinions0.clone(),
+                        churn.clone(),
+                        churn_seed,
+                    )
+                    .unwrap();
+                    let mut rng = StdRng::seed_from_u64(sim.seeds().seed(i));
+                    while kernel.epoch() < max_epochs
+                        && !(stop_at_consensus && kernel.is_consensus())
+                    {
+                        kernel.step_epoch(spe, &mut rng).unwrap();
+                    }
+                    let consensus = kernel.is_consensus();
+                    TrialResult {
+                        steps: kernel.time(),
+                        converged: consensus,
+                        potential: f64::NAN,
+                        estimate: f64::NAN,
+                        winner: consensus.then(|| kernel.opinions()[0]),
+                        mutations: kernel.mutations(),
+                    }
+                })
+                .collect();
+            for (batch, threads) in [(0usize, 1usize), (2, 1), (1, 3), (4, 2)] {
+                let mut run_spec = spec.clone();
+                run_spec.batch = batch;
+                run_spec.threads = threads;
+                let report = Simulation::from_spec(&run_spec).unwrap().run().unwrap();
+                assert_eq!(report.engine, Engine::DynamicVoter);
+                assert_eq!(report.trials.len(), reference.len());
+                for (got, want) in report.trials.iter().zip(&reference) {
+                    assert_eq!(got.steps, want.steps, "batch {batch}, threads {threads}");
+                    assert_eq!(got.converged, want.converged);
+                    assert_eq!(got.winner, want.winner);
+                    assert_eq!(got.mutations, want.mutations);
+                }
+            }
         }
     }
 }

@@ -444,6 +444,24 @@ pub enum StopSpec {
     },
 }
 
+/// Which kernel tier runs the scenario's hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierSpec {
+    /// The bit-exact reference kernels (the default): per-trial results
+    /// are bit-identical to the direct engine calls they replace,
+    /// independent of batch size and thread count.
+    #[default]
+    Exact,
+    /// The lane-major SIMD tier (`lane` cargo feature): all replicas of
+    /// one node sit adjacent in memory so a single CSR gather feeds the
+    /// whole vector register. Every replica's marginal law is exactly
+    /// the process law, but the step schedule is shared across lanes, so
+    /// results are **statistically equivalent** to — not bit-identical
+    /// with — the exact tier. When the `lane` feature is compiled out,
+    /// dispatch falls back to the exact tier.
+    Lane,
+}
+
 /// What a run returns beyond the per-trial reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputSpec {
@@ -490,6 +508,9 @@ pub struct ScenarioSpec {
     /// Replicas per structure-of-arrays batch / streaming-window
     /// capacity (0 = auto). Results never depend on this.
     pub batch: usize,
+    /// Which kernel tier runs the hot loops ([`TierSpec::Exact`] by
+    /// default). Only the exact tier is bit-reproducible.
+    pub tier: TierSpec,
     /// Output selection.
     pub output: OutputSpec,
 }
@@ -517,6 +538,7 @@ impl ScenarioSpec {
             check_every: 0,
             threads: 0,
             batch: 0,
+            tier: TierSpec::Exact,
             output: OutputSpec::Reports,
         }
     }
@@ -575,10 +597,23 @@ impl ScenarioSpec {
         if self.model.is_averaging() != self.init.is_averaging() {
             return invalid("init distribution does not match the model family (voter opinions vs averaging values)");
         }
-        if let InitSpec::Opinions { levels } = self.init {
-            if levels == 0 {
+        match self.init {
+            InitSpec::Opinions { levels: 0 } => {
                 return invalid("opinions init needs at least 1 level");
             }
+            InitSpec::Linear { lo, hi } if !lo.is_finite() || !hi.is_finite() => {
+                return invalid("linear init endpoints must be finite");
+            }
+            InitSpec::Constant { value } if !value.is_finite() => {
+                return invalid("constant init value must be finite");
+            }
+            _ => {}
+        }
+        match self.graph {
+            GraphSpec::Gnp { p, .. } | GraphSpec::WattsStrogatz { p, .. } if !p.is_finite() => {
+                return invalid("graph edge probability must be finite");
+            }
+            _ => {}
         }
         match self.stop {
             StopSpec::Steps { .. } => {}
@@ -626,6 +661,29 @@ impl ScenarioSpec {
             };
             if !horizon.is_multiple_of(churn.steps_per_epoch) {
                 return invalid("the step horizon/budget must be a whole number of churn epochs");
+            }
+        }
+        if self.tier == TierSpec::Lane {
+            if !self.model.is_averaging() {
+                return invalid(
+                    "the lane tier accelerates the averaging kernels only (not the voter)",
+                );
+            }
+            if matches!(self.output, OutputSpec::Trace { .. }) {
+                return invalid("trace output records the exact scalar path; use tier exact");
+            }
+            if let StopSpec::Converge {
+                rule, potential, ..
+            } = self.stop
+            {
+                if rule != StopRuleSpec::Block {
+                    return invalid(
+                        "the lane tier checks convergence at block boundaries (rule=block)",
+                    );
+                }
+                if potential != PotentialSpec::Pi {
+                    return invalid("the lane tier supports the pi potential only");
+                }
             }
         }
         if let OutputSpec::Trace { every } = self.output {
@@ -760,6 +818,10 @@ impl fmt::Display for ScenarioSpec {
         writeln!(f, "check_every {}", self.check_every)?;
         writeln!(f, "threads {}", self.threads)?;
         writeln!(f, "batch {}", self.batch)?;
+        match self.tier {
+            TierSpec::Exact => writeln!(f, "tier exact")?,
+            TierSpec::Lane => writeln!(f, "tier lane")?,
+        }
         match self.output {
             OutputSpec::Reports => writeln!(f, "output reports"),
             OutputSpec::Trace { every } => writeln!(f, "output trace every={every}"),
@@ -798,6 +860,18 @@ mod parse {
                 .map_err(|_| err(self.line, format!("malformed value for '{key}': '{raw}'")))
         }
 
+        /// Like [`Fields::take`] for `f64`, but rejects the non-finite
+        /// tokens `f64::from_str` would happily accept (`NaN`, `inf`,
+        /// …) — a spec file can never name a non-finite parameter.
+        fn take_finite(&mut self, key: &str) -> Result<f64, SimError> {
+            let line = self.line;
+            let value: f64 = self.take(key)?;
+            if !value.is_finite() {
+                return Err(err(line, format!("non-finite value for '{key}'")));
+            }
+            Ok(value)
+        }
+
         fn finish(self) -> Result<(), SimError> {
             if let Some(key) = self.map.keys().next() {
                 return Err(err(self.line, format!("unknown field '{key}'")));
@@ -822,6 +896,7 @@ mod parse {
         let mut check_every: Option<u64> = None;
         let mut threads: Option<usize> = None;
         let mut batch: Option<usize> = None;
+        let mut tier: Option<TierSpec> = None;
         let mut output: Option<OutputSpec> = None;
 
         for (idx, raw_line) in text.lines().enumerate() {
@@ -888,6 +963,10 @@ mod parse {
                     dup(batch.is_some())?;
                     batch = Some(parse_scalar(line, key, &rest)?);
                 }
+                "tier" => {
+                    dup(tier.is_some())?;
+                    tier = Some(parse_tier(line, &rest)?);
+                }
                 "output" => {
                     dup(output.is_some())?;
                     output = Some(parse_output(line, &rest)?);
@@ -921,6 +1000,7 @@ mod parse {
             check_every: check_every.unwrap_or(0),
             threads: threads.unwrap_or(0),
             batch: batch.unwrap_or(0),
+            tier: tier.unwrap_or_default(),
             output: output.unwrap_or(OutputSpec::Reports),
         };
         spec.validate()?;
@@ -955,12 +1035,12 @@ mod parse {
         let (variant, mut f) = variant_fields(line, "model", rest)?;
         let model = match variant {
             "node" => ModelSpec::Node {
-                alpha: f.take("alpha")?,
+                alpha: f.take_finite("alpha")?,
                 k: f.take("k")?,
                 lazy: f.take("lazy")?,
             },
             "edge" => ModelSpec::Edge {
-                alpha: f.take("alpha")?,
+                alpha: f.take_finite("alpha")?,
                 lazy: f.take("lazy")?,
             },
             "voter" => ModelSpec::Voter,
@@ -1003,7 +1083,7 @@ mod parse {
             },
             "gnp" => GraphSpec::Gnp {
                 n: f.take("n")?,
-                p: f.take("p")?,
+                p: f.take_finite("p")?,
                 seed: f.take("seed")?,
             },
             "gnm" => GraphSpec::Gnm {
@@ -1019,7 +1099,7 @@ mod parse {
             "watts_strogatz" => GraphSpec::WattsStrogatz {
                 n: f.take("n")?,
                 k: f.take("k")?,
-                p: f.take("p")?,
+                p: f.take_finite("p")?,
                 seed: f.take("seed")?,
             },
             "barabasi_albert" => GraphSpec::BarabasiAlbert {
@@ -1038,11 +1118,11 @@ mod parse {
         let init = match variant {
             "pm_one" => InitSpec::PmOne,
             "linear" => InitSpec::Linear {
-                lo: f.take("lo")?,
-                hi: f.take("hi")?,
+                lo: f.take_finite("lo")?,
+                hi: f.take_finite("hi")?,
             },
             "constant" => InitSpec::Constant {
-                value: f.take("value")?,
+                value: f.take_finite("value")?,
             },
             "indicator" => InitSpec::Indicator {
                 node: f.take("node")?,
@@ -1068,7 +1148,7 @@ mod parse {
                 min_degree: f.take("floor")?,
             },
             "gnp_resample" => ChurnModelSpec::GnpResample {
-                p: f.take("p")?,
+                p: f.take_finite("p")?,
                 min_degree: f.take("floor")?,
             },
             other => return Err(err(line, format!("unknown churn model '{other}'"))),
@@ -1089,7 +1169,7 @@ mod parse {
                 steps: f.take("count")?,
             },
             "converge" => {
-                let epsilon = f.take("eps")?;
+                let epsilon = f.take_finite("eps")?;
                 let rule = match f.take::<String>("rule")?.as_str() {
                     "exact" => StopRuleSpec::Exact,
                     "block" => StopRuleSpec::Block,
@@ -1114,6 +1194,14 @@ mod parse {
         };
         f.finish()?;
         Ok(stop)
+    }
+
+    fn parse_tier(line: usize, rest: &[&str]) -> Result<TierSpec, SimError> {
+        match rest {
+            ["exact"] => Ok(TierSpec::Exact),
+            ["lane"] => Ok(TierSpec::Lane),
+            _ => Err(err(line, "'tier' takes exactly 'exact' or 'lane'".into())),
+        }
     }
 
     fn parse_output(line: usize, rest: &[&str]) -> Result<OutputSpec, SimError> {
@@ -1160,6 +1248,7 @@ mod tests {
             check_every: 0,
             threads: 1,
             batch: 4,
+            tier: TierSpec::Exact,
             output: OutputSpec::Reports,
         }
     }
@@ -1199,6 +1288,103 @@ mod tests {
         for text in bad {
             assert!(ScenarioSpec::parse(text).is_err(), "accepted: {text}");
         }
+    }
+
+    #[test]
+    fn rejects_non_finite_floats_at_parse_time() {
+        // `f64::from_str` happily parses NaN/inf tokens; the spec format
+        // must reject them before validation ever sees a value.
+        let bad = [
+            "model node alpha=NaN k=2 lazy=false\ngraph petersen\nstop steps count=1",
+            "model edge alpha=inf lazy=false\ngraph petersen\nstop steps count=1",
+            "model node alpha=0.5 k=2 lazy=false\ngraph petersen\ninit linear lo=NaN hi=1\nstop steps count=1",
+            "model node alpha=0.5 k=2 lazy=false\ngraph petersen\ninit constant value=-inf\nstop steps count=1",
+            "model node alpha=0.5 k=2 lazy=false\ngraph gnp n=16 p=inf seed=1\nstop steps count=1",
+            "model node alpha=0.5 k=2 lazy=false\ngraph watts_strogatz n=16 k=2 p=NaN seed=1\nstop steps count=1",
+            "model node alpha=0.5 k=2 lazy=false\ngraph petersen\nchurn gnp_resample p=NaN floor=1 epoch=8 seed=1\nstop steps count=8",
+            "model node alpha=0.5 k=2 lazy=false\ngraph petersen\nstop converge eps=NaN rule=block potential=pi budget=100",
+        ];
+        for text in bad {
+            assert!(
+                matches!(ScenarioSpec::parse(text), Err(SimError::Parse { .. })),
+                "accepted or mis-classified: {text}"
+            );
+        }
+        // And programmatically-built specs hit the same wall in validate.
+        let mut spec = sample_spec();
+        spec.init = InitSpec::Linear {
+            lo: f64::NAN,
+            hi: 1.0,
+        };
+        assert!(matches!(spec.validate(), Err(SimError::Invalid(_))));
+        let mut spec = sample_spec();
+        spec.init = InitSpec::Constant {
+            value: f64::INFINITY,
+        };
+        assert!(matches!(spec.validate(), Err(SimError::Invalid(_))));
+        let mut spec = sample_spec();
+        spec.graph = GraphSpec::Gnp {
+            n: 16,
+            p: f64::NAN,
+            seed: 1,
+        };
+        assert!(matches!(spec.validate(), Err(SimError::Invalid(_))));
+    }
+
+    #[test]
+    fn tier_round_trips_and_validates() {
+        // Default is exact, printed explicitly, and round-trips.
+        let spec = sample_spec();
+        assert_eq!(spec.tier, TierSpec::Exact);
+        assert!(spec.to_string().contains("tier exact"));
+        let mut lane = sample_spec();
+        lane.tier = TierSpec::Lane;
+        assert!(lane.validate().is_ok(), "lane + block/pi converge is fine");
+        let text = lane.to_string();
+        assert!(text.contains("tier lane"));
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), lane);
+        // Unknown tier token is a parse error.
+        assert!(
+            ScenarioSpec::parse("model voter\ngraph petersen\nstop steps count=1\ntier warp")
+                .is_err()
+        );
+        // Lane rejects the voter model…
+        let mut bad = sample_spec();
+        bad.tier = TierSpec::Lane;
+        bad.model = ModelSpec::Voter;
+        bad.init = InitSpec::Distinct;
+        bad.stop = StopSpec::Steps { steps: 64 };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // …the exact per-step stopping rule…
+        let mut bad = sample_spec();
+        bad.tier = TierSpec::Lane;
+        bad.churn = None;
+        bad.stop = StopSpec::Converge {
+            epsilon: 1e-9,
+            rule: StopRuleSpec::Exact,
+            potential: PotentialSpec::Pi,
+            budget: 6400,
+        };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // …the uniform potential…
+        let mut bad = sample_spec();
+        bad.tier = TierSpec::Lane;
+        bad.churn = None;
+        bad.stop = StopSpec::Converge {
+            epsilon: 1e-9,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Uniform,
+            budget: 6400,
+        };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // …and trace output.
+        let mut bad = sample_spec();
+        bad.tier = TierSpec::Lane;
+        bad.churn = None;
+        bad.replicas = 1;
+        bad.stop = StopSpec::Steps { steps: 100 };
+        bad.output = OutputSpec::Trace { every: 10 };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
     }
 
     #[test]

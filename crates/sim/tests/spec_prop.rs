@@ -4,7 +4,7 @@
 
 use od_sim::{
     ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, OutputSpec, PotentialSpec,
-    ScenarioSpec, SimError, StopRuleSpec, StopSpec,
+    ScenarioSpec, SimError, StopRuleSpec, StopSpec, TierSpec,
 };
 use proptest::prelude::*;
 
@@ -136,6 +136,26 @@ fn build_spec(
         check_every: (seed % 5) * 100,
         threads: replicas % 4,
         batch: replicas % 7,
+        // Lane is only valid for averaging models with block/pi stopping
+        // and no trace; the generator opts in exactly there.
+        tier: if model.is_averaging()
+            && !(trace_ok && stop_pick.is_multiple_of(5))
+            && !matches!(
+                stop,
+                StopSpec::Converge {
+                    rule: StopRuleSpec::Exact,
+                    ..
+                } | StopSpec::Converge {
+                    potential: PotentialSpec::Uniform,
+                    ..
+                }
+            )
+            && init_pick.is_multiple_of(3)
+        {
+            TierSpec::Lane
+        } else {
+            TierSpec::Exact
+        },
         output: if trace_ok && stop_pick.is_multiple_of(5) {
             OutputSpec::Trace { every: epoch }
         } else {
@@ -219,6 +239,19 @@ fn rejection_catalogue() {
         // Bad epsilon.
         format!("{base}stop converge eps=-1e-9 rule=exact potential=pi budget=100"),
         format!("{base}stop converge eps=nope rule=exact potential=pi budget=100"),
+        // Non-finite floats: f64::from_str accepts these tokens, the
+        // spec format must not.
+        format!("{base}stop converge eps=NaN rule=exact potential=pi budget=100"),
+        format!("{base}stop converge eps=inf rule=exact potential=pi budget=100"),
+        "model node alpha=NaN k=2 lazy=false\ngraph torus rows=4 cols=4\nstop steps count=10"
+            .to_string(),
+        format!("{base}init linear lo=NaN hi=1\nstop steps count=10"),
+        "model node alpha=0.5 k=2 lazy=false\ngraph gnp n=16 p=inf seed=1\nstop steps count=10"
+            .to_string(),
+        // Unknown kernel tier.
+        format!("{base}stop steps count=10\ntier warp"),
+        // Lane tier with the voter model.
+        "model voter\ngraph petersen\nstop steps count=10\ntier lane".to_string(),
         // Zero replicas.
         format!("{base}replicas 0\nstop steps count=10"),
         // Unknown generator.
