@@ -18,7 +18,7 @@ use od_core::{
     run_converge_streaming, ConvergeConfig, KernelSpec, NodeModelParams, ReplicaBatch, StopRule,
 };
 use od_graph::generators;
-use od_sim::{ScenarioSpec, Simulation};
+use od_sim::{run_sweep, ScenarioSpec, Simulation, SweepSpec};
 use od_stats::SeedSequence;
 
 const SPEC_TEXT: &str = "scenario bench-dispatch\n\
@@ -113,5 +113,58 @@ fn streaming_vs_fixed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, direct, scenario, streaming_vs_fixed);
+/// Sweep structure exploitation: an 8-cell ε × k grid on one shared
+/// graph through `run_sweep` (the CSR is built once) vs the same cells
+/// assembled naively with `from_spec` (the CSR is rebuilt per cell).
+/// The per-cell results are identical — the gap is pure graph-build
+/// amortisation, which grows with cell count and graph size.
+fn sweep_shared_graph(c: &mut Criterion) {
+    const SWEEP_TEXT: &str = "scenario bench-sweep\n\
+        model node alpha=0.5 k=2 lazy=false\n\
+        graph hypercube dim=12\n\
+        init pm_one\n\
+        replicas 4\n\
+        seed 1\n\
+        stop converge eps=0.001 rule=block potential=pi budget=1000000000\n\
+        threads 1\n\
+        sweep k = 2,3\n\
+        sweep eps = 0.01,0.001,0.0001,0.00001\n";
+    let sweep = SweepSpec::parse(SWEEP_TEXT).unwrap();
+    let mut group = c.benchmark_group("scenario/sweep8cells");
+    group.sample_size(5);
+    group.bench_function("shared_graph/n4096", |b| {
+        b.iter(|| {
+            let report = run_sweep(&sweep).unwrap();
+            assert_eq!(report.distinct_graphs, 1);
+            report
+                .cells
+                .iter()
+                .flat_map(|c| c.report.trials.iter().map(|t| t.steps))
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("rebuilt_per_cell/n4096", |b| {
+        b.iter(|| {
+            sweep
+                .cells()
+                .unwrap()
+                .iter()
+                .map(|cell| {
+                    // from_spec builds the CSR from the spec every time.
+                    let report = Simulation::from_spec(&cell.spec).unwrap().run().unwrap();
+                    report.trials.iter().map(|t| t.steps).sum::<u64>()
+                })
+                .sum::<u64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    direct,
+    scenario,
+    streaming_vs_fixed,
+    sweep_shared_graph
+);
 criterion_main!(benches);

@@ -3,21 +3,27 @@
 //! ```text
 //! run-experiments --all [--quick]
 //! run-experiments P58 L57 FIG1 [--quick]
-//! run-experiments scenario <file.scn> [--quick]
+//! run-experiments scenario <file.scn>... [--quick] [--csv <path>] [--json <path>]
 //! run-experiments --list
 //! ```
 //!
 //! Tables print to stdout; CSV copies land in `results/<ID>_<i>.csv`.
-//! The `scenario` subcommand parses a declarative `.scn` scenario file
-//! (see `examples/scenarios/` and the README "Scenarios" section), lets
-//! the unified Scenario API (`od-sim`) dispatch it to the optimal
-//! engine, and prints the per-trial summary. `--quick` caps the trial
-//! count for CI smoke runs.
+//! The `scenario` subcommand parses declarative `.scn` files (see
+//! `examples/scenarios/` and the README "Scenarios" section) — plain
+//! single-cell scenarios or `sweep` grids — lets the unified Scenario
+//! API (`od-sim`) dispatch each cell to the optimal engine, and prints
+//! the per-cell summary plus, for common-random-number sweeps, the
+//! paired-contrast table against cell 0. `--csv` / `--json` stream every
+//! trial of every cell to a per-trial sink file. `--quick` caps the
+//! trial count for CI smoke runs. Files are processed independently: a
+//! broken file is reported and the rest still run (exit code 1 at the
+//! end if any failed).
 
 use od_experiments::{find, registry, ExperimentContext};
-use od_sim::{ScenarioSpec, Simulation};
-use od_stats::{fmt_float, Table};
+use od_sim::{run_sweep, Simulation, SweepAxis, SweepReport, SweepSpec};
+use od_stats::{fmt_float, SeedSequence, Table};
 use std::io::Write;
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,20 +38,55 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    // The subcommand is the first non-flag argument, so `--quick` may
-    // come before or after it.
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    if positional.first().map(|a| a.as_str()) == Some("scenario") {
+    // `--csv` / `--json` take a value; everything else non-flag is a
+    // positional (subcommand, experiment id or scenario file).
+    let mut csv_sink: Option<String> = None;
+    let mut json_sink: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" | "--json" => {
+                let Some(value) = it.next() else {
+                    eprintln!("{arg} needs a file path");
+                    std::process::exit(2);
+                };
+                if arg == "--csv" {
+                    csv_sink = Some(value.clone());
+                } else {
+                    json_sink = Some(value.clone());
+                }
+            }
+            a if a.starts_with("--") => {} // handled above (--quick, --all)
+            a => positional.push(a.to_string()),
+        }
+    }
+    if positional.first().map(String::as_str) == Some("scenario") {
         let files = &positional[1..];
         if files.is_empty() {
-            eprintln!("usage: run_experiments scenario <file.scn> [--quick]");
+            eprintln!(
+                "usage: run_experiments scenario <file.scn>... [--quick] [--csv <path>] \
+                 [--json <path>]"
+            );
             std::process::exit(2);
         }
+        let mut rows: Vec<TrialRow> = Vec::new();
+        let mut failed = false;
         for file in files {
-            if let Err(e) = run_scenario_file(file, quick) {
-                eprintln!("{file}: {e}");
-                std::process::exit(1);
+            match run_scenario_file(file, quick) {
+                Ok(mut file_rows) => rows.append(&mut file_rows),
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    failed = true;
+                }
             }
+        }
+        if let Err(e) = write_sinks(&rows, csv_sink.as_deref(), json_sink.as_deref()) {
+            eprintln!("sink: {e}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
         }
         return;
     }
@@ -58,17 +99,13 @@ fn main() {
     let ids: Vec<String> = if run_all {
         registry().iter().map(|e| e.id.to_string()).collect()
     } else {
-        args.iter()
-            .filter(|a| !a.starts_with("--"))
-            .cloned()
-            .collect()
+        positional
     };
     if ids.is_empty() {
         print_usage();
         std::process::exit(2);
     }
 
-    std::fs::create_dir_all("results").expect("create results directory");
     let mut failed = false;
     for id in &ids {
         let Some(experiment) = find(id) else {
@@ -79,18 +116,9 @@ fn main() {
         println!("\n=== {} — {} ===", experiment.id, experiment.description);
         let start = std::time::Instant::now();
         let tables = (experiment.run)(&ctx);
-        for (i, table) in tables.iter().enumerate() {
-            println!("{}", table.to_plain_text());
-            let path = format!("results/{}_{}.csv", experiment.id, i);
-            let mut file = std::fs::File::create(&path).expect("create csv");
-            file.write_all(table.to_csv().as_bytes())
-                .expect("write csv");
-            let md_path = format!("results/{}_{}.md", experiment.id, i);
-            let mut md = std::fs::File::create(&md_path).expect("create md");
-            md.write_all(format!("### {}\n\n", table.title()).as_bytes())
-                .expect("write md");
-            md.write_all(table.to_markdown().as_bytes())
-                .expect("write md");
+        if let Err(e) = write_result_tables(experiment.id, &tables) {
+            eprintln!("{}: writing results/ failed: {e}", experiment.id);
+            failed = true;
         }
         println!(
             "[{} finished in {:.1}s]",
@@ -103,17 +131,255 @@ fn main() {
     }
 }
 
-/// Parses, dispatches and summarises one `.scn` scenario file. In quick
-/// mode the replica count is capped at 4 (a CI smoke run, not a
-/// measurement).
-fn run_scenario_file(path: &str, quick: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path)?;
-    let mut spec = ScenarioSpec::parse(&text)?;
-    if quick {
-        spec.replicas = spec.replicas.min(4);
+/// Prints every table and writes the CSV + markdown copies under
+/// `results/`, creating the directory if absent (the binary may run
+/// from any cwd).
+fn write_result_tables(id: &str, tables: &[Table]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    for (i, table) in tables.iter().enumerate() {
+        println!("{}", table.to_plain_text());
+        std::fs::write(format!("results/{id}_{i}.csv"), table.to_csv())?;
+        let md = format!("### {}\n\n{}", table.title(), table.to_markdown());
+        std::fs::write(format!("results/{id}_{i}.md"), md)?;
     }
-    let name = spec.name.clone().unwrap_or_else(|| path.to_string());
-    let sim = Simulation::from_spec(&spec)?;
+    Ok(())
+}
+
+/// One per-trial sink record: a cell coordinate plus the trial's
+/// results.
+struct TrialRow {
+    scenario: String,
+    cell: usize,
+    label: String,
+    trial: usize,
+    seed: u64,
+    steps: u64,
+    converged: bool,
+    potential: f64,
+    estimate: f64,
+    winner: Option<u32>,
+    mutations: u64,
+}
+
+/// Writes the collected per-trial rows to the requested sinks, creating
+/// parent directories as needed.
+fn write_sinks(rows: &[TrialRow], csv: Option<&str>, json: Option<&str>) -> std::io::Result<()> {
+    let create = |path: &str| -> std::io::Result<std::fs::File> {
+        if let Some(parent) = Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::File::create(path)
+    };
+    if let Some(path) = csv {
+        let mut f = create(path)?;
+        writeln!(
+            f,
+            "scenario,cell,label,trial,seed,steps,converged,potential,estimate,winner,mutations"
+        )?;
+        for r in rows {
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                r.scenario,
+                r.cell,
+                r.label,
+                r.trial,
+                r.seed,
+                r.steps,
+                r.converged,
+                r.potential,
+                r.estimate,
+                r.winner.map(|w| w.to_string()).unwrap_or_default(),
+                r.mutations,
+            )?;
+        }
+    }
+    if let Some(path) = json {
+        let mut f = create(path)?;
+        // Hand-rolled JSON (no serde in the dependency tree): an array
+        // of flat objects, non-finite floats as null.
+        let num = |x: f64| {
+            if x.is_finite() {
+                x.to_string()
+            } else {
+                "null".to_string()
+            }
+        };
+        writeln!(f, "[")?;
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(
+                f,
+                "  {{\"scenario\":{:?},\"cell\":{},\"label\":{:?},\"trial\":{},\"seed\":{},\
+                 \"steps\":{},\"converged\":{},\"potential\":{},\"estimate\":{},\"winner\":{},\
+                 \"mutations\":{}}}{comma}",
+                r.scenario,
+                r.cell,
+                r.label,
+                r.trial,
+                r.seed,
+                r.steps,
+                r.converged,
+                num(r.potential),
+                num(r.estimate),
+                r.winner.map_or("null".to_string(), |w| w.to_string()),
+                r.mutations,
+            )?;
+        }
+        writeln!(f, "]")?;
+    }
+    Ok(())
+}
+
+/// Parses, dispatches and summarises one `.scn` file — a plain scenario
+/// or a `sweep` grid — and returns its per-trial sink rows. In quick
+/// mode every cell's replica count is capped at 4 (a CI smoke run, not
+/// a measurement).
+fn run_scenario_file(path: &str, quick: bool) -> Result<Vec<TrialRow>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut sweep = SweepSpec::parse(&text)?;
+    if quick {
+        sweep.base.replicas = sweep.base.replicas.min(4);
+        for axis in &mut sweep.axes {
+            if let SweepAxis::Replicas(values) = axis {
+                for v in values {
+                    *v = (*v).min(4);
+                }
+            }
+        }
+    }
+    let name = sweep.base.name.clone().unwrap_or_else(|| path.to_string());
+    if sweep.axes.is_empty() {
+        return run_single_scenario(&name, &sweep);
+    }
+    let start = std::time::Instant::now();
+    let report = run_sweep(&sweep)?;
+    println!(
+        "\n=== sweep {name} — {} cell(s), {} distinct graph(s), {} ===",
+        report.cells.len(),
+        report.distinct_graphs,
+        if report.crn {
+            "CRN-paired seeds"
+        } else {
+            "independent seeds"
+        },
+    );
+    let mut t = Table::new(
+        format!("sweep {name} — per-cell summary"),
+        &[
+            "cell",
+            "label",
+            "engine",
+            "trials",
+            "converged",
+            "steps_mean",
+            "steps_std",
+            "F_mean",
+        ],
+    );
+    for cell in &report.cells {
+        let steps = cell.report.steps_summary();
+        t.push_row(vec![
+            cell.cell.index.to_string(),
+            cell.cell.label.clone(),
+            cell.report.engine.to_string(),
+            cell.report.trials.len().to_string(),
+            cell.report.converged_count().to_string(),
+            fmt_float(steps.mean),
+            fmt_float(steps.std),
+            cell.report
+                .estimate_summary()
+                .map_or_else(|| "-".into(), |e| fmt_float(e.mean)),
+        ]);
+    }
+    println!("{}", t.to_plain_text());
+    print_contrasts(&name, &report);
+    println!("[finished in {:.1}s]", start.elapsed().as_secs_f64());
+    Ok(sink_rows(&name, &report))
+}
+
+/// The paired-contrast table of a CRN sweep (skipped for independent
+/// seeding or single-cell sweeps, where pairing is undefined).
+fn print_contrasts(name: &str, report: &SweepReport) {
+    let contrasts = report.contrasts();
+    if contrasts.is_empty() {
+        return;
+    }
+    let mut t = Table::new(
+        format!("sweep {name} — paired contrasts vs cell 0 (steps, CRN)"),
+        &[
+            "cell",
+            "label",
+            "mean_diff",
+            "std_err",
+            "ci95_lo",
+            "ci95_hi",
+            "resolved",
+        ],
+    );
+    for c in &contrasts {
+        let Some(steps) = &c.steps else {
+            t.push_row(vec![
+                c.cell.to_string(),
+                c.label.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "unpaired (replica counts differ)".into(),
+            ]);
+            continue;
+        };
+        t.push_row(vec![
+            c.cell.to_string(),
+            c.label.clone(),
+            fmt_float(steps.mean_diff),
+            fmt_float(steps.std_err),
+            fmt_float(steps.ci95.0),
+            fmt_float(steps.ci95.1),
+            steps.resolved().to_string(),
+        ]);
+    }
+    println!("{}", t.to_plain_text());
+}
+
+/// Flattens a sweep report into per-trial sink rows. Trial `i` of a
+/// cell runs from `SeedSequence::new(cell.spec.seed).seed(i)` — the
+/// derivation `od-sim`'s Monte-Carlo runner uses — so the recorded seed
+/// reproduces the trial standalone.
+fn sink_rows(name: &str, report: &SweepReport) -> Vec<TrialRow> {
+    let mut rows = Vec::new();
+    for cell in &report.cells {
+        let seeds = SeedSequence::new(cell.cell.spec.seed);
+        for (i, trial) in cell.report.trials.iter().enumerate() {
+            rows.push(TrialRow {
+                scenario: name.to_string(),
+                cell: cell.cell.index,
+                label: cell.cell.label.clone(),
+                trial: i,
+                seed: seeds.seed(i as u64),
+                steps: trial.steps,
+                converged: trial.converged,
+                potential: trial.potential,
+                estimate: trial.estimate,
+                winner: trial.winner,
+                mutations: trial.mutations,
+            });
+        }
+    }
+    rows
+}
+
+/// The original single-scenario path: detailed metric table for one
+/// cell.
+fn run_single_scenario(
+    name: &str,
+    sweep: &SweepSpec,
+) -> Result<Vec<TrialRow>, Box<dyn std::error::Error>> {
+    let spec = &sweep.base;
+    let sim = Simulation::from_spec(spec)?;
     println!(
         "\n=== scenario {name} — engine: {} (n = {}, m = {}, {} trial(s)) ===",
         sim.engine(),
@@ -158,11 +424,33 @@ fn run_scenario_file(path: &str, quick: bool) -> Result<(), Box<dyn std::error::
     }
     println!("{}", t.to_plain_text());
     println!("[finished in {:.1}s]", start.elapsed().as_secs_f64());
-    Ok(())
+    let seeds = SeedSequence::new(spec.seed);
+    let rows = report
+        .trials
+        .iter()
+        .enumerate()
+        .map(|(i, trial)| TrialRow {
+            scenario: name.to_string(),
+            cell: 0,
+            label: String::new(),
+            trial: i,
+            seed: seeds.seed(i as u64),
+            steps: trial.steps,
+            converged: trial.converged,
+            potential: trial.potential,
+            estimate: trial.estimate,
+            winner: trial.winner,
+            mutations: trial.mutations,
+        })
+        .collect();
+    Ok(rows)
 }
 
 fn print_usage() {
-    println!("usage: run-experiments [--quick] --all | <ID>... | scenario <file.scn>... | --list");
+    println!(
+        "usage: run-experiments [--quick] --all | <ID>... | \
+         scenario <file.scn>... [--csv <path>] [--json <path>] | --list"
+    );
     println!("experiments:");
     for e in registry() {
         println!("  {:10} {}", e.id, e.description);

@@ -12,7 +12,10 @@ use crate::ExperimentContext;
 use od_core::theory;
 use od_graph::{generators, Graph};
 use od_linalg::{eigen, spectra};
-use od_sim::GraphSpec;
+use od_sim::{
+    run_sweep, GraphSpec, ModelSpec, PotentialSpec, ScenarioSpec, StopRuleSpec, StopSpec,
+    SweepAxis, SweepSpec,
+};
 use od_stats::{fmt_float, SeedSequence, Table, Welford};
 
 /// NodeModel ε-convergence times through the Scenario API: per-trial
@@ -76,9 +79,66 @@ fn regular_families(sizes: &[usize]) -> Vec<(String, GraphSpec, Graph, f64)> {
     out
 }
 
+/// The T22-CONV sweep as one declarative [`SweepSpec`]: a crossed
+/// `graph` axis over the regular families plus zipped per-cell `seed`
+/// values (the legacy per-family seed streams — cell `idx` keeps
+/// `ctx.seeds.child(100 + idx)`, so the table is byte-identical to the
+/// per-cell loop this replaced). The committed
+/// `examples/scenarios/t22_conv_sweep.scn` is this spec's full-mode
+/// text form, pinned equal in `tests/sweep_files.rs`.
+pub fn node_convergence_sweep(ctx: &ExperimentContext) -> SweepSpec {
+    let trials = ctx.trials(20, 5);
+    let eps = 1e-9;
+    let sizes: &[usize] = if ctx.quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128]
+    };
+    let families = regular_families(sizes);
+    // One uniform step budget — the maximum of the per-cell budgets.
+    // Under the exact stopping rule the budget only caps: every trial
+    // that converges within the smaller per-cell budget takes exactly
+    // the same steps under the larger one.
+    let budget = families
+        .iter()
+        .map(|(_, _, g, _)| common::step_budget(g))
+        .max()
+        .expect("at least one family");
+    let mut base = ScenarioSpec::new(
+        ModelSpec::Node {
+            alpha: 0.5,
+            k: 1,
+            lazy: false,
+        },
+        families[0].1,
+        0,
+    );
+    base.name = Some("t22-conv".into());
+    base.replicas = trials;
+    base.stop = StopSpec::Converge {
+        epsilon: eps,
+        rule: StopRuleSpec::Exact,
+        potential: PotentialSpec::Pi,
+        budget,
+    };
+    SweepSpec {
+        base,
+        axes: vec![
+            SweepAxis::Graph(families.iter().map(|f| f.1).collect()),
+            SweepAxis::Seed(
+                (0..families.len())
+                    .map(|idx| ctx.seeds.child(100 + idx as u64).master())
+                    .collect(),
+            ),
+        ],
+    }
+}
+
 /// T22-CONV: measured ε-convergence time vs the Prop. B.1 prediction
 /// (which instantiates Theorem 2.2(1)'s `O(n log(n‖ξ‖²/ε)/(1−λ₂))` with
-/// explicit constants).
+/// explicit constants). Runs as one sweep ([`node_convergence_sweep`]):
+/// `run_sweep` builds each distinct graph once and runs the cells
+/// through the same convergence engine the per-cell loop used.
 pub fn node_convergence(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(20, 5);
     let eps = 1e-9;
@@ -89,6 +149,8 @@ pub fn node_convergence(ctx: &ExperimentContext) -> Vec<Table> {
     } else {
         &[16, 32, 64, 128]
     };
+    let sweep = node_convergence_sweep(ctx);
+    let report = run_sweep(&sweep).expect("the T22-CONV sweep is valid");
     let mut t = Table::new(
         format!(
             "Thm 2.2(1) — NodeModel T_eps (alpha={alpha}, k={k}, eps={eps:.0e}, {trials} trials)"
@@ -102,13 +164,10 @@ pub fn node_convergence(ctx: &ExperimentContext) -> Vec<Table> {
             "ratio",
         ],
     );
-    for (idx, (name, graph_spec, g, lambda2)) in regular_families(sizes).into_iter().enumerate() {
+    for (cell, (name, _, g, lambda2)) in report.cells.iter().zip(regular_families(sizes)) {
         let xi0 = common::pm_one(g.n());
-        let phi0 = od_core::OpinionState::new(&g, xi0.clone())
-            .unwrap()
-            .potential_pi();
-        let seeds = ctx.seeds.child(100 + idx as u64);
-        let stats = node_steps_stats(graph_spec, &g, alpha, k, &xi0, trials, seeds, eps);
+        let phi0 = od_core::OpinionState::new(&g, xi0).unwrap().potential_pi();
+        let stats: Welford = cell.report.trials.iter().map(|t| t.steps as f64).collect();
         let measured = stats.mean().unwrap();
         let predicted = theory::node_convergence_steps(g.n(), lambda2, alpha, k, phi0, eps);
         t.push_row(vec![

@@ -20,10 +20,9 @@
 //! static sweeps.
 
 use crate::ExperimentContext;
-use od_graph::generators;
 use od_sim::{
-    ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, PotentialSpec, ScenarioSpec,
-    Simulation, StopRuleSpec, StopSpec,
+    run_sweep, ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, PotentialSpec,
+    ScenarioSpec, StopRuleSpec, StopSpec, SweepAxis, SweepSpec,
 };
 use od_stats::{fmt_float, Table, Welford};
 
@@ -73,16 +72,52 @@ fn cell_scenario(
     spec
 }
 
+/// The DYN-CHURN sweep as one declarative [`SweepSpec`]: a crossed
+/// `churn` axis over the swap rates plus zipped per-cell `seed` /
+/// `churn_seed` values reproducing the legacy per-cell streams (cell
+/// `idx` keeps trial seeds from `ctx.seeds.child(941 + idx)` and the
+/// churn stream `ctx.seeds.child(940).seed(idx)`), so the table is
+/// byte-identical to the per-cell loop this replaced. The committed
+/// `examples/scenarios/dyn_churn_sweep.scn` is this spec's full-mode
+/// text form, pinned equal in `tests/sweep_files.rs`.
+pub fn churn_convergence_sweep(ctx: &ExperimentContext) -> SweepSpec {
+    let trials = ctx.trials(64, 8);
+    let side = if ctx.quick { 8 } else { 16 };
+    let steps_per_epoch = (side * side) as u64;
+    let max_epochs: u64 = if ctx.quick { 1_500 } else { 3_000 };
+    let cells = CHURN_RATES.len() as u64;
+    let mut base = cell_scenario(side, 0, steps_per_epoch, max_epochs, trials, 0, 0);
+    base.name = Some("dyn-churn".into());
+    SweepSpec {
+        base,
+        axes: vec![
+            SweepAxis::Churn(CHURN_RATES.to_vec()),
+            SweepAxis::Seed(
+                (0..cells)
+                    .map(|idx| ctx.seeds.child(941 + idx).master())
+                    .collect(),
+            ),
+            SweepAxis::ChurnSeed(
+                (0..cells)
+                    .map(|idx| ctx.seeds.child(940).seed(idx))
+                    .collect(),
+            ),
+        ],
+    }
+}
+
 /// DYN-CHURN: NodeModel ε-convergence time vs edge-swap churn rate on a
-/// torus, batched over a shared evolving topology.
+/// torus, batched over a shared evolving topology. Runs as one sweep
+/// ([`churn_convergence_sweep`]): the torus is built once and shared by
+/// every cell, and each cell keeps one churn stream so per-trial
+/// results stay batch-size independent.
 pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
     let trials = ctx.trials(64, 8);
     let side = if ctx.quick { 8 } else { 16 };
-    let g = generators::torus(side, side).expect("torus dimensions are valid");
-    let n = g.n();
-    let steps_per_epoch = n as u64;
-    let max_epochs: u64 = if ctx.quick { 1_500 } else { 3_000 };
+    let steps_per_epoch = (side * side) as u64;
 
+    let sweep = churn_convergence_sweep(ctx);
+    let report = run_sweep(&sweep).expect("the DYN-CHURN sweep is valid");
     let mut t = Table::new(
         format!(
             "DYN-CHURN — NodeModel(k=2, alpha=0.5) steps to phi <= {EPS} on torus({side}x{side}) \
@@ -97,33 +132,15 @@ pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
             "topology_mutations",
         ],
     );
-    for (idx, &swaps) in CHURN_RATES.iter().enumerate() {
-        // One churn stream per sweep cell: every chunk replays the same
-        // topology trajectory, so trial i's result depends only on
-        // (churn seed, trial seed) — batch-size independent.
-        let churn_seed = ctx.seeds.child(940).seed(idx as u64);
-        let seeds = ctx.seeds.child(941 + idx as u64);
-        let spec = cell_scenario(
-            side,
-            swaps,
-            steps_per_epoch,
-            max_epochs,
-            trials,
-            seeds.master(),
-            churn_seed,
-        );
-        let report = Simulation::from_spec_with_graph(&spec, g.clone())
-            .expect("sweep cell is a valid scenario")
-            .run()
-            .expect("degree-preserving churn cannot break the spec");
-        let steps: Welford = report.trials.iter().map(|t| t.steps as f64).collect();
+    for (cell, &swaps) in report.cells.iter().zip(CHURN_RATES.iter()) {
+        let steps: Welford = cell.report.trials.iter().map(|t| t.steps as f64).collect();
         t.push_row(vec![
             swaps.to_string(),
             fmt_float(steps.mean().unwrap_or(f64::NAN)),
             fmt_float(steps.standard_error().unwrap_or(f64::NAN)),
             fmt_float(steps.mean().unwrap_or(f64::NAN) / steps_per_epoch as f64),
-            fmt_float(report.converged_count() as f64 / trials as f64),
-            report.max_mutations().to_string(),
+            fmt_float(cell.report.converged_count() as f64 / trials as f64),
+            cell.report.max_mutations().to_string(),
         ]);
     }
     vec![t]
@@ -132,6 +149,7 @@ pub fn churn_convergence(ctx: &ExperimentContext) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use od_sim::Simulation;
     use od_stats::SeedSequence;
 
     /// The schedule-independence contract the sweep relies on: per-trial

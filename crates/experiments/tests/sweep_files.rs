@@ -1,0 +1,58 @@
+//! The committed sweep `.scn` files ARE the experiments: each file in
+//! `examples/scenarios/` is the exact text form of the programmatic
+//! full-mode sweep the experiment registry runs, so
+//! `run_experiments scenario examples/scenarios/t22_conv_sweep.scn`
+//! reproduces `run_experiments T22-CONV` cell for cell (same graphs,
+//! same per-cell seed streams, same budgets). These gates pin that
+//! equality; regenerate the files after an intentional change with
+//! `OD_REGEN_SCN=1 cargo test -p od-experiments --test sweep_files`.
+
+use od_experiments::experiments::{convergence, dynamic};
+use od_experiments::ExperimentContext;
+use od_sim::SweepSpec;
+use std::path::PathBuf;
+
+fn scenario_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/scenarios")
+        .join(file)
+}
+
+fn check(file: &str, sweep: &SweepSpec) {
+    let path = scenario_path(file);
+    let text = sweep.to_string();
+    if std::env::var_os("OD_REGEN_SCN").is_some() {
+        std::fs::write(&path, &text).expect("write regenerated scenario file");
+        return;
+    }
+    let committed =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    assert_eq!(
+        committed, text,
+        "{file} drifted from the programmatic sweep — regenerate with OD_REGEN_SCN=1"
+    );
+    // And the round trip back: parsing the committed file yields the
+    // exact programmatic spec.
+    let parsed = SweepSpec::parse(&committed).expect("committed sweep file parses");
+    assert_eq!(&parsed, sweep);
+}
+
+#[test]
+fn t22_conv_sweep_file_matches_registry_experiment() {
+    let sweep = convergence::node_convergence_sweep(&ExperimentContext::full());
+    assert_eq!(
+        sweep.cell_count(),
+        12,
+        "4 sizes x {{cycle, complete}} + 2 tori + 2 hypercubes"
+    );
+    assert!(!sweep.is_crn(), "legacy per-cell seeds are zipped in");
+    check("t22_conv_sweep.scn", &sweep);
+}
+
+#[test]
+fn dyn_churn_sweep_file_matches_registry_experiment() {
+    let sweep = dynamic::churn_convergence_sweep(&ExperimentContext::full());
+    assert_eq!(sweep.cell_count(), 4, "one cell per churn rate");
+    assert!(!sweep.is_crn(), "legacy per-cell seeds are zipped in");
+    check("dyn_churn_sweep.scn", &sweep);
+}

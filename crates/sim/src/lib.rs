@@ -52,9 +52,14 @@
 pub mod runner;
 pub mod sim;
 pub mod spec;
+pub mod sweep;
 
 pub use sim::{Engine, Simulation, SimulationReport, TrialResult};
 pub use spec::{
-    pm_one, ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, OutputSpec, PotentialSpec,
-    ScenarioSpec, SimError, StopRuleSpec, StopSpec, TierSpec, DEFAULT_BATCH,
+    load_init_file, load_replay_file, pm_one, ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec,
+    ModelSpec, OutputSpec, PotentialSpec, ScenarioSpec, SimError, StopRuleSpec, StopSpec, TierSpec,
+    DEFAULT_BATCH,
+};
+pub use sweep::{
+    run_sweep, CellReport, SweepAxis, SweepCell, SweepContrast, SweepReport, SweepSpec, MAX_CELLS,
 };

@@ -31,9 +31,7 @@
 //! back to the exact engines. See `od_core::LaneReplicaBatch`.
 
 use crate::runner::monte_carlo_batched_threads;
-use crate::spec::{
-    ChurnSpec, ModelSpec, OutputSpec, ScenarioSpec, SimError, StopRuleSpec, StopSpec,
-};
+use crate::spec::{ModelSpec, OutputSpec, ScenarioSpec, SimError, StopRuleSpec, StopSpec};
 use od_core::{
     run_converge_streaming, trace_potential, ConvergeConfig, ConvergenceReport,
     DynamicReplicaBatch, DynamicVoterBatch, EdgeModel, KernelSpec, NodeModel, OpinionProcess,
@@ -203,6 +201,11 @@ pub struct Simulation {
     graph: Graph,
     xi0: Vec<f64>,
     opinions0: Vec<u32>,
+    /// The built churn model for dynamic scenarios — resolved once at
+    /// assembly so file-backed models
+    /// ([`crate::spec::ChurnModelSpec::Replay`]) do their IO (and
+    /// surface their errors) at `from_spec`, not mid-run.
+    churn_model: Option<ChurnModel>,
 }
 
 impl Simulation {
@@ -300,15 +303,35 @@ impl Simulation {
             }
         }
         let (xi0, opinions0) = if spec.model.is_averaging() {
-            (spec.init.values(n), Vec::new())
+            let values = match &spec.init {
+                // File-backed init does its IO here, so a bad path or
+                // malformed file is a `from_spec` error.
+                crate::spec::InitSpec::File { path } => {
+                    let values = crate::spec::load_init_file(path)?;
+                    if values.len() != n {
+                        return Err(SimError::Invalid(format!(
+                            "init file '{path}' has {} values for an {n}-node graph",
+                            values.len()
+                        )));
+                    }
+                    values
+                }
+                init => init.values(n),
+            };
+            (values, Vec::new())
         } else {
             (Vec::new(), spec.init.opinions(n))
+        };
+        let churn_model = match &spec.churn {
+            Some(churn) => Some(churn.model.build()?),
+            None => None,
         };
         let sim = Simulation {
             spec,
             graph,
             xi0,
             opinions0,
+            churn_model,
         };
         // Validate the (graph, init, model) triple once, through the same
         // constructors the engines use, so dispatch cannot fail later.
@@ -340,9 +363,14 @@ impl Simulation {
         // compiled in — otherwise the spec (still valid) falls back to
         // the exact engines. Validation already restricts lane specs to
         // averaging models without traces, with block/pi stopping.
+        // Edge-model lane specs also fall back to the exact engines:
+        // the lane edge kernel benches below the exact tier (its gather
+        // is two scattered rows per step, not one dense column), and
+        // `tier lane` is a never-slower knob, so only the node model
+        // dispatches to the lane kernels.
         let lane = cfg!(feature = "lane")
             && self.spec.tier == crate::spec::TierSpec::Lane
-            && self.spec.model.is_averaging();
+            && matches!(self.spec.model, ModelSpec::Node { .. });
         match (&self.spec.model, &self.spec.churn, &self.spec.stop) {
             (ModelSpec::Voter, None, StopSpec::Consensus { .. }) => Engine::VoterConsensus,
             (ModelSpec::Voter, None, _) => Engine::VoterSteps,
@@ -418,13 +446,16 @@ impl Simulation {
     }
 
     fn churn_parts(&self) -> (ChurnModel, u64, u64) {
-        let ChurnSpec {
-            model,
-            steps_per_epoch,
-            seed,
-        } = self.spec.churn.expect("dynamic engine requires churn");
-        let churn = model.build().expect("validate checked churn parameters");
-        (churn, steps_per_epoch, seed)
+        let churn = self
+            .spec
+            .churn
+            .as_ref()
+            .expect("dynamic engine requires churn");
+        let model = self
+            .churn_model
+            .clone()
+            .expect("assemble built the churn model");
+        (model, churn.steps_per_epoch, churn.seed)
     }
 
     fn run_scalar_recorded(&self) -> Result<SimulationReport, SimError> {
@@ -872,7 +903,7 @@ fn clone_err(e: &od_core::CoreError) -> od_core::CoreError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{ChurnModelSpec, GraphSpec, InitSpec, PotentialSpec};
+    use crate::spec::{ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, PotentialSpec};
 
     fn converge_spec() -> ScenarioSpec {
         let mut spec = ScenarioSpec::new(

@@ -244,8 +244,51 @@ impl GraphSpec {
     }
 }
 
+impl fmt::Display for GraphSpec {
+    /// The graph's text-format tokens without the leading `graph` key
+    /// (e.g. `cycle n=16`) — the `graph` line of [`ScenarioSpec`] and,
+    /// with spaces swapped for `:`, the sweep grammar's graph
+    /// descriptors (`cycle:n=16`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphSpec::Cycle { n } => write!(f, "cycle n={n}"),
+            GraphSpec::Path { n } => write!(f, "path n={n}"),
+            GraphSpec::Complete { n } => write!(f, "complete n={n}"),
+            GraphSpec::Star { n } => write!(f, "star n={n}"),
+            GraphSpec::CompleteBipartite { a, b } => {
+                write!(f, "complete_bipartite a={a} b={b}")
+            }
+            GraphSpec::Grid { rows, cols } => write!(f, "grid rows={rows} cols={cols}"),
+            GraphSpec::Torus { rows, cols } => write!(f, "torus rows={rows} cols={cols}"),
+            GraphSpec::Hypercube { dim } => write!(f, "hypercube dim={dim}"),
+            GraphSpec::BinaryTree { levels } => write!(f, "binary_tree levels={levels}"),
+            GraphSpec::Petersen => write!(f, "petersen"),
+            GraphSpec::Barbell { k } => write!(f, "barbell k={k}"),
+            GraphSpec::Lollipop { k, tail } => write!(f, "lollipop k={k} tail={tail}"),
+            GraphSpec::Gnp { n, p, seed } => write!(f, "gnp n={n} p={p} seed={seed}"),
+            GraphSpec::Gnm { n, m, seed } => write!(f, "gnm n={n} m={m} seed={seed}"),
+            GraphSpec::RandomRegular { n, d, seed } => {
+                write!(f, "random_regular n={n} d={d} seed={seed}")
+            }
+            GraphSpec::WattsStrogatz { n, k, p, seed } => {
+                write!(f, "watts_strogatz n={n} k={k} p={p} seed={seed}")
+            }
+            GraphSpec::BarabasiAlbert { n, m, seed } => {
+                write!(f, "barabasi_albert n={n} m={m} seed={seed}")
+            }
+        }
+    }
+}
+
+/// Parses the tokens of a `graph` line (family name plus `key=val`
+/// fields) — the crate-internal hook the sweep grammar's graph
+/// descriptors reuse.
+pub(crate) fn parse_graph_tokens(line: usize, rest: &[&str]) -> Result<GraphSpec, SimError> {
+    parse::parse_graph(line, rest)
+}
+
 /// The initial state distribution.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InitSpec {
     /// Balanced ±1 values (exactly centered for even `n`, centered by
     /// subtraction otherwise) — the experiments' standard `ξ(0)`.
@@ -274,6 +317,16 @@ pub enum InitSpec {
     },
     /// Voter: node `i` starts with its own opinion `i`.
     Distinct,
+    /// Averaging values loaded from a text file: one finite float per
+    /// line, blank lines and `#` comments ignored, exactly one value per
+    /// node. The file is read when the simulation is assembled
+    /// ([`crate::Simulation::from_spec`]), so the scenario file stays a
+    /// self-contained description plus a data path.
+    File {
+        /// Path to the values file. Must be a single `#`-free token (no
+        /// whitespace) so the line-based text format round-trips.
+        path: String,
+    },
 }
 
 impl InitSpec {
@@ -286,9 +339,11 @@ impl InitSpec {
     ///
     /// # Panics
     ///
-    /// Panics on voter variants, and on an out-of-range
-    /// [`InitSpec::Indicator`] node (`Simulation` rejects both with a
-    /// proper error before resolving values).
+    /// Panics on voter variants, on [`InitSpec::File`] (resolved with IO
+    /// via [`load_init_file`] when the simulation is assembled), and on
+    /// an out-of-range [`InitSpec::Indicator`] node (`Simulation`
+    /// rejects all of these with a proper error before resolving
+    /// values).
     pub fn values(&self, n: usize) -> Vec<f64> {
         match *self {
             InitSpec::PmOne => pm_one(n),
@@ -311,6 +366,7 @@ impl InitSpec {
             InitSpec::Opinions { .. } | InitSpec::Distinct => {
                 panic!("voter init has no f64 values")
             }
+            InitSpec::File { .. } => panic!("file init resolves through load_init_file"),
         }
     }
 
@@ -347,7 +403,7 @@ pub fn pm_one(n: usize) -> Vec<f64> {
 }
 
 /// How the topology evolves between epochs (omit for a static graph).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChurnSpec {
     /// The churn family and its parameters.
     pub model: ChurnModelSpec,
@@ -358,35 +414,156 @@ pub struct ChurnSpec {
     pub seed: u64,
 }
 
-/// The churn families representable in the text format
-/// (`ChurnModel::TemporalReplay` carries whole edge lists and is
-/// programmatic-only — pass it through `Simulation` overrides).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The churn families representable in the text format. Every
+/// `od_graph::ChurnModel` has a spelling: the generative families carry
+/// their parameters inline, and `ChurnModel::TemporalReplay` is named by
+/// an edge-snapshot file ([`ChurnModelSpec::Replay`]).
+#[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // field meanings match od_graph::ChurnModel 1:1
 pub enum ChurnModelSpec {
-    EdgeSwap { swaps: usize },
-    Rewire { rewires: usize, min_degree: usize },
-    GnpResample { p: f64, min_degree: usize },
+    EdgeSwap {
+        swaps: usize,
+    },
+    Rewire {
+        rewires: usize,
+        min_degree: usize,
+    },
+    GnpResample {
+        p: f64,
+        min_degree: usize,
+    },
+    /// A recorded topology trajectory replayed from a file: snapshots of
+    /// `u v` edge lines separated by `--` lines (blank lines and `#`
+    /// comments ignored), cycled when the run outlives the recording.
+    /// Read when the simulation is assembled, like [`InitSpec::File`].
+    Replay {
+        /// Path to the snapshot file. Must be a single `#`-free token
+        /// (no whitespace) so the text format round-trips.
+        path: String,
+    },
 }
 
 impl ChurnModelSpec {
-    /// The `od-graph` churn model.
+    /// The `od-graph` churn model. [`ChurnModelSpec::Replay`] reads its
+    /// snapshot file here.
     ///
     /// # Errors
     ///
-    /// Parameter validation errors from `od-graph`.
-    pub fn build(&self) -> Result<ChurnModel, GraphError> {
-        match *self {
-            ChurnModelSpec::EdgeSwap { swaps } => Ok(ChurnModel::edge_swap(swaps)),
-            ChurnModelSpec::Rewire {
+    /// Parameter validation errors from `od-graph`, or
+    /// [`SimError::Invalid`] for an unreadable or malformed snapshot
+    /// file.
+    pub fn build(&self) -> Result<ChurnModel, SimError> {
+        match self {
+            &ChurnModelSpec::EdgeSwap { swaps } => Ok(ChurnModel::edge_swap(swaps)),
+            &ChurnModelSpec::Rewire {
                 rewires,
                 min_degree,
             } => Ok(ChurnModel::rewire(rewires, min_degree)),
-            ChurnModelSpec::GnpResample { p, min_degree } => {
-                ChurnModel::gnp_resample(p, min_degree)
+            &ChurnModelSpec::GnpResample { p, min_degree } => {
+                Ok(ChurnModel::gnp_resample(p, min_degree)?)
+            }
+            ChurnModelSpec::Replay { path } => {
+                Ok(ChurnModel::temporal_replay(load_replay_file(path)?)?)
             }
         }
     }
+}
+
+/// Whether `path` survives the line-based text format as a single
+/// `sub=val` token: non-empty, no whitespace, no `#`.
+fn path_token(path: &str) -> bool {
+    !path.is_empty() && !path.contains('#') && !path.chars().any(char::is_whitespace)
+}
+
+/// Reads an [`InitSpec::File`] values file: one finite float per line,
+/// blank lines and `#` comments ignored.
+///
+/// # Errors
+///
+/// [`SimError::Invalid`] naming the file (and line) for IO failures,
+/// malformed or non-finite values, or an empty file.
+pub fn load_init_file(path: &str) -> Result<Vec<f64>, SimError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::Invalid(format!("init file '{path}': {e}")))?;
+    let mut values = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let value: f64 = content.parse().map_err(|_| {
+            SimError::Invalid(format!(
+                "init file '{path}' line {}: malformed value '{content}'",
+                idx + 1
+            ))
+        })?;
+        if !value.is_finite() {
+            return Err(SimError::Invalid(format!(
+                "init file '{path}' line {}: non-finite value",
+                idx + 1
+            )));
+        }
+        values.push(value);
+    }
+    if values.is_empty() {
+        return Err(SimError::Invalid(format!(
+            "init file '{path}' contains no values"
+        )));
+    }
+    Ok(values)
+}
+
+/// Reads a [`ChurnModelSpec::Replay`] snapshot file: `u v` edge lines,
+/// snapshots separated by `--` lines (the trailing separator is
+/// optional), blank lines and `#` comments ignored.
+///
+/// # Errors
+///
+/// [`SimError::Invalid`] naming the file (and line) for IO failures,
+/// malformed edge lines, an empty snapshot, or a file with no
+/// snapshots at all.
+pub fn load_replay_file(path: &str) -> Result<Vec<Vec<(u32, u32)>>, SimError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::Invalid(format!("replay file '{path}': {e}")))?;
+    let mut snapshots: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut current: Vec<(u32, u32)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        if content == "--" {
+            if current.is_empty() {
+                return Err(SimError::Invalid(format!(
+                    "replay file '{path}' line {line}: empty snapshot before '--'"
+                )));
+            }
+            snapshots.push(std::mem::take(&mut current));
+            continue;
+        }
+        let bad = || {
+            SimError::Invalid(format!(
+                "replay file '{path}' line {line}: expected 'u v', got '{content}'"
+            ))
+        };
+        let mut it = content.split_whitespace();
+        let (Some(u), Some(v), None) = (it.next(), it.next(), it.next()) else {
+            return Err(bad());
+        };
+        let u: u32 = u.parse().map_err(|_| bad())?;
+        let v: u32 = v.parse().map_err(|_| bad())?;
+        current.push((u, v));
+    }
+    if !current.is_empty() {
+        snapshots.push(current);
+    }
+    if snapshots.is_empty() {
+        return Err(SimError::Invalid(format!(
+            "replay file '{path}' contains no snapshots"
+        )));
+    }
+    Ok(snapshots)
 }
 
 /// How the batched convergence engine detects the threshold.
@@ -607,6 +784,9 @@ impl ScenarioSpec {
             InitSpec::Constant { value } if !value.is_finite() => {
                 return invalid("constant init value must be finite");
             }
+            InitSpec::File { ref path } if !path_token(path) => {
+                return invalid("init file path must be a non-empty single token without '#'");
+            }
             _ => {}
         }
         match self.graph {
@@ -653,6 +833,13 @@ impl ScenarioSpec {
             if let ChurnModelSpec::GnpResample { p, .. } = churn.model {
                 if !(0.0..=1.0).contains(&p) {
                     return invalid("gnp_resample probability must lie in [0, 1]");
+                }
+            }
+            if let ChurnModelSpec::Replay { ref path } = churn.model {
+                if !path_token(path) {
+                    return invalid(
+                        "churn replay file path must be a non-empty single token without '#'",
+                    );
                 }
             }
             let horizon = match self.stop {
@@ -736,44 +923,19 @@ impl fmt::Display for ScenarioSpec {
             }
             ModelSpec::Voter => writeln!(f, "model voter")?,
         }
-        match self.graph {
-            GraphSpec::Cycle { n } => writeln!(f, "graph cycle n={n}")?,
-            GraphSpec::Path { n } => writeln!(f, "graph path n={n}")?,
-            GraphSpec::Complete { n } => writeln!(f, "graph complete n={n}")?,
-            GraphSpec::Star { n } => writeln!(f, "graph star n={n}")?,
-            GraphSpec::CompleteBipartite { a, b } => {
-                writeln!(f, "graph complete_bipartite a={a} b={b}")?;
-            }
-            GraphSpec::Grid { rows, cols } => writeln!(f, "graph grid rows={rows} cols={cols}")?,
-            GraphSpec::Torus { rows, cols } => writeln!(f, "graph torus rows={rows} cols={cols}")?,
-            GraphSpec::Hypercube { dim } => writeln!(f, "graph hypercube dim={dim}")?,
-            GraphSpec::BinaryTree { levels } => writeln!(f, "graph binary_tree levels={levels}")?,
-            GraphSpec::Petersen => writeln!(f, "graph petersen")?,
-            GraphSpec::Barbell { k } => writeln!(f, "graph barbell k={k}")?,
-            GraphSpec::Lollipop { k, tail } => writeln!(f, "graph lollipop k={k} tail={tail}")?,
-            GraphSpec::Gnp { n, p, seed } => writeln!(f, "graph gnp n={n} p={p} seed={seed}")?,
-            GraphSpec::Gnm { n, m, seed } => writeln!(f, "graph gnm n={n} m={m} seed={seed}")?,
-            GraphSpec::RandomRegular { n, d, seed } => {
-                writeln!(f, "graph random_regular n={n} d={d} seed={seed}")?;
-            }
-            GraphSpec::WattsStrogatz { n, k, p, seed } => {
-                writeln!(f, "graph watts_strogatz n={n} k={k} p={p} seed={seed}")?;
-            }
-            GraphSpec::BarabasiAlbert { n, m, seed } => {
-                writeln!(f, "graph barabasi_albert n={n} m={m} seed={seed}")?;
-            }
-        }
-        match self.init {
+        writeln!(f, "graph {}", self.graph)?;
+        match &self.init {
             InitSpec::PmOne => writeln!(f, "init pm_one")?,
             InitSpec::Linear { lo, hi } => writeln!(f, "init linear lo={lo} hi={hi}")?,
             InitSpec::Constant { value } => writeln!(f, "init constant value={value}")?,
             InitSpec::Indicator { node } => writeln!(f, "init indicator node={node}")?,
             InitSpec::Opinions { levels } => writeln!(f, "init opinions levels={levels}")?,
             InitSpec::Distinct => writeln!(f, "init distinct")?,
+            InitSpec::File { path } => writeln!(f, "init file path={path}")?,
         }
         if let Some(churn) = &self.churn {
             let (epoch, seed) = (churn.steps_per_epoch, churn.seed);
-            match churn.model {
+            match &churn.model {
                 ChurnModelSpec::EdgeSwap { swaps } => {
                     writeln!(f, "churn edge_swap swaps={swaps} epoch={epoch} seed={seed}")?;
                 }
@@ -788,6 +950,9 @@ impl fmt::Display for ScenarioSpec {
                     f,
                     "churn gnp_resample p={p} floor={min_degree} epoch={epoch} seed={seed}"
                 )?,
+                ChurnModelSpec::Replay { path } => {
+                    writeln!(f, "churn replay file={path} epoch={epoch} seed={seed}")?;
+                }
             }
         }
         writeln!(f, "replicas {}", self.replicas)?;
@@ -1050,7 +1215,7 @@ mod parse {
         Ok(model)
     }
 
-    fn parse_graph(line: usize, rest: &[&str]) -> Result<GraphSpec, SimError> {
+    pub(super) fn parse_graph(line: usize, rest: &[&str]) -> Result<GraphSpec, SimError> {
         let (variant, mut f) = variant_fields(line, "graph", rest)?;
         let graph = match variant {
             "cycle" => GraphSpec::Cycle { n: f.take("n")? },
@@ -1131,6 +1296,9 @@ mod parse {
                 levels: f.take("levels")?,
             },
             "distinct" => InitSpec::Distinct,
+            "file" => InitSpec::File {
+                path: f.take("path")?,
+            },
             other => return Err(err(line, format!("unknown init distribution '{other}'"))),
         };
         f.finish()?;
@@ -1150,6 +1318,9 @@ mod parse {
             "gnp_resample" => ChurnModelSpec::GnpResample {
                 p: f.take_finite("p")?,
                 min_degree: f.take("floor")?,
+            },
+            "replay" => ChurnModelSpec::Replay {
+                path: f.take("file")?,
             },
             other => return Err(err(line, format!("unknown churn model '{other}'"))),
         };
@@ -1521,5 +1692,94 @@ mod tests {
             vec![0, 1, 2, 0, 1]
         );
         assert_eq!(InitSpec::Distinct.opinions(3), vec![0, 1, 2]);
+    }
+
+    /// A scratch file under the target temp dir whose path is a single
+    /// `#`-free token (the text format's path constraint).
+    fn scratch_file(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("od_spec_test_{name}"));
+        std::fs::write(&path, contents).unwrap();
+        let path = path.to_str().unwrap().to_string();
+        assert!(!path.contains(['#', ' ']), "temp path must be a token");
+        path
+    }
+
+    #[test]
+    fn file_spellings_round_trip_without_io() {
+        // Parsing and formatting never touch the file system — the
+        // paths need not exist until `Simulation::from_spec`.
+        let mut spec = sample_spec();
+        spec.init = InitSpec::File {
+            path: "/nonexistent/values.txt".into(),
+        };
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::Replay {
+                path: "/nonexistent/snapshots.txt".into(),
+            },
+            steps_per_epoch: 64,
+            seed: 7,
+        });
+        let text = spec.to_string();
+        assert!(text.contains("init file path=/nonexistent/values.txt"));
+        assert!(text.contains("churn replay file=/nonexistent/snapshots.txt"));
+        let parsed = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn file_paths_must_be_tokens() {
+        let mut spec = sample_spec();
+        spec.init = InitSpec::File {
+            path: String::new(),
+        };
+        assert!(spec.validate().is_err());
+        spec.init = InitSpec::File {
+            path: "has#hash".into(),
+        };
+        assert!(spec.validate().is_err());
+        let mut spec = sample_spec();
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::Replay {
+                path: "white space".into(),
+            },
+            steps_per_epoch: 64,
+            seed: 7,
+        });
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn init_file_loader() {
+        let path = scratch_file("init_ok.txt", "# header\n1.5\n\n-2.5\n0.0 # inline\n");
+        assert_eq!(load_init_file(&path).unwrap(), vec![1.5, -2.5, 0.0]);
+
+        let empty = scratch_file("init_empty.txt", "# nothing\n\n");
+        assert!(load_init_file(&empty).is_err());
+        let non_finite = scratch_file("init_nan.txt", "1.0\nNaN\n");
+        assert!(load_init_file(&non_finite).is_err());
+        let malformed = scratch_file("init_bad.txt", "1.0\ntwo\n");
+        assert!(load_init_file(&malformed).is_err());
+        assert!(load_init_file("/nonexistent/init.txt").is_err());
+    }
+
+    #[test]
+    fn replay_file_loader() {
+        let path = scratch_file(
+            "replay_ok.txt",
+            "# two snapshots, trailing separator optional\n0 1\n1 2\n--\n0 2\n2 1\n--\n",
+        );
+        assert_eq!(
+            load_replay_file(&path).unwrap(),
+            vec![vec![(0, 1), (1, 2)], vec![(0, 2), (2, 1)]]
+        );
+
+        let no_snapshots = scratch_file("replay_empty.txt", "# nothing\n");
+        assert!(load_replay_file(&no_snapshots).is_err());
+        let empty_snapshot = scratch_file("replay_gap.txt", "0 1\n--\n--\n0 1\n");
+        assert!(load_replay_file(&empty_snapshot).is_err());
+        let malformed = scratch_file("replay_bad.txt", "0 1 2\n");
+        assert!(load_replay_file(&malformed).is_err());
+        assert!(load_replay_file("/nonexistent/replay.txt").is_err());
     }
 }

@@ -1,0 +1,328 @@
+//! Property suite for sweep expansion and the common-random-number
+//! contract: `parse ∘ format = id` over random swept specs, cell count
+//! = grid product, shared-graph identity, CRN pairing (trial `i` is
+//! bit-identical across cells when the swept parameter doesn't affect
+//! it), and the variance regression — the paired CRN contrast's CI is
+//! strictly tighter than independent seeding at equal replicas.
+
+use od_sim::{
+    run_sweep, ChurnModelSpec, ChurnSpec, GraphSpec, ModelSpec, PotentialSpec, ScenarioSpec,
+    SimError, StopRuleSpec, StopSpec, SweepAxis, SweepSpec,
+};
+use od_stats::welch_t_ci;
+use proptest::prelude::*;
+
+/// A valid convergence base spec for sweeps: NodeModel on a cycle,
+/// exact stopping (block under churn).
+fn base_spec(n: usize, replicas: usize, seed: u64, churned: bool) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        ModelSpec::Node {
+            alpha: 0.5,
+            k: 1,
+            lazy: false,
+        },
+        GraphSpec::Cycle { n },
+        0,
+    );
+    spec.replicas = replicas;
+    spec.seed = seed;
+    if churned {
+        spec.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps: 1 },
+            steps_per_epoch: n as u64,
+            seed: seed ^ 0xC0FFEE,
+        });
+    }
+    spec.stop = StopSpec::Converge {
+        epsilon: 1e-6,
+        rule: if churned {
+            StopRuleSpec::Block
+        } else {
+            StopRuleSpec::Exact
+        },
+        potential: PotentialSpec::Pi,
+        // Whole epochs under churn (epoch = n).
+        budget: if churned {
+            n as u64 * 100_000
+        } else {
+            4_000_000
+        },
+    };
+    spec
+}
+
+/// Deterministically expands random draws into a valid sweep over
+/// [`base_spec`], covering every axis kind (zipped axes sized to the
+/// crossed product).
+fn build_sweep(
+    n: usize,
+    replicas: usize,
+    seed: u64,
+    churned: bool,
+    axis_mask: usize,
+    len_a: usize,
+    len_b: usize,
+) -> SweepSpec {
+    let base = base_spec(n, replicas, seed, churned);
+    let mut axes = Vec::new();
+    if axis_mask & 1 != 0 {
+        axes.push(SweepAxis::Graph(
+            (0..len_a)
+                .map(|i| GraphSpec::Cycle { n: n + 2 * i })
+                .collect(),
+        ));
+    }
+    if axis_mask & 2 != 0 {
+        axes.push(SweepAxis::N((0..len_b).map(|i| n + 4 * i).collect()));
+    }
+    if axis_mask & 4 != 0 {
+        axes.push(SweepAxis::K(vec![1, 2]));
+    }
+    if axis_mask & 8 != 0 {
+        axes.push(SweepAxis::Eps(
+            (0..len_a).map(|i| 1e-6 / 10f64.powi(i as i32)).collect(),
+        ));
+    }
+    if axis_mask & 16 != 0 {
+        axes.push(SweepAxis::Replicas((1..=len_b).map(|r| r * 2).collect()));
+    }
+    if churned && axis_mask & 32 != 0 {
+        axes.push(SweepAxis::Churn((0..len_a).collect()));
+    }
+    let cells: usize = axes
+        .iter()
+        .filter(|a| a.is_crossed())
+        .map(SweepAxis::len)
+        .product();
+    if axis_mask & 64 != 0 {
+        axes.push(SweepAxis::Seed(
+            (0..cells as u64)
+                .map(|i| seed.wrapping_add(i * 7919))
+                .collect(),
+        ));
+    }
+    if churned && axis_mask & 128 != 0 {
+        axes.push(SweepAxis::ChurnSeed(
+            (0..cells as u64).map(|i| seed ^ (i * 6271)).collect(),
+        ));
+    }
+    SweepSpec { base, axes }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse ∘ format = id over random swept specs, the canonical text
+    /// is a fixed point, and the cell count is the grid product.
+    #[test]
+    fn sweep_roundtrip_and_cell_count(
+        n in 6usize..20,
+        replicas in 1usize..16,
+        seed in 0u64..u64::MAX,
+        churned_pick in 0usize..2,
+        axis_mask in 0usize..256,
+        len_a in 1usize..4,
+        len_b in 1usize..4,
+    ) {
+        let churned = churned_pick == 1;
+        let sweep = build_sweep(n, replicas, seed, churned, axis_mask, len_a, len_b);
+        prop_assert!(
+            sweep.validate().is_ok(),
+            "generator produced an invalid sweep: {sweep:?}"
+        );
+        let text = sweep.to_string();
+        let parsed = match SweepSpec::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => return Err(TestCaseError::fail(format!("format not parseable: {e}\n{text}"))),
+        };
+        prop_assert_eq!(&parsed, &sweep, "round trip changed the sweep");
+        prop_assert_eq!(parsed.to_string(), text, "canonical form is not a fixed point");
+
+        let expected: usize = sweep
+            .axes
+            .iter()
+            .filter(|a| a.is_crossed())
+            .map(SweepAxis::len)
+            .product();
+        prop_assert_eq!(sweep.cell_count(), expected);
+        let cells = sweep.cells().unwrap();
+        prop_assert_eq!(cells.len(), expected);
+        for (i, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(cell.index, i);
+            prop_assert!(cell.spec.validate().is_ok());
+        }
+        // CRN iff no zipped seed axis.
+        prop_assert_eq!(sweep.is_crn(), axis_mask & 64 == 0);
+    }
+}
+
+#[test]
+fn shared_graph_identity() {
+    // 6 cells, but only the graph axis changes the topology: 2 builds.
+    let sweep = SweepSpec {
+        base: base_spec(12, 2, 5, false),
+        axes: vec![
+            SweepAxis::Graph(vec![
+                GraphSpec::Cycle { n: 12 },
+                GraphSpec::Complete { n: 12 },
+            ]),
+            SweepAxis::Eps(vec![1e-3, 1e-4, 1e-5]),
+        ],
+    };
+    let report = run_sweep(&sweep).unwrap();
+    assert_eq!(report.cells.len(), 6);
+    assert_eq!(report.distinct_graphs, 2);
+    // Cells on the same graph point at the same shared build.
+    assert_eq!(report.cells[0].graph_index, report.cells[1].graph_index);
+    assert_ne!(report.cells[0].graph_index, report.cells[3].graph_index);
+}
+
+/// The CRN pairing contract: replicas is a parameter that does not
+/// affect trial `i`'s randomness, so under the shared master seed trial
+/// `i` of every cell is bit-identical.
+#[test]
+fn crn_pairs_trials_bit_identically() {
+    let sweep = SweepSpec {
+        base: base_spec(10, 4, 99, false),
+        axes: vec![SweepAxis::Replicas(vec![4, 8])],
+    };
+    assert!(sweep.is_crn());
+    let report = run_sweep(&sweep).unwrap();
+    let (a, b) = (&report.cells[0].report, &report.cells[1].report);
+    assert_eq!(a.trials.len(), 4);
+    assert_eq!(b.trials.len(), 8);
+    for i in 0..4 {
+        assert_eq!(a.trials[i].steps, b.trials[i].steps, "trial {i} steps");
+        assert_eq!(
+            a.trials[i].estimate.to_bits(),
+            b.trials[i].estimate.to_bits(),
+            "trial {i} estimate"
+        );
+        assert_eq!(
+            a.trials[i].potential.to_bits(),
+            b.trials[i].potential.to_bits(),
+            "trial {i} potential"
+        );
+    }
+}
+
+/// A zipped seed axis breaks the pairing — the opt-out is real.
+#[test]
+fn zipped_seeds_opt_out_of_crn() {
+    let sweep = SweepSpec {
+        base: base_spec(10, 4, 99, false),
+        axes: vec![SweepAxis::Replicas(vec![4, 4]), SweepAxis::Seed(vec![1, 2])],
+    };
+    assert!(!sweep.is_crn());
+    let report = run_sweep(&sweep).unwrap();
+    assert!(report.contrasts().is_empty(), "no pairing without CRN");
+    let (a, b) = (&report.cells[0].report, &report.cells[1].report);
+    assert_ne!(
+        a.trials.iter().map(|t| t.steps).collect::<Vec<_>>(),
+        b.trials.iter().map(|t| t.steps).collect::<Vec<_>>(),
+        "different masters must give different trials"
+    );
+}
+
+/// The variance regression the tentpole is for: on an ε sweep, the
+/// paired CRN contrast of mean steps has a strictly tighter 95% CI
+/// than Welch's independent-samples analysis of the same data, and
+/// than a genuinely independently-seeded sweep of equal replicas.
+#[test]
+fn paired_crn_ci_strictly_tighter_than_independent() {
+    let replicas = 16;
+    let eps = vec![1e-6, 1e-9];
+    let crn = SweepSpec {
+        base: base_spec(16, replicas, 2024, false),
+        axes: vec![SweepAxis::Eps(eps.clone())],
+    };
+    let report = run_sweep(&crn).unwrap();
+    let contrasts = report.contrasts();
+    assert_eq!(contrasts.len(), 1);
+    let paired = contrasts[0].steps.as_ref().expect("equal replica counts");
+
+    let steps = |cell: usize| -> Vec<f64> {
+        report.cells[cell]
+            .report
+            .trials
+            .iter()
+            .map(|t| t.steps as f64)
+            .collect()
+    };
+    // Welch on the SAME CRN data ignores the pairing.
+    let welch_same = welch_t_ci(&steps(1), &steps(0));
+    assert!(
+        paired.ci_width() < welch_same.ci_width(),
+        "paired {:.2} vs welch {:.2}",
+        paired.ci_width(),
+        welch_same.ci_width()
+    );
+
+    // And an independently-seeded run of the same grid (zipped seed
+    // axis) analysed with Welch — the pre-sweep workflow.
+    let indep = SweepSpec {
+        base: base_spec(16, replicas, 2024, false),
+        axes: vec![SweepAxis::Eps(eps), SweepAxis::Seed(vec![1111, 2222])],
+    };
+    let indep_report = run_sweep(&indep).unwrap();
+    let indep_steps = |cell: usize| -> Vec<f64> {
+        indep_report.cells[cell]
+            .report
+            .trials
+            .iter()
+            .map(|t| t.steps as f64)
+            .collect()
+    };
+    let welch_indep = welch_t_ci(&indep_steps(1), &indep_steps(0));
+    assert!(
+        paired.ci_width() < welch_indep.ci_width(),
+        "paired {:.2} vs independent {:.2}",
+        paired.ci_width(),
+        welch_indep.ci_width()
+    );
+}
+
+/// File-based spellings end to end: a custom initial vector and a
+/// temporal-replay churn stream, loaded at `from_spec` time, run
+/// through the normal engine dispatch.
+#[test]
+fn file_inputs_run_end_to_end() {
+    let dir = std::env::temp_dir();
+    let init_path = dir.join("od_sweep_prop_init.txt");
+    let replay_path = dir.join("od_sweep_prop_replay.txt");
+    // A ±1-like vector on 6 nodes, and a 2-snapshot trajectory cycling
+    // between the 6-cycle and a chord-swapped variant.
+    std::fs::write(&init_path, "1\n-1\n1\n-1\n1\n-1\n").unwrap();
+    std::fs::write(
+        &replay_path,
+        "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n--\n0 2\n2 4\n4 0\n1 3\n3 5\n5 1\n--\n",
+    )
+    .unwrap();
+    let text = format!(
+        "model node alpha=0.5 k=1 lazy=false\n\
+         graph cycle n=6\n\
+         init file path={}\n\
+         churn replay file={} epoch=6 seed=0\n\
+         replicas 3\n\
+         seed 11\n\
+         stop converge eps=0.0001 rule=block potential=pi budget=600000\n",
+        init_path.display(),
+        replay_path.display(),
+    );
+    let sweep = SweepSpec::parse(&text).unwrap();
+    assert!(sweep.axes.is_empty());
+    let report = run_sweep(&sweep).unwrap();
+    assert_eq!(report.cells.len(), 1);
+    let cell = &report.cells[0].report;
+    assert_eq!(cell.converged_count(), 3);
+    assert!(cell.max_mutations() > 0, "replay churn must mutate edges");
+
+    // A wrong-length init file is a from_spec error, not a mid-run
+    // panic.
+    let bad = text.replace("graph cycle n=6", "graph cycle n=8");
+    let sweep = SweepSpec::parse(&bad).unwrap();
+    match run_sweep(&sweep) {
+        Err(SimError::Invalid(msg)) => assert!(msg.contains("6 values"), "{msg}"),
+        other => panic!("expected invalid-init error, got {other:?}"),
+    }
+}

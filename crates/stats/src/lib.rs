@@ -6,8 +6,9 @@
 //! experiments are Monte-Carlo variance estimations that need numerically
 //! stable online moments ([`welford`]), uncertainty quantification
 //! ([`summary`]), scaling-law fits for the convergence-time experiments
-//! ([`regression`]), reproducible per-trial seeding ([`seeds`]) and
-//! readable result tables ([`table`]).
+//! ([`regression`]), reproducible per-trial seeding ([`seeds`]),
+//! paired/independent mean contrasts for common-random-number sweep
+//! deltas ([`ttest`]) and readable result tables ([`table`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,9 +17,11 @@ pub mod regression;
 pub mod seeds;
 pub mod summary;
 pub mod table;
+pub mod ttest;
 pub mod welford;
 
 pub use seeds::SeedSequence;
 pub use summary::Summary;
 pub use table::{fmt_float, Table};
+pub use ttest::{paired_t_ci, t_critical_95, welch_t_ci, Contrast};
 pub use welford::Welford;

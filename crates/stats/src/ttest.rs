@@ -1,0 +1,206 @@
+//! Paired and independent two-sample contrasts.
+//!
+//! Sweep deltas under common random numbers (CRN) are *paired*
+//! observations: trial `i` of cell A and trial `i` of cell B share the
+//! seed `SeedSequence::new(master).seed(i)`, so the difference
+//! `d_i = a_i − b_i` cancels the shared Monte-Carlo noise and its
+//! variance is `Var(a) + Var(b) − 2·Cov(a, b)` — strictly smaller than
+//! the independent-seeding variance whenever the cells are positively
+//! correlated. [`paired_t_ci`] quantifies the paired contrast;
+//! [`welch_t_ci`] is the independent-seeding reference it is compared
+//! against (the variance-reduction regression in
+//! `crates/sim/tests/sweep_prop.rs` pins paired strictly tighter on a
+//! reference sweep).
+
+use crate::welford::Welford;
+
+/// A two-sample mean contrast with a t-based confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contrast {
+    /// Number of pairs (paired) or per-sample observations (independent).
+    pub n: usize,
+    /// Estimated mean difference `mean(a) − mean(b)`.
+    pub mean_diff: f64,
+    /// Standard error of the mean difference.
+    pub std_err: f64,
+    /// Degrees of freedom of the t statistic (Welch-adjusted for the
+    /// independent contrast).
+    pub df: f64,
+    /// Two-sided 95% confidence interval `(lo, hi)` for the mean
+    /// difference.
+    pub ci95: (f64, f64),
+}
+
+impl Contrast {
+    /// Width of the 95% interval (`hi − lo`).
+    pub fn ci_width(&self) -> f64 {
+        self.ci95.1 - self.ci95.0
+    }
+
+    /// Whether the interval excludes zero (the difference is resolved at
+    /// the 95% level).
+    pub fn resolved(&self) -> bool {
+        self.ci95.0 > 0.0 || self.ci95.1 < 0.0
+    }
+}
+
+/// Paired-t contrast of equal-length samples: the CRN sweep delta.
+/// `d_i = a[i] − b[i]` per pair, `CI = d̄ ± t₀.₉₅(n−1)·s_d/√n`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than two pairs, or
+/// contain NaN.
+pub fn paired_t_ci(a: &[f64], b: &[f64]) -> Contrast {
+    assert_eq!(a.len(), b.len(), "paired contrast needs equal lengths");
+    assert!(a.len() >= 2, "paired contrast needs at least two pairs");
+    let diffs: Welford = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = a.len();
+    let mean = diffs.mean().expect("non-empty");
+    let sd = diffs.sample_std().expect("n >= 2");
+    assert!(mean.is_finite() && sd.is_finite(), "NaN in paired contrast");
+    let se = sd / (n as f64).sqrt();
+    let df = (n - 1) as f64;
+    let half = t_critical_95(df) * se;
+    Contrast {
+        n,
+        mean_diff: mean,
+        std_err: se,
+        df,
+        ci95: (mean - half, mean + half),
+    }
+}
+
+/// Welch's t contrast of two independent samples — the
+/// independent-seeding reference a CRN paired contrast is measured
+/// against. Uses the Welch–Satterthwaite degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations, both sample
+/// variances are zero, or the data contain NaN.
+pub fn welch_t_ci(a: &[f64], b: &[f64]) -> Contrast {
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "welch contrast needs at least two observations per sample"
+    );
+    let wa: Welford = a.iter().copied().collect();
+    let wb: Welford = b.iter().copied().collect();
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mean = wa.mean().unwrap() - wb.mean().unwrap();
+    let (va, vb) = (
+        wa.sample_variance().unwrap() / na,
+        wb.sample_variance().unwrap() / nb,
+    );
+    assert!(mean.is_finite() && (va + vb).is_finite(), "NaN in contrast");
+    assert!(va + vb > 0.0, "welch contrast of two constant samples");
+    let se = (va + vb).sqrt();
+    let df = (va + vb) * (va + vb) / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    let half = t_critical_95(df) * se;
+    Contrast {
+        n: a.len().min(b.len()),
+        mean_diff: mean,
+        std_err: se,
+        df,
+        ci95: (mean - half, mean + half),
+    }
+}
+
+/// Two-sided 95% critical value of Student's t with `df` degrees of
+/// freedom: exact table for df ≤ 30, linear interpolation on 1/df up to
+/// the normal limit beyond (error < 0.2% — far below the Monte-Carlo
+/// noise these intervals quantify).
+///
+/// # Panics
+///
+/// Panics if `df < 1`.
+pub fn t_critical_95(df: f64) -> f64 {
+    assert!(df >= 1.0, "t critical value needs df >= 1");
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df <= 30.0 {
+        // Interpolate between integer table entries for fractional
+        // (Welch) degrees of freedom.
+        let lo = df.floor() as usize;
+        let hi = df.ceil() as usize;
+        let (tlo, thi) = (TABLE[lo - 1], TABLE[hi - 1]);
+        tlo + (thi - tlo) * (df - lo as f64)
+    } else {
+        // t ≈ z + c/df is accurate in this regime: anchor at the df = 30
+        // table entry and decay to the normal quantile 1.96.
+        let z = 1.96;
+        let c = (TABLE[29] - z) * 30.0;
+        z + c / df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_known_values() {
+        assert!((t_critical_95(1.0) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(10.0) - 2.228).abs() < 1e-9);
+        assert!((t_critical_95(30.0) - 2.042).abs() < 1e-9);
+        // Fractional df interpolates between neighbours.
+        let t = t_critical_95(4.5);
+        assert!(t < t_critical_95(4.0) && t > t_critical_95(5.0));
+        // Large df approaches the normal quantile from above.
+        assert!(t_critical_95(120.0) > 1.96);
+        assert!(t_critical_95(120.0) < 1.99);
+        assert!(t_critical_95(1e9) - 1.96 < 1e-6);
+    }
+
+    #[test]
+    fn paired_known_batch() {
+        let a = [10.0, 12.0, 11.0, 13.0];
+        let b = [9.0, 11.0, 10.0, 12.0];
+        let c = paired_t_ci(&a, &b);
+        // Differences are exactly 1: zero spread, degenerate interval.
+        assert_eq!(c.mean_diff, 1.0);
+        assert_eq!(c.std_err, 0.0);
+        assert_eq!(c.ci95, (1.0, 1.0));
+        assert!(c.resolved());
+    }
+
+    #[test]
+    fn paired_beats_welch_on_correlated_samples() {
+        // a and b share per-index noise (the CRN situation): pairing
+        // cancels it, independent analysis cannot.
+        let noise: Vec<f64> = (0..16).map(|i| ((i * 37) % 11) as f64).collect();
+        let a: Vec<f64> = noise.iter().map(|x| 5.0 + x).collect();
+        let b: Vec<f64> = noise.iter().map(|x| 4.0 + x + 0.01 * x).collect();
+        let paired = paired_t_ci(&a, &b);
+        let indep = welch_t_ci(&a, &b);
+        assert!(paired.ci_width() < indep.ci_width());
+        assert!(paired.resolved(), "pairing resolves the shift");
+        assert!(!indep.resolved(), "independent analysis drowns in noise");
+    }
+
+    #[test]
+    fn welch_matches_equal_variance_case() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 3.0, 4.0, 5.0, 6.0];
+        let c = welch_t_ci(&a, &b);
+        assert!((c.mean_diff + 1.0).abs() < 1e-12);
+        // Equal variances: Welch df = na + nb − 2 = 8.
+        assert!((c.df - 8.0).abs() < 1e-9);
+        assert!(c.ci95.0 < -1.0 && c.ci95.1 > -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn paired_length_mismatch_panics() {
+        paired_t_ci(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn paired_single_pair_panics() {
+        paired_t_ci(&[1.0], &[2.0]);
+    }
+}
