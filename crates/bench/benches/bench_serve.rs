@@ -1,0 +1,120 @@
+//! `od-serve` daemon throughput: scenario submissions per second through
+//! the full socket protocol, against an in-process daemon bound to an
+//! ephemeral port.
+//!
+//! Three regimes:
+//!
+//! * `submit_cached_sweep` — the same sweep resubmitted over and over;
+//!   every cell is a memo-cache hit, so this prices the protocol +
+//!   replay path (parse, key lookup, row streaming) with zero
+//!   simulation work.
+//! * `submit_cached_concurrent8` — eight client threads hammering the
+//!   cached sweep at once; prices lock contention on the cache and the
+//!   per-connection threads under concurrent load.
+//! * `submit_distinct_specs` — every submission is a never-seen spec
+//!   (the master seed advances each iteration), so each one schedules
+//!   real cells on the worker pool; prices end-to-end execution
+//!   throughput including scheduling.
+//!
+//! Runs as a CI smoke (`--sample-size 2`) with
+//! `OD_BENCH_JSON=BENCH_serve.json` mirroring medians; the committed
+//! snapshot comes from a full local run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 4-cell CRN sweep over a shared 8-cycle; every cell converges in
+/// well under a millisecond.
+const SWEEP: &str = "scenario bench-serve\n\
+    model node alpha=0.5 k=1 lazy=false\n\
+    graph cycle n=8\n\
+    init pm_one\n\
+    replicas 4\n\
+    seed 7\n\
+    stop converge eps=0.000001 rule=exact potential=pi budget=1000000\n\
+    threads 1\n\
+    sweep k = 1,2\n\
+    sweep eps = 0.001,0.000001\n";
+
+/// The same workload with a caller-chosen master seed — a distinct memo
+/// key per seed.
+fn sweep_with_seed(seed: u64) -> String {
+    SWEEP.replace("seed 7\n", &format!("seed {seed}\n"))
+}
+
+/// One full `SUBMIT` round trip; returns the response byte count (and
+/// panics on an `ERR` response, so a broken daemon can't score).
+fn submit(addr: &str, scn: &str) -> usize {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    write!(writer, "SUBMIT {}\n{scn}", scn.len()).expect("send");
+    let mut bytes = 0;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert!(!line.starts_with("ERR"), "daemon error: {line}");
+        bytes += line.len();
+        if line.starts_with("DONE") {
+            return bytes;
+        }
+    }
+}
+
+fn cached(c: &mut Criterion) {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    submit(&addr, SWEEP); // warm: all 4 cells into the memo cache
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("submit_cached_sweep/4cells", |b| {
+        b.iter(|| submit(&addr, SWEEP));
+    });
+    group.bench_function("submit_cached_concurrent8/4cells", |b| {
+        b.iter(|| {
+            let clients: Vec<_> = (0..8)
+                .map(|_| {
+                    let addr = addr.clone();
+                    std::thread::spawn(move || submit(&addr, SWEEP))
+                })
+                .collect();
+            clients
+                .into_iter()
+                .map(|t| t.join().expect("client thread"))
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+fn distinct(c: &mut Criterion) {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    // Advancing the master seed makes every submission a cache miss with
+    // 4 fresh cells to schedule; starting above any warmed seed keeps
+    // iterations independent of sample count.
+    let next_seed = AtomicU64::new(1_000);
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("submit_distinct_specs/4cells", |b| {
+        b.iter(|| {
+            let seed = next_seed.fetch_add(1, Ordering::Relaxed);
+            submit(&addr, &sweep_with_seed(seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cached, distinct);
+criterion_main!(benches);

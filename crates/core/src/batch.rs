@@ -320,159 +320,6 @@ impl<'g> ReplicaBatch<'g> {
     }
 }
 
-/// Retirement-aware Monte-Carlo convergence sweep: drives one trial per
-/// seed to ε-convergence through a **fixed-capacity** structure-of-arrays
-/// window, re-filling retired slots with fresh seeds so the buffer stays
-/// full for the whole sweep. Returns one [`ConvergenceReport`] per seed,
-/// in seed order.
-///
-/// [`ReplicaBatch::run_until_converged`] sizes its SoA buffer at the full
-/// replica count; on long sweeps with heavy-tailed `T(ε)` the buffer
-/// drains as fast replicas retire, leaving a tail where a few stragglers
-/// keep the whole window alive. This runner instead admits trials into a
-/// window of `capacity` rows: whenever a slot retires (convergence *or*
-/// per-trial budget exhaustion), the next pending seed is copied in —
-/// `ξ(0)`, a fresh `StdRng`, a fresh tracker — and stepping continues
-/// with a dense buffer.
-///
-/// Every trial draws only from its own seed-derived RNG and owns its own
-/// row, and each trial's personal block schedule (a zero-step entry
-/// check, then `check_every`-sized blocks capped by its remaining budget)
-/// is independent of when it was admitted. Its report is therefore
-/// **bit-identical** to the same seed run through
-/// [`ReplicaBatch::run_until_converged`] or solo — independent of
-/// `capacity`, thread count and admission order (gated across capacities
-/// in `tests/batch_equivalence.rs`).
-///
-/// `capacity` is clamped to `[1, seeds.len()]`; `config` has the same
-/// semantics as in [`ReplicaBatch::run_until_converged`] (`max_steps` is
-/// a per-trial budget).
-///
-/// # Errors
-///
-/// The same as [`crate::StepKernel::new`] for the scenario, plus
-/// [`CoreError::InvalidEpsilon`] from the config.
-pub fn run_converge_streaming(
-    graph: &Graph,
-    spec: KernelSpec,
-    xi0: &[f64],
-    seeds: &[u64],
-    capacity: usize,
-    config: ConvergeConfig,
-) -> Result<Vec<ConvergenceReport>, CoreError> {
-    config.validate()?;
-    crate::kernel::validate_values(graph, xi0)?;
-    spec.validate(graph)?;
-    let n = xi0.len();
-    let total = seeds.len();
-    let mut reports = vec![ConvergenceReport::default(); total];
-    if total == 0 {
-        return Ok(reports);
-    }
-    let capacity = capacity.clamp(1, total);
-    let check_every = config.resolved_check_every(n);
-    let threads = config.resolved_threads();
-    let exact = config.stop == StopRule::Exact;
-    let pi: Vec<f64> = if exact {
-        graph.stationary_distribution()
-    } else {
-        Vec::new()
-    };
-    let check = if exact {
-        BlockCheck::Tracked {
-            epsilon: config.epsilon,
-            pi: &pi,
-        }
-    } else {
-        BlockCheck::Boundary {
-            epsilon: config.epsilon,
-            kind: config.potential,
-        }
-    };
-    let mut values = vec![0.0f64; capacity * n];
-    let mut rngs: Vec<StdRng> = Vec::with_capacity(capacity);
-    let mut trackers: Vec<PotentialTracker> = Vec::with_capacity(capacity);
-    let mut slot_trial = vec![0usize; capacity];
-    let mut taken = vec![0u64; capacity];
-    let mut blocks = vec![0u64; capacity];
-    let mut outcomes = vec![BlockOutcome::default(); capacity];
-    let mut next = 0usize;
-    let mut live = 0usize;
-    loop {
-        // Admit pending trials into the free suffix. Each starts with a
-        // zero-length entry block — the scalar rule checks the potential
-        // before the first step, so already-converged initial states
-        // retire with zero steps, exactly like the batched driver.
-        while live < capacity && next < total {
-            let slot = live;
-            values[slot * n..(slot + 1) * n].copy_from_slice(xi0);
-            let rng = StdRng::seed_from_u64(seeds[next]);
-            if slot < rngs.len() {
-                rngs[slot] = rng;
-            } else {
-                rngs.push(rng);
-            }
-            if exact {
-                let tracker =
-                    PotentialTracker::new(&pi, &values[slot * n..(slot + 1) * n], config.potential);
-                if slot < trackers.len() {
-                    trackers[slot] = tracker;
-                } else {
-                    trackers.push(tracker);
-                }
-            }
-            slot_trial[slot] = next;
-            taken[slot] = 0;
-            blocks[slot] = 0;
-            live += 1;
-            next += 1;
-        }
-        if live == 0 {
-            break;
-        }
-        run_replica_block_parallel(
-            graph,
-            spec,
-            &check,
-            n,
-            &mut values,
-            &mut rngs,
-            &mut trackers,
-            &mut outcomes[..live],
-            &blocks,
-            threads,
-        );
-        for slot in 0..live {
-            let outcome = outcomes[slot];
-            taken[slot] += outcome.steps;
-            reports[slot_trial[slot]] = ConvergenceReport {
-                steps: taken[slot],
-                converged: outcome.converged,
-                potential: outcome.potential,
-                weighted_average: outcome.weighted_average,
-            };
-            // Budget-exhausted trials retire alongside converged ones so
-            // their slot can be re-filled; the report above has already
-            // recorded the honest `converged: false`.
-            if !outcome.converged && taken[slot] >= config.max_steps {
-                outcomes[slot].converged = true;
-            }
-        }
-        live = compact_retired(live, &mut outcomes, &mut slot_trial, |a, b| {
-            swap_rows(&mut values, n, a, b);
-            rngs.swap(a, b);
-            if exact {
-                trackers.swap(a, b);
-            }
-            taken.swap(a, b);
-        });
-        for slot in 0..live {
-            blocks[slot] = check_every.min(config.max_steps - taken[slot]);
-        }
-    }
-    Ok(reports)
-}
-
 /// `R` independent replicas of a voter-model scenario (structure-of-arrays
 /// opinions, one shared graph). The discrete sibling of [`ReplicaBatch`].
 ///
@@ -684,6 +531,7 @@ impl<'g> VoterBatch<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::window::run_converge_streaming;
     use crate::{NodeModel, NodeModelParams, OpinionProcess, StepKernel, VoterModel};
     use od_graph::generators;
 

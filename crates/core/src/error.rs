@@ -45,6 +45,10 @@ pub enum CoreError {
         /// The rejected threshold.
         epsilon: f64,
     },
+    /// A window checkpoint could not be parsed, or does not match the
+    /// scenario it is being restored into (see
+    /// [`crate::ConvergeWindow::restore`]).
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -66,6 +70,9 @@ impl fmt::Display for CoreError {
             CoreError::ChurnFailed(err) => write!(f, "topology churn failed: {err}"),
             CoreError::InvalidEpsilon { epsilon } => {
                 write!(f, "epsilon must be finite and >= 0, got {epsilon}")
+            }
+            CoreError::Checkpoint(message) => {
+                write!(f, "invalid window checkpoint: {message}")
             }
         }
     }

@@ -341,6 +341,45 @@ impl PotentialTracker {
             PotentialKind::Uniform => self.weighted_sum_c / self.n + self.gauge,
         }
     }
+
+    /// The raw running state, for window checkpointing
+    /// ([`crate::ConvergeWindow`]). The incremental sums must be restored
+    /// bit-for-bit: a tracker rebuilt from the current values via
+    /// [`PotentialTracker::new`] would pick a fresh gauge and drop the
+    /// accumulated drift, so its stopping decisions would not reproduce
+    /// the uninterrupted run.
+    pub(crate) fn state(&self) -> TrackerState {
+        TrackerState {
+            gauge: self.gauge,
+            weighted_sum_c: self.weighted_sum_c,
+            weighted_sq_sum_c: self.weighted_sq_sum_c,
+            updates_since_refresh: self.updates_since_refresh,
+        }
+    }
+
+    /// Rebuilds a tracker from a captured [`TrackerState`]. `n` is the
+    /// replica's node count (the uniform arm's cross-term normaliser).
+    pub(crate) fn from_state(kind: PotentialKind, n: usize, state: TrackerState) -> Self {
+        PotentialTracker {
+            kind,
+            n: n as f64,
+            gauge: state.gauge,
+            weighted_sum_c: state.weighted_sum_c,
+            weighted_sq_sum_c: state.weighted_sq_sum_c,
+            updates_since_refresh: state.updates_since_refresh,
+        }
+    }
+}
+
+/// The serialisable portion of a [`PotentialTracker`] (everything except
+/// `kind` and `n`, which the restoring window re-derives from its own
+/// configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TrackerState {
+    pub(crate) gauge: f64,
+    pub(crate) weighted_sum_c: f64,
+    pub(crate) weighted_sq_sum_c: f64,
+    pub(crate) updates_since_refresh: u64,
 }
 
 /// Advances up to `max_steps` steps of `spec` over `values` with the

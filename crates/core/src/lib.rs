@@ -61,8 +61,9 @@ mod sampling;
 mod state;
 pub mod theory;
 mod voter;
+mod window;
 
-pub use batch::{run_converge_streaming, ReplicaBatch, VoterBatch};
+pub use batch::{ReplicaBatch, VoterBatch};
 pub use dynamic::{
     DynamicReplicaBatch, DynamicStepKernel, DynamicVoterBatch, DynamicVoterKernel,
     DynamicVoterReport,
@@ -83,3 +84,4 @@ pub use params::{EdgeModelParams, Laziness, NodeModelParams};
 pub use process::{OpinionProcess, StepRecord};
 pub use state::OpinionState;
 pub use voter::{VoterModel, VoterReport};
+pub use window::{run_converge_streaming, ConvergeWindow, WindowCheckpoint};

@@ -4,6 +4,8 @@
 //! run-experiments --all [--quick]
 //! run-experiments P58 L57 FIG1 [--quick]
 //! run-experiments scenario <file.scn>... [--quick] [--csv <path>] [--json <path>]
+//! run-experiments serve [--addr <host:port>] [--workers <n>] [--checkpoint-dir <dir>]
+//! run-experiments submit <file.scn>... [--addr <host:port>]
 //! run-experiments --list
 //! ```
 //!
@@ -14,16 +16,31 @@
 //! API (`od-sim`) dispatch each cell to the optimal engine, and prints
 //! the per-cell summary plus, for common-random-number sweeps, the
 //! paired-contrast table against cell 0. `--csv` / `--json` stream every
-//! trial of every cell to a per-trial sink file. `--quick` caps the
-//! trial count for CI smoke runs. Files are processed independently: a
-//! broken file is reported and the rest still run (exit code 1 at the
-//! end if any failed).
+//! trial of every cell to a per-trial sink file; sinks are created and
+//! validated *before* any scenario runs, appended to after each file
+//! (so a later parse error cannot discard earlier rows), and land via
+//! temp-file + rename so a crash never leaves a torn sink. `--quick`
+//! caps the trial count for CI smoke runs. Files are processed
+//! independently: a broken file is reported and the rest still run
+//! (exit code 1 at the end if any failed).
+//!
+//! `serve` starts the `od-serve` memoising scenario daemon; `submit`
+//! sends `.scn` files to a running daemon and prints the streamed
+//! response (per-trial `ROW` lines in the exact sink CSV format,
+//! per-cell `CELL` summaries, CRN `CONTRAST` lines).
 
 use od_experiments::{find, registry, ExperimentContext};
-use od_sim::{run_sweep, Simulation, SweepAxis, SweepReport, SweepSpec};
-use od_stats::{fmt_float, SeedSequence, Table};
-use std::io::Write;
-use std::path::Path;
+use od_serve::{Server, ServerConfig};
+use od_sim::{cell_rows, run_sweep, sweep_rows, Simulation, SweepAxis, SweepReport, SweepSpec};
+use od_sim::{TrialRow, CSV_HEADER};
+use od_stats::{fmt_float, Table};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// Default daemon address for `serve` / `submit` when `--addr` is not
+/// given.
+const DEFAULT_ADDR: &str = "127.0.0.1:4810";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,57 +55,57 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    // `--csv` / `--json` take a value; everything else non-flag is a
-    // positional (subcommand, experiment id or scenario file).
+    // `--csv`/`--json`/`--addr`/`--workers`/`--checkpoint-dir` take a
+    // value; everything else non-flag is a positional (subcommand,
+    // experiment id or scenario file).
     let mut csv_sink: Option<String> = None;
     let mut json_sink: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut workers: usize = 0;
+    let mut checkpoint_dir: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--csv" | "--json" => {
+            "--csv" | "--json" | "--addr" | "--workers" | "--checkpoint-dir" => {
                 let Some(value) = it.next() else {
-                    eprintln!("{arg} needs a file path");
+                    eprintln!("{arg} needs a value");
                     std::process::exit(2);
                 };
-                if arg == "--csv" {
-                    csv_sink = Some(value.clone());
-                } else {
-                    json_sink = Some(value.clone());
+                match arg.as_str() {
+                    "--csv" => csv_sink = Some(value.clone()),
+                    "--json" => json_sink = Some(value.clone()),
+                    "--addr" => addr = Some(value.clone()),
+                    "--checkpoint-dir" => checkpoint_dir = Some(value.clone()),
+                    _ => {
+                        workers = value.parse().unwrap_or_else(|_| {
+                            eprintln!("--workers needs a number, got '{value}'");
+                            std::process::exit(2);
+                        });
+                    }
                 }
             }
             a if a.starts_with("--") => {} // handled above (--quick, --all)
             a => positional.push(a.to_string()),
         }
     }
-    if positional.first().map(String::as_str) == Some("scenario") {
-        let files = &positional[1..];
-        if files.is_empty() {
-            eprintln!(
-                "usage: run_experiments scenario <file.scn>... [--quick] [--csv <path>] \
-                 [--json <path>]"
-            );
-            std::process::exit(2);
+    let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    match positional.first().map(String::as_str) {
+        Some("scenario") => {
+            std::process::exit(run_scenarios(
+                &positional[1..],
+                quick,
+                csv_sink.as_deref(),
+                json_sink.as_deref(),
+            ));
         }
-        let mut rows: Vec<TrialRow> = Vec::new();
-        let mut failed = false;
-        for file in files {
-            match run_scenario_file(file, quick) {
-                Ok(mut file_rows) => rows.append(&mut file_rows),
-                Err(e) => {
-                    eprintln!("{file}: {e}");
-                    failed = true;
-                }
-            }
+        Some("serve") => {
+            std::process::exit(run_serve(&addr, workers, checkpoint_dir.as_deref()));
         }
-        if let Err(e) = write_sinks(&rows, csv_sink.as_deref(), json_sink.as_deref()) {
-            eprintln!("sink: {e}");
-            failed = true;
+        Some("submit") => {
+            std::process::exit(run_submit(&positional[1..], &addr));
         }
-        if failed {
-            std::process::exit(1);
-        }
-        return;
+        _ => {}
     }
     let ctx = if quick {
         ExperimentContext::quick()
@@ -131,6 +148,140 @@ fn main() {
     }
 }
 
+/// The `scenario` subcommand: runs each `.scn` file independently,
+/// streaming per-trial rows into sinks that were opened before anything
+/// ran. Returns the process exit code.
+fn run_scenarios(files: &[String], quick: bool, csv: Option<&str>, json: Option<&str>) -> i32 {
+    if files.is_empty() {
+        eprintln!(
+            "usage: run_experiments scenario <file.scn>... [--quick] [--csv <path>] \
+             [--json <path>]"
+        );
+        return 2;
+    }
+    // Sinks are created and validated up front: an unwritable path fails
+    // here, before minutes of scenario work, not after.
+    let mut sinks: Vec<SinkWriter> = Vec::new();
+    for (path, format) in [(csv, SinkFormat::Csv), (json, SinkFormat::Json)] {
+        let Some(path) = path else { continue };
+        match SinkWriter::create(path, format) {
+            Ok(sink) => sinks.push(sink),
+            Err(e) => {
+                eprintln!("sink {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    let mut failed = false;
+    for file in files {
+        match run_scenario_file(file, quick) {
+            // Rows reach the sinks after every file, so a parse error in
+            // a later file never discards an earlier file's rows.
+            Ok(file_rows) => {
+                for sink in &mut sinks {
+                    if let Err(e) = sink.append(&file_rows) {
+                        eprintln!("sink: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    // Finalise (rename into place) even after a failure: whatever ran
+    // successfully is kept.
+    for sink in sinks {
+        if let Err(e) = sink.finish() {
+            eprintln!("sink: {e}");
+            failed = true;
+        }
+    }
+    i32::from(failed)
+}
+
+/// The `serve` subcommand: starts the memoising daemon and blocks until
+/// a client sends `SHUTDOWN`.
+fn run_serve(addr: &str, workers: usize, checkpoint_dir: Option<&str>) -> i32 {
+    let server = match Server::start(ServerConfig {
+        addr: addr.to_string(),
+        workers,
+        checkpoint_dir: checkpoint_dir.map(PathBuf::from),
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    };
+    // The bound address (the OS picks the port for `--addr host:0`);
+    // stdout is line-buffered, so clients scripting around the daemon
+    // can read this immediately.
+    println!("od-serve listening on {}", server.addr());
+    server.wait();
+    println!("od-serve stopped");
+    0
+}
+
+/// The `submit` subcommand: streams each `.scn` file to a running
+/// daemon and prints the response verbatim.
+fn run_submit(files: &[String], addr: &str) -> i32 {
+    if files.is_empty() {
+        eprintln!("usage: run_experiments submit <file.scn>... [--addr <host:port>]");
+        return 2;
+    }
+    let mut failed = false;
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match submit_one(addr, &text) {
+            Ok(response) => {
+                print!("{response}");
+                if response.starts_with("ERR") {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("{file}: {addr}: {e}");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+/// One `SUBMIT` round trip: sends the scenario text, reads through the
+/// terminating `DONE` (or `ERR`) line.
+fn submit_one(addr: &str, scn: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    write!(writer, "SUBMIT {}\n{scn}", scn.len())?;
+    writer.flush()?;
+    let mut response = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-response",
+            ));
+        }
+        response.push_str(&line);
+        if line.starts_with("DONE") || line.starts_with("ERR") {
+            return Ok(response);
+        }
+    }
+}
+
 /// Prints every table and writes the CSV + markdown copies under
 /// `results/`, creating the directory if absent (the binary may run
 /// from any cwd).
@@ -145,92 +296,74 @@ fn write_result_tables(id: &str, tables: &[Table]) -> std::io::Result<()> {
     Ok(())
 }
 
-/// One per-trial sink record: a cell coordinate plus the trial's
-/// results.
-struct TrialRow {
-    scenario: String,
-    cell: usize,
-    label: String,
-    trial: usize,
-    seed: u64,
-    steps: u64,
-    converged: bool,
-    potential: f64,
-    estimate: f64,
-    winner: Option<u32>,
-    mutations: u64,
+#[derive(Clone, Copy)]
+enum SinkFormat {
+    Csv,
+    Json,
 }
 
-/// Writes the collected per-trial rows to the requested sinks, creating
-/// parent directories as needed.
-fn write_sinks(rows: &[TrialRow], csv: Option<&str>, json: Option<&str>) -> std::io::Result<()> {
-    let create = |path: &str| -> std::io::Result<std::fs::File> {
-        if let Some(parent) = Path::new(path).parent() {
+/// An incrementally-written per-trial sink. The file is created (parent
+/// directories and all) the moment the writer is, so path problems
+/// surface before any scenario runs; rows land after every appended
+/// batch; and the finished file reaches its final path via temp-file +
+/// rename, so readers never observe a header-only or half-written sink.
+struct SinkWriter {
+    format: SinkFormat,
+    path: PathBuf,
+    tmp: PathBuf,
+    file: std::fs::File,
+    rows: usize,
+}
+
+impl SinkWriter {
+    fn create(path: &str, format: SinkFormat) -> std::io::Result<SinkWriter> {
+        let final_path = PathBuf::from(path);
+        if let Some(parent) = final_path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::File::create(path)
-    };
-    if let Some(path) = csv {
-        let mut f = create(path)?;
-        writeln!(
-            f,
-            "scenario,cell,label,trial,seed,steps,converged,potential,estimate,winner,mutations"
-        )?;
-        for r in rows {
-            writeln!(
-                f,
-                "{},{},{},{},{},{},{},{},{},{},{}",
-                r.scenario,
-                r.cell,
-                r.label,
-                r.trial,
-                r.seed,
-                r.steps,
-                r.converged,
-                r.potential,
-                r.estimate,
-                r.winner.map(|w| w.to_string()).unwrap_or_default(),
-                r.mutations,
-            )?;
+        let tmp = PathBuf::from(format!("{path}.{}.tmp", std::process::id()));
+        let mut file = std::fs::File::create(&tmp)?;
+        match format {
+            SinkFormat::Csv => writeln!(file, "{CSV_HEADER}")?,
+            SinkFormat::Json => writeln!(file, "[")?,
         }
+        Ok(SinkWriter {
+            format,
+            path: final_path,
+            tmp,
+            file,
+            rows: 0,
+        })
     }
-    if let Some(path) = json {
-        let mut f = create(path)?;
-        // Hand-rolled JSON (no serde in the dependency tree): an array
-        // of flat objects, non-finite floats as null.
-        let num = |x: f64| {
-            if x.is_finite() {
-                x.to_string()
-            } else {
-                "null".to_string()
+
+    fn append(&mut self, rows: &[TrialRow]) -> std::io::Result<()> {
+        for row in rows {
+            match self.format {
+                SinkFormat::Csv => writeln!(self.file, "{}", row.csv_line())?,
+                SinkFormat::Json => {
+                    if self.rows > 0 {
+                        writeln!(self.file, ",")?;
+                    }
+                    write!(self.file, "  {}", row.json_object())?;
+                }
             }
-        };
-        writeln!(f, "[")?;
-        for (i, r) in rows.iter().enumerate() {
-            let comma = if i + 1 < rows.len() { "," } else { "" };
-            writeln!(
-                f,
-                "  {{\"scenario\":{:?},\"cell\":{},\"label\":{:?},\"trial\":{},\"seed\":{},\
-                 \"steps\":{},\"converged\":{},\"potential\":{},\"estimate\":{},\"winner\":{},\
-                 \"mutations\":{}}}{comma}",
-                r.scenario,
-                r.cell,
-                r.label,
-                r.trial,
-                r.seed,
-                r.steps,
-                r.converged,
-                num(r.potential),
-                num(r.estimate),
-                r.winner.map_or("null".to_string(), |w| w.to_string()),
-                r.mutations,
-            )?;
+            self.rows += 1;
         }
-        writeln!(f, "]")?;
+        self.file.flush()
     }
-    Ok(())
+
+    fn finish(mut self) -> std::io::Result<()> {
+        if let SinkFormat::Json = self.format {
+            if self.rows > 0 {
+                writeln!(self.file)?;
+            }
+            writeln!(self.file, "]")?;
+        }
+        self.file.flush()?;
+        std::fs::rename(&self.tmp, &self.path)
+    }
 }
 
 /// Parses, dispatches and summarises one `.scn` file — a plain scenario
@@ -297,7 +430,7 @@ fn run_scenario_file(path: &str, quick: bool) -> Result<Vec<TrialRow>, Box<dyn s
     println!("{}", t.to_plain_text());
     print_contrasts(&name, &report);
     println!("[finished in {:.1}s]", start.elapsed().as_secs_f64());
-    Ok(sink_rows(&name, &report))
+    Ok(sweep_rows(&name, &report))
 }
 
 /// The paired-contrast table of a CRN sweep (skipped for independent
@@ -343,33 +476,6 @@ fn print_contrasts(name: &str, report: &SweepReport) {
         ]);
     }
     println!("{}", t.to_plain_text());
-}
-
-/// Flattens a sweep report into per-trial sink rows. Trial `i` of a
-/// cell runs from `SeedSequence::new(cell.spec.seed).seed(i)` — the
-/// derivation `od-sim`'s Monte-Carlo runner uses — so the recorded seed
-/// reproduces the trial standalone.
-fn sink_rows(name: &str, report: &SweepReport) -> Vec<TrialRow> {
-    let mut rows = Vec::new();
-    for cell in &report.cells {
-        let seeds = SeedSequence::new(cell.cell.spec.seed);
-        for (i, trial) in cell.report.trials.iter().enumerate() {
-            rows.push(TrialRow {
-                scenario: name.to_string(),
-                cell: cell.cell.index,
-                label: cell.cell.label.clone(),
-                trial: i,
-                seed: seeds.seed(i as u64),
-                steps: trial.steps,
-                converged: trial.converged,
-                potential: trial.potential,
-                estimate: trial.estimate,
-                winner: trial.winner,
-                mutations: trial.mutations,
-            });
-        }
-    }
-    rows
 }
 
 /// The original single-scenario path: detailed metric table for one
@@ -424,32 +530,15 @@ fn run_single_scenario(
     }
     println!("{}", t.to_plain_text());
     println!("[finished in {:.1}s]", start.elapsed().as_secs_f64());
-    let seeds = SeedSequence::new(spec.seed);
-    let rows = report
-        .trials
-        .iter()
-        .enumerate()
-        .map(|(i, trial)| TrialRow {
-            scenario: name.to_string(),
-            cell: 0,
-            label: String::new(),
-            trial: i,
-            seed: seeds.seed(i as u64),
-            steps: trial.steps,
-            converged: trial.converged,
-            potential: trial.potential,
-            estimate: trial.estimate,
-            winner: trial.winner,
-            mutations: trial.mutations,
-        })
-        .collect();
-    Ok(rows)
+    Ok(cell_rows(name, 0, "", spec.seed, &report.trials))
 }
 
 fn print_usage() {
     println!(
         "usage: run-experiments [--quick] --all | <ID>... | \
-         scenario <file.scn>... [--csv <path>] [--json <path>] | --list"
+         scenario <file.scn>... [--csv <path>] [--json <path>] | \
+         serve [--addr <host:port>] [--workers <n>] [--checkpoint-dir <dir>] | \
+         submit <file.scn>... [--addr <host:port>] | --list"
     );
     println!("experiments:");
     for e in registry() {

@@ -1,0 +1,219 @@
+//! End-to-end CLI tests for the `run_experiments` sink pipeline and the
+//! `serve`/`submit` subcommands: RFC-4180 quoting of comma-bearing
+//! scenario paths, up-front sink validation, partial-failure row
+//! retention, and a daemon round trip answered from cache.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_run_experiments");
+
+/// A fast-converging single-cell scenario WITHOUT a `scenario <name>`
+/// line, so the sink `scenario` field falls back to the file path.
+const UNNAMED_SCN: &str = "model node alpha=0.5 k=1 lazy=false\n\
+                           graph cycle n=8\n\
+                           init pm_one\n\
+                           replicas 2\n\
+                           seed 1\n\
+                           stop converge eps=0.000001 rule=exact potential=pi budget=1000000\n";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("od-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("run binary")
+}
+
+/// Splits one CSV line honouring RFC-4180 quoting.
+fn csv_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted && chars.peek() == Some(&'"') => {
+                field.push('"');
+                chars.next();
+            }
+            '"' => quoted = !quoted,
+            ',' if !quoted => fields.push(std::mem::take(&mut field)),
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+#[test]
+fn comma_bearing_scenario_path_is_quoted_in_csv_and_json() {
+    let dir = temp_dir("comma");
+    // The regression: a path with commas used to be written unquoted,
+    // shifting every later CSV column.
+    let scn = dir.join("sweep, with commas.scn");
+    std::fs::write(&scn, UNNAMED_SCN).unwrap();
+    let csv_path = dir.join("out.csv");
+    let json_path = dir.join("out.json");
+    let out = run(&[
+        "scenario",
+        scn.to_str().unwrap(),
+        "--csv",
+        csv_path.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 3, "header + 2 trials:\n{csv}");
+    for line in &lines[1..] {
+        let fields = csv_fields(line);
+        assert_eq!(fields.len(), 11, "quoting must preserve the column count");
+        assert_eq!(fields[0], scn.to_str().unwrap());
+    }
+    assert!(
+        lines[1].starts_with('"'),
+        "comma-bearing scenario field must be quoted: {}",
+        lines[1]
+    );
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert_eq!(json.matches("\"scenario\"").count(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parse_error_after_a_good_file_keeps_its_rows() {
+    let dir = temp_dir("partial");
+    let good = dir.join("good.scn");
+    std::fs::write(&good, format!("scenario good\n{UNNAMED_SCN}")).unwrap();
+    let bad = dir.join("bad.scn");
+    std::fs::write(&bad, "model this-is-not-a-model\n").unwrap();
+    let csv_path = dir.join("out.csv");
+    let json_path = dir.join("out.json");
+    let out = run(&[
+        "scenario",
+        good.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--csv",
+        csv_path.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a broken file still fails the run"
+    );
+
+    // The regression: sinks used to be written only after ALL files, so
+    // the bad file threw away the good file's rows. Now they're flushed
+    // per file and finalised even on failure.
+    let csv = std::fs::read_to_string(&csv_path).expect("csv sink exists despite the bad file");
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 3, "header + good file's 2 trials:\n{csv}");
+    assert!(lines[1].starts_with("good,0,"), "{}", lines[1]);
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert_eq!(json.matches("\"scenario\":\"good\"").count(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_sink_path_fails_before_any_scenario_runs() {
+    let dir = temp_dir("upfront");
+    let scn = dir.join("slow.scn");
+    std::fs::write(&scn, UNNAMED_SCN).unwrap();
+    // A file where the sink's parent directory should be makes the path
+    // unusable.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "").unwrap();
+    let csv_path = blocker.join("out.csv");
+    let out = run(&[
+        "scenario",
+        scn.to_str().unwrap(),
+        "--csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "sink validated up front");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("sink"), "{stderr}");
+    // Nothing ran: no summary table reached stdout.
+    assert!(
+        out.stdout.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_and_submit_round_trip_is_byte_identical() {
+    let dir = temp_dir("serve");
+    let scn = dir.join("sweep.scn");
+    std::fs::write(
+        &scn,
+        format!("scenario cli-serve\n{UNNAMED_SCN}sweep k = 1,2\n"),
+    )
+    .unwrap();
+
+    let mut daemon = Command::new(BIN)
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut daemon_out = BufReader::new(daemon.stdout.take().unwrap());
+    let mut banner = String::new();
+    daemon_out.read_line(&mut banner).unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("od-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let first = run(&["submit", scn.to_str().unwrap(), "--addr", &addr]);
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let body = String::from_utf8_lossy(&first.stdout);
+    assert!(body.starts_with("OK cells=2 "), "{body}");
+    assert!(body.contains("\nROW "), "{body}");
+    assert!(body.contains("\nCELL 0 "), "{body}");
+    assert!(body.contains("\nCONTRAST 1 "), "{body}");
+    assert!(body.ends_with("DONE\n"), "{body}");
+
+    // Resubmission is answered from the memo cache, byte-identically.
+    let second = run(&["submit", scn.to_str().unwrap(), "--addr", &addr]);
+    assert_eq!(second.stdout, first.stdout);
+
+    // A broken submission is a clean ERR and exit 1.
+    let bad = dir.join("bad.scn");
+    std::fs::write(&bad, "model nope\n").unwrap();
+    let err = run(&["submit", bad.to_str().unwrap(), "--addr", &addr]);
+    assert_eq!(err.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&err.stdout).starts_with("ERR "));
+
+    // SHUTDOWN stops the daemon cleanly.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    writeln!(stream, "SHUTDOWN").unwrap();
+    let mut reply = String::new();
+    BufReader::new(&stream).read_line(&mut reply).unwrap();
+    assert_eq!(reply, "BYE\n");
+    let status = daemon.wait().expect("daemon exits after SHUTDOWN");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,147 @@
+//! A blocking worker pool: N threads draining one mutex-guarded job
+//! queue under a condvar. Hand-rolled on `std` only — the daemon's
+//! execution substrate.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    wake: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing submitted jobs in FIFO
+/// order. Jobs submitted after [`WorkerPool::shutdown`] are dropped.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState::default()),
+            wake: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("od-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut state = shared.state.lock().expect("pool lock");
+                            loop {
+                                if let Some(job) = state.queue.pop_front() {
+                                    break job;
+                                }
+                                if state.shutdown {
+                                    return;
+                                }
+                                state = shared.wake.wait(state).expect("pool lock");
+                            }
+                        };
+                        job();
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Silently dropped after shutdown.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return;
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.wake.notify_one();
+    }
+
+    /// Stops accepting jobs, lets the queue drain, and joins every
+    /// worker.
+    pub fn shutdown(&mut self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.wake.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn pool_runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..50 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn shutdown_drains_queue_and_rejects_new_jobs() {
+        let mut pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 10, "queued jobs drained");
+        let counter2 = Arc::clone(&counter);
+        pool.submit(move || {
+            counter2.fetch_add(100, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10, "post-shutdown dropped");
+    }
+}

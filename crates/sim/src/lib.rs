@@ -49,11 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rows;
 pub mod runner;
 pub mod sim;
 pub mod spec;
 pub mod sweep;
 
+pub use rows::{cell_rows, sweep_rows, TrialRow, CSV_HEADER};
 pub use sim::{Engine, Simulation, SimulationReport, TrialResult};
 pub use spec::{
     load_init_file, load_replay_file, pm_one, ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec,
@@ -61,5 +63,6 @@ pub use spec::{
     DEFAULT_BATCH,
 };
 pub use sweep::{
-    run_sweep, CellReport, SweepAxis, SweepCell, SweepContrast, SweepReport, SweepSpec, MAX_CELLS,
+    run_cell, run_sweep, CellReport, SweepAxis, SweepCell, SweepContrast, SweepPlan, SweepReport,
+    SweepSpec, MAX_CELLS,
 };

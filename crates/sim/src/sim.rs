@@ -33,9 +33,9 @@
 use crate::runner::monte_carlo_batched_threads;
 use crate::spec::{ModelSpec, OutputSpec, ScenarioSpec, SimError, StopRuleSpec, StopSpec};
 use od_core::{
-    run_converge_streaming, trace_potential, ConvergeConfig, ConvergenceReport,
+    run_converge_streaming, trace_potential, ConvergeConfig, ConvergeWindow, ConvergenceReport,
     DynamicReplicaBatch, DynamicVoterBatch, EdgeModel, KernelSpec, NodeModel, OpinionProcess,
-    ReplicaBatch, StopRule, VoterBatch,
+    ReplicaBatch, StopRule, VoterBatch, WindowCheckpoint,
 };
 use od_graph::{ChurnModel, DynamicGraph, Graph};
 use od_stats::{SeedSequence, Summary};
@@ -512,6 +512,72 @@ impl Simulation {
             .with_potential(potential.kind())
             .with_check_every(self.spec.check_every)
             .with_threads(self.spec.threads)
+    }
+
+    /// The checkpointable streaming window behind this scenario's run —
+    /// `Some` exactly when the scenario dispatches to
+    /// [`Engine::StaticConverge`] (static averaging, `stop converge`,
+    /// exact tier), `None` for every other engine. Driving the window to
+    /// completion and assembling with
+    /// [`Simulation::report_from_window`] reproduces
+    /// [`Simulation::run`]'s report bit for bit; between block rounds
+    /// the window can be checkpointed (`od_core::WindowCheckpoint`) and
+    /// resumed via [`Simulation::converge_window_resumed`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Core`] if the engine rejects the scenario.
+    pub fn converge_window(&self) -> Result<Option<ConvergeWindow<'_>>, SimError> {
+        if self.engine() != Engine::StaticConverge {
+            return Ok(None);
+        }
+        Ok(Some(ConvergeWindow::new(
+            &self.graph,
+            self.kernel_spec(),
+            &self.xi0,
+            &self.trial_seeds(),
+            self.spec.resolved_batch(),
+            self.converge_config(),
+        )?))
+    }
+
+    /// Like [`Simulation::converge_window`], but resumed from a
+    /// checkpoint captured from the *same* scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Core`] wrapping `CoreError::Checkpoint` when the
+    /// checkpoint does not belong to this scenario.
+    pub fn converge_window_resumed(
+        &self,
+        checkpoint: &WindowCheckpoint,
+    ) -> Result<Option<ConvergeWindow<'_>>, SimError> {
+        if self.engine() != Engine::StaticConverge {
+            return Ok(None);
+        }
+        Ok(Some(ConvergeWindow::restore(
+            &self.graph,
+            self.kernel_spec(),
+            &self.xi0,
+            &self.trial_seeds(),
+            self.spec.resolved_batch(),
+            self.converge_config(),
+            checkpoint,
+        )?))
+    }
+
+    /// Assembles a finished window's reports into the
+    /// [`SimulationReport`] that [`Simulation::run`] would have
+    /// returned for this scenario.
+    pub fn report_from_window(&self, reports: &[ConvergenceReport]) -> SimulationReport {
+        SimulationReport {
+            engine: Engine::StaticConverge,
+            trials: reports
+                .iter()
+                .map(|r| TrialResult::from_convergence(r, 0))
+                .collect(),
+            trace: None,
+        }
     }
 
     fn run_static_converge(&self) -> Result<Vec<TrialResult>, SimError> {

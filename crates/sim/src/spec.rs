@@ -720,6 +720,19 @@ impl ScenarioSpec {
         }
     }
 
+    /// The spec's canonical text form — the result-cache key.
+    ///
+    /// This is exactly [`fmt::Display`], named to document the contract
+    /// the `od-serve` memo cache relies on: `parse` / `Display` round-
+    /// trip exactly, so two specs render the same key **iff** they are
+    /// equal — and because every exact-tier engine makes trial `i` a
+    /// pure function of `SeedSequence::new(seed).seed(i)`, equal keys
+    /// imply bit-identical results. The `seed` line is part of the
+    /// rendered text, so the key already covers the seed.
+    pub fn canonical_key(&self) -> String {
+        self.to_string()
+    }
+
     /// The effective batch / streaming-window capacity.
     pub fn resolved_batch(&self) -> usize {
         if self.batch == 0 {

@@ -556,6 +556,88 @@ impl SweepReport {
     }
 }
 
+/// A validated sweep expanded into its schedulable parts: the cell
+/// lattice plus the distinct-graph dedupe, *without* running anything.
+///
+/// This is [`run_sweep`]'s planning half split out for callers that
+/// schedule cells themselves — the `od-serve` daemon fans a plan's
+/// cells out to a worker pool (memoising each independently) instead of
+/// running them in a loop. Cells sharing a resolved [`GraphSpec`] map
+/// to the same [`SweepPlan::graph_index`], so one CSR build can still
+/// be shared however the cells are scheduled.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// The expanded cells, lattice order.
+    pub cells: Vec<SweepCell>,
+    /// The distinct resolved graph specs, first-use order.
+    pub graph_specs: Vec<GraphSpec>,
+    /// `cell_graph[i]` is the index into [`SweepPlan::graph_specs`] of
+    /// cell `i`'s graph.
+    pub cell_graph: Vec<usize>,
+    /// Whether the sweep runs under common random numbers.
+    pub crn: bool,
+}
+
+impl SweepPlan {
+    /// Validates and expands `sweep` into a plan.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors from [`SweepSpec::validate`].
+    pub fn new(sweep: &SweepSpec) -> Result<SweepPlan, SimError> {
+        let cells = sweep.cells()?;
+        // Dedupe the resolved graph specs by linear scan — sweeps are
+        // small (≤ MAX_CELLS) and GraphSpec is Copy + PartialEq.
+        let mut graph_specs: Vec<GraphSpec> = Vec::new();
+        let cell_graph = cells
+            .iter()
+            .map(|cell| {
+                graph_specs
+                    .iter()
+                    .position(|g| *g == cell.spec.graph)
+                    .unwrap_or_else(|| {
+                        graph_specs.push(cell.spec.graph);
+                        graph_specs.len() - 1
+                    })
+            })
+            .collect();
+        Ok(SweepPlan {
+            cells,
+            graph_specs,
+            cell_graph,
+            crn: sweep.is_crn(),
+        })
+    }
+
+    /// The distinct-graph index of cell `i` (into
+    /// [`SweepPlan::graph_specs`]).
+    pub fn graph_index(&self, cell: usize) -> usize {
+        self.cell_graph[cell]
+    }
+
+    /// Builds distinct graph `graph_index` (callers cache and share the
+    /// instance across that graph's cells).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Graph`] from the generator.
+    pub fn build_graph(&self, graph_index: usize) -> Result<Graph, SimError> {
+        Ok(self.graph_specs[graph_index].build()?)
+    }
+}
+
+/// Runs one already-expanded cell on a shared graph instance — the
+/// per-cell unit of work [`run_sweep`] loops over and a cell-granular
+/// scheduler (the `od-serve` daemon) dispatches independently.
+///
+/// # Errors
+///
+/// Assembly errors from [`Simulation::from_spec_with_graph`] (including
+/// file-input IO) or run errors from [`Simulation::run`].
+pub fn run_cell(spec: &ScenarioSpec, graph: Graph) -> Result<SimulationReport, SimError> {
+    Simulation::from_spec_with_graph(spec, graph)?.run()
+}
+
 /// Runs every cell of a sweep, building each distinct graph exactly
 /// once and reusing it across the cells that share it.
 ///
@@ -565,23 +647,20 @@ impl SweepReport {
 /// [`Simulation::from_spec_with_graph`] (including file-input IO), or
 /// run errors from [`Simulation::run`].
 pub fn run_sweep(sweep: &SweepSpec) -> Result<SweepReport, SimError> {
-    let cells = sweep.cells()?;
-    // Dedupe the resolved graph specs by linear scan — sweeps are
-    // small (≤ MAX_CELLS) and GraphSpec is Copy + PartialEq.
-    let mut graph_specs: Vec<GraphSpec> = Vec::new();
-    let mut graphs: Vec<Graph> = Vec::new();
-    let mut reports = Vec::with_capacity(cells.len());
-    for cell in cells {
-        let graph_index = match graph_specs.iter().position(|g| *g == cell.spec.graph) {
-            Some(i) => i,
+    let plan = SweepPlan::new(sweep)?;
+    let mut graphs: Vec<Option<Graph>> = vec![None; plan.graph_specs.len()];
+    let mut reports = Vec::with_capacity(plan.cells.len());
+    for (i, cell) in plan.cells.into_iter().enumerate() {
+        let graph_index = plan.cell_graph[i];
+        let graph = match &graphs[graph_index] {
+            Some(g) => g.clone(),
             None => {
-                graph_specs.push(cell.spec.graph);
-                graphs.push(cell.spec.graph.build()?);
-                graphs.len() - 1
+                let g = plan.graph_specs[graph_index].build()?;
+                graphs[graph_index] = Some(g.clone());
+                g
             }
         };
-        let report =
-            Simulation::from_spec_with_graph(&cell.spec, graphs[graph_index].clone())?.run()?;
+        let report = run_cell(&cell.spec, graph)?;
         reports.push(CellReport {
             cell,
             graph_index,
@@ -590,8 +669,8 @@ pub fn run_sweep(sweep: &SweepSpec) -> Result<SweepReport, SimError> {
     }
     Ok(SweepReport {
         cells: reports,
-        distinct_graphs: graphs.len(),
-        crn: sweep.is_crn(),
+        distinct_graphs: plan.graph_specs.len(),
+        crn: plan.crn,
     })
 }
 
