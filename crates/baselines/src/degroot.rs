@@ -1,80 +1,78 @@
+use od_core::{SyncKernel, SyncModel};
 use od_graph::Graph;
-use od_linalg::CsrMatrix;
 
 /// The DeGroot model (DeGroot 1974): synchronous repeated averaging
 /// `ξ(t+1) = W ξ(t)` with a row-stochastic trust matrix.
 ///
-/// We use the lazy walk `W = ½I + ½D⁻¹A`, which converges on every
-/// connected graph (laziness removes bipartite oscillation) to the
-/// degree-weighted average `Σ π_u ξ_u(0)` — deterministically, unlike the
-/// paper's asynchronous NodeModel whose limit `F` is random with that same
+/// We use the lazy walk `W = ½I + ½P` (`P = D⁻¹A`, or the row-normalized
+/// weight matrix on weighted graphs), which converges on every connected
+/// graph (laziness removes bipartite oscillation) to the degree-weighted
+/// average `Σ π_u ξ_u(0)` — deterministically, unlike the paper's
+/// asynchronous NodeModel whose limit `F` is random with that same
 /// expectation.
+///
+/// The rounds run on the CSR graph directly through
+/// [`od_core::SyncKernel`] (`SyncModel::DeGroot { lazy: 0.5 }`), so
+/// weighted graphs work out of the box and a round costs O(m) with no
+/// separate matrix build; [`crate::dense_degroot_fixed_point`] keeps the
+/// dense `n × n` reference for equivalence tests and benchmarks.
 #[derive(Debug, Clone)]
-pub struct DeGroot {
-    trust: CsrMatrix,
+pub struct DeGroot<'g> {
+    kernel: SyncKernel<'g>,
     pi: Vec<f64>,
-    values: Vec<f64>,
-    scratch: Vec<f64>,
-    round: u64,
 }
 
-impl DeGroot {
+impl<'g> DeGroot<'g> {
     /// Creates the model with the lazy-walk trust matrix.
     ///
     /// # Panics
     ///
     /// Panics if the graph is disconnected/too small or the value count
     /// mismatches.
-    pub fn new(graph: &Graph, values: Vec<f64>) -> Self {
+    pub fn new(graph: &'g Graph, values: Vec<f64>) -> Self {
         assert!(
             graph.is_connected() && graph.n() >= 2,
             "graph must be connected"
         );
-        assert_eq!(values.len(), graph.n(), "one value per node");
-        DeGroot {
-            trust: CsrMatrix::lazy_walk(graph),
-            pi: graph.stationary_distribution(),
-            scratch: vec![0.0; values.len()],
-            values,
-            round: 0,
-        }
+        let pi = graph.stationary_distribution();
+        let kernel = SyncKernel::new(graph, values, SyncModel::DeGroot { lazy: 0.5 })
+            .expect("one value per node");
+        DeGroot { kernel, pi }
     }
 
     /// Current values.
     pub fn values(&self) -> &[f64] {
-        &self.values
+        self.kernel.values()
     }
 
     /// Synchronous rounds taken.
     pub fn round(&self) -> u64 {
-        self.round
+        self.kernel.rounds()
     }
 
     /// The deterministic limit `Σ π_u ξ_u(0)` (unchanged by rounds, since
     /// `πᵀW = πᵀ`).
     pub fn weighted_average(&self) -> f64 {
-        od_linalg::vector::weighted_mean(&self.pi, &self.values)
+        od_linalg::vector::weighted_mean(&self.pi, self.kernel.values())
     }
 
     /// Discrepancy `max − min`.
     pub fn discrepancy(&self) -> f64 {
-        od_linalg::vector::discrepancy(&self.values)
+        od_linalg::vector::discrepancy(self.kernel.values())
     }
 
     /// One synchronous round `ξ ← W ξ`.
     pub fn step(&mut self) {
-        self.trust.matvec_into(&self.values, &mut self.scratch);
-        std::mem::swap(&mut self.values, &mut self.scratch);
-        self.round += 1;
+        self.kernel.round();
     }
 
     /// Runs rounds until the discrepancy is below `tol` or `max_rounds`.
     /// Returns rounds taken.
     pub fn run(&mut self, tol: f64, max_rounds: u64) -> u64 {
-        while self.discrepancy() > tol && self.round < max_rounds {
-            self.step();
+        while self.discrepancy() > tol && self.kernel.rounds() < max_rounds {
+            self.kernel.round();
         }
-        self.round
+        self.kernel.rounds()
     }
 }
 
@@ -127,5 +125,20 @@ mod tests {
         let rounds = m.run(1e-9, 100_000);
         assert!(rounds < 100_000, "must converge despite bipartiteness");
         assert!(m.discrepancy() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_trust_shifts_the_limit() {
+        // A heavy edge 0–1 concentrates π on its endpoints, moving the
+        // consensus toward their initial values.
+        let plain = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let heavy =
+            Graph::from_weighted_edges(3, &[(0, 1, 10.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let xi0 = vec![1.0, 1.0, -5.0];
+        let mut a = DeGroot::new(&plain, xi0.clone());
+        let mut b = DeGroot::new(&heavy, xi0);
+        a.run(1e-12, 100_000);
+        b.run(1e-12, 100_000);
+        assert!(b.values()[0] > a.values()[0]);
     }
 }

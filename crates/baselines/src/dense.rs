@@ -1,0 +1,180 @@
+//! Dense `n × n` fixed-point references for the CSR-ported synchronous
+//! baselines.
+//!
+//! The DeGroot and Friedkin–Johnsen baselines used to iterate explicit
+//! matrices; they now run on the CSR graph through
+//! [`od_core::SyncKernel`]. These functions keep the materialised-matrix
+//! path alive as the *equivalence reference*: they build the full
+//! row-stochastic transition matrix `P` (`P[u][v] = w_uv / Σ_v w_uv`,
+//! including directed rows) and iterate it densely — O(n²) memory and
+//! O(n²) per round, so they cap out around `n ≈ 10⁴` while the CSR
+//! kernels run at `n = 10⁶`. `tests/weighted_equivalence.rs` pins
+//! fixed-point agreement and `bench_weighted` measures the gap.
+
+use od_graph::{Graph, NodeId};
+
+/// Materialises the dense row-stochastic transition matrix `P` in
+/// row-major order (`P[u * n + v]`). Empty rows (possible on directed
+/// graphs) get `P[u][u] = 1`, matching the sync kernels' "keep your
+/// value" convention.
+pub fn dense_transition_matrix(graph: &Graph) -> Vec<f64> {
+    let n = graph.n();
+    let mut p = vec![0.0; n * n];
+    for u in 0..n {
+        let row = graph.neighbors(u as NodeId);
+        if row.is_empty() {
+            p[u * n + u] = 1.0;
+            continue;
+        }
+        match graph.row_weights(u as NodeId) {
+            Some(weights) => {
+                let sum = graph.row_weight_sum(u as NodeId);
+                for (&v, &w) in row.iter().zip(weights) {
+                    p[u * n + v as usize] = w / sum;
+                }
+            }
+            None => {
+                let share = 1.0 / row.len() as f64;
+                for &v in row {
+                    p[u * n + v as usize] = share;
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Dense reference for lazy DeGroot: iterates
+/// `x ← (1−ℓ)·P x + ℓ·x` on the materialised matrix until the largest
+/// single-node movement is `≤ tol` or `max_rounds` elapse. Returns
+/// `(values, rounds taken, converged)`.
+pub fn dense_degroot_fixed_point(
+    graph: &Graph,
+    values: &[f64],
+    lazy: f64,
+    tol: f64,
+    max_rounds: u64,
+) -> (Vec<f64>, u64, bool) {
+    dense_iterate(graph, values, max_rounds, tol, |pulled, old, _| {
+        (1.0 - lazy) * pulled + lazy * old
+    })
+}
+
+/// Dense reference for Friedkin–Johnsen with uniform stubbornness:
+/// iterates `z ← α·s + (1−α)·P z` (anchors `s` = the start values) until
+/// the largest movement is `≤ tol` or `max_rounds` elapse. Returns
+/// `(values, rounds taken, converged)`.
+pub fn dense_fj_fixed_point(
+    graph: &Graph,
+    anchors: &[f64],
+    alpha: f64,
+    tol: f64,
+    max_rounds: u64,
+) -> (Vec<f64>, u64, bool) {
+    dense_iterate(graph, anchors, max_rounds, tol, |pulled, _, anchor| {
+        alpha * anchor + (1.0 - alpha) * pulled
+    })
+}
+
+fn dense_iterate(
+    graph: &Graph,
+    start: &[f64],
+    max_rounds: u64,
+    tol: f64,
+    combine: impl Fn(f64, f64, f64) -> f64,
+) -> (Vec<f64>, u64, bool) {
+    let n = graph.n();
+    assert_eq!(start.len(), n, "one value per node");
+    let p = dense_transition_matrix(graph);
+    let mut values = start.to_vec();
+    let mut next = vec![0.0; n];
+    let mut rounds = 0u64;
+    while rounds < max_rounds {
+        let mut delta = 0.0f64;
+        for u in 0..n {
+            let row = &p[u * n..(u + 1) * n];
+            let pulled: f64 = row.iter().zip(&values).map(|(&w, &x)| w * x).sum();
+            let new = combine(pulled, values[u], start[u]);
+            delta = delta.max((new - values[u]).abs());
+            next[u] = new;
+        }
+        std::mem::swap(&mut values, &mut next);
+        rounds += 1;
+        if delta <= tol {
+            return (values, rounds, true);
+        }
+    }
+    (values, rounds, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::{SyncKernel, SyncModel};
+    use od_graph::generators;
+    use rand::SeedableRng;
+
+    fn agree(a: &[f64], b: &[f64], tol: f64) {
+        for (u, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "node {u}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transition_matrix_rows_are_stochastic() {
+        let g =
+            Graph::from_weighted_edges(4, &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 0.5), (0, 3, 4.0)])
+                .unwrap();
+        let p = dense_transition_matrix(&g);
+        for u in 0..4 {
+            let sum: f64 = p[u * 4..(u + 1) * 4].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {u} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn csr_degroot_matches_dense_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = generators::gnp_connected(24, 0.3, &mut rng).unwrap();
+        let xi0: Vec<f64> = (0..24).map(|i| f64::from(i % 5)).collect();
+        let (dense, _, converged) = dense_degroot_fixed_point(&g, &xi0, 0.5, 1e-13, 100_000);
+        assert!(converged);
+        let mut kernel = SyncKernel::new(&g, xi0, SyncModel::DeGroot { lazy: 0.5 }).unwrap();
+        kernel.run(100_000, 1e-13).unwrap();
+        agree(&dense, kernel.values(), 1e-9);
+    }
+
+    #[test]
+    fn csr_fj_matches_dense_reference_on_weighted_digraph() {
+        let g = Graph::from_directed_weighted_edges(
+            5,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 0, 0.5),
+                (3, 2, 1.5),
+                (4, 3, 1.0),
+                (0, 4, 3.0),
+            ],
+        )
+        .unwrap();
+        let anchors = vec![1.0, -1.0, 2.0, 0.0, 5.0];
+        let (dense, _, converged) = dense_fj_fixed_point(&g, &anchors, 0.25, 1e-13, 100_000);
+        assert!(converged);
+        let mut kernel =
+            SyncKernel::new(&g, anchors, SyncModel::FriedkinJohnsen { alpha: 0.25 }).unwrap();
+        kernel.run(100_000, 1e-13).unwrap();
+        agree(&dense, kernel.values(), 1e-9);
+    }
+
+    #[test]
+    fn empty_directed_row_keeps_its_value_in_both_paths() {
+        let g = Graph::from_directed_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let xi0 = vec![0.0, 1.0, 7.0];
+        let (dense, _, _) = dense_degroot_fixed_point(&g, &xi0, 0.0, 1e-12, 1_000);
+        assert_eq!(dense[2], 7.0);
+        let mut kernel = SyncKernel::new(&g, xi0, SyncModel::DeGroot { lazy: 0.0 }).unwrap();
+        kernel.run(1_000, 1e-12).unwrap();
+        assert_eq!(kernel.values()[2], 7.0);
+    }
+}

@@ -107,7 +107,26 @@ impl<'g> FriedkinJohnsen<'g> {
     /// Exact synchronous full-information equilibrium `z*` solved by
     /// fixed-point iteration (`z ← A s + (I − A) P z` with `P = D⁻¹A`),
     /// for comparison against the asynchronous trajectory.
+    ///
+    /// Uniform stubbornness routes through the CSR-backed
+    /// [`od_core::SyncKernel`] (the same Jacobi iteration,
+    /// expression-for-expression, so the delegation is exact); the local
+    /// loop below only remains for heterogeneous `α_u`, which the scalar
+    /// [`od_core::SyncModel::FriedkinJohnsen`] does not model.
     pub fn equilibrium(&self, tol: f64, max_rounds: usize) -> Vec<f64> {
+        let alpha = self.stubbornness[0];
+        if self.stubbornness.iter().all(|&a| a == alpha) {
+            let mut kernel = od_core::SyncKernel::new(
+                self.graph,
+                self.private.clone(),
+                od_core::SyncModel::FriedkinJohnsen { alpha },
+            )
+            .expect("inputs validated at construction");
+            kernel
+                .run(max_rounds as u64, tol)
+                .expect("tol is finite and non-negative");
+            return kernel.values().to_vec();
+        }
         let n = self.graph.n();
         let mut z = self.private.clone();
         let mut next = vec![0.0; n];

@@ -12,7 +12,10 @@
 //! * [`PushSum`] — Kempe–Dobra–Gehrke (FOCS 2003) sum/weight gossip:
 //!   mass conservation gives exact average estimation at every node.
 //! * [`DeGroot`] — the classical synchronous repeated-averaging model
-//!   (DeGroot 1974), `ξ(t+1) = W ξ(t)` with the (lazy) walk matrix.
+//!   (DeGroot 1974), `ξ(t+1) = W ξ(t)` with the (lazy) walk matrix. Runs
+//!   on the CSR graph through [`od_core::SyncKernel`]; the dense matrix
+//!   path survives as [`dense_degroot_fixed_point`], the equivalence
+//!   reference.
 //! * [`FriedkinJohnsen`] — opinions with stubborn private components
 //!   (Friedkin–Johnsen 1990), including the limited-information variant
 //!   (sample `k` neighbours per round) of Fotakis et al. (WINE 2018) that
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod degroot;
+mod dense;
 mod friedkin_johnsen;
 mod hegselmann_krause;
 mod load_balancing;
@@ -33,6 +37,7 @@ mod pairwise;
 mod push_sum;
 
 pub use degroot::DeGroot;
+pub use dense::{dense_degroot_fixed_point, dense_fj_fixed_point, dense_transition_matrix};
 pub use friedkin_johnsen::FriedkinJohnsen;
 pub use hegselmann_krause::HegselmannKrause;
 pub use load_balancing::{diffusion_round, DiffusionBalancer};

@@ -1,0 +1,145 @@
+//! Weighted-graph tiers: the weighted exact step kernel against its
+//! unweighted twin, the synchronous CSR kernels at n up to 10^6, and the
+//! CSR-vs-dense Friedkin–Johnsen gap that motivated retiring the dense
+//! matrices.
+//!
+//! * `weighted/node_kernel_1024steps` — `StepKernel::step_many` with and
+//!   without per-edge weights on the same torus; the delta is the cost
+//!   of the weighted sample-mean aggregation.
+//! * `weighted/sync_16rounds` — one `SyncKernel` round costs O(m); the
+//!   16-round blocks here scale from n = 4096 to n = 10^6 (divide the
+//!   median by 16 for ns/round).
+//! * `weighted/fj_16rounds_n1024` — CSR vs the dense transition-matrix
+//!   reference at a size the dense path can still hold (the dense row
+//!   is O(n) per node per round; its matrix build is amortised over the
+//!   16 rounds). The ratio is the speedup the CSR port buys before the
+//!   dense path runs out of memory entirely.
+//! * `weighted/scenario_fj` — the full scenario API (`model fj` +
+//!   `weights uniform` + `stop fixed_point`) at n = 10^6, pinning that
+//!   weighted specs run end to end at production scale.
+//!
+//! CI runs this target in smoke mode (`--sample-size 2`, with
+//! `OD_BENCH_JSON=BENCH_weighted.json` mirroring medians); the committed
+//! snapshot comes from a full run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_baselines::dense_fj_fixed_point;
+use od_bench::pm_one;
+use od_core::{KernelSpec, NodeModelParams, StepKernel, SyncKernel, SyncModel};
+use od_graph::{generators, Graph};
+use od_sim::{ScenarioSpec, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STEPS_PER_ITER: u64 = 1024;
+const ROUNDS_PER_ITER: u64 = 16;
+
+/// Square torus with per-edge weights drawn uniformly from [0.5, 2).
+fn weighted_torus(rows: usize, cols: usize, seed: u64) -> Graph {
+    let mut g = generators::torus(rows, cols).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..g.m()).map(|_| 0.5 + 1.5 * rng.gen::<f64>()).collect();
+    g.attach_weights(&weights).unwrap();
+    g
+}
+
+fn scale_sizes() -> Vec<(&'static str, usize)> {
+    vec![
+        ("torus64x64/n4096", 64),
+        ("torus256x256/n65536", 256),
+        ("torus1000x1000/n1000000", 1000),
+    ]
+}
+
+fn weighted_node_step_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted/node_kernel_1024steps");
+    let spec = KernelSpec::Node(NodeModelParams::new(0.5, 2).unwrap());
+    for (name, side) in scale_sizes() {
+        let plain = generators::torus(side, side).unwrap();
+        group.bench_function(format!("{name}/unweighted"), |b| {
+            let mut kernel = StepKernel::new(&plain, pm_one(plain.n()), spec).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| kernel.step_many(STEPS_PER_ITER, &mut rng));
+        });
+        let weighted = weighted_torus(side, side, 2);
+        group.bench_function(format!("{name}/weighted"), |b| {
+            let mut kernel = StepKernel::new(&weighted, pm_one(weighted.n()), spec).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| kernel.step_many(STEPS_PER_ITER, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn sync_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted/sync_16rounds");
+    for (name, side) in scale_sizes() {
+        let g = weighted_torus(side, side, 3);
+        for (model_name, model) in [
+            ("degroot", SyncModel::DeGroot { lazy: 0.5 }),
+            ("fj", SyncModel::FriedkinJohnsen { alpha: 0.2 }),
+        ] {
+            group.bench_function(format!("{name}/{model_name}"), |b| {
+                let mut kernel = SyncKernel::new(&g, pm_one(g.n()), model).unwrap();
+                b.iter(|| {
+                    for _ in 0..ROUNDS_PER_ITER {
+                        kernel.round();
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn csr_vs_dense_fj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted/fj_16rounds_n1024");
+    let g = weighted_torus(32, 32, 4);
+    let anchors = pm_one(g.n());
+    group.bench_function("csr", |b| {
+        b.iter(|| {
+            let mut kernel = SyncKernel::new(
+                &g,
+                anchors.clone(),
+                SyncModel::FriedkinJohnsen { alpha: 0.2 },
+            )
+            .unwrap();
+            kernel.run(ROUNDS_PER_ITER, 0.0).unwrap()
+        });
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| dense_fj_fixed_point(&g, &anchors, 0.2, 0.0, ROUNDS_PER_ITER));
+    });
+    group.finish();
+}
+
+fn scenario_fj_fixed_point(c: &mut Criterion) {
+    // The full pipeline — parse, weight attachment, dispatch to the
+    // sync-rounds engine, fixed-point iteration — at production scale.
+    let text = "scenario bench-weighted-fj\n\
+                model fj alpha=0.2\n\
+                graph torus rows=1000 cols=1000\n\
+                weights uniform lo=0.5 hi=2 seed=5\n\
+                init pm_one\n\
+                stop fixed_point eps=0.000001 budget=10000\n";
+    let spec = ScenarioSpec::parse(text).unwrap();
+    let mut group = c.benchmark_group("weighted/scenario_fj");
+    group.sample_size(10);
+    group.bench_function("n1000000_fixed_point", |b| {
+        b.iter(|| {
+            let report = Simulation::from_spec(&spec).unwrap().run().unwrap();
+            assert!(report.trials[0].converged);
+            report.trials[0].steps
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    weighted_node_step_many,
+    sync_rounds,
+    csr_vs_dense_fj,
+    scenario_fj_fixed_point
+);
+criterion_main!(benches);

@@ -349,6 +349,15 @@ impl<'g> VoterBatch<'g> {
     ///
     /// [`CoreError::Disconnected`] or [`CoreError::LengthMismatch`].
     pub fn new(graph: &'g Graph, opinions0: &[u32], seeds: &[u64]) -> Result<Self, CoreError> {
+        if graph.is_directed() {
+            return Err(CoreError::DirectedUnsupported);
+        }
+        if graph.is_weighted() {
+            // Same restriction as [`crate::VoterModel::new`]: the voter
+            // kernels sample edges uniformly, which has no weighted
+            // reading compatible with the duality suite.
+            return Err(CoreError::WeightedUnsupported { tier: "voter" });
+        }
         if !graph.is_connected() || graph.n() < 2 {
             return Err(CoreError::Disconnected);
         }

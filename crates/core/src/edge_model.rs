@@ -38,6 +38,14 @@ impl<'g> EdgeModel<'g> {
         initial_values: Vec<f64>,
         params: EdgeModelParams,
     ) -> Result<Self, CoreError> {
+        if graph.is_directed() {
+            return Err(CoreError::DirectedUnsupported);
+        }
+        if graph.is_weighted() {
+            // Same restriction as the scalar NodeModel: weighted runs go
+            // through the batched kernels.
+            return Err(CoreError::WeightedUnsupported { tier: "scalar" });
+        }
         if !graph.is_connected() || graph.n() < 2 {
             return Err(CoreError::Disconnected);
         }

@@ -49,6 +49,26 @@ pub enum CoreError {
     /// scenario it is being restored into (see
     /// [`crate::ConvergeWindow::restore`]).
     Checkpoint(String),
+    /// The graph is directed. The paper's asynchronous gossip processes
+    /// are defined on undirected graphs; directed influence is served by
+    /// the synchronous-rounds tier ([`crate::SyncKernel`]).
+    DirectedUnsupported,
+    /// A per-edge-weighted graph reached an engine tier with no weighted
+    /// aggregation path (the lane tier's shared step schedule, the voter
+    /// kernels, the churn-driven dynamic kernels).
+    WeightedUnsupported {
+        /// The tier or kernel family that cannot consume weights.
+        tier: &'static str,
+    },
+    /// A synchronous-rounds model parameter was out of its admissible
+    /// range: DeGroot laziness lies in `[0, 1)`, Friedkin–Johnsen
+    /// stubbornness in `(0, 1]`.
+    InvalidSyncParameter {
+        /// Parameter name (`"lazy"`, `"alpha"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -73,6 +93,18 @@ impl fmt::Display for CoreError {
             }
             CoreError::Checkpoint(message) => {
                 write!(f, "invalid window checkpoint: {message}")
+            }
+            CoreError::DirectedUnsupported => {
+                write!(
+                    f,
+                    "directed graphs are only supported by the synchronous-rounds kernels"
+                )
+            }
+            CoreError::WeightedUnsupported { tier } => {
+                write!(f, "the {tier} kernels do not support per-edge weights")
+            }
+            CoreError::InvalidSyncParameter { name, value } => {
+                write!(f, "sync model parameter {name} out of range: got {value}")
             }
         }
     }
@@ -105,5 +137,11 @@ mod tests {
         assert!(CoreError::InvalidEpsilon { epsilon: -1.0 }
             .to_string()
             .contains("epsilon"));
+        assert!(CoreError::DirectedUnsupported
+            .to_string()
+            .contains("directed"));
+        assert!(CoreError::WeightedUnsupported { tier: "lane" }
+            .to_string()
+            .contains("lane"));
     }
 }

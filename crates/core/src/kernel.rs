@@ -79,6 +79,12 @@ impl KernelSpec {
 
 /// Validates an initial value vector against a graph.
 pub(crate) fn validate_values(graph: &Graph, values: &[f64]) -> Result<(), CoreError> {
+    if graph.is_directed() {
+        // The asynchronous gossip processes need symmetric interactions
+        // (their martingale/potential theory lives on reversible chains);
+        // directed influence is the synchronous tier's job.
+        return Err(CoreError::DirectedUnsupported);
+    }
     if !graph.is_connected() || graph.n() < 2 {
         return Err(CoreError::Disconnected);
     }
@@ -94,6 +100,72 @@ pub(crate) fn validate_values(graph: &Graph, values: &[f64]) -> Result<(), CoreE
     Ok(())
 }
 
+/// Weighted NodeModel aggregation over an already-drawn sample:
+/// `Σ w·ξ_v / Σ w`, or `None` when every sampled weight is zero (the
+/// update leaves the value unchanged — a zero-weight neighbourhood has no
+/// opinion to offer).
+///
+/// At unit weights this is bit-identical to the unweighted mean: the
+/// numerator accumulates `0.0 + 1.0·ξ_1 + 1.0·ξ_2 + …` — the same adds in
+/// the same order as `sample.iter().sum()` because `1.0·x` is `x` bitwise
+/// — and the denominator accumulates unit weights to exactly
+/// `sample.len() as f64` (integer-valued f64 sums are exact below 2⁵³).
+#[inline]
+fn weighted_sample_mean(
+    graph: &Graph,
+    u: NodeId,
+    sample: &[NodeId],
+    values: &[f64],
+) -> Option<f64> {
+    let row = graph.neighbors(u);
+    let weights = graph
+        .row_weights(u)
+        .expect("weighted loop requires weight rows");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &v in sample {
+        let slot = row
+            .binary_search(&v)
+            .expect("sampled node is a neighbour of u");
+        let w = weights[slot];
+        num += w * values[v as usize];
+        den += w;
+    }
+    if den == 0.0 {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+/// Weighted EdgeModel pull target for CSR slot `slot` (tail `t`, head
+/// `h`): `ŵ·ξ_h + (1−ŵ)·ξ_t` with pull strength `ŵ = w_slot /
+/// max_row_weight(t) ∈ [0, 1]`, so the heaviest incident edge pulls fully
+/// and lighter edges pull proportionally. The `ŵ == 1.0` arm returns the
+/// head value *exactly* — unit-weight graphs always take it, reproducing
+/// the unweighted expression bit-for-bit with no `±0.0` blend artifacts.
+/// Returns `None` for a zero-weight slot (the value stays unchanged).
+#[inline]
+fn weighted_pull_target(
+    graph: &Graph,
+    weights: &[f64],
+    slot: usize,
+    tail: NodeId,
+    head: NodeId,
+    values: &[f64],
+) -> Option<f64> {
+    // Row maxes are strictly positive for any row that owns a slot:
+    // all-zero rows are rejected at graph construction.
+    let scaled = weights[slot] / graph.row_weight_max(tail);
+    if scaled == 1.0 {
+        Some(values[head as usize])
+    } else if scaled == 0.0 {
+        None
+    } else {
+        Some(scaled * values[head as usize] + (1.0 - scaled) * values[tail as usize])
+    }
+}
+
 /// Advances `steps` steps of `spec` over `values`, drawing all randomness
 /// from `rng`. The model dispatch and parameter reads are hoisted out of
 /// the loop; `sample`/`perm` are caller-owned scratch so the loop performs
@@ -102,6 +174,12 @@ pub(crate) fn validate_values(graph: &Graph, values: &[f64]) -> Result<(), CoreE
 /// This is the one inner loop shared by [`StepKernel`] and
 /// [`crate::ReplicaBatch`]; its per-step arithmetic mirrors the scalar
 /// `NodeModel`/`EdgeModel` implementations expression-for-expression.
+///
+/// Weighted graphs take dedicated loop bodies (gated once, outside the
+/// step loop, on [`Graph::is_weighted`]) built from
+/// [`weighted_sample_mean`] / [`weighted_pull_target`]; unit-weight
+/// weighted graphs reproduce the unweighted expressions bit-for-bit, and
+/// unweighted graphs never touch the weighted code at all.
 pub(crate) fn run_steps<R: RngCore + ?Sized>(
     graph: &Graph,
     spec: KernelSpec,
@@ -117,28 +195,57 @@ pub(crate) fn run_steps<R: RngCore + ?Sized>(
             let alpha = params.alpha();
             let k = params.k();
             let lazy = params.laziness() == Laziness::Lazy;
-            for _ in 0..steps {
-                if lazy && rng.gen_bool(0.5) {
-                    continue;
+            if graph.is_weighted() {
+                for _ in 0..steps {
+                    if lazy && rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    let u = rng.gen_range(0..n);
+                    sample_k_neighbors(graph.neighbors(u as NodeId), k, sample, perm, rng);
+                    if let Some(mean) = weighted_sample_mean(graph, u as NodeId, sample, values) {
+                        values[u] = alpha * values[u] + (1.0 - alpha) * mean;
+                    }
                 }
-                let u = rng.gen_range(0..n);
-                sample_k_neighbors(graph.neighbors(u as NodeId), k, sample, perm, rng);
-                let mean =
-                    sample.iter().map(|&v| values[v as usize]).sum::<f64>() / sample.len() as f64;
-                values[u] = alpha * values[u] + (1.0 - alpha) * mean;
+            } else {
+                for _ in 0..steps {
+                    if lazy && rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    let u = rng.gen_range(0..n);
+                    sample_k_neighbors(graph.neighbors(u as NodeId), k, sample, perm, rng);
+                    let mean = sample.iter().map(|&v| values[v as usize]).sum::<f64>()
+                        / sample.len() as f64;
+                    values[u] = alpha * values[u] + (1.0 - alpha) * mean;
+                }
             }
         }
         KernelSpec::Edge(params) => {
             let two_m = graph.directed_edge_count();
             let alpha = params.alpha();
             let lazy = params.laziness() == Laziness::Lazy;
-            for _ in 0..steps {
-                if lazy && rng.gen_bool(0.5) {
-                    continue;
+            if let Some(weights) = graph.weight_slice() {
+                for _ in 0..steps {
+                    if lazy && rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    let slot = rng.gen_range(0..two_m);
+                    let edge = graph.directed_edge(slot);
+                    if let Some(target) =
+                        weighted_pull_target(graph, weights, slot, edge.tail, edge.head, values)
+                    {
+                        values[edge.tail as usize] =
+                            alpha * values[edge.tail as usize] + (1.0 - alpha) * target;
+                    }
                 }
-                let edge = graph.directed_edge(rng.gen_range(0..two_m));
-                values[edge.tail as usize] =
-                    alpha * values[edge.tail as usize] + (1.0 - alpha) * values[edge.head as usize];
+            } else {
+                for _ in 0..steps {
+                    if lazy && rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    let edge = graph.directed_edge(rng.gen_range(0..two_m));
+                    values[edge.tail as usize] = alpha * values[edge.tail as usize]
+                        + (1.0 - alpha) * values[edge.head as usize];
+                }
             }
         }
     }
@@ -149,15 +256,19 @@ pub(crate) fn slice_average(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
-/// Degree-weighted average `Σ (d_u/2m) ξ_u` (the NodeModel martingale).
+/// Degree-weighted average `Σ (d_u/2m) ξ_u` (the NodeModel martingale);
+/// on weighted graphs the strength-weighted average `Σ (s_u/W) ξ_u` with
+/// `s_u` the row weight sum and `W = Σ s_u`. For unweighted and
+/// unit-weight graphs both normalizers are exactly the integer degree
+/// counts, so this is bit-identical to the historical expression.
 pub(crate) fn slice_weighted_average(graph: &Graph, values: &[f64]) -> f64 {
-    let two_m = graph.directed_edge_count() as f64;
+    let total = graph.total_weight();
     values
         .iter()
         .enumerate()
-        .map(|(u, &x)| graph.degree(u as NodeId) as f64 * x)
+        .map(|(u, &x)| graph.row_weight_sum(u as NodeId) * x)
         .sum::<f64>()
-        / two_m
+        / total
 }
 
 /// The paper's potential `φ(ξ) = ⟨ξ,ξ⟩_π − ⟨1,ξ⟩_π²` (Eq. 3), computed in
@@ -178,13 +289,13 @@ pub(crate) fn slice_potential_pi(graph: &Graph, values: &[f64]) -> f64 {
 /// get the `F` estimate for free.
 pub(crate) fn slice_potential_and_mean(graph: &Graph, values: &[f64]) -> (f64, f64) {
     let mu = slice_weighted_average(graph, values);
-    let two_m = graph.directed_edge_count() as f64;
+    let total = graph.total_weight();
     let phi = values
         .iter()
         .enumerate()
         .map(|(u, &x)| {
             let c = x - mu;
-            graph.degree(u as NodeId) as f64 / two_m * c * c
+            graph.row_weight_sum(u as NodeId) / total * c * c
         })
         .sum::<f64>()
         .max(0.0);
@@ -413,6 +524,7 @@ pub(crate) fn run_steps_tracked_until<R: RngCore + ?Sized>(
             let alpha = params.alpha();
             let k = params.k();
             let lazy = params.laziness() == Laziness::Lazy;
+            let weighted = graph.is_weighted();
             loop {
                 if tracker.potential_pi() <= epsilon {
                     return (taken, true);
@@ -426,8 +538,16 @@ pub(crate) fn run_steps_tracked_until<R: RngCore + ?Sized>(
                 }
                 let u = rng.gen_range(0..n);
                 sample_k_neighbors(graph.neighbors(u as NodeId), k, sample, perm, rng);
-                let mean =
-                    sample.iter().map(|&v| values[v as usize]).sum::<f64>() / sample.len() as f64;
+                let mean = if weighted {
+                    match weighted_sample_mean(graph, u as NodeId, sample, values) {
+                        Some(mean) => mean,
+                        // Zero sampled weight: the value stays put and the
+                        // tracker has nothing to record.
+                        None => continue,
+                    }
+                } else {
+                    sample.iter().map(|&v| values[v as usize]).sum::<f64>() / sample.len() as f64
+                };
                 let old = values[u];
                 let new = alpha * old + (1.0 - alpha) * mean;
                 values[u] = new;
@@ -439,6 +559,7 @@ pub(crate) fn run_steps_tracked_until<R: RngCore + ?Sized>(
             let two_m = graph.directed_edge_count();
             let alpha = params.alpha();
             let lazy = params.laziness() == Laziness::Lazy;
+            let weights = graph.weight_slice();
             loop {
                 if tracker.potential_pi() <= epsilon {
                     return (taken, true);
@@ -450,10 +571,23 @@ pub(crate) fn run_steps_tracked_until<R: RngCore + ?Sized>(
                 if lazy && rng.gen_bool(0.5) {
                     continue;
                 }
-                let edge = graph.directed_edge(rng.gen_range(0..two_m));
+                let slot = rng.gen_range(0..two_m);
+                let edge = graph.directed_edge(slot);
                 let tail = edge.tail as usize;
                 let old = values[tail];
-                let new = alpha * old + (1.0 - alpha) * values[edge.head as usize];
+                let target = match weights {
+                    Some(weights) => {
+                        match weighted_pull_target(
+                            graph, weights, slot, edge.tail, edge.head, values,
+                        ) {
+                            Some(target) => target,
+                            // Zero-weight slot: no pull, nothing to record.
+                            None => continue,
+                        }
+                    }
+                    None => values[edge.head as usize],
+                };
+                let new = alpha * old + (1.0 - alpha) * target;
                 values[tail] = new;
                 tracker.record(pi[tail], old, new);
                 tracker.maybe_refresh(pi, values);

@@ -570,13 +570,20 @@ impl<'g> LaneReplicaBatch<'g> {
     ///
     /// # Errors
     ///
-    /// The same as [`crate::StepKernel::new`].
+    /// The same as [`crate::StepKernel::new`], plus
+    /// [`CoreError::WeightedUnsupported`] for weighted graphs: the lane
+    /// tier's shared step schedule has no weighted aggregation path, so
+    /// the scenario dispatcher falls weighted specs back to the exact
+    /// engine.
     pub fn new(
         graph: &'g Graph,
         spec: KernelSpec,
         xi0: &[f64],
         seeds: &[u64],
     ) -> Result<Self, CoreError> {
+        if graph.is_weighted() {
+            return Err(CoreError::WeightedUnsupported { tier: "lane" });
+        }
         validate_values(graph, xi0)?;
         spec.validate(graph)?;
         let n = xi0.len();

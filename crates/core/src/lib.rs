@@ -59,6 +59,7 @@ mod params;
 mod process;
 mod sampling;
 mod state;
+mod sync;
 pub mod theory;
 mod voter;
 mod window;
@@ -83,5 +84,6 @@ pub use node_model::NodeModel;
 pub use params::{EdgeModelParams, Laziness, NodeModelParams};
 pub use process::{OpinionProcess, StepRecord};
 pub use state::OpinionState;
+pub use sync::{SyncKernel, SyncModel};
 pub use voter::{VoterModel, VoterReport};
 pub use window::{run_converge_streaming, ConvergeWindow, WindowCheckpoint};

@@ -48,6 +48,14 @@ impl<'g> NodeModel<'g> {
         initial_values: Vec<f64>,
         params: NodeModelParams,
     ) -> Result<Self, CoreError> {
+        if graph.is_directed() {
+            return Err(CoreError::DirectedUnsupported);
+        }
+        if graph.is_weighted() {
+            // The scalar reference path keeps the paper's unweighted
+            // arithmetic; weighted runs go through the batched kernels.
+            return Err(CoreError::WeightedUnsupported { tier: "scalar" });
+        }
         if !graph.is_connected() || graph.n() < 2 {
             return Err(CoreError::Disconnected);
         }

@@ -1,0 +1,460 @@
+//! Synchronous-rounds opinion kernels over the (optionally weighted,
+//! optionally directed) CSR graph.
+//!
+//! The paper's processes are asynchronous single-site updates; the
+//! neighbouring mechanisms from the related literature are *synchronous*:
+//! every node updates once per round from the previous round's values.
+//! [`SyncKernel`] runs three of them over the same CSR representation the
+//! asynchronous kernels use — including directed rows and per-edge
+//! weights, which the asynchronous tier rejects:
+//!
+//! * **DeGroot** (`x ← (1−ℓ)·P x + ℓ·x`): repeated row-stochastic
+//!   averaging, the classic baseline. The laziness `ℓ` damps the
+//!   bipartite oscillation of e.g. even cycles.
+//! * **Friedkin–Johnsen** (`x ← α·s + (1−α)·P x`): stubborn agents
+//!   anchored to their initial opinions `s` with susceptibility `1−α`
+//!   (Bindel–Kleinberg–Oren). Unlike DeGroot it has a unique non-consensus
+//!   fixed point for `α > 0`, reached from any start.
+//! * **Weighted median** (Mei–Bullo et al.): each node jumps to the
+//!   weighted median of its neighbours' values — a quantile, not an
+//!   average, so single outliers with small weight cannot drag it.
+//!   Applied as an in-place node-order sweep (Gauss–Seidel style), which
+//!   converges where the parallel variant can cycle.
+//!
+//! `P` is the row-normalized weight matrix `P[u][v] = w_uv / Σ_v w_uv`
+//! (row-stochastic; uniform `1/d_u` when the graph is unweighted). A node
+//! with an empty row (possible on directed graphs) keeps its value — the
+//! kernels require neither connectivity nor symmetry, unlike
+//! [`crate::StepKernel`].
+//!
+//! Rounds are deterministic: no RNG, so replicas are pointless and a
+//! scenario runs the kernel once regardless of its `replicas` knob.
+
+use crate::error::CoreError;
+use od_graph::{Graph, NodeId};
+
+/// Which synchronous mechanism a [`SyncKernel`] advances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncModel {
+    /// Lazy DeGroot averaging `x ← (1−ℓ)·P x + ℓ·x`, `ℓ ∈ [0, 1)`.
+    DeGroot {
+        /// Laziness `ℓ`: the weight kept on the own value each round.
+        lazy: f64,
+    },
+    /// Friedkin–Johnsen `x ← α·s + (1−α)·P x` with anchors `s = x(0)`,
+    /// `α ∈ (0, 1]`.
+    FriedkinJohnsen {
+        /// Stubbornness `α`: the weight each node keeps on its anchor.
+        alpha: f64,
+    },
+    /// Weighted-median dynamics: each node adopts the weighted median of
+    /// its neighbours' values (in-place node-order sweep).
+    WeightedMedian,
+}
+
+impl SyncModel {
+    fn validate(&self) -> Result<(), CoreError> {
+        match *self {
+            SyncModel::DeGroot { lazy } => {
+                if !(0.0..1.0).contains(&lazy) || lazy.is_nan() {
+                    return Err(CoreError::InvalidSyncParameter {
+                        name: "lazy",
+                        value: lazy,
+                    });
+                }
+            }
+            SyncModel::FriedkinJohnsen { alpha } => {
+                // α = 0 would be plain DeGroot; spell that instead.
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(CoreError::InvalidSyncParameter {
+                        name: "alpha",
+                        value: alpha,
+                    });
+                }
+            }
+            SyncModel::WeightedMedian => {}
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic synchronous-rounds kernel (see the module docs for the
+/// three mechanisms). Jacobi double-buffered for the averaging models,
+/// in-place for the weighted median.
+#[derive(Debug, Clone)]
+pub struct SyncKernel<'g> {
+    graph: &'g Graph,
+    model: SyncModel,
+    values: Vec<f64>,
+    /// Jacobi back buffer (averaging models read round `t` while writing
+    /// round `t+1` here, then the buffers swap).
+    next: Vec<f64>,
+    /// Friedkin–Johnsen anchors `s = x(0)`; empty for the other models.
+    anchor: Vec<f64>,
+    /// Weighted-median sort scratch: `(value, weight)` pairs of one row.
+    scratch: Vec<(f64, f64)>,
+    rounds: u64,
+}
+
+impl<'g> SyncKernel<'g> {
+    /// Creates a kernel over `graph` starting from `initial_values`.
+    /// Directed and weighted graphs are both fully supported; there is no
+    /// connectivity requirement (per-component convergence is meaningful
+    /// for every synchronous model).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LengthMismatch`], [`CoreError::NonFiniteValue`], or
+    /// [`CoreError::InvalidSyncParameter`] for an out-of-range `lazy` /
+    /// `alpha`.
+    pub fn new(
+        graph: &'g Graph,
+        initial_values: Vec<f64>,
+        model: SyncModel,
+    ) -> Result<Self, CoreError> {
+        model.validate()?;
+        if initial_values.len() != graph.n() {
+            return Err(CoreError::LengthMismatch {
+                values: initial_values.len(),
+                nodes: graph.n(),
+            });
+        }
+        if let Some(index) = initial_values.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteValue { index });
+        }
+        let anchor = match model {
+            SyncModel::FriedkinJohnsen { .. } => initial_values.clone(),
+            _ => Vec::new(),
+        };
+        let next = match model {
+            SyncModel::WeightedMedian => Vec::new(),
+            _ => vec![0.0; initial_values.len()],
+        };
+        let scratch = match model {
+            SyncModel::WeightedMedian => Vec::with_capacity(graph.max_degree()),
+            _ => Vec::new(),
+        };
+        Ok(SyncKernel {
+            graph,
+            model,
+            values: initial_values,
+            next,
+            anchor,
+            scratch,
+            rounds: 0,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The mechanism this kernel advances.
+    pub fn model(&self) -> SyncModel {
+        self.model
+    }
+
+    /// Current values, one per node.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rounds taken since construction.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Advances one synchronous round and returns `max_u |Δx_u|`, the
+    /// round's largest single-node movement (the fixed-point residual the
+    /// stopping rule in [`SyncKernel::run`] thresholds).
+    pub fn round(&mut self) -> f64 {
+        self.rounds += 1;
+        match self.model {
+            SyncModel::DeGroot { lazy } => self.averaging_round(|_, pulled, old| {
+                if lazy == 0.0 {
+                    pulled
+                } else {
+                    (1.0 - lazy) * pulled + lazy * old
+                }
+            }),
+            SyncModel::FriedkinJohnsen { alpha } => {
+                // Split borrow: the closure may not capture `self` whole
+                // while `averaging_round` holds `&mut self`.
+                let anchor = std::mem::take(&mut self.anchor);
+                let delta =
+                    self.averaging_round(|u, pulled, _| alpha * anchor[u] + (1.0 - alpha) * pulled);
+                self.anchor = anchor;
+                delta
+            }
+            SyncModel::WeightedMedian => self.median_sweep(),
+        }
+    }
+
+    /// One Jacobi round of an averaging model: for every node, `pulled` is
+    /// the row-normalized neighbour average `(P x)_u` (own value for an
+    /// empty row) and `combine(u, pulled, old)` produces the new value.
+    fn averaging_round(&mut self, combine: impl Fn(usize, f64, f64) -> f64) -> f64 {
+        let mut delta = 0.0f64;
+        for u in 0..self.graph.n() {
+            let old = self.values[u];
+            let row = self.graph.neighbors(u as NodeId);
+            let pulled = if row.is_empty() {
+                old
+            } else if let Some(weights) = self.graph.row_weights(u as NodeId) {
+                let mut num = 0.0;
+                for (&v, &w) in row.iter().zip(weights) {
+                    num += w * self.values[v as usize];
+                }
+                num / self.graph.row_weight_sum(u as NodeId)
+            } else {
+                row.iter().map(|&v| self.values[v as usize]).sum::<f64>() / row.len() as f64
+            };
+            let new = combine(u, pulled, old);
+            self.next[u] = new;
+            delta = delta.max((new - old).abs());
+        }
+        std::mem::swap(&mut self.values, &mut self.next);
+        delta
+    }
+
+    /// One in-place node-order weighted-median sweep. The weighted median
+    /// of a row is the smallest neighbour value whose cumulative weight
+    /// reaches half the row's total — a neighbour's actual value, so the
+    /// dynamics move on the finite set of initial opinions and terminate.
+    fn median_sweep(&mut self) -> f64 {
+        let mut delta = 0.0f64;
+        for u in 0..self.graph.n() {
+            let row = self.graph.neighbors(u as NodeId);
+            if row.is_empty() {
+                continue;
+            }
+            self.scratch.clear();
+            match self.graph.row_weights(u as NodeId) {
+                Some(weights) => {
+                    for (&v, &w) in row.iter().zip(weights) {
+                        self.scratch.push((self.values[v as usize], w));
+                    }
+                }
+                None => {
+                    for &v in row {
+                        self.scratch.push((self.values[v as usize], 1.0));
+                    }
+                }
+            }
+            self.scratch
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("values are finite"));
+            let half = self.graph.row_weight_sum(u as NodeId) / 2.0;
+            let mut cumulative = 0.0;
+            let mut median = self.scratch[self.scratch.len() - 1].0;
+            for &(value, weight) in &self.scratch {
+                cumulative += weight;
+                if cumulative >= half {
+                    median = value;
+                    break;
+                }
+            }
+            let old = self.values[u];
+            self.values[u] = median;
+            delta = delta.max((median - old).abs());
+        }
+        delta
+    }
+
+    /// Runs up to `max_rounds` rounds, stopping after the first round
+    /// whose largest single-node movement is `≤ tol`. Returns
+    /// `(rounds taken, converged)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidEpsilon`] if `tol` is negative or non-finite.
+    pub fn run(&mut self, max_rounds: u64, tol: f64) -> Result<(u64, bool), CoreError> {
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(CoreError::InvalidEpsilon { epsilon: tol });
+        }
+        let mut taken = 0u64;
+        while taken < max_rounds {
+            let delta = self.round();
+            taken += 1;
+            if delta <= tol {
+                return Ok((taken, true));
+            }
+        }
+        Ok((taken, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_graph::generators;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn degroot_reaches_degree_weighted_consensus() {
+        // Lazy DeGroot on a connected undirected graph converges to the
+        // π-weighted average of the start values (π = d/2m).
+        let g = generators::cycle(9).unwrap();
+        let xi0 = ramp(9);
+        let expected = xi0.iter().sum::<f64>() / 9.0; // regular graph: plain mean
+        let mut kernel = SyncKernel::new(&g, xi0, SyncModel::DeGroot { lazy: 0.5 }).unwrap();
+        let (rounds, converged) = kernel.run(100_000, 1e-12).unwrap();
+        assert!(converged, "no fixed point after {rounds} rounds");
+        for &v in kernel.values() {
+            assert!((v - expected).abs() < 1e-9, "value {v} != {expected}");
+        }
+    }
+
+    #[test]
+    fn lazy_degroot_damps_bipartite_oscillation() {
+        // An even cycle is bipartite: pure DeGroot oscillates forever,
+        // lazy DeGroot converges.
+        let g = generators::cycle(8).unwrap();
+        let mut pure = SyncKernel::new(&g, ramp(8), SyncModel::DeGroot { lazy: 0.0 }).unwrap();
+        let (_, converged) = pure.run(500, 1e-9).unwrap();
+        assert!(!converged, "bipartite oscillation should not settle");
+        let mut lazy = SyncKernel::new(&g, ramp(8), SyncModel::DeGroot { lazy: 0.5 }).unwrap();
+        let (_, converged) = lazy.run(100_000, 1e-9).unwrap();
+        assert!(converged);
+    }
+
+    #[test]
+    fn fj_fixed_point_satisfies_balance_equation() {
+        let g = generators::complete(6).unwrap();
+        let alpha = 0.3;
+        let xi0 = ramp(6);
+        let mut kernel =
+            SyncKernel::new(&g, xi0.clone(), SyncModel::FriedkinJohnsen { alpha }).unwrap();
+        let (_, converged) = kernel.run(100_000, 1e-14).unwrap();
+        assert!(converged);
+        // z_u = α s_u + (1−α) (P z)_u at the fixed point.
+        for u in 0..6u32 {
+            let row = g.neighbors(u);
+            let pulled = row
+                .iter()
+                .map(|&v| kernel.values()[v as usize])
+                .sum::<f64>()
+                / row.len() as f64;
+            let balance = alpha * xi0[u as usize] + (1.0 - alpha) * pulled;
+            assert!((kernel.values()[u as usize] - balance).abs() < 1e-10);
+        }
+        // Stubbornness keeps the profile away from consensus.
+        let spread = kernel.values().iter().cloned().fold(f64::MIN, f64::max)
+            - kernel.values().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.1);
+    }
+
+    #[test]
+    fn fully_stubborn_fj_never_moves() {
+        let g = generators::cycle(5).unwrap();
+        let xi0 = ramp(5);
+        let mut kernel =
+            SyncKernel::new(&g, xi0.clone(), SyncModel::FriedkinJohnsen { alpha: 1.0 }).unwrap();
+        let (rounds, converged) = kernel.run(10, 0.0).unwrap();
+        assert!(converged);
+        assert_eq!(rounds, 1);
+        assert_eq!(kernel.values(), xi0.as_slice());
+    }
+
+    #[test]
+    fn weighted_median_resists_a_light_outlier() {
+        // Star centre with three heavy moderate neighbours and one light
+        // extremist: the weighted median ignores the extremist, while the
+        // weighted mean would be dragged.
+        let g =
+            Graph::from_weighted_edges(5, &[(0, 1, 5.0), (0, 2, 5.0), (0, 3, 5.0), (0, 4, 0.1)])
+                .unwrap();
+        let xi0 = vec![0.0, 1.0, 1.0, 1.0, 100.0];
+        let mut kernel = SyncKernel::new(&g, xi0, SyncModel::WeightedMedian).unwrap();
+        let (_, converged) = kernel.run(100, 0.0).unwrap();
+        assert!(converged);
+        assert_eq!(kernel.values()[0], 1.0);
+    }
+
+    #[test]
+    fn median_dynamics_terminate_on_opinion_set() {
+        let g = generators::complete(7).unwrap();
+        let xi0 = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let mut kernel = SyncKernel::new(&g, xi0.clone(), SyncModel::WeightedMedian).unwrap();
+        let (_, converged) = kernel.run(100, 0.0).unwrap();
+        assert!(converged);
+        for &v in kernel.values() {
+            assert!(xi0.contains(&v), "median landed off the opinion set: {v}");
+        }
+    }
+
+    #[test]
+    fn directed_rows_pull_from_out_neighbours_only() {
+        // 0 → 1 → 2, 2 has no out-arcs: 2 never moves, and everything
+        // drains to 2's value.
+        let g = Graph::from_directed_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut kernel =
+            SyncKernel::new(&g, vec![0.0, 5.0, 9.0], SyncModel::DeGroot { lazy: 0.0 }).unwrap();
+        let (_, converged) = kernel.run(10_000, 1e-12).unwrap();
+        assert!(converged);
+        assert_eq!(kernel.values()[2], 9.0);
+        assert!((kernel.values()[0] - 9.0).abs() < 1e-9);
+        assert!((kernel.values()[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_directed_degroot_respects_row_stochastic_pull() {
+        // One round by hand: node 0 pulls 0.75·x₁ + 0.25·x₂.
+        let g = Graph::from_directed_weighted_edges(3, &[(0, 1, 3.0), (0, 2, 1.0)]).unwrap();
+        let mut kernel =
+            SyncKernel::new(&g, vec![0.0, 4.0, 8.0], SyncModel::DeGroot { lazy: 0.0 }).unwrap();
+        kernel.round();
+        assert_eq!(kernel.values()[0], 0.75 * 4.0 + 0.25 * 8.0);
+        assert_eq!(kernel.values()[1], 4.0);
+        assert_eq!(kernel.values()[2], 8.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters_and_inputs() {
+        let g = generators::cycle(4).unwrap();
+        assert!(matches!(
+            SyncKernel::new(&g, ramp(4), SyncModel::DeGroot { lazy: 1.0 }),
+            Err(CoreError::InvalidSyncParameter { name: "lazy", .. })
+        ));
+        assert!(matches!(
+            SyncKernel::new(&g, ramp(4), SyncModel::DeGroot { lazy: f64::NAN }),
+            Err(CoreError::InvalidSyncParameter { name: "lazy", .. })
+        ));
+        assert!(matches!(
+            SyncKernel::new(&g, ramp(4), SyncModel::FriedkinJohnsen { alpha: 0.0 }),
+            Err(CoreError::InvalidSyncParameter { name: "alpha", .. })
+        ));
+        assert!(matches!(
+            SyncKernel::new(&g, ramp(3), SyncModel::WeightedMedian),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            SyncKernel::new(&g, vec![0.0, f64::NAN, 0.0, 0.0], SyncModel::WeightedMedian),
+            Err(CoreError::NonFiniteValue { index: 1 })
+        ));
+        let mut kernel = SyncKernel::new(&g, ramp(4), SyncModel::WeightedMedian).unwrap();
+        assert!(matches!(
+            kernel.run(10, -1.0),
+            Err(CoreError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_graphs_converge_per_component() {
+        // Two disjoint edges; no connectivity requirement here.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut kernel = SyncKernel::new(
+            &g,
+            vec![0.0, 2.0, 10.0, 20.0],
+            SyncModel::DeGroot { lazy: 0.5 },
+        )
+        .unwrap();
+        let (_, converged) = kernel.run(100_000, 1e-12).unwrap();
+        assert!(converged);
+        assert!((kernel.values()[0] - 1.0).abs() < 1e-9);
+        assert!((kernel.values()[3] - 15.0).abs() < 1e-9);
+    }
+}

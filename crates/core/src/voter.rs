@@ -39,6 +39,14 @@ impl<'g> VoterModel<'g> {
     ///
     /// [`CoreError::Disconnected`] or [`CoreError::LengthMismatch`].
     pub fn new(graph: &'g Graph, opinions: Vec<u32>) -> Result<Self, CoreError> {
+        if graph.is_directed() {
+            return Err(CoreError::DirectedUnsupported);
+        }
+        if graph.is_weighted() {
+            // The voter duality results live on uniform edge sampling;
+            // weight-proportional adoption is a different process.
+            return Err(CoreError::WeightedUnsupported { tier: "voter" });
+        }
         if !graph.is_connected() || graph.n() < 2 {
             return Err(CoreError::Disconnected);
         }

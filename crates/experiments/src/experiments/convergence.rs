@@ -110,7 +110,7 @@ pub fn node_convergence_sweep(ctx: &ExperimentContext) -> SweepSpec {
             k: 1,
             lazy: false,
         },
-        families[0].1,
+        families[0].1.clone(),
         0,
     );
     base.name = Some("t22-conv".into());
@@ -124,7 +124,7 @@ pub fn node_convergence_sweep(ctx: &ExperimentContext) -> SweepSpec {
     SweepSpec {
         base,
         axes: vec![
-            SweepAxis::Graph(families.iter().map(|f| f.1).collect()),
+            SweepAxis::Graph(families.iter().map(|f| f.1.clone()).collect()),
             SweepAxis::Seed(
                 (0..families.len())
                     .map(|idx| ctx.seeds.child(100 + idx as u64).master())

@@ -94,7 +94,7 @@ pub fn structure_independence(ctx: &ExperimentContext) -> Vec<Table> {
             let stats = empirical_var_node(
                 ctx,
                 500 + (idx * 4 + jdx) as u64,
-                *graph_spec,
+                graph_spec.clone(),
                 g,
                 alpha,
                 k,
@@ -201,7 +201,7 @@ pub fn exact_prediction(ctx: &ExperimentContext) -> Vec<Table> {
         let stats = empirical_var_node(
             ctx,
             700 + idx as u64,
-            *graph_spec,
+            graph_spec.clone(),
             g,
             alpha,
             *k,

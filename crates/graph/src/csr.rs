@@ -17,26 +17,62 @@ pub struct DirectedEdge {
     pub head: NodeId,
 }
 
-/// A finite simple undirected graph in CSR (compressed sparse row) form.
+/// A finite simple graph in CSR (compressed sparse row) form.
+///
+/// The default mode is the paper's setting — unweighted and undirected —
+/// and every historical entry point ([`Graph::from_edges`], the
+/// generators, [`crate::DynamicGraph`]) produces exactly that. Two
+/// orthogonal extensions serve the related-literature mechanisms
+/// (Friedkin–Johnsen, weighted-median, DeGroot on influence networks):
+///
+/// * **weights** — an optional `f64` per CSR slot (see
+///   [`Graph::from_weighted_edges`] / [`Graph::attach_weights`]). Weights
+///   are validated at construction: finite, non-negative, no all-zero
+///   rows, and symmetric across orientations in undirected mode.
+/// * **directed** — rows hold *out*-neighbours and carry no symmetry
+///   invariant (see [`Graph::from_directed_edges`]).
 ///
 /// Invariants (enforced at construction):
 /// * no self loops, no parallel edges;
 /// * neighbour lists are sorted, enabling `O(log d)` adjacency queries;
-/// * every endpoint is `< n`.
+/// * every endpoint is `< n`;
+/// * undirected mode: adjacency (and any weights) are symmetric.
 ///
 /// Connectivity is *not* an invariant — generators return connected graphs,
 /// but [`Graph::from_edges`] accepts disconnected inputs so that traversal
 /// utilities can be tested. Processes validate connectivity themselves.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     /// `offsets[u]..offsets[u+1]` indexes `u`'s neighbours. Length `n + 1`.
     offsets: Vec<usize>,
-    /// Concatenated sorted neighbour lists. Length `2m`.
+    /// Concatenated sorted neighbour lists. Length `2m` (undirected) or the
+    /// directed edge count (directed mode).
     neighbors: Vec<NodeId>,
     /// `tails[e]` is the tail of directed edge `e` (owner of CSR slot `e`).
-    /// Length `2m`; lets `EdgeModel` sample a directed edge in O(1).
+    /// Same length as `neighbors`; lets `EdgeModel` sample a directed edge
+    /// in O(1).
     tails: Vec<NodeId>,
+    /// Optional per-slot edge weights, aligned with `neighbors`. `None`
+    /// means unit weights everywhere (the paper's processes); the kernels
+    /// gate on this so unweighted graphs take the historical code paths
+    /// bit-identically.
+    weights: Option<Vec<f64>>,
+    /// Cached per-row weight sums (present iff `weights` is); each entry is
+    /// the in-order sum of the row's weight slots, so for unit weights it
+    /// equals the degree exactly.
+    row_sums: Option<Vec<f64>>,
+    /// Cached per-row weight maxima (present iff `weights` is) — the O(1)
+    /// normalizer of the weighted `EdgeModel` pull, exactly `1.0` for unit
+    /// weights.
+    row_maxes: Option<Vec<f64>>,
+    /// Directed mode: rows are out-neighbour lists, no symmetry invariant.
+    directed: bool,
 }
+
+// `weights` is the only non-`Eq` field, and construction rejects NaN (all
+// weights are finite), so `PartialEq` is reflexive on every constructible
+// value and the `Eq` contract holds.
+impl Eq for Graph {}
 
 /// Reusable scratch for [`Graph::assign_from_edges`] rebuilds (per-node
 /// degree counts and row-fill cursors). Owned by `DynamicGraph` so
@@ -75,13 +111,206 @@ impl Graph {
     /// # Ok::<(), od_graph::GraphError>(())
     /// ```
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
-        let mut graph = Graph {
-            offsets: Vec::new(),
-            neighbors: Vec::new(),
-            tails: Vec::new(),
-        };
+        let mut graph = Graph::placeholder();
         graph.assign_from_edges(n, edges, &mut CsrScratch::default())?;
         Ok(graph)
+    }
+
+    /// Builds an undirected weighted graph: each `(u, v, w)` entry is one
+    /// undirected edge of weight `w`, stored symmetrically on both CSR
+    /// slots.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Graph::from_edges`] rejects, plus
+    /// [`GraphError::InvalidWeight`] for non-finite or negative weights and
+    /// [`GraphError::ZeroWeightRow`] if some node's incident weights are
+    /// all zero (row-normalized aggregation would be undefined there).
+    pub fn from_weighted_edges(
+        n: usize,
+        edges: &[(NodeId, NodeId, f64)],
+    ) -> Result<Self, GraphError> {
+        let plain: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        let mut graph = Graph::from_edges(n, &plain)?;
+        let mut weights = vec![0.0f64; graph.neighbors.len()];
+        for &(u, v, w) in edges {
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight {
+                    u: u as u64,
+                    v: v as u64,
+                });
+            }
+            let fwd = graph.offsets[u as usize]
+                + graph
+                    .neighbors(u)
+                    .binary_search(&v)
+                    .expect("edge placed by from_edges");
+            let rev = graph.offsets[v as usize]
+                + graph
+                    .neighbors(v)
+                    .binary_search(&u)
+                    .expect("undirected adjacency is symmetric");
+            weights[fwd] = w;
+            weights[rev] = w;
+        }
+        graph.set_validated_weights(weights)?;
+        Ok(graph)
+    }
+
+    /// Builds a directed graph from `(tail, head)` arcs: `tail` observes
+    /// (pulls from) `head`, and row `u` lists `u`'s out-neighbours. No
+    /// symmetry is required — `u → v` and `v → u` are independent arcs.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidNode`], [`GraphError::SelfLoop`] and
+    /// [`GraphError::DuplicateEdge`] exactly as for [`Graph::from_edges`]
+    /// (duplicates are per *arc*).
+    pub fn from_directed_edges(n: usize, arcs: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let weighted: Vec<(NodeId, NodeId, f64)> = arcs.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let mut graph = Graph::from_directed_weighted_edges(n, &weighted)?;
+        // Unit arcs carry no information: drop the weight array so kernels
+        // take their unweighted aggregation paths.
+        graph.weights = None;
+        graph.row_sums = None;
+        graph.row_maxes = None;
+        Ok(graph)
+    }
+
+    /// Builds a directed weighted graph from `(tail, head, w)` arcs (the
+    /// row-stochastic transition-matrix shape once rows are normalized; see
+    /// [`Graph::row_weight_sum`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Graph::from_directed_edges`], plus
+    /// [`GraphError::InvalidWeight`] / [`GraphError::ZeroWeightRow`] for
+    /// invalid weights.
+    pub fn from_directed_weighted_edges(
+        n: usize,
+        arcs: &[(NodeId, NodeId, f64)],
+    ) -> Result<Self, GraphError> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameter(format!(
+                "graph supports at most {} nodes, got {n}",
+                u32::MAX
+            )));
+        }
+        let mut rows: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        for &(u, v, w) in arcs {
+            if u as usize >= n {
+                return Err(GraphError::InvalidNode { node: u as u64, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::InvalidNode { node: v as u64, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u as u64 });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight {
+                    u: u as u64,
+                    v: v as u64,
+                });
+            }
+            rows[u as usize].push((v, w));
+        }
+        let mut graph = Graph::placeholder();
+        graph.directed = true;
+        graph.offsets.reserve(n);
+        for (u, row) in rows.iter_mut().enumerate() {
+            row.sort_unstable_by_key(|&(v, _)| v);
+            if let Some(pair) = row.windows(2).find(|p| p[0].0 == p[1].0) {
+                return Err(GraphError::DuplicateEdge {
+                    u: u as u64,
+                    v: pair[0].0 as u64,
+                });
+            }
+            graph.neighbors.extend(row.iter().map(|&(v, _)| v));
+            graph
+                .tails
+                .extend(std::iter::repeat_n(u as NodeId, row.len()));
+            graph.offsets.push(graph.neighbors.len());
+        }
+        let weights: Vec<f64> = rows
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, w)| w))
+            .collect();
+        graph.set_validated_weights(weights)?;
+        Ok(graph)
+    }
+
+    /// Attaches one weight per *undirected edge*, in the order
+    /// [`Graph::edges`] yields them (canonical `u < v`, ascending). Both
+    /// CSR slots of each edge receive the same weight, preserving the
+    /// undirected symmetry invariant. This is how generated topologies
+    /// become weighted (the `weights uniform` scenario spelling).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] if the graph is directed or
+    /// `per_edge.len() != m`; [`GraphError::InvalidWeight`] /
+    /// [`GraphError::ZeroWeightRow`] for invalid weights.
+    pub fn attach_weights(&mut self, per_edge: &[f64]) -> Result<(), GraphError> {
+        if self.directed {
+            return Err(GraphError::InvalidParameter(
+                "attach_weights applies to undirected graphs; build directed graphs \
+                 with from_directed_weighted_edges"
+                    .into(),
+            ));
+        }
+        if per_edge.len() != self.m() {
+            return Err(GraphError::InvalidParameter(format!(
+                "{} weights for {} undirected edges",
+                per_edge.len(),
+                self.m()
+            )));
+        }
+        let mut weights = vec![0.0f64; self.neighbors.len()];
+        for ((u, v), &w) in self.edges().zip(per_edge.iter()) {
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight {
+                    u: u as u64,
+                    v: v as u64,
+                });
+            }
+            let fwd = self.offsets[u as usize]
+                + self
+                    .neighbors(u)
+                    .binary_search(&v)
+                    .expect("edges() yields existing edges");
+            let rev = self.offsets[v as usize]
+                + self
+                    .neighbors(v)
+                    .binary_search(&u)
+                    .expect("undirected adjacency is symmetric");
+            weights[fwd] = w;
+            weights[rev] = w;
+        }
+        self.set_validated_weights(weights)
+    }
+
+    /// Installs a per-slot weight array whose entries are already known
+    /// finite and non-negative, rejecting all-zero rows and caching the
+    /// per-row sums.
+    fn set_validated_weights(&mut self, weights: Vec<f64>) -> Result<(), GraphError> {
+        debug_assert_eq!(weights.len(), self.neighbors.len());
+        let n = self.n();
+        let mut row_sums = Vec::with_capacity(n);
+        let mut row_maxes = Vec::with_capacity(n);
+        for u in 0..n {
+            let row = &weights[self.offsets[u]..self.offsets[u + 1]];
+            let sum: f64 = row.iter().sum();
+            if !row.is_empty() && row.iter().all(|&w| w == 0.0) {
+                return Err(GraphError::ZeroWeightRow { node: u as u64 });
+            }
+            row_sums.push(sum);
+            row_maxes.push(row.iter().copied().fold(0.0f64, f64::max));
+        }
+        self.weights = Some(weights);
+        self.row_sums = Some(row_sums);
+        self.row_maxes = Some(row_maxes);
+        Ok(())
     }
 
     /// Rebuilds this graph in place from an undirected edge list, reusing
@@ -109,6 +338,12 @@ impl Graph {
                 u32::MAX
             )));
         }
+        // Rebuild targets are always the paper's plain mode; a dynamic
+        // back buffer may have held anything before being refilled.
+        self.weights = None;
+        self.row_sums = None;
+        self.row_maxes = None;
+        self.directed = false;
         let degree = &mut scratch.degree;
         degree.clear();
         degree.resize(n, 0);
@@ -185,6 +420,14 @@ impl Graph {
     pub(crate) fn assign_patched(&mut self, src: &Graph, touched: &[(NodeId, RowDelta)]) {
         let n = src.n();
         debug_assert!(touched.windows(2).all(|w| w[0].0 < w[1].0));
+        // The dynamic layer only churns plain graphs (weighted edge deltas
+        // carry no weight for the added targets), so the patch target is
+        // plain too.
+        debug_assert!(!src.is_weighted() && !src.is_directed());
+        self.weights = None;
+        self.row_sums = None;
+        self.row_maxes = None;
+        self.directed = false;
         self.offsets.clear();
         self.offsets.reserve(n + 1);
         self.offsets.push(0);
@@ -243,6 +486,10 @@ impl Graph {
             offsets: vec![0],
             neighbors: Vec::new(),
             tails: Vec::new(),
+            weights: None,
+            row_sums: None,
+            row_maxes: None,
+            directed: false,
         }
     }
 
@@ -261,16 +508,95 @@ impl Graph {
         self.offsets.len() - 1
     }
 
-    /// Number of undirected edges `m`.
+    /// Number of edges: undirected edges `m` in undirected mode, arcs in
+    /// directed mode.
     #[inline]
     pub fn m(&self) -> usize {
-        self.neighbors.len() / 2
+        if self.directed {
+            self.neighbors.len()
+        } else {
+            self.neighbors.len() / 2
+        }
     }
 
-    /// Number of directed edges, `2m`.
+    /// Number of directed edges: `2m` in undirected mode (both
+    /// orientations), the arc count in directed mode.
     #[inline]
     pub fn directed_edge_count(&self) -> usize {
         self.neighbors.len()
+    }
+
+    /// Whether rows are out-neighbour lists without a symmetry invariant.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether the graph carries a per-edge weight array. `false` means
+    /// unit weights; kernels gate on this to keep unweighted runs on the
+    /// historical bit-exact paths.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The full per-slot weight array, aligned with the concatenated
+    /// neighbour rows; `None` for unit weights.
+    #[inline]
+    pub fn weight_slice(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// `u`'s weight row, aligned with [`Graph::neighbors`]; `None` for
+    /// unit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn row_weights(&self, u: NodeId) -> Option<&[f64]> {
+        self.weights
+            .as_deref()
+            .map(|w| &w[self.offsets[u as usize]..self.offsets[u as usize + 1]])
+    }
+
+    /// Sum of `u`'s incident (out-)edge weights — the row normalizer of
+    /// the row-stochastic transition matrix. Exactly the degree for
+    /// unit-weight graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn row_weight_sum(&self, u: NodeId) -> f64 {
+        match &self.row_sums {
+            Some(sums) => sums[u as usize],
+            None => self.degree(u) as f64,
+        }
+    }
+
+    /// Total weight over all CSR slots (each undirected edge counted once
+    /// per orientation); `directed_edge_count` for unit weights.
+    pub fn total_weight(&self) -> f64 {
+        match &self.row_sums {
+            Some(sums) => sums.iter().sum(),
+            None => self.directed_edge_count() as f64,
+        }
+    }
+
+    /// Largest weight in `u`'s row — the weighted `EdgeModel`'s pull
+    /// normalizer. Exactly `1.0` for unit-weight graphs; `0.0` for an
+    /// empty weighted row (from which no pull can ever be sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[inline]
+    pub fn row_weight_max(&self, u: NodeId) -> f64 {
+        match &self.row_maxes {
+            Some(maxes) => maxes[u as usize],
+            None => 1.0,
+        }
     }
 
     /// Degree of node `u`.
@@ -324,7 +650,16 @@ impl Graph {
     }
 
     /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in directed mode (arcs have no canonical undirected form;
+    /// use [`Graph::directed_edges`]).
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        assert!(
+            !self.directed,
+            "edges() enumerates undirected edges; use directed_edges()"
+        );
         (0..self.n() as NodeId).flat_map(move |u| {
             self.neighbors(u)
                 .iter()
@@ -380,17 +715,30 @@ impl Graph {
     }
 
     /// Stationary distribution of the random walk, `π_u = d_u / 2m`
-    /// (Section 4 of the paper). The vector sums to 1 for non-empty graphs.
+    /// (Section 4 of the paper); for weighted undirected graphs the
+    /// reversible-chain generalization `π_u = s_u / Σ_v s_v` with `s_u`
+    /// the incident weight sum. The vector sums to 1 for non-empty graphs.
     ///
     /// # Panics
     ///
-    /// Panics if the graph has no edges (π is undefined).
+    /// Panics if the graph has no edges (π is undefined) or is directed
+    /// (the walk's stationary law is not degree-proportional there).
     pub fn stationary_distribution(&self) -> Vec<f64> {
+        assert!(
+            !self.directed,
+            "degree-proportional stationary distribution requires an undirected graph"
+        );
         let two_m = self.directed_edge_count();
         assert!(two_m > 0, "stationary distribution undefined without edges");
-        (0..self.n() as NodeId)
-            .map(|u| self.degree(u) as f64 / two_m as f64)
-            .collect()
+        match &self.row_sums {
+            None => (0..self.n() as NodeId)
+                .map(|u| self.degree(u) as f64 / two_m as f64)
+                .collect(),
+            Some(sums) => {
+                let total: f64 = sums.iter().sum();
+                sums.iter().map(|&s| s / total).collect()
+            }
+        }
     }
 
     /// Degree of every node, `[d_0, …, d_{n−1}]`. Edge-swap churn on a
@@ -407,8 +755,11 @@ impl Graph {
     /// * every neighbour id is in range;
     /// * rows are strictly sorted (sorted + no duplicates) with no self
     ///   loops;
-    /// * adjacency is symmetric (`v ∈ N(u)` ⟺ `u ∈ N(v)`);
-    /// * `tails[e]` names the row that owns slot `e`.
+    /// * undirected mode: adjacency is symmetric (`v ∈ N(u)` ⟺
+    ///   `u ∈ N(v)`), and any weights agree across orientations;
+    /// * `tails[e]` names the row that owns slot `e`;
+    /// * weights, if present, are aligned, finite, non-negative, with no
+    ///   all-zero row, and the cached row sums match.
     ///
     /// [`Graph::from_edges`] establishes these by construction; the dynamic
     /// layer re-checks them after in-place delta patches, and the
@@ -451,7 +802,7 @@ impl Graph {
                         row[i - 1]
                     ));
                 }
-                if !self.has_edge(v, u) {
+                if !self.directed && !self.has_edge(v, u) {
                     return broken(format!("edge ({u}, {v}) present but ({v}, {u}) missing"));
                 }
             }
@@ -461,6 +812,61 @@ impl Graph {
                     "tails[{e}] = {} but slot belongs to node {u}",
                     self.tails[e]
                 ));
+            }
+        }
+        self.check_weight_invariants()
+    }
+
+    /// The weight half of [`Graph::check_invariants`]; trivially satisfied
+    /// by unweighted graphs.
+    fn check_weight_invariants(&self) -> Result<(), GraphError> {
+        let broken = |msg: String| Err(GraphError::BrokenInvariant(msg));
+        let (weights, row_sums, row_maxes) = match (&self.weights, &self.row_sums, &self.row_maxes)
+        {
+            (None, None, None) => return Ok(()),
+            (Some(w), Some(s), Some(m)) => (w, s, m),
+            _ => return broken("weights and cached row stats must be present together".into()),
+        };
+        if row_maxes.len() != self.n() {
+            return broken("row maxes and node count mismatch".into());
+        }
+        if weights.len() != self.neighbors.len() {
+            return broken("weights and neighbors length mismatch".into());
+        }
+        if row_sums.len() != self.n() {
+            return broken("row sums and node count mismatch".into());
+        }
+        for u in 0..self.n() as NodeId {
+            let row = &weights[self.offsets[u as usize]..self.offsets[u as usize + 1]];
+            if let Some((i, &w)) = row
+                .iter()
+                .enumerate()
+                .find(|&(_, w)| !w.is_finite() || *w < 0.0)
+            {
+                return broken(format!("invalid weight {w} at slot {i} of node {u}"));
+            }
+            if !row.is_empty() && row.iter().all(|&w| w == 0.0) {
+                return broken(format!("all-zero weight row at node {u}"));
+            }
+            let sum: f64 = row.iter().sum();
+            if sum.to_bits() != row_sums[u as usize].to_bits() {
+                return broken(format!("stale cached row sum at node {u}"));
+            }
+            let max = row.iter().copied().fold(0.0f64, f64::max);
+            if max.to_bits() != row_maxes[u as usize].to_bits() {
+                return broken(format!("stale cached row max at node {u}"));
+            }
+            if !self.directed {
+                for (i, &v) in self.neighbors(u).iter().enumerate() {
+                    let rev = self.offsets[v as usize]
+                        + self
+                            .neighbors(v)
+                            .binary_search(&u)
+                            .expect("symmetry verified above");
+                    if weights[rev].to_bits() != row[i].to_bits() {
+                        return broken(format!("asymmetric weights on undirected edge ({u}, {v})"));
+                    }
+                }
             }
         }
         Ok(())
@@ -595,6 +1001,179 @@ mod tests {
     fn disconnected_graph_allowed_but_flagged() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn weighted_edges_are_stored_symmetrically() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 0.5), (0, 2, 1.0)]).unwrap();
+        assert!(g.is_weighted());
+        assert!(!g.is_directed());
+        // Row of 0: neighbours [1, 2] with weights [2.0, 1.0].
+        assert_eq!(g.row_weights(0).unwrap(), &[2.0, 1.0]);
+        assert_eq!(g.row_weights(1).unwrap(), &[2.0, 0.5]);
+        assert_eq!(g.row_weight_sum(0), 3.0);
+        assert_eq!(g.total_weight(), 7.0);
+        g.check_invariants().unwrap();
+        // Plain graphs report unit equivalents.
+        let plain = triangle();
+        assert!(!plain.is_weighted());
+        assert_eq!(plain.row_weights(0), None);
+        assert_eq!(plain.row_weight_sum(0), 2.0);
+        assert_eq!(plain.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn rejects_invalid_weights() {
+        for w in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            assert!(matches!(
+                Graph::from_weighted_edges(3, &[(0, 1, w), (1, 2, 1.0)]),
+                Err(GraphError::InvalidWeight { .. })
+            ));
+            assert!(matches!(
+                Graph::from_directed_weighted_edges(3, &[(0, 1, w)]),
+                Err(GraphError::InvalidWeight { .. })
+            ));
+        }
+        // Individual zeros are fine; a whole zero row is not.
+        assert!(Graph::from_weighted_edges(3, &[(0, 1, 0.0), (1, 2, 1.0), (0, 2, 1.0)]).is_ok());
+        assert!(matches!(
+            Graph::from_weighted_edges(3, &[(0, 1, 0.0), (1, 2, 1.0)]),
+            Err(GraphError::ZeroWeightRow { node: 0 })
+        ));
+        assert!(matches!(
+            Graph::from_directed_weighted_edges(3, &[(0, 1, 0.0), (0, 2, 0.0), (1, 2, 1.0)]),
+            Err(GraphError::ZeroWeightRow { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn directed_mode_basics() {
+        let g = Graph::from_directed_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        assert!(g.is_directed());
+        assert!(!g.is_weighted());
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.directed_edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+        // u→v without v→u is legal in directed mode.
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 1));
+        g.check_invariants().unwrap();
+        // Slot owners are still tracked for O(1) directed-edge lookup.
+        let arcs: Vec<_> = g.directed_edges().map(|e| (e.tail, e.head)).collect();
+        assert_eq!(arcs, vec![(0, 1), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn directed_rejects_duplicate_arcs_and_self_loops() {
+        assert!(matches!(
+            Graph::from_directed_edges(3, &[(0, 1), (0, 1)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            Graph::from_directed_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+        assert!(matches!(
+            Graph::from_directed_edges(2, &[(0, 7)]),
+            Err(GraphError::InvalidNode { node: 7, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn directed_weighted_row_sums() {
+        let g = Graph::from_directed_weighted_edges(3, &[(0, 1, 0.25), (0, 2, 0.75), (2, 0, 1.0)])
+            .unwrap();
+        assert_eq!(g.row_weight_sum(0), 1.0);
+        assert_eq!(g.row_weight_sum(1), 0.0);
+        assert_eq!(g.row_weights(0).unwrap(), &[0.25, 0.75]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn edges_iterator_panics_on_directed() {
+        let g = Graph::from_directed_edges(3, &[(0, 1)]).unwrap();
+        let _ = g.edges().count();
+    }
+
+    #[test]
+    fn attach_weights_validates_shape_and_mode() {
+        let mut g = triangle();
+        assert!(matches!(
+            g.attach_weights(&[1.0]),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        g.attach_weights(&[3.0, 2.0, 1.0]).unwrap();
+        // edges() order is (0,1), (0,2), (1,2).
+        assert_eq!(g.row_weights(0).unwrap(), &[3.0, 2.0]);
+        assert_eq!(g.row_weights(2).unwrap(), &[2.0, 1.0]);
+        g.check_invariants().unwrap();
+        let mut d = Graph::from_directed_edges(3, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            d.attach_weights(&[1.0]),
+            Err(GraphError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn unit_weighted_stationary_distribution_is_bit_identical() {
+        let plain = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        let weighted =
+            Graph::from_weighted_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 2, 1.0)])
+                .unwrap();
+        let a = plain.stationary_distribution();
+        let b = weighted.stationary_distribution();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn weighted_stationary_distribution_weights_by_strength() {
+        // Path 0-1-2 with weights 3 and 1: s = [3, 4, 1], total 8.
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 3.0), (1, 2, 1.0)]).unwrap();
+        let pi = g.stationary_distribution();
+        assert!((pi[0] - 3.0 / 8.0).abs() < 1e-15);
+        assert!((pi[1] - 0.5).abs() < 1e-15);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invariant_checker_catches_weight_corruption() {
+        let base = Graph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 0.5)]).unwrap();
+        // Asymmetric weights.
+        let mut bad = base.clone();
+        bad.weights.as_mut().unwrap()[0] = 9.0;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(GraphError::BrokenInvariant(_))
+        ));
+        // Stale cached row sum.
+        let mut bad = base.clone();
+        bad.row_sums.as_mut().unwrap()[1] = 0.0;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(GraphError::BrokenInvariant(_))
+        ));
+        // Non-finite smuggled past construction.
+        let mut bad = base.clone();
+        for slot in bad.weights.as_mut().unwrap().iter_mut() {
+            *slot = f64::NAN;
+        }
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(GraphError::BrokenInvariant(_))
+        ));
+        // Weight array without its cached sums.
+        let mut bad = base;
+        bad.row_sums = None;
+        assert!(matches!(
+            bad.check_invariants(),
+            Err(GraphError::BrokenInvariant(_))
+        ));
     }
 
     #[test]

@@ -132,7 +132,19 @@ fn canonical(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
 
 impl DynamicGraph {
     /// Wraps an existing CSR graph as the initial topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics on weighted or directed graphs: churn deltas are plain edge
+    /// sets (an added edge carries no weight), so the dynamic layer is
+    /// defined only for the paper's unweighted undirected mode. The
+    /// scenario layer validates this combination with a proper error
+    /// before constructing.
     pub fn new(graph: Graph) -> Self {
+        assert!(
+            !graph.is_weighted() && !graph.is_directed(),
+            "DynamicGraph requires an unweighted undirected graph"
+        );
         let n = graph.n();
         let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
         let edge_index = edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();

@@ -47,6 +47,21 @@ pub enum GraphError {
     /// [`crate::Graph::check_invariants`]); the message names the violated
     /// invariant.
     BrokenInvariant(String),
+    /// An edge weight was non-finite or negative. Weighted aggregation
+    /// row-normalizes, so NaN/inf would poison every downstream value and
+    /// negative mass has no opinion-dynamics meaning.
+    InvalidWeight {
+        /// Tail of the offending (directed) edge.
+        u: u64,
+        /// Head of the offending (directed) edge.
+        v: u64,
+    },
+    /// Every incident weight of a node is zero, leaving its row-normalized
+    /// aggregation (`Σ w·x / Σ w`) undefined.
+    ZeroWeightRow {
+        /// The node whose weight row sums to zero.
+        node: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -70,6 +85,12 @@ impl fmt::Display for GraphError {
                 write!(f, "{family} generator failed after {attempts} attempts")
             }
             GraphError::BrokenInvariant(msg) => write!(f, "broken CSR invariant: {msg}"),
+            GraphError::InvalidWeight { u, v } => {
+                write!(f, "edge ({u}, {v}) has a non-finite or negative weight")
+            }
+            GraphError::ZeroWeightRow { node } => {
+                write!(f, "all incident weights of node {node} are zero")
+            }
         }
     }
 }

@@ -58,9 +58,9 @@ pub mod sweep;
 pub use rows::{cell_rows, sweep_rows, TrialRow, CSV_HEADER};
 pub use sim::{Engine, Simulation, SimulationReport, TrialResult};
 pub use spec::{
-    load_init_file, load_replay_file, pm_one, ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec,
-    ModelSpec, OutputSpec, PotentialSpec, ScenarioSpec, SimError, StopRuleSpec, StopSpec, TierSpec,
-    DEFAULT_BATCH,
+    load_edge_list_file, load_init_file, load_replay_file, pm_one, ChurnModelSpec, ChurnSpec,
+    GraphSpec, InitSpec, ModelSpec, OutputSpec, PotentialSpec, ScenarioSpec, SimError,
+    StopRuleSpec, StopSpec, TierSpec, WeightSpec, DEFAULT_BATCH,
 };
 pub use sweep::{
     run_cell, run_sweep, CellReport, SweepAxis, SweepCell, SweepContrast, SweepPlan, SweepReport,

@@ -15,6 +15,12 @@
 //! | voter, churn | `DynamicVoterBatch` (incremental discord counter, epoch-boundary retirement) |
 //! | averaging, `tier lane`, static | `LaneReplicaBatch` (`lane` feature; all replicas in one lane-major batch) |
 //! | averaging, `tier lane`, churn | `DynamicLaneReplicaBatch` (`lane` feature; shared schedule and churn trajectory) |
+//! | `degroot` / `fj` / `weighted_median` | `SyncKernel` deterministic synchronous rounds (the only engine for weighted *directed* graphs) |
+//!
+//! Weighted graphs (`weights uniform ...` or a 3-column `graph file=`)
+//! run the exact batched engines or the sync kernels; a `tier lane`
+//! spec on a weighted graph falls back to the exact engines, like a
+//! `tier lane` spec compiled without the `lane` feature.
 //!
 //! Trial `i` always runs from `SeedSequence::new(spec.seed).seed(i)`, and
 //! every **exact-tier** engine keeps per-trial results a function of that
@@ -80,6 +86,10 @@ pub enum Engine {
     /// `DynamicLaneReplicaBatch::run_until_converged` (epoch-boundary
     /// rule, frozen lanes).
     DynamicLaneConverge,
+    /// `od_core::SyncKernel`: deterministic synchronous rounds for the
+    /// `degroot` / `fj` / `weighted_median` models — the only engine
+    /// that runs weighted *directed* graphs.
+    SyncRounds,
 }
 
 impl fmt::Display for Engine {
@@ -97,6 +107,7 @@ impl fmt::Display for Engine {
             Engine::LaneConverge => "lane-converge",
             Engine::DynamicLaneSteps => "dynamic-lane-batch",
             Engine::DynamicLaneConverge => "dynamic-lane-converge",
+            Engine::SyncRounds => "sync-rounds",
         };
         write!(f, "{name}")
     }
@@ -219,7 +230,9 @@ impl Simulation {
     /// graph (`k > d_min`, disconnected, …).
     pub fn from_spec(spec: &ScenarioSpec) -> Result<Simulation, SimError> {
         spec.validate()?;
-        let graph = spec.graph.build()?;
+        // `realize` also performs the edge-list IO of `graph file=`
+        // specs, so a bad path or malformed file is a `from_spec` error.
+        let graph = spec.graph.realize()?;
         Simulation::assemble(spec.clone(), graph)
     }
 
@@ -291,7 +304,36 @@ impl Simulation {
         Ok(self)
     }
 
-    fn assemble(spec: ScenarioSpec, graph: Graph) -> Result<Simulation, SimError> {
+    fn assemble(spec: ScenarioSpec, mut graph: Graph) -> Result<Simulation, SimError> {
+        // Generated topologies become weighted here, after the graph is
+        // realized (`weights uniform` draws one weight per edge from its
+        // dedicated seed, so every replica sees the same instance).
+        spec.weights.apply(&mut graph)?;
+        // Graph-dependent gates that validate() cannot see: a file graph
+        // reveals its weight/direction shape only after the IO.
+        if graph.is_directed() && !spec.model.is_sync() {
+            return Err(SimError::Invalid(
+                "directed graphs run the synchronous models only (degroot, fj, weighted_median)"
+                    .into(),
+            ));
+        }
+        if graph.is_weighted() {
+            if !spec.model.is_averaging() {
+                return Err(SimError::Invalid(
+                    "the voter model runs on unweighted graphs".into(),
+                ));
+            }
+            if spec.churn.is_some() {
+                return Err(SimError::Invalid(
+                    "churned graphs are unweighted (the dynamic engines reject weights)".into(),
+                ));
+            }
+            if matches!(spec.output, OutputSpec::Trace { .. }) {
+                return Err(SimError::Invalid(
+                    "trace output records the scalar path, which is unweighted".into(),
+                ));
+            }
+        }
         let n = graph.n();
         if let crate::spec::InitSpec::Indicator { node } = spec.init {
             // Graph-dependent init check: a typo'd node id would
@@ -339,6 +381,13 @@ impl Simulation {
             ModelSpec::Voter => {
                 VoterBatch::new(&sim.graph, &sim.opinions0, &[])?;
             }
+            model if model.is_sync() => {
+                od_core::SyncKernel::new(
+                    &sim.graph,
+                    sim.xi0.clone(),
+                    model.sync_model().expect("is_sync implies a sync model"),
+                )?;
+            }
             _ => {
                 ReplicaBatch::new(&sim.graph, sim.spec.model.kernel_spec()?, &sim.xi0, &[])?;
             }
@@ -359,6 +408,10 @@ impl Simulation {
     /// The engine this scenario dispatches to — a pure function of the
     /// spec shape (see the module docs).
     pub fn engine(&self) -> Engine {
+        // The synchronous-rounds models have exactly one engine.
+        if self.spec.model.is_sync() {
+            return Engine::SyncRounds;
+        }
         // `tier lane` only takes effect when the `lane` feature is
         // compiled in — otherwise the spec (still valid) falls back to
         // the exact engines. Validation already restricts lane specs to
@@ -367,10 +420,13 @@ impl Simulation {
         // the lane edge kernel benches below the exact tier (its gather
         // is two scattered rows per step, not one dense column), and
         // `tier lane` is a never-slower knob, so only the node model
-        // dispatches to the lane kernels.
+        // dispatches to the lane kernels. Weighted graphs fall back
+        // too: the lane kernels reject per-edge weights, the exact
+        // batched kernels aggregate them.
         let lane = cfg!(feature = "lane")
             && self.spec.tier == crate::spec::TierSpec::Lane
-            && matches!(self.spec.model, ModelSpec::Node { .. });
+            && matches!(self.spec.model, ModelSpec::Node { .. })
+            && !self.graph.is_weighted();
         match (&self.spec.model, &self.spec.churn, &self.spec.stop) {
             (ModelSpec::Voter, None, StopSpec::Consensus { .. }) => Engine::VoterConsensus,
             (ModelSpec::Voter, None, _) => Engine::VoterSteps,
@@ -404,6 +460,7 @@ impl Simulation {
             Engine::VoterConsensus => self.run_voter_consensus(),
             Engine::VoterSteps => self.run_voter_steps(),
             Engine::DynamicVoter => self.run_dynamic_voter()?,
+            Engine::SyncRounds => self.run_sync_rounds()?,
             #[cfg(feature = "lane")]
             Engine::LaneSteps => self.run_lane_steps()?,
             #[cfg(feature = "lane")]
@@ -784,8 +841,8 @@ impl Simulation {
         let budget = match self.spec.stop {
             StopSpec::Consensus { budget } => budget,
             StopSpec::Steps { steps } => steps,
-            StopSpec::Converge { .. } => {
-                unreachable!("validate rejects voter + converge")
+            StopSpec::Converge { .. } | StopSpec::FixedPoint { .. } => {
+                unreachable!("validate rejects voter + converge/fixed_point")
             }
         };
         let stop_at_consensus = matches!(self.spec.stop, StopSpec::Consensus { .. });
@@ -851,6 +908,56 @@ impl Simulation {
             .into_iter()
             .collect::<Result<Vec<_>, _>>()
             .map_err(SimError::Core)
+    }
+
+    /// The synchronous models (degroot, fj, weighted_median) are
+    /// deterministic, so this engine runs exactly one trial (validate
+    /// pins `replicas 1`). `potential` reports the final round's largest
+    /// single-node movement — the quantity the `fixed_point` stop
+    /// thresholds — and `estimate` the arithmetic mean of the final
+    /// values.
+    fn run_sync_rounds(&self) -> Result<Vec<TrialResult>, SimError> {
+        let model = self
+            .spec
+            .model
+            .sync_model()
+            .expect("sync-rounds dispatch requires a sync model");
+        let mut kernel = od_core::SyncKernel::new(&self.graph, self.xi0.clone(), model)
+            .map_err(SimError::Core)?;
+        let (rounds, converged, last_delta) = match self.spec.stop {
+            StopSpec::Steps { steps } => {
+                let mut last_delta = 0.0;
+                for _ in 0..steps {
+                    last_delta = kernel.round();
+                }
+                (kernel.rounds(), false, last_delta)
+            }
+            StopSpec::FixedPoint { epsilon, budget } => {
+                let mut last_delta = f64::NAN;
+                let mut converged = false;
+                while kernel.rounds() < budget {
+                    last_delta = kernel.round();
+                    if last_delta <= epsilon {
+                        converged = true;
+                        break;
+                    }
+                }
+                (kernel.rounds(), converged, last_delta)
+            }
+            StopSpec::Consensus { .. } | StopSpec::Converge { .. } => {
+                unreachable!("validate pins sync models to steps/fixed_point stops")
+            }
+        };
+        let n = self.graph.n() as f64;
+        let estimate = kernel.values().iter().sum::<f64>() / n;
+        Ok(vec![TrialResult {
+            steps: rounds,
+            converged,
+            potential: last_delta,
+            estimate,
+            winner: None,
+            mutations: 0,
+        }])
     }
 
     /// The lane tier runs all replicas as one lane-major batch, so the
@@ -1344,7 +1451,7 @@ mod tests {
             let budget = match spec.stop {
                 StopSpec::Consensus { budget } => budget,
                 StopSpec::Steps { steps } => steps,
-                StopSpec::Converge { .. } => unreachable!(),
+                StopSpec::Converge { .. } | StopSpec::FixedPoint { .. } => unreachable!(),
             };
             let stop_at_consensus = matches!(spec.stop, StopSpec::Consensus { .. });
             let max_epochs = budget / spe;
@@ -1389,5 +1496,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn sync_spec(model: ModelSpec) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(model, GraphSpec::Cycle { n: 9 }, 0);
+        spec.init = InitSpec::Linear { lo: 0.0, hi: 8.0 };
+        spec.stop = StopSpec::FixedPoint {
+            epsilon: 1e-12,
+            budget: 200_000,
+        };
+        spec
+    }
+
+    #[test]
+    fn sync_models_dispatch_to_sync_rounds() {
+        for model in [
+            ModelSpec::DeGroot { lazy: 0.5 },
+            ModelSpec::Fj { alpha: 0.25 },
+            ModelSpec::WeightedMedian,
+        ] {
+            let sim = Simulation::from_spec(&sync_spec(model)).unwrap();
+            assert_eq!(sim.engine(), Engine::SyncRounds);
+        }
+    }
+
+    #[test]
+    fn sync_rounds_runs_to_fixed_point() {
+        // Lazy DeGroot on a regular graph converges to the plain mean of
+        // the start values; the single deterministic trial reports it.
+        let report = Simulation::from_spec(&sync_spec(ModelSpec::DeGroot { lazy: 0.5 }))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.engine, Engine::SyncRounds);
+        let [trial] = report.trials.as_slice() else {
+            panic!("sync engine runs exactly one trial");
+        };
+        assert!(trial.converged);
+        assert!(trial.potential <= 1e-12);
+        assert!((trial.estimate - 4.0).abs() < 1e-8);
+        assert_eq!(trial.winner, None);
+
+        // A steps stop runs exactly that many rounds, never "converged".
+        let mut spec = sync_spec(ModelSpec::DeGroot { lazy: 0.5 });
+        spec.stop = StopSpec::Steps { steps: 17 };
+        let report = Simulation::from_spec(&spec).unwrap().run().unwrap();
+        assert_eq!(report.trials[0].steps, 17);
+        assert!(!report.trials[0].converged);
+    }
+
+    #[test]
+    fn sync_rounds_matches_direct_kernel() {
+        let spec = sync_spec(ModelSpec::Fj { alpha: 0.25 });
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let report = sim.run().unwrap();
+        let mut kernel = od_core::SyncKernel::new(
+            sim.graph(),
+            sim.xi0.clone(),
+            od_core::SyncModel::FriedkinJohnsen { alpha: 0.25 },
+        )
+        .unwrap();
+        let (rounds, converged) = kernel.run(200_000, 1e-12).unwrap();
+        assert_eq!(report.trials[0].steps, rounds);
+        assert_eq!(report.trials[0].converged, converged);
+        let mean = kernel.values().iter().sum::<f64>() / 9.0;
+        assert_eq!(report.trials[0].estimate.to_bits(), mean.to_bits());
+    }
+
+    #[test]
+    fn weighted_graphs_run_the_exact_engines() {
+        // `weights uniform` flows through assemble into the graph…
+        let mut spec = converge_spec();
+        spec.weights = crate::spec::WeightSpec::Uniform {
+            lo: 0.5,
+            hi: 2.0,
+            seed: 3,
+        };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        assert!(sim.graph().is_weighted());
+        // …and a `tier lane` spelling falls back to the exact engines
+        // whether or not the lane feature is compiled in.
+        spec.tier = crate::spec::TierSpec::Lane;
+        spec.stop = StopSpec::Converge {
+            epsilon: 1e-8,
+            rule: StopRuleSpec::Block,
+            potential: PotentialSpec::Pi,
+            budget: 1_000_000,
+        };
+        let sim = Simulation::from_spec(&spec).unwrap();
+        assert_eq!(sim.engine(), Engine::StaticConverge);
+        let report = sim.run().unwrap();
+        assert_eq!(report.converged_count(), 5);
     }
 }

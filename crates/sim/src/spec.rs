@@ -27,7 +27,7 @@
 
 use od_graph::{ChurnModel, Graph, GraphError};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -97,12 +97,51 @@ pub enum ModelSpec {
     },
     /// The discrete voter model (§2 baseline).
     Voter,
+    /// Synchronous lazy DeGroot rounds (`od_core::SyncModel::DeGroot`) —
+    /// deterministic repeated averaging, the baseline the paper's random
+    /// `F` is compared against. Runs weighted and directed graphs.
+    DeGroot {
+        /// Laziness `ℓ ∈ [0, 1)`: `x ← (1−ℓ)·P x + ℓ·x`.
+        lazy: f64,
+    },
+    /// Synchronous Friedkin–Johnsen rounds
+    /// (`od_core::SyncModel::FriedkinJohnsen`): the initial values are
+    /// the fixed private anchors. Runs weighted and directed graphs.
+    Fj {
+        /// Uniform stubbornness `α ∈ (0, 1]`.
+        alpha: f64,
+    },
+    /// Synchronous weighted-median dynamics
+    /// (`od_core::SyncModel::WeightedMedian`): each node moves to the
+    /// weighted median of its out-neighbourhood.
+    WeightedMedian,
 }
 
 impl ModelSpec {
     /// Whether this is a continuous averaging process (vs the voter).
     pub fn is_averaging(&self) -> bool {
         !matches!(self, ModelSpec::Voter)
+    }
+
+    /// Whether this is a deterministic synchronous-rounds model
+    /// (`degroot`, `fj`, `weighted_median`) — dispatched to
+    /// `od_core::SyncKernel` instead of an asynchronous engine.
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            ModelSpec::DeGroot { .. } | ModelSpec::Fj { .. } | ModelSpec::WeightedMedian
+        )
+    }
+
+    /// The sync-kernel model for the synchronous-rounds variants
+    /// (`None` for the asynchronous models).
+    pub fn sync_model(&self) -> Option<od_core::SyncModel> {
+        match *self {
+            ModelSpec::DeGroot { lazy } => Some(od_core::SyncModel::DeGroot { lazy }),
+            ModelSpec::Fj { alpha } => Some(od_core::SyncModel::FriedkinJohnsen { alpha }),
+            ModelSpec::WeightedMedian => Some(od_core::SyncModel::WeightedMedian),
+            _ => None,
+        }
     }
 
     /// The kernel spec for the averaging models.
@@ -128,14 +167,22 @@ impl ModelSpec {
             ModelSpec::Voter => Err(SimError::Invalid(
                 "the voter model has no averaging kernel spec".into(),
             )),
+            ModelSpec::DeGroot { .. } | ModelSpec::Fj { .. } | ModelSpec::WeightedMedian => {
+                Err(SimError::Invalid(
+                    "synchronous models run through the sync kernel, not an \
+                     asynchronous kernel spec"
+                        .into(),
+                ))
+            }
         }
     }
 }
 
 /// A graph generator plus its parameters — every family `od-graph`
-/// provides. Random families carry their own construction seed so a
-/// scenario names one reproducible instance.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// provides — or a real-world edge-list file ([`GraphSpec::File`]).
+/// Random families carry their own construction seed so a scenario
+/// names one reproducible instance.
+#[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // field meanings match the od-graph generators 1:1
 pub enum GraphSpec {
     Cycle {
@@ -202,14 +249,30 @@ pub enum GraphSpec {
         m: usize,
         seed: u64,
     },
+    /// A real-world graph loaded from an edge-list file (`graph
+    /// file=<path> [directed=true]`): `u v` or `u v w` lines, comma- or
+    /// whitespace-separated, `#` comments ignored. A third column
+    /// attaches per-edge weights. Path-validated at parse; the IO
+    /// happens when the simulation is assembled, like
+    /// [`InitSpec::File`].
+    File {
+        /// Path to the edge list. Must be a single `#`-free token (no
+        /// whitespace) so the line-based text format round-trips.
+        path: String,
+        /// Whether lines are directed `(tail, head)` arcs. Directed
+        /// graphs run the synchronous-rounds models only.
+        directed: bool,
+    },
 }
 
 impl GraphSpec {
-    /// Builds the named graph instance.
+    /// Builds the named graph instance. For [`GraphSpec::File`] use
+    /// [`GraphSpec::realize`], which performs the IO.
     ///
     /// # Errors
     ///
-    /// The underlying generator's error.
+    /// The underlying generator's error, or
+    /// [`GraphError::InvalidParameter`] for [`GraphSpec::File`].
     pub fn build(&self) -> Result<Graph, GraphError> {
         use od_graph::generators as g;
         match *self {
@@ -240,6 +303,25 @@ impl GraphSpec {
             GraphSpec::BarabasiAlbert { n, m, seed } => {
                 g::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed))
             }
+            GraphSpec::File { .. } => Err(GraphError::InvalidParameter(
+                "file graphs load through GraphSpec::realize (the edge-list IO step)".into(),
+            )),
+        }
+    }
+
+    /// Builds the graph, performing the edge-list IO for
+    /// [`GraphSpec::File`] — the resolve step [`crate::Simulation`] and
+    /// the sweep runner call.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Graph`] from the generator, or [`SimError::Invalid`]
+    /// naming the file (and line) for IO failures and malformed edge
+    /// lists.
+    pub fn realize(&self) -> Result<Graph, SimError> {
+        match self {
+            GraphSpec::File { path, directed } => load_edge_list_file(path, *directed),
+            spec => Ok(spec.build()?),
         }
     }
 }
@@ -250,7 +332,7 @@ impl fmt::Display for GraphSpec {
     /// with spaces swapped for `:`, the sweep grammar's graph
     /// descriptors (`cycle:n=16`).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             GraphSpec::Cycle { n } => write!(f, "cycle n={n}"),
             GraphSpec::Path { n } => write!(f, "path n={n}"),
             GraphSpec::Complete { n } => write!(f, "complete n={n}"),
@@ -276,6 +358,10 @@ impl fmt::Display for GraphSpec {
             GraphSpec::BarabasiAlbert { n, m, seed } => {
                 write!(f, "barabasi_albert n={n} m={m} seed={seed}")
             }
+            // The path rides in the variant token itself (the
+            // `graph file=edges.csv` spelling); `directed` is printed
+            // explicitly so the canonical form round-trips.
+            GraphSpec::File { path, directed } => write!(f, "file={path} directed={directed}"),
         }
     }
 }
@@ -285,6 +371,52 @@ impl fmt::Display for GraphSpec {
 /// descriptors reuse.
 pub(crate) fn parse_graph_tokens(line: usize, rest: &[&str]) -> Result<GraphSpec, SimError> {
     parse::parse_graph(line, rest)
+}
+
+/// How per-edge weights are attached to a *generated* topology
+/// (file graphs carry their weights in the file). The default
+/// [`WeightSpec::Unit`] is not printed by the canonical form, so
+/// existing unweighted scenario keys are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WeightSpec {
+    /// Unit weights — no weight array; kernels take the historical
+    /// bit-exact unweighted paths.
+    #[default]
+    Unit,
+    /// One weight per undirected edge drawn i.i.d. uniform from
+    /// `[lo, hi]` (`0 < lo ≤ hi`), in the canonical `u < v` edge order,
+    /// from a dedicated RNG — every replica sees the same weighted
+    /// instance (`weights uniform lo=.. hi=.. seed=..`).
+    Uniform {
+        /// Lower endpoint (strictly positive, so no zero-weight rows).
+        lo: f64,
+        /// Upper endpoint (`≥ lo`).
+        hi: f64,
+        /// Seed of the dedicated weight RNG.
+        seed: u64,
+    },
+}
+
+impl WeightSpec {
+    /// Attaches the drawn weights to `graph` ([`WeightSpec::Unit`] is a
+    /// no-op). Called once at [`crate::Simulation`] assembly, after the
+    /// graph is realized.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Graph`] if the graph rejects the weights (directed,
+    /// or already carrying its own).
+    pub fn apply(&self, graph: &mut Graph) -> Result<(), SimError> {
+        let WeightSpec::Uniform { lo, hi, seed } = *self else {
+            return Ok(());
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws: Vec<f64> = (0..graph.m())
+            .map(|_| lo + rng.gen::<f64>() * (hi - lo))
+            .collect();
+        graph.attach_weights(&draws)?;
+        Ok(())
+    }
 }
 
 /// The initial state distribution.
@@ -566,6 +698,78 @@ pub fn load_replay_file(path: &str) -> Result<Vec<Vec<(u32, u32)>>, SimError> {
     Ok(snapshots)
 }
 
+/// Reads a [`GraphSpec::File`] edge list: one edge per line, `u v` or
+/// `u v w` (comma- or whitespace-separated — `0,1,2.5` and `0 1 2.5`
+/// both work), blank lines and `#` comments ignored. The column count
+/// must be consistent across the file; a third column attaches per-edge
+/// weights. Node count is `max id + 1`.
+///
+/// # Errors
+///
+/// [`SimError::Invalid`] naming the file (and line) for IO failures,
+/// malformed or inconsistent lines, or an empty file;
+/// [`SimError::Graph`] if the edge list itself is rejected (self-loops,
+/// duplicates, non-finite or negative weights, zero-weight rows).
+pub fn load_edge_list_file(path: &str, directed: bool) -> Result<Graph, SimError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::Invalid(format!("graph file '{path}': {e}")))?;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut weighted: Option<bool> = None;
+    let mut max_id = 0u32;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| {
+            SimError::Invalid(format!(
+                "graph file '{path}' line {line}: {what}: '{content}'"
+            ))
+        };
+        let tokens: Vec<&str> = content
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|t| !t.is_empty())
+            .collect();
+        let has_weight = match tokens.len() {
+            2 => false,
+            3 => true,
+            _ => return Err(bad("expected 'u v' or 'u v w'")),
+        };
+        if *weighted.get_or_insert(has_weight) != has_weight {
+            return Err(bad("mixed 2- and 3-column lines"));
+        }
+        let u: u32 = tokens[0].parse().map_err(|_| bad("malformed node id"))?;
+        let v: u32 = tokens[1].parse().map_err(|_| bad("malformed node id"))?;
+        let w: f64 = if has_weight {
+            tokens[2].parse().map_err(|_| bad("malformed weight"))?
+        } else {
+            1.0
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    if edges.is_empty() {
+        return Err(SimError::Invalid(format!(
+            "graph file '{path}' contains no edges"
+        )));
+    }
+    let n = max_id as usize + 1;
+    let graph = match (directed, weighted.unwrap_or(false)) {
+        (false, false) => {
+            let plain: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+            Graph::from_edges(n, &plain)?
+        }
+        (false, true) => Graph::from_weighted_edges(n, &edges)?,
+        (true, false) => {
+            let plain: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+            Graph::from_directed_edges(n, &plain)?
+        }
+        (true, true) => Graph::from_directed_weighted_edges(n, &edges)?,
+    };
+    Ok(graph)
+}
+
 /// How the batched convergence engine detects the threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopRuleSpec {
@@ -619,6 +823,15 @@ pub enum StopSpec {
         /// Per-trial step budget.
         budget: u64,
     },
+    /// Synchronous fixed point: stop when a full round moves no node by
+    /// more than ε, within a round budget (`stop fixed_point eps=..
+    /// budget=..`; the synchronous models only).
+    FixedPoint {
+        /// The per-round max-movement threshold ε.
+        epsilon: f64,
+        /// Per-trial round budget.
+        budget: u64,
+    },
 }
 
 /// Which kernel tier runs the scenario's hot loops.
@@ -664,6 +877,9 @@ pub struct ScenarioSpec {
     pub model: ModelSpec,
     /// The topology.
     pub graph: GraphSpec,
+    /// Per-edge weights attached to a generated topology
+    /// ([`WeightSpec::Unit`] — no weights — by default).
+    pub weights: WeightSpec,
     /// Topology evolution; `None` = static graph.
     pub churn: Option<ChurnSpec>,
     /// The initial state distribution.
@@ -703,6 +919,7 @@ impl ScenarioSpec {
             name: None,
             model,
             graph,
+            weights: WeightSpec::Unit,
             churn: None,
             init: if model.is_averaging() {
                 InitSpec::PmOne
@@ -782,7 +999,17 @@ impl ScenarioSpec {
                     return invalid("edge model alpha must lie in [0, 1)");
                 }
             }
-            ModelSpec::Voter => {}
+            ModelSpec::Voter | ModelSpec::WeightedMedian => {}
+            ModelSpec::DeGroot { lazy } => {
+                if !lazy.is_finite() || !(0.0..1.0).contains(&lazy) {
+                    return invalid("degroot laziness must lie in [0, 1)");
+                }
+            }
+            ModelSpec::Fj { alpha } => {
+                if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+                    return invalid("fj stubbornness alpha must lie in (0, 1]");
+                }
+            }
         }
         if self.model.is_averaging() != self.init.is_averaging() {
             return invalid("init distribution does not match the model family (voter opinions vs averaging values)");
@@ -806,7 +1033,62 @@ impl ScenarioSpec {
             GraphSpec::Gnp { p, .. } | GraphSpec::WattsStrogatz { p, .. } if !p.is_finite() => {
                 return invalid("graph edge probability must be finite");
             }
+            GraphSpec::File { ref path, .. } if !path_token(path) => {
+                return invalid("graph file path must be a non-empty single token without '#'");
+            }
             _ => {}
+        }
+        if matches!(self.graph, GraphSpec::File { directed: true, .. }) && !self.model.is_sync() {
+            return invalid(
+                "directed graphs run the synchronous models only (degroot, fj, weighted_median)",
+            );
+        }
+        if let WeightSpec::Uniform { lo, hi, .. } = self.weights {
+            if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || lo > hi {
+                return invalid("uniform weights need finite endpoints with 0 < lo <= hi");
+            }
+            if !self.model.is_averaging() {
+                return invalid("the voter model samples uniform edges; drop the weights line");
+            }
+            if self.churn.is_some() {
+                return invalid(
+                    "churned graphs are unweighted (the dynamic engines reject weights)",
+                );
+            }
+            if matches!(self.graph, GraphSpec::File { .. }) {
+                return invalid(
+                    "file graphs carry their weights in the file; drop the weights line",
+                );
+            }
+            if matches!(self.output, OutputSpec::Trace { .. }) {
+                return invalid("trace output records the scalar path, which is unweighted");
+            }
+        }
+        if self.model.is_sync() {
+            // The synchronous-rounds kernels are deterministic: one
+            // round sweep, no per-trial randomness, no churn interplay.
+            if self.churn.is_some() {
+                return invalid("synchronous models run on a static graph");
+            }
+            if self.replicas != 1 {
+                return invalid("synchronous rounds are deterministic; use replicas 1");
+            }
+            if self.tier == TierSpec::Lane {
+                return invalid(
+                    "the lane tier accelerates the asynchronous kernels; use tier exact",
+                );
+            }
+            if matches!(self.output, OutputSpec::Trace { .. }) {
+                return invalid("trace output records the asynchronous scalar path");
+            }
+            if !matches!(
+                self.stop,
+                StopSpec::Steps { .. } | StopSpec::FixedPoint { .. }
+            ) {
+                return invalid(
+                    "synchronous models stop on fixed_point or a fixed round count (stop steps)",
+                );
+            }
         }
         match self.stop {
             StopSpec::Steps { .. } => {}
@@ -838,6 +1120,17 @@ impl ScenarioSpec {
                     return invalid("consensus stopping applies to the voter model only");
                 }
             }
+            StopSpec::FixedPoint { epsilon, .. } => {
+                if !self.model.is_sync() {
+                    return invalid(
+                        "fixed_point stopping applies to the synchronous models \
+                         (degroot, fj, weighted_median)",
+                    );
+                }
+                if !epsilon.is_finite() || epsilon < 0.0 {
+                    return invalid("epsilon must be finite and non-negative");
+                }
+            }
         }
         if let Some(churn) = &self.churn {
             if churn.steps_per_epoch == 0 {
@@ -857,7 +1150,9 @@ impl ScenarioSpec {
             }
             let horizon = match self.stop {
                 StopSpec::Steps { steps } => steps,
-                StopSpec::Converge { budget, .. } | StopSpec::Consensus { budget } => budget,
+                StopSpec::Converge { budget, .. }
+                | StopSpec::Consensus { budget }
+                | StopSpec::FixedPoint { budget, .. } => budget,
             };
             if !horizon.is_multiple_of(churn.steps_per_epoch) {
                 return invalid("the step horizon/budget must be a whole number of churn epochs");
@@ -935,8 +1230,17 @@ impl fmt::Display for ScenarioSpec {
                 writeln!(f, "model edge alpha={alpha} lazy={lazy}")?;
             }
             ModelSpec::Voter => writeln!(f, "model voter")?,
+            ModelSpec::DeGroot { lazy } => writeln!(f, "model degroot lazy={lazy}")?,
+            ModelSpec::Fj { alpha } => writeln!(f, "model fj alpha={alpha}")?,
+            ModelSpec::WeightedMedian => writeln!(f, "model weighted_median")?,
         }
         writeln!(f, "graph {}", self.graph)?;
+        // Unit weights print nothing: the canonical key of every
+        // pre-existing (unweighted) scenario is unchanged, so od-serve
+        // memo entries stay valid.
+        if let WeightSpec::Uniform { lo, hi, seed } = self.weights {
+            writeln!(f, "weights uniform lo={lo} hi={hi} seed={seed}")?;
+        }
         match &self.init {
             InitSpec::PmOne => writeln!(f, "init pm_one")?,
             InitSpec::Linear { lo, hi } => writeln!(f, "init linear lo={lo} hi={hi}")?,
@@ -992,6 +1296,9 @@ impl fmt::Display for ScenarioSpec {
                 )?;
             }
             StopSpec::Consensus { budget } => writeln!(f, "stop consensus budget={budget}")?,
+            StopSpec::FixedPoint { epsilon, budget } => {
+                writeln!(f, "stop fixed_point eps={epsilon} budget={budget}")?;
+            }
         }
         writeln!(f, "check_every {}", self.check_every)?;
         writeln!(f, "threads {}", self.threads)?;
@@ -1038,6 +1345,17 @@ mod parse {
                 .map_err(|_| err(self.line, format!("malformed value for '{key}': '{raw}'")))
         }
 
+        /// Like [`Fields::take`], but defaults instead of erroring when
+        /// the field is absent — for optional fields like the file
+        /// graph's `directed` flag.
+        fn take_or<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, SimError> {
+            if self.map.contains_key(key) {
+                self.take(key)
+            } else {
+                Ok(default)
+            }
+        }
+
         /// Like [`Fields::take`] for `f64`, but rejects the non-finite
         /// tokens `f64::from_str` would happily accept (`NaN`, `inf`,
         /// …) — a spec file can never name a non-finite parameter.
@@ -1066,6 +1384,7 @@ mod parse {
         let mut name: Option<String> = None;
         let mut model: Option<ModelSpec> = None;
         let mut graph: Option<GraphSpec> = None;
+        let mut weights: Option<WeightSpec> = None;
         let mut churn: Option<ChurnSpec> = None;
         let mut init: Option<InitSpec> = None;
         let mut replicas: Option<usize> = None;
@@ -1108,6 +1427,10 @@ mod parse {
                 "graph" => {
                     dup(graph.is_some())?;
                     graph = Some(parse_graph(line, &rest)?);
+                }
+                "weights" => {
+                    dup(weights.is_some())?;
+                    weights = Some(parse_weights(line, &rest)?);
                 }
                 "churn" => {
                     dup(churn.is_some())?;
@@ -1166,6 +1489,7 @@ mod parse {
             name,
             model,
             graph,
+            weights: weights.unwrap_or_default(),
             churn,
             init: init.unwrap_or(if model.is_averaging() {
                 InitSpec::PmOne
@@ -1222,14 +1546,48 @@ mod parse {
                 lazy: f.take("lazy")?,
             },
             "voter" => ModelSpec::Voter,
+            "degroot" => ModelSpec::DeGroot {
+                lazy: f.take_finite("lazy")?,
+            },
+            "fj" => ModelSpec::Fj {
+                alpha: f.take_finite("alpha")?,
+            },
+            "weighted_median" => ModelSpec::WeightedMedian,
             other => return Err(err(line, format!("unknown model '{other}'"))),
         };
         f.finish()?;
         Ok(model)
     }
 
+    fn parse_weights(line: usize, rest: &[&str]) -> Result<WeightSpec, SimError> {
+        let (variant, mut f) = variant_fields(line, "weights", rest)?;
+        let weights = match variant {
+            "uniform" => WeightSpec::Uniform {
+                lo: f.take_finite("lo")?,
+                hi: f.take_finite("hi")?,
+                seed: f.take("seed")?,
+            },
+            other => return Err(err(line, format!("unknown weights distribution '{other}'"))),
+        };
+        f.finish()?;
+        Ok(weights)
+    }
+
     pub(super) fn parse_graph(line: usize, rest: &[&str]) -> Result<GraphSpec, SimError> {
         let (variant, mut f) = variant_fields(line, "graph", rest)?;
+        // `graph file=<path> [directed=true]` names an edge-list file,
+        // not a generator family — the variant token carries the path.
+        if let Some(path) = variant.strip_prefix("file=") {
+            if path.is_empty() {
+                return Err(err(line, "file graph needs a non-empty path".into()));
+            }
+            let directed = f.take_or("directed", false)?;
+            f.finish()?;
+            return Ok(GraphSpec::File {
+                path: path.to_string(),
+                directed,
+            });
+        }
         let graph = match variant {
             "cycle" => GraphSpec::Cycle { n: f.take("n")? },
             "path" => GraphSpec::Path { n: f.take("n")? },
@@ -1374,6 +1732,10 @@ mod parse {
             "consensus" => StopSpec::Consensus {
                 budget: f.take("budget")?,
             },
+            "fixed_point" => StopSpec::FixedPoint {
+                epsilon: f.take_finite("eps")?,
+                budget: f.take("budget")?,
+            },
             other => return Err(err(line, format!("unknown stop rule '{other}'"))),
         };
         f.finish()?;
@@ -1415,6 +1777,7 @@ mod tests {
                 lazy: false,
             },
             graph: GraphSpec::Torus { rows: 8, cols: 8 },
+            weights: WeightSpec::Unit,
             churn: Some(ChurnSpec {
                 model: ChurnModelSpec::EdgeSwap { swaps: 4 },
                 steps_per_epoch: 64,
@@ -1794,5 +2157,219 @@ mod tests {
         let malformed = scratch_file("replay_bad.txt", "0 1 2\n");
         assert!(load_replay_file(&malformed).is_err());
         assert!(load_replay_file("/nonexistent/replay.txt").is_err());
+    }
+
+    fn sync_spec(model: ModelSpec) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(model, GraphSpec::Petersen, 1);
+        spec.stop = StopSpec::FixedPoint {
+            epsilon: 1e-10,
+            budget: 10_000,
+        };
+        spec
+    }
+
+    #[test]
+    fn sync_models_round_trip_through_text() {
+        for model in [
+            ModelSpec::DeGroot { lazy: 0.5 },
+            ModelSpec::Fj { alpha: 0.25 },
+            ModelSpec::WeightedMedian,
+        ] {
+            let spec = sync_spec(model);
+            spec.validate().unwrap();
+            let text = spec.to_string();
+            let parsed = ScenarioSpec::parse(&text).unwrap();
+            assert_eq!(parsed, spec);
+            assert_eq!(parsed.to_string(), text);
+        }
+        // Steps is the other admissible stop.
+        let mut spec = sync_spec(ModelSpec::DeGroot { lazy: 0.0 });
+        spec.stop = StopSpec::Steps { steps: 100 };
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn sync_model_scenario_rules() {
+        // Parameter ranges: lazy ∈ [0,1), alpha ∈ (0,1].
+        for bad in [
+            sync_spec(ModelSpec::DeGroot { lazy: 1.0 }),
+            sync_spec(ModelSpec::DeGroot { lazy: -0.1 }),
+            sync_spec(ModelSpec::Fj { alpha: 0.0 }),
+            sync_spec(ModelSpec::Fj { alpha: 1.5 }),
+        ] {
+            assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        }
+        // Deterministic rounds: replicas must stay 1…
+        let mut bad = sync_spec(ModelSpec::DeGroot { lazy: 0.5 });
+        bad.replicas = 4;
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // …no churn…
+        let mut bad = sync_spec(ModelSpec::Fj { alpha: 0.5 });
+        bad.churn = Some(ChurnSpec {
+            model: ChurnModelSpec::EdgeSwap { swaps: 4 },
+            steps_per_epoch: 64,
+            seed: 7,
+        });
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // …no lane tier, no trace…
+        let mut bad = sync_spec(ModelSpec::WeightedMedian);
+        bad.tier = TierSpec::Lane;
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        let mut bad = sync_spec(ModelSpec::WeightedMedian);
+        bad.stop = StopSpec::Steps { steps: 100 };
+        bad.output = OutputSpec::Trace { every: 10 };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // …and only steps/fixed_point stops.
+        let mut bad = sync_spec(ModelSpec::DeGroot { lazy: 0.5 });
+        bad.stop = StopSpec::Consensus { budget: 100 };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // fixed_point conversely requires a sync model.
+        let mut bad = sample_spec();
+        bad.churn = None;
+        bad.stop = StopSpec::FixedPoint {
+            epsilon: 1e-9,
+            budget: 100,
+        };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+    }
+
+    #[test]
+    fn weights_round_trip_and_default_is_silent() {
+        // The default unit weighting prints nothing, so every
+        // pre-existing scenario keeps its canonical key byte-for-byte.
+        let spec = sample_spec();
+        assert!(!spec.to_string().contains("weights"));
+        let mut weighted = sample_spec();
+        weighted.churn = None;
+        weighted.weights = WeightSpec::Uniform {
+            lo: 0.5,
+            hi: 2.0,
+            seed: 11,
+        };
+        weighted.validate().unwrap();
+        let text = weighted.to_string();
+        assert!(text.contains("weights uniform lo=0.5 hi=2 seed=11"));
+        let parsed = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(parsed, weighted);
+        assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn weighted_scenario_rules() {
+        let weights = WeightSpec::Uniform {
+            lo: 0.5,
+            hi: 2.0,
+            seed: 11,
+        };
+        // Bad ranges: lo must be positive and ≤ hi, both finite.
+        for (lo, hi) in [(0.0, 1.0), (-1.0, 1.0), (2.0, 1.0), (0.5, f64::NAN)] {
+            let mut bad = sample_spec();
+            bad.churn = None;
+            bad.weights = WeightSpec::Uniform { lo, hi, seed: 1 };
+            assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        }
+        // Voter ignores values, so weighting it is a spec error.
+        let mut bad = sample_spec();
+        bad.churn = None;
+        bad.model = ModelSpec::Voter;
+        bad.init = InitSpec::Distinct;
+        bad.stop = StopSpec::Steps { steps: 64 };
+        bad.weights = weights;
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // Churn rewires edges out from under the weight vector.
+        let mut bad = sample_spec();
+        bad.weights = weights;
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // File graphs carry their own weights.
+        let mut bad = sample_spec();
+        bad.churn = None;
+        bad.graph = GraphSpec::File {
+            path: "edges.csv".into(),
+            directed: false,
+        };
+        bad.weights = weights;
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+    }
+
+    #[test]
+    fn file_graph_round_trips_and_validates() {
+        let mut spec = sync_spec(ModelSpec::DeGroot { lazy: 0.5 });
+        spec.graph = GraphSpec::File {
+            path: "data/edges.csv".into(),
+            directed: true,
+        };
+        spec.validate().unwrap();
+        let text = spec.to_string();
+        assert!(text.contains("graph file=data/edges.csv directed=true"));
+        let parsed = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_string(), text);
+        // `directed` defaults to false when omitted.
+        let undirected =
+            ScenarioSpec::parse("model voter\ngraph file=data/edges.csv\nstop steps count=1")
+                .unwrap();
+        assert_eq!(
+            undirected.graph,
+            GraphSpec::File {
+                path: "data/edges.csv".into(),
+                directed: false,
+            }
+        );
+        // Empty path is a parse error; path tokens re-checked in validate.
+        assert!(ScenarioSpec::parse("model voter\ngraph file=\nstop steps count=1").is_err());
+        let mut bad = sync_spec(ModelSpec::DeGroot { lazy: 0.5 });
+        bad.graph = GraphSpec::File {
+            path: "white space.csv".into(),
+            directed: false,
+        };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+        // A directed file graph only runs the synchronous models.
+        let mut bad = sample_spec();
+        bad.churn = None;
+        bad.graph = GraphSpec::File {
+            path: "edges.csv".into(),
+            directed: true,
+        };
+        assert!(matches!(bad.validate(), Err(SimError::Invalid(_))));
+    }
+
+    #[test]
+    fn edge_list_file_loader() {
+        // Unweighted, whitespace-separated, with comments.
+        let path = scratch_file("edges_plain.txt", "# triangle\n0 1\n1 2\n2 0\n");
+        let g = load_edge_list_file(&path, false).unwrap();
+        assert_eq!((g.n(), g.m()), (3, 3));
+        assert!(!g.is_weighted() && !g.is_directed());
+
+        // Weighted CSV, node ids define n = max + 1.
+        let path = scratch_file("edges_weighted.csv", "0,1,2.0\n1,3,0.5\n");
+        let g = load_edge_list_file(&path, false).unwrap();
+        assert_eq!((g.n(), g.m()), (4, 2));
+        assert!(g.is_weighted());
+        assert_eq!(g.row_weight_sum(1), 2.5);
+
+        // Directed rows stay one-way.
+        let g = load_edge_list_file(&path, true).unwrap();
+        assert!(g.is_directed());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+
+        // Mixed arity, malformed tokens, bad weights, empty files.
+        for (name, contents) in [
+            ("edges_mixed.csv", "0,1\n1,2,2.0\n"),
+            ("edges_badid.csv", "0,x\n"),
+            ("edges_badw.csv", "0,1,heavy\n"),
+            ("edges_nanw.csv", "0,1,NaN\n"),
+            ("edges_negw.csv", "0,1,-2.0\n"),
+            ("edges_arity.csv", "0 1 2.0 3\n"),
+            ("edges_empty.csv", "# nothing\n"),
+        ] {
+            let path = scratch_file(name, contents);
+            assert!(
+                load_edge_list_file(&path, false).is_err(),
+                "accepted: {contents:?}"
+            );
+        }
+        assert!(load_edge_list_file("/nonexistent/edges.csv", false).is_err());
     }
 }

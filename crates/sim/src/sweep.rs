@@ -417,7 +417,7 @@ fn parse_axis(line: usize, rest: &[&str]) -> Result<SweepAxis, SimError> {
 /// `graph` with its size parameter set to `n`, for the families that
 /// have one.
 fn with_n(graph: &GraphSpec, n: usize) -> Result<GraphSpec, SimError> {
-    let mut g = *graph;
+    let mut g = graph.clone();
     match &mut g {
         GraphSpec::Cycle { n: slot }
         | GraphSpec::Path { n: slot }
@@ -441,7 +441,7 @@ fn with_n(graph: &GraphSpec, n: usize) -> Result<GraphSpec, SimError> {
 fn apply_axis(spec: &mut ScenarioSpec, axis: &SweepAxis, i: usize) -> Result<(), SimError> {
     let invalid = |message: String| Err(SimError::Invalid(message));
     match axis {
-        SweepAxis::Graph(v) => spec.graph = v[i],
+        SweepAxis::Graph(v) => spec.graph = v[i].clone(),
         SweepAxis::N(v) => spec.graph = with_n(&spec.graph, v[i])?,
         SweepAxis::K(v) => match &mut spec.model {
             ModelSpec::Node { k, .. } => *k = v[i],
@@ -587,7 +587,7 @@ impl SweepPlan {
     pub fn new(sweep: &SweepSpec) -> Result<SweepPlan, SimError> {
         let cells = sweep.cells()?;
         // Dedupe the resolved graph specs by linear scan — sweeps are
-        // small (≤ MAX_CELLS) and GraphSpec is Copy + PartialEq.
+        // small (≤ MAX_CELLS) and GraphSpec is PartialEq.
         let mut graph_specs: Vec<GraphSpec> = Vec::new();
         let cell_graph = cells
             .iter()
@@ -596,7 +596,7 @@ impl SweepPlan {
                     .iter()
                     .position(|g| *g == cell.spec.graph)
                     .unwrap_or_else(|| {
-                        graph_specs.push(cell.spec.graph);
+                        graph_specs.push(cell.spec.graph.clone());
                         graph_specs.len() - 1
                     })
             })
@@ -616,13 +616,15 @@ impl SweepPlan {
     }
 
     /// Builds distinct graph `graph_index` (callers cache and share the
-    /// instance across that graph's cells).
+    /// instance across that graph's cells), performing the edge-list IO
+    /// for file graphs.
     ///
     /// # Errors
     ///
-    /// [`SimError::Graph`] from the generator.
+    /// [`SimError::Graph`] from the generator, or [`SimError::Invalid`]
+    /// from the edge-list loader.
     pub fn build_graph(&self, graph_index: usize) -> Result<Graph, SimError> {
-        Ok(self.graph_specs[graph_index].build()?)
+        self.graph_specs[graph_index].realize()
     }
 }
 
@@ -655,7 +657,7 @@ pub fn run_sweep(sweep: &SweepSpec) -> Result<SweepReport, SimError> {
         let graph = match &graphs[graph_index] {
             Some(g) => g.clone(),
             None => {
-                let g = plan.graph_specs[graph_index].build()?;
+                let g = plan.graph_specs[graph_index].realize()?;
                 graphs[graph_index] = Some(g.clone());
                 g
             }

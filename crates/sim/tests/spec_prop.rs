@@ -4,7 +4,7 @@
 
 use od_sim::{
     ChurnModelSpec, ChurnSpec, GraphSpec, InitSpec, ModelSpec, OutputSpec, PotentialSpec,
-    ScenarioSpec, SimError, StopRuleSpec, StopSpec, TierSpec,
+    ScenarioSpec, SimError, StopRuleSpec, StopSpec, TierSpec, WeightSpec,
 };
 use proptest::prelude::*;
 
@@ -128,6 +128,7 @@ fn build_spec(
         name: named.then(|| format!("prop-{graph_pick}-{stop_pick}")),
         model,
         graph,
+        weights: WeightSpec::Unit,
         churn,
         init,
         replicas,
@@ -271,5 +272,93 @@ fn rejection_catalogue() {
             SimError::Parse { .. } | SimError::Invalid(_) => {}
             other => panic!("unexpected error class {other:?} for:\n{text}"),
         }
+    }
+}
+
+#[test]
+fn weight_rejection_catalogue() {
+    // The weighted grammar gets the same treatment: every malformed
+    // weights/file spelling dies at parse or validate, never at run time.
+    let base = "model node alpha=0.5 k=2 lazy=false\ngraph torus rows=4 cols=4\n";
+    let cases = [
+        // Non-finite bounds (f64::from_str accepts the tokens).
+        format!("{base}weights uniform lo=NaN hi=2 seed=1\nstop steps count=10"),
+        format!("{base}weights uniform lo=0.5 hi=inf seed=1\nstop steps count=10"),
+        // Non-positive or inverted range.
+        format!("{base}weights uniform lo=0 hi=2 seed=1\nstop steps count=10"),
+        format!("{base}weights uniform lo=-1 hi=2 seed=1\nstop steps count=10"),
+        format!("{base}weights uniform lo=2 hi=1 seed=1\nstop steps count=10"),
+        // Unknown weighting family, missing keys.
+        format!("{base}weights gaussian mu=1 sigma=0.1 seed=1\nstop steps count=10"),
+        format!("{base}weights uniform lo=0.5 seed=1\nstop steps count=10"),
+        // Weights on models/shapes that cannot honour them.
+        "model voter\ngraph petersen\nweights uniform lo=0.5 hi=2 seed=1\nstop steps count=10"
+            .to_string(),
+        format!(
+            "{base}weights uniform lo=0.5 hi=2 seed=1\nchurn edge_swap swaps=2 epoch=8 seed=1\nstop steps count=8"
+        ),
+        "model degroot lazy=0.5\ngraph file=edges.csv\nweights uniform lo=0.5 hi=2 seed=1\nstop steps count=10"
+            .to_string(),
+        // File-graph paths that cannot survive the token grammar.
+        "model degroot lazy=0.5\ngraph file=\nstop steps count=10".to_string(),
+        // Sync-model parameters out of range.
+        "model degroot lazy=1.5\ngraph petersen\nstop steps count=10".to_string(),
+        "model fj alpha=0\ngraph petersen\nstop steps count=10".to_string(),
+        "model fj alpha=NaN\ngraph petersen\nstop steps count=10".to_string(),
+        // fixed_point stop needs a sync model and a finite epsilon.
+        format!("{base}stop fixed_point eps=1e-9 budget=100"),
+        "model degroot lazy=0.5\ngraph petersen\nstop fixed_point eps=NaN budget=100".to_string(),
+    ];
+    for text in &cases {
+        let parsed = ScenarioSpec::parse(text);
+        assert!(parsed.is_err(), "accepted malformed spec:\n{text}");
+        match parsed.unwrap_err() {
+            SimError::Parse { .. } | SimError::Invalid(_) => {}
+            other => panic!("unexpected error class {other:?} for:\n{text}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Corrupting any single per-edge weight with a non-finite or
+    /// negative value — or zeroing out a whole row — is rejected at
+    /// construction, and a failed attach leaves the graph unweighted.
+    #[test]
+    fn corrupted_weight_vectors_are_rejected(
+        edge_pick in 0usize..64,
+        class in 0usize..4,
+        node_pick in 0usize..64,
+    ) {
+        let n = 12usize;
+        let g = od_graph::generators::cycle(n).unwrap();
+        let m = g.m();
+        let mut weights = vec![1.0f64; m];
+        match class {
+            0 => weights[edge_pick % m] = f64::NAN,
+            1 => weights[edge_pick % m] = f64::INFINITY,
+            2 => weights[edge_pick % m] = -0.25,
+            _ => {
+                // Zero every edge incident to one node: that row of the
+                // weighted walk matrix would be 0/0.
+                let u = (node_pick % n) as u32;
+                for (i, (a, b)) in g.edges().enumerate() {
+                    if a == u || b == u {
+                        weights[i] = 0.0;
+                    }
+                }
+            }
+        }
+        let mut gw = g.clone();
+        prop_assert!(gw.attach_weights(&weights).is_err());
+        prop_assert!(!gw.is_weighted(), "failed attach must not leave partial weights");
+        // The same vector dies inside the weighted-edge constructor too.
+        let weighted_edges: Vec<(u32, u32, f64)> = g
+            .edges()
+            .zip(&weights)
+            .map(|((a, b), &w)| (a, b, w))
+            .collect();
+        prop_assert!(od_graph::Graph::from_weighted_edges(n, &weighted_edges).is_err());
     }
 }

@@ -630,7 +630,7 @@ fn scenario_static_converge_matrix_equals_direct_engine() {
                         k: 2,
                         lazy: false,
                     },
-                    graph_spec,
+                    graph_spec.clone(),
                     0,
                 );
                 spec.replicas = 8;
@@ -764,7 +764,7 @@ fn scenario_dynamic_churn_matrix_equals_direct_engine() {
                     k: 2,
                     lazy: false,
                 },
-                graph_spec,
+                graph_spec.clone(),
                 0,
             );
             spec.replicas = 8;

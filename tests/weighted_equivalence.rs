@@ -1,0 +1,234 @@
+//! Weighted-graph equivalence gates, in two halves:
+//!
+//! * **Weight-1 bit-identity.** Attaching an all-ones weight vector must
+//!   be invisible: the weighted aggregation paths (`StepKernel`,
+//!   `ReplicaBatch`, `SyncKernel`) replay the unweighted expressions
+//!   bit-for-bit under the same seed, across the five matrix graph
+//!   families and every model. This is the contract that lets the
+//!   weighted code ship inside the existing kernels instead of behind a
+//!   fork — a single rounding difference anywhere in the loop fails
+//!   here.
+//! * **CSR vs dense.** The CSR-ported DeGroot and Friedkin–Johnsen
+//!   baselines must agree with the retired dense-matrix iteration at
+//!   their fixed points, on weighted undirected and weighted directed
+//!   instances.
+
+use opinion_dynamics::baselines::{dense_degroot_fixed_point, dense_fj_fixed_point};
+use opinion_dynamics::core::{
+    EdgeModelParams, KernelSpec, NodeModelParams, ReplicaBatch, StepKernel, SyncKernel, SyncModel,
+};
+use opinion_dynamics::graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHECKPOINTS: u64 = 4;
+const STEPS_PER_CHECKPOINT: u64 = 500;
+const SEEDS: [u64; 4] = [3101, 3102, 3103, 3104];
+
+fn assert_bits_identical(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: diverged at index {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// The five matrix families, as in `tests/batch_equivalence.rs`.
+fn matrix_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    vec![
+        ("cycle(24)", generators::cycle(24).unwrap()),
+        ("torus(5x5)", generators::torus(5, 5).unwrap()),
+        ("hypercube(4)", generators::hypercube(4).unwrap()),
+        ("complete(12)", generators::complete(12).unwrap()),
+        (
+            "gnp(20,0.3)",
+            generators::gnp_connected(20, 0.3, &mut rng).unwrap(),
+        ),
+    ]
+}
+
+/// The same graph with an explicit all-ones weight vector attached.
+fn unit_weighted(g: &Graph) -> Graph {
+    let mut gw = g.clone();
+    gw.attach_weights(&vec![1.0; g.m()]).unwrap();
+    assert!(gw.is_weighted());
+    gw
+}
+
+fn initial_values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 13 % 7) as f64) * 0.9 - 2.5).collect()
+}
+
+fn min_degree(g: &Graph) -> usize {
+    (0..g.n())
+        .map(|u| g.neighbors(u as u32).len())
+        .min()
+        .unwrap()
+}
+
+/// Step-process matrix: every (graph, model) cell runs the unweighted
+/// kernel and the unit-weighted kernel side by side under one seed and
+/// checks the full trajectory at four checkpoints, plus the
+/// `ReplicaBatch` summary statistics per replica.
+#[test]
+fn unit_weights_are_bit_identical_across_the_matrix() {
+    let mut cells = 0usize;
+    for (name, g) in matrix_graphs() {
+        let gw = unit_weighted(&g);
+        let xi0 = initial_values(g.n());
+        let mut specs = vec![KernelSpec::Edge(EdgeModelParams::new(0.5).unwrap())];
+        for k in [1usize, 2, 4] {
+            if k <= min_degree(&g) {
+                specs.push(KernelSpec::Node(NodeModelParams::new(0.35, k).unwrap()));
+            }
+        }
+        for spec in specs {
+            let what = format!("{name} / {spec:?}");
+            let mut plain = StepKernel::new(&g, xi0.clone(), spec).unwrap();
+            let mut weighted = StepKernel::new(&gw, xi0.clone(), spec).unwrap();
+            let mut rng_p = StdRng::seed_from_u64(SEEDS[0]);
+            let mut rng_w = StdRng::seed_from_u64(SEEDS[0]);
+            for checkpoint in 0..CHECKPOINTS {
+                plain.step_many(STEPS_PER_CHECKPOINT, &mut rng_p);
+                weighted.step_many(STEPS_PER_CHECKPOINT, &mut rng_w);
+                assert_bits_identical(
+                    plain.values(),
+                    weighted.values(),
+                    &format!("{what} @ checkpoint {checkpoint}"),
+                );
+            }
+            assert_eq!(
+                plain.weighted_average().to_bits(),
+                weighted.weighted_average().to_bits(),
+                "{what}: π-weighted average"
+            );
+            assert_eq!(
+                plain.potential_pi().to_bits(),
+                weighted.potential_pi().to_bits(),
+                "{what}: potential"
+            );
+
+            let mut batch_p = ReplicaBatch::new(&g, spec, &xi0, &SEEDS).unwrap();
+            let mut batch_w = ReplicaBatch::new(&gw, spec, &xi0, &SEEDS).unwrap();
+            batch_p.step_many(CHECKPOINTS * STEPS_PER_CHECKPOINT);
+            batch_w.step_many(CHECKPOINTS * STEPS_PER_CHECKPOINT);
+            for r in 0..SEEDS.len() {
+                assert_bits_identical(
+                    batch_p.replica_values(r),
+                    batch_w.replica_values(r),
+                    &format!("{what}: batch replica {r}"),
+                );
+                assert_eq!(
+                    batch_p.replica_weighted_average(r).to_bits(),
+                    batch_w.replica_weighted_average(r).to_bits(),
+                    "{what}: batch replica {r} weighted average"
+                );
+                assert_eq!(
+                    batch_p.replica_potential_pi(r).to_bits(),
+                    batch_w.replica_potential_pi(r).to_bits(),
+                    "{what}: batch replica {r} potential"
+                );
+            }
+            cells += 1;
+        }
+    }
+    assert!(cells >= 15, "matrix shrank to {cells} cells");
+}
+
+/// The deterministic synchronous kernels get the same weight-1 gate:
+/// every round of DeGroot, Friedkin–Johnsen, and the weighted median is
+/// bit-identical with and without the all-ones weight vector.
+#[test]
+fn unit_weights_are_bit_identical_in_sync_kernels() {
+    for (name, g) in matrix_graphs() {
+        let gw = unit_weighted(&g);
+        let xi0 = initial_values(g.n());
+        for model in [
+            SyncModel::DeGroot { lazy: 0.5 },
+            SyncModel::FriedkinJohnsen { alpha: 0.25 },
+            SyncModel::WeightedMedian,
+        ] {
+            let mut plain = SyncKernel::new(&g, xi0.clone(), model).unwrap();
+            let mut weighted = SyncKernel::new(&gw, xi0.clone(), model).unwrap();
+            for round in 0..50 {
+                let dp = plain.round();
+                let dw = weighted.round();
+                assert_eq!(
+                    dp.to_bits(),
+                    dw.to_bits(),
+                    "{name} / {model:?}: round {round} delta"
+                );
+                assert_bits_identical(
+                    plain.values(),
+                    weighted.values(),
+                    &format!("{name} / {model:?} @ round {round}"),
+                );
+            }
+        }
+    }
+}
+
+/// CSR DeGroot agrees with the dense transition-matrix iteration at the
+/// fixed point on weighted undirected instances of every matrix family.
+#[test]
+fn csr_degroot_matches_dense_on_weighted_graphs() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for (name, g) in matrix_graphs() {
+        let mut g = g;
+        let weights: Vec<f64> = (0..g.m())
+            .map(|_| 0.5 + 1.5 * rand::Rng::gen::<f64>(&mut rng))
+            .collect();
+        g.attach_weights(&weights).unwrap();
+        let xi0 = initial_values(g.n());
+        let (dense, _, converged) = dense_degroot_fixed_point(&g, &xi0, 0.5, 1e-13, 200_000);
+        assert!(converged, "{name}: dense iteration did not converge");
+        let mut kernel = SyncKernel::new(&g, xi0, SyncModel::DeGroot { lazy: 0.5 }).unwrap();
+        let (_, converged) = kernel.run(200_000, 1e-13).unwrap();
+        assert!(converged, "{name}: CSR kernel did not converge");
+        for (u, (&d, &c)) in dense.iter().zip(kernel.values()).enumerate() {
+            assert!(
+                (d - c).abs() <= 1e-9,
+                "{name}: node {u} fixed points differ: dense {d} vs CSR {c}"
+            );
+        }
+    }
+}
+
+/// Friedkin–Johnsen: CSR vs dense on a weighted *directed* graph, where
+/// row normalisation uses the out-neighbour weights only.
+#[test]
+fn csr_fj_matches_dense_on_weighted_digraph() {
+    let g = Graph::from_directed_weighted_edges(
+        6,
+        &[
+            (0, 1, 2.0),
+            (1, 2, 1.0),
+            (2, 0, 0.5),
+            (3, 2, 1.5),
+            (4, 3, 1.0),
+            (0, 4, 3.0),
+            (5, 0, 2.5),
+            (4, 5, 0.25),
+        ],
+    )
+    .unwrap();
+    let anchors = vec![1.0, -1.0, 2.0, 0.0, 5.0, -3.0];
+    for alpha in [0.1, 0.25, 0.75] {
+        let (dense, _, converged) = dense_fj_fixed_point(&g, &anchors, alpha, 1e-13, 200_000);
+        assert!(converged);
+        let mut kernel =
+            SyncKernel::new(&g, anchors.clone(), SyncModel::FriedkinJohnsen { alpha }).unwrap();
+        let (_, converged) = kernel.run(200_000, 1e-13).unwrap();
+        assert!(converged);
+        for (u, (&d, &c)) in dense.iter().zip(kernel.values()).enumerate() {
+            assert!(
+                (d - c).abs() <= 1e-9,
+                "alpha {alpha}: node {u} fixed points differ: dense {d} vs CSR {c}"
+            );
+        }
+    }
+}
