@@ -111,6 +111,8 @@ pub(crate) fn validate_values(graph: &Graph, values: &[f64]) -> Result<(), CoreE
 /// — and the denominator accumulates unit weights to exactly
 /// `sample.len() as f64` (integer-valued f64 sums are exact below 2⁵³).
 #[inline]
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 fn weighted_sample_mean(
     graph: &Graph,
     u: NodeId,
@@ -131,6 +133,7 @@ fn weighted_sample_mean(
         num += w * values[v as usize];
         den += w;
     }
+    // od-lint: allow(F1) — exact sentinel: the sum is 0.0 only when every sampled weight is literally 0.0
     if den == 0.0 {
         None
     } else {
@@ -157,8 +160,10 @@ fn weighted_pull_target(
     // Row maxes are strictly positive for any row that owns a slot:
     // all-zero rows are rejected at graph construction.
     let scaled = weights[slot] / graph.row_weight_max(tail);
+    // od-lint: allow(F1) — exact sentinel: w/row_max is exactly 1.0 for the heaviest slot; keeps unit-weight graphs bit-identical
     if scaled == 1.0 {
         Some(values[head as usize])
+    // od-lint: allow(F1) — exact sentinel: a zero-weight slot divides to exactly 0.0
     } else if scaled == 0.0 {
         None
     } else {
@@ -470,6 +475,7 @@ impl PotentialTracker {
 
     /// Rebuilds a tracker from a captured [`TrackerState`]. `n` is the
     /// replica's node count (the uniform arm's cross-term normaliser).
+    // od-lint: allow(D3) — defines PotentialTracker::from_state (checkpoint restore of a scalar tracker), not an RNG constructor
     pub(crate) fn from_state(kind: PotentialKind, n: usize, state: TrackerState) -> Self {
         PotentialTracker {
             kind,
@@ -663,7 +669,10 @@ pub(crate) enum BlockCheck<'a> {
 }
 
 /// Steps one replica through one block under `check`.
-#[allow(clippy::too_many_arguments)] // private leaf of the block runners
+#[allow(clippy::too_many_arguments)]
+// private leaf of the block runners
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 fn converge_replica_block(
     graph: &Graph,
     spec: KernelSpec,
@@ -1211,6 +1220,8 @@ pub(crate) fn run_voter_steps<R: RngCore + ?Sized>(
 /// single home of the discord-maintenance invariant shared by
 /// [`run_voter_steps_tracked`] and [`run_voter_steps_tracked_until`].
 #[inline]
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 fn voter_step_tracked<R: RngCore + ?Sized>(
     graph: &Graph,
     opinions: &mut [u32],

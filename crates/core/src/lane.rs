@@ -238,7 +238,10 @@ fn run_lane_steps(
 /// constant the per-node lane row is a `[f64; L]`, so the full-row-mean
 /// accumulator and the blend are branch-free unrolled vector code with no
 /// bounds checks inside the lane loops.
-#[allow(clippy::needless_range_loop)] // j indexes two arrays in lockstep
+#[allow(clippy::needless_range_loop)]
+// j indexes two arrays in lockstep
+// Invariant-backed: every chunk is exactly L long by construction.
+#[allow(clippy::unwrap_used)]
 fn lane_steps_fixed<const L: usize>(
     graph: &Graph,
     spec: KernelSpec,

@@ -172,6 +172,7 @@ impl<'g> SyncKernel<'g> {
         self.rounds += 1;
         match self.model {
             SyncModel::DeGroot { lazy } => self.averaging_round(|_, pulled, old| {
+                // od-lint: allow(F1) — exact sentinel: lazy == 0.0 takes the blend-free path so the default model stays bit-identical
                 if lazy == 0.0 {
                     pulled
                 } else {
@@ -242,8 +243,7 @@ impl<'g> SyncKernel<'g> {
                     }
                 }
             }
-            self.scratch
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("values are finite"));
+            self.scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
             let half = self.graph.row_weight_sum(u as NodeId) / 2.0;
             let mut cumulative = 0.0;
             let mut median = self.scratch[self.scratch.len() - 1].0;

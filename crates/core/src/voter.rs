@@ -38,6 +38,8 @@ impl<'g> VoterModel<'g> {
     /// # Errors
     ///
     /// [`CoreError::Disconnected`] or [`CoreError::LengthMismatch`].
+    // Invariant-backed: the `expect` messages state why each cannot fire.
+    #[allow(clippy::expect_used)]
     pub fn new(graph: &'g Graph, opinions: Vec<u32>) -> Result<Self, CoreError> {
         if graph.is_directed() {
             return Err(CoreError::DirectedUnsupported);
@@ -87,6 +89,8 @@ impl<'g> VoterModel<'g> {
     }
 
     /// The consensus opinion, if reached.
+    // Invariant-backed: the `expect` messages state why each cannot fire.
+    #[allow(clippy::expect_used)]
     pub fn consensus_opinion(&self) -> Option<u32> {
         self.is_consensus().then(|| {
             self.counts

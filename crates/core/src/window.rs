@@ -381,8 +381,10 @@ impl<'g> ConvergeWindow<'g> {
                 )));
             }
             window.values[slot * window.n..(slot + 1) * window.n].copy_from_slice(&state.values);
+            // od-lint: allow(D3) — checkpoint restore of a stream that originated from StdRng::seed_from_u64; validated against the manifest seed
             window.rngs.push(StdRng::from_state(state.rng));
             if let Some(tracker) = state.tracker {
+                // od-lint: allow(D3) — PotentialTracker::from_state restores a potential accumulator, not an RNG
                 window.trackers.push(PotentialTracker::from_state(
                     config.potential,
                     window.n,

@@ -170,6 +170,7 @@ impl<'g> QChain<'g> {
         for a in 0..n as NodeId {
             for b in 0..n as NodeId {
                 let mass = x[self.state_index(a, b)];
+                // od-lint: allow(F1) — exact sentinel: skip states carrying literally zero probability mass
                 if mass == 0.0 {
                     continue;
                 }
@@ -287,6 +288,7 @@ impl<'g> GeneralQChain<'g> {
         for a in 0..n as NodeId {
             for b in 0..n as NodeId {
                 let mass = x[self.state_index(a, b)];
+                // od-lint: allow(F1) — exact sentinel: skip states carrying literally zero probability mass
                 if mass == 0.0 {
                     continue;
                 }

@@ -131,6 +131,7 @@ fn main() {
             continue;
         };
         println!("\n=== {} — {} ===", experiment.id, experiment.description);
+        // od-lint: allow(D2) — wall-clock progress line on the console; never written into a result table
         let start = std::time::Instant::now();
         let tables = (experiment.run)(&ctx);
         if let Err(e) = write_result_tables(experiment.id, &tables) {
@@ -387,6 +388,7 @@ fn run_scenario_file(path: &str, quick: bool) -> Result<Vec<TrialRow>, Box<dyn s
     if sweep.axes.is_empty() {
         return run_single_scenario(&name, &sweep);
     }
+    // od-lint: allow(D2) — sweep timing printed as progress metadata, not a result column
     let start = std::time::Instant::now();
     let report = run_sweep(&sweep)?;
     println!(
@@ -493,6 +495,7 @@ fn run_single_scenario(
         sim.graph().m(),
         spec.replicas,
     );
+    // od-lint: allow(D2) — scenario timing printed as progress metadata, not a result column
     let start = std::time::Instant::now();
     let report = sim.run()?;
     let steps = report.steps_summary();

@@ -136,6 +136,7 @@ pub fn runtime_conformance(ctx: &ExperimentContext) -> Vec<Table> {
         let mut model = NodeModel::new(&g, xi0.clone(), params).unwrap();
         let mut net = ProtocolNetwork::new(&g, xi0, 0.5, k);
         let mut rng = StdRng::seed_from_u64(5);
+        // od-lint: allow(D2) — throughput_steps_per_s is an inherently wall-clock column; the science columns stay clock-free
         let start = std::time::Instant::now();
         let mut max_diff: f64 = 0.0;
         // One record reused across the run: `step_recorded_into` rewrites

@@ -58,6 +58,8 @@
 use crate::csr::{CsrScratch, Graph, NodeId, RowDelta};
 use crate::error::GraphError;
 use rand::{Rng, RngCore};
+use std::collections::BTreeMap;
+// od-lint: allow(D1) — edge_index/new_index are O(1)-membership tables only; no code iterates them
 use std::collections::HashMap;
 
 /// How a [`DynamicGraph::commit`] folded the pending delta into the CSR.
@@ -103,7 +105,9 @@ pub struct DynamicGraph {
     /// Logical edge list, canonical orientation `u < v`, unordered.
     edges: Vec<(NodeId, NodeId)>,
     /// Position of each canonical edge in `edges` (O(1) removal).
-    edge_index: HashMap<(NodeId, NodeId), usize>,
+    /// Membership and point lookups only — iteration order never
+    /// escapes: `edges` (a Vec) carries the canonical order.
+    edge_index: HashMap<(NodeId, NodeId), usize>, // od-lint: allow(D1) — lookup-only; order carried by the `edges` Vec
     /// Logical degree of every node.
     degrees: Vec<usize>,
     /// Staged insertions not yet in `front`.
@@ -327,6 +331,7 @@ impl DynamicGraph {
     /// The same as [`Graph::from_edges`]; on error the dynamic graph is
     /// left unchanged.
     pub fn set_edges(&mut self, edges: &[(NodeId, NodeId)]) -> Result<(), GraphError> {
+        // od-lint: allow(D1) — duplicate detection only; edge order comes from the input slice
         let mut new_index: HashMap<(NodeId, NodeId), usize> = HashMap::with_capacity(edges.len());
         let mut new_edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
         let mut new_degrees = vec![0usize; self.n];
@@ -391,6 +396,8 @@ impl DynamicGraph {
     /// Folds all staged mutations into the CSR front buffer and reports
     /// which route was taken (see the module docs for the
     /// patch/shift/rebuild trade-off).
+    // Invariant-backed: the `expect` messages state why each cannot fire.
+    #[allow(clippy::expect_used)]
     pub fn commit(&mut self) -> CommitOutcome {
         if !self.is_dirty() {
             return CommitOutcome::Unchanged;
@@ -442,7 +449,7 @@ impl DynamicGraph {
     /// Whether the staged delta leaves every node's degree unchanged (the
     /// in-place patch precondition: CSR offsets and `tails` stay valid).
     fn delta_preserves_degrees(&self) -> bool {
-        let mut delta: HashMap<NodeId, i64> = HashMap::new();
+        let mut delta: BTreeMap<NodeId, i64> = BTreeMap::new();
         for &(u, v) in &self.pending_add {
             *delta.entry(u).or_default() += 1;
             *delta.entry(v).or_default() += 1;
@@ -457,8 +464,11 @@ impl DynamicGraph {
     /// The staged delta grouped per touched node as
     /// `(removed targets, added targets)` — the input shape of both the
     /// in-place patch and the shifted patch.
-    fn per_node_delta(&self) -> HashMap<NodeId, RowDelta> {
-        let mut per_node: HashMap<NodeId, RowDelta> = HashMap::new();
+    /// `BTreeMap` so patch application walks nodes in index order —
+    /// per-row patches are independent, but a deterministic walk keeps
+    /// memory traffic and any future instrumentation reproducible.
+    fn per_node_delta(&self) -> BTreeMap<NodeId, RowDelta> {
+        let mut per_node: BTreeMap<NodeId, RowDelta> = BTreeMap::new();
         for &(u, v) in &self.pending_remove {
             per_node.entry(u).or_default().0.push(v);
             per_node.entry(v).or_default().0.push(u);
@@ -473,6 +483,8 @@ impl DynamicGraph {
     /// Applies a degree-preserving delta to the front CSR row by row:
     /// removed targets are located while the row is still sorted, slots
     /// are overwritten with the added targets, and the row is re-sorted.
+    // Invariant-backed: the `expect` messages state why each cannot fire.
+    #[allow(clippy::expect_used)]
     fn patch_in_place(&mut self) {
         let per_node = self.per_node_delta();
         for (&node, (removed, added)) in &per_node {
@@ -655,6 +667,8 @@ impl ChurnModel {
 }
 
 /// Degree-preserving double edge swaps; returns the number applied.
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 fn apply_edge_swaps<R: RngCore + ?Sized>(
     graph: &mut DynamicGraph,
     swaps: usize,
@@ -701,6 +715,8 @@ fn apply_edge_swaps<R: RngCore + ?Sized>(
 }
 
 /// Small-world rewires with a degree floor; returns mutations applied.
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 fn apply_rewires<R: RngCore + ?Sized>(
     graph: &mut DynamicGraph,
     rewires: usize,
@@ -747,6 +763,7 @@ fn apply_gnp_resample<R: RngCore + ?Sized>(
         )));
     }
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    // od-lint: allow(D1) — collision membership only; edge order comes from the (u, v) loop nest
     let mut present: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
     let mut degrees = vec![0usize; n];
     for u in 0..n {

@@ -206,6 +206,8 @@ pub fn binary_tree(levels: usize) -> Result<Graph, GraphError> {
 
 /// The Petersen graph: 10 nodes, 3-regular, girth 5. A standard
 /// small regular graph with non-trivial structure for Q-chain tests.
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 pub fn petersen() -> Graph {
     // Outer 5-cycle 0..5, inner 5-star 5..10 (pentagram), spokes i -- i+5.
     let mut edges = Vec::with_capacity(15);

@@ -124,6 +124,7 @@ impl DenseMatrix {
         assert_eq!(x.len(), self.rows, "vecmat: dimension mismatch");
         let mut out = vec![0.0; self.cols];
         for (i, &xi) in x.iter().enumerate() {
+            // od-lint: allow(F1) — sparsity fast path: skipping exact zeros adds no term and keeps the result bit-identical
             if xi != 0.0 {
                 crate::vector::axpy(xi, self.row(i), &mut out);
             }
@@ -142,6 +143,7 @@ impl DenseMatrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // od-lint: allow(F1) — sparsity fast path: skipping exact zeros adds no term and keeps the result bit-identical
                 if a != 0.0 {
                     for j in 0..other.cols {
                         out[(i, j)] += a * other[(k, j)];

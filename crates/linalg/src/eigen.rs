@@ -100,7 +100,7 @@ pub fn jacobi_eigen(matrix: &DenseMatrix, tol: f64) -> SymmetricEigen {
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[(i, i)].partial_cmp(&a[(j, j)]).unwrap());
+    order.sort_by(|&i, &j| a[(i, i)].total_cmp(&a[(j, j)]));
     let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
     let vectors = DenseMatrix::from_fn(n, n, |r, c| v[(r, order[c])]);
     SymmetricEigen { values, vectors }
@@ -151,6 +151,7 @@ pub fn power_iteration_deflated(
         }
         value = vector::dot(&x, &y); // Rayleigh quotient (x is unit)
         let norm = vector::normalize(&mut y);
+        // od-lint: allow(F1) — exact sentinel: normalize() returns literally 0.0 only for the zero vector
         if norm == 0.0 {
             // x is (numerically) in the kernel: eigenvalue 0.
             return EigenPair {

@@ -126,7 +126,7 @@ pub fn lambda2_laplacian_regular(adjacency_desc: &[f64], d: usize) -> f64 {
 }
 
 fn sort_desc(v: &mut [f64]) {
-    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    v.sort_by(|a, b| b.total_cmp(a));
 }
 
 fn binomial(n: usize, k: usize) -> usize {

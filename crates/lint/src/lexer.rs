@@ -1,0 +1,483 @@
+//! A hand-rolled Rust lexer: just enough token structure for the rule
+//! engine, with the parts that matter for *not lying* done carefully —
+//! string literals (plain, raw, byte), char literals vs lifetimes,
+//! nested block comments and float-vs-integer-vs-range disambiguation
+//! (`0..n` is two ints and a range, `0.5` is a float, `t.0` is a field
+//! access). Everything the rules match on is an [`TokenKind::Ident`],
+//! [`TokenKind::Punct`] or [`TokenKind::Float`] token, so a banned name
+//! inside a string or comment can never produce a finding.
+
+/// What a lexed token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifiers and keywords (`HashMap`, `fn`, `r#raw_ident`).
+    Ident,
+    /// Integer literals, including tuple-field indices (`0`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literals (`0.5`, `1.`, `1e-6`, `2f64`).
+    Float,
+    /// String literals of every flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char and byte-char literals (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetimes (`'a`, `'static`).
+    Lifetime,
+    /// Line and block comments, doc comments included; the only kind the
+    /// suppression scanner reads.
+    Comment,
+    /// Punctuation; multi-char only for `==`, `!=` and `::`.
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text and 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token's source text, verbatim.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Lexes `source` into a token stream. Unknown bytes become single-char
+/// [`TokenKind::Punct`] tokens — the lexer never fails, it only refuses
+/// to classify.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.ident_or_prefixed(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// Plain `"…"` strings with escape handling.
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("caller saw the opening quote"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Raw strings `r"…"`, `r#"…"#`, … — the caller already consumed the
+    /// prefix; `hashes` is the number of `#` before the opening quote.
+    fn raw_string(&mut self, line: u32, prefix: String, hashes: usize) {
+        let mut text = prefix;
+        text.push(self.bump().expect("caller saw the opening quote"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    text.push('#');
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// `'a'` vs `'a`: a lifetime is a quote followed by an identifier run
+    /// *not* closed by another quote.
+    fn char_or_lifetime(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => {
+                // Scan past the identifier run; a closing quote right
+                // after means a char literal like 'a' or 'q'.
+                let mut ahead = 2;
+                while self.peek(ahead).is_some_and(is_ident_continue) {
+                    ahead += 1;
+                }
+                self.peek(ahead) != Some('\'')
+            }
+            _ => false,
+        };
+        let mut text = String::new();
+        text.push(self.bump().expect("caller saw the quote"));
+        if is_lifetime {
+            while self.peek(0).is_some_and(is_ident_continue) {
+                text.push(self.bump().expect("peeked"));
+            }
+            self.push(TokenKind::Lifetime, text, line);
+            return;
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    /// Numbers. The subtle cases: `0..n` (int, not float `0.`),
+    /// `1.max(2)` (int then method call), `1.5e-3f64` (one float token).
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Radix literal: consume the prefix and the alphanumeric run.
+            text.push(self.bump().expect("peeked"));
+            text.push(self.bump().expect("peeked"));
+            while self.peek(0).is_some_and(is_ident_continue) {
+                text.push(self.bump().expect("peeked"));
+            }
+            self.push(TokenKind::Int, text, line);
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            text.push(self.bump().expect("peeked"));
+        }
+        // A dot continues the float only when not a range (`..`) and not
+        // a method/field access (ident follows).
+        if self.peek(0) == Some('.')
+            && self.peek(1) != Some('.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            is_float = true;
+            text.push(self.bump().expect("peeked"));
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        // Exponent: `e`/`E` with an optional sign, digits mandatory.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some('+' | '-')));
+            if self.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                for _ in 0..=sign {
+                    text.push(self.bump().expect("peeked"));
+                }
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    text.push(self.bump().expect("peeked"));
+                }
+            }
+        }
+        // Type suffix (`u64`, `f64`, …) folds into the literal token.
+        if self.peek(0).is_some_and(is_ident_start) {
+            let mut suffix = String::new();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                suffix.push(self.bump().expect("peeked"));
+            }
+            if suffix == "f32" || suffix == "f64" {
+                is_float = true;
+            }
+            text.push_str(&suffix);
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    /// Identifiers, including the string-literal prefixes `r`, `b`, `br`
+    /// and raw identifiers `r#name`.
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let c = self.peek(0).expect("caller peeked");
+        // r"…" / r#"…"# / b"…" / br#"…"# / b'…'
+        if c == 'r' || c == 'b' {
+            let mut ahead = 1;
+            if c == 'b' && self.peek(1) == Some('r') {
+                ahead = 2;
+            }
+            let mut hashes = 0;
+            while self.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+            let after = self.peek(ahead + hashes);
+            let raw_allowed = c == 'r' || ahead == 2;
+            if after == Some('"') && (hashes == 0 || raw_allowed) {
+                // `r#ident` is a raw identifier, not a raw string; that
+                // case has hashes == 1 and an ident char after, so it
+                // falls through to the identifier path below.
+                let mut prefix = String::new();
+                for _ in 0..ahead + hashes {
+                    prefix.push(self.bump().expect("peeked"));
+                }
+                if hashes == 0 && ahead == 1 && c == 'b' {
+                    self.string_with_prefix(line, prefix);
+                } else {
+                    self.raw_string(line, prefix, hashes);
+                }
+                return;
+            }
+            if c == 'b' && ahead == 1 && hashes == 0 && after == Some('\'') {
+                let mut text = String::new();
+                text.push(self.bump().expect("peeked")); // the `b`
+                text.push(self.bump().expect("peeked")); // the quote
+                while let Some(ch) = self.bump() {
+                    text.push(ch);
+                    if ch == '\\' {
+                        if let Some(escaped) = self.bump() {
+                            text.push(escaped);
+                        }
+                    } else if ch == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, text, line);
+                return;
+            }
+        }
+        let mut text = String::new();
+        if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+            text.push(self.bump().expect("peeked"));
+            text.push(self.bump().expect("peeked"));
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().expect("peeked"));
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// A `b"…"` byte string: same escape rules as a plain string.
+    fn string_with_prefix(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push(self.bump().expect("caller saw the opening quote"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.bump().expect("caller peeked");
+        let joined = match (c, self.peek(0)) {
+            ('=', Some('=')) | ('!', Some('=')) | (':', Some(':')) => {
+                let second = self.bump().expect("peeked");
+                let mut s = String::new();
+                s.push(c);
+                s.push(second);
+                Some(s)
+            }
+            _ => None,
+        };
+        self.push(
+            TokenKind::Punct,
+            joined.unwrap_or_else(|| c.to_string()),
+            line,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..n { }");
+        assert!(toks.contains(&(TokenKind::Int, "0".into())));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+    }
+
+    #[test]
+    fn float_shapes() {
+        for src in ["0.5", "1.", "1e-6", "2.5E3", "1_000.25", "2f64", "1.5e3f64"] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Float, "{src}");
+        }
+        for src in ["5", "0xFF", "1_000u64", "0b1010", "3usize"] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Int, "{src}");
+        }
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn banned_names_inside_strings_and_comments_stay_inert() {
+        let toks = kinds(
+            "let s = \"HashMap::from_entropy\"; // HashMap in a comment\n/* Instant */ let x = 1;",
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "HashMap" || t == "Instant")));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; let t = "esc \" end"; "####);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn lifetimes_versus_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'q' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'q'".into())));
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let toks = kinds(r"let c = '\n'; let l: &'static str = x;");
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'".into())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn comparison_operators_fuse() {
+        let toks = kinds("a == 1.0 && b != 0.5 && c <= d && e => f");
+        assert!(toks.contains(&(TokenKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "!=".into())));
+        // `<=` and `=>` must not produce a stray `==`.
+        assert_eq!(
+            toks.iter().filter(|(_, t)| t == "==").count(),
+            1,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1], (TokenKind::Ident, "let".into()));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let toks = kinds("let x = t.0; let y = pair.1;");
+        assert!(
+            !toks.iter().any(|(k, _)| *k == TokenKind::Float),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

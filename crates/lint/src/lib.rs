@@ -1,0 +1,289 @@
+//! `od-lint` — the workspace determinism-and-panic-safety analyzer.
+//!
+//! The engine tiers of this reproduction rest on contracts the compiler
+//! cannot see: seeded trajectories must replay bit-identically across
+//! batch sizes and thread counts, results must never depend on
+//! wall-clock time or hash-map iteration order, and the long-running
+//! `od-serve` daemon must not panic on request paths. The equivalence
+//! tests catch a *violation* after it ships; this pass catches the
+//! violating *construct* at review time.
+//!
+//! The pass is a hand-rolled lexer ([`lexer`]) feeding a rule engine
+//! ([`rules`]) with per-crate-role configuration ([`rules_for_path`]):
+//! engine crates get the full determinism profile, boundary crates the
+//! clock/RNG profile, `od-serve` and the CLI sink paths additionally
+//! the panic-safety profile, and tests/benches only suppression
+//! hygiene. Being token-based it is deliberately approximate — it
+//! matches constructs, not types — so every rule supports an inline
+//! reasoned suppression: `// od-lint: allow(<rule>) — <reason>`.
+//!
+//! Run it as `cargo run -p od-lint`; it exits non-zero on any
+//! unsuppressed finding. The rule table lives in [`rules`].
+
+pub mod lexer;
+pub mod rules;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{FileReport, Finding, Rule, RuleSet, Suppressed};
+
+/// Crates whose results must be bit-reproducible: the full engine
+/// profile (D1 hash-order, D2 wall-clock, D3 rng-discipline, F1
+/// float-hygiene).
+const ENGINE_CRATES: [&str; 7] = [
+    "core",
+    "graph",
+    "linalg",
+    "stats",
+    "dual",
+    "baselines",
+    "runtime",
+];
+
+/// Boundary crates: orchestration and IO; clock and RNG discipline
+/// still apply (a sweep's seeds must replay), hash-order and float
+/// rules do not.
+const BOUNDARY_CRATES: [&str; 3] = ["sim", "experiments", "lint"];
+
+/// Files on the CLI sink path outside `crates/serve`: panic safety
+/// applies (a bad row must become an error, not a crash).
+const SINK_PATHS: [&str; 5] = [
+    "crates/sim/src/runner.rs",
+    "crates/sim/src/rows.rs",
+    "crates/experiments/src/runner.rs",
+    "crates/experiments/src/lib.rs",
+    "crates/experiments/src/bin/run_experiments.rs",
+];
+
+/// The rule profile for a workspace-relative path (forward slashes).
+///
+/// Returns `None` for paths the pass skips entirely: the vendored
+/// stand-ins (not ours to fix), build output, and the lint fixtures
+/// (deliberate violations).
+pub fn rules_for_path(path: &str) -> Option<RuleSet> {
+    let path = path.replace('\\', "/");
+    let p = path.as_str();
+    if p.starts_with("vendor/") || p.starts_with("target/") || p.contains("tests/fixtures/") {
+        return None;
+    }
+    // Tests, benches and examples: deliberate panics and ad-hoc maps
+    // are fine; only suppression hygiene is checked.
+    if p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.starts_with("examples/")
+        || p.contains("/examples/")
+    {
+        return Some(RuleSet::none());
+    }
+    if SINK_PATHS.contains(&p) {
+        return Some(RuleSet {
+            p1: true,
+            ..RuleSet::boundary()
+        });
+    }
+    if let Some(rest) = p.strip_prefix("crates/") {
+        let krate = rest.split('/').next().unwrap_or("");
+        if krate == "serve" {
+            return Some(RuleSet::service());
+        }
+        if ENGINE_CRATES.contains(&krate) {
+            return Some(RuleSet::engine());
+        }
+        if BOUNDARY_CRATES.contains(&krate) {
+            return Some(RuleSet::boundary());
+        }
+        // od-bench: timing is its whole job; suppression hygiene only.
+        return Some(RuleSet::none());
+    }
+    // The facade crate's src/ re-exports engine API: engine profile.
+    if p.starts_with("src/") {
+        return Some(RuleSet::engine());
+    }
+    Some(RuleSet::none())
+}
+
+/// One file's outcome within a [`WorkspaceReport`].
+#[derive(Debug, Clone)]
+pub struct FileOutcome {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// The per-file report (findings + honoured suppressions).
+    pub report: FileReport,
+}
+
+/// The whole run: every linted file, in sorted path order.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceReport {
+    /// Per-file outcomes for every `.rs` file scanned.
+    pub files: Vec<FileOutcome>,
+}
+
+impl WorkspaceReport {
+    /// Total unsuppressed findings.
+    pub fn finding_count(&self) -> usize {
+        self.files.iter().map(|f| f.report.findings.len()).sum()
+    }
+
+    /// Total honoured (reasoned) suppressions.
+    pub fn suppressed_count(&self) -> usize {
+        self.files.iter().map(|f| f.report.suppressed.len()).sum()
+    }
+
+    /// Renders the diagnostics plus a one-line summary, the CLI output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for file in &self.files {
+            for f in &file.report.findings {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: {} {}: {}",
+                    file.path,
+                    f.line,
+                    f.rule.id(),
+                    f.rule.name(),
+                    f.message
+                );
+            }
+        }
+        let mut by_rule: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        for file in &self.files {
+            for s in &file.report.suppressed {
+                *by_rule.entry(s.rule.id()).or_default() += 1;
+            }
+        }
+        let suppressed = if by_rule.is_empty() {
+            "none".to_string()
+        } else {
+            by_rule
+                .iter()
+                .map(|(id, n)| format!("{id}×{n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "od-lint: {} file(s), {} finding(s), {} reasoned suppression(s) [{}]",
+            self.files.len(),
+            self.finding_count(),
+            self.suppressed_count(),
+            suppressed
+        );
+        out
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted, skipping
+/// hidden entries and anything [`rules_for_path`] rejects later.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `roots` (paths relative to — or inside —
+/// `workspace_root`), applying the role profile from [`rules_for_path`].
+///
+/// # Errors
+///
+/// IO errors walking directories or reading files.
+pub fn lint_workspace(workspace_root: &Path, roots: &[PathBuf]) -> io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+    for root in roots {
+        let absolute = if root.is_absolute() {
+            root.clone()
+        } else {
+            workspace_root.join(root)
+        };
+        if absolute.is_dir() {
+            collect_rs_files(&absolute, &mut files)?;
+        } else if absolute.is_file() {
+            files.push(absolute);
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("lint root not found: {}", absolute.display()),
+            ));
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut report = WorkspaceReport::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(workspace_root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(rules) = rules_for_path(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&file)?;
+        report.files.push(FileOutcome {
+            path: rel,
+            report: rules::lint_source(&source, rules),
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_table() {
+        assert_eq!(
+            rules_for_path("crates/core/src/kernel.rs"),
+            Some(RuleSet::engine())
+        );
+        assert_eq!(
+            rules_for_path("crates/serve/src/server.rs"),
+            Some(RuleSet::service())
+        );
+        assert_eq!(
+            rules_for_path("crates/sim/src/spec.rs"),
+            Some(RuleSet::boundary())
+        );
+        // CLI sink paths carry panic safety on top of boundary rules.
+        let sink = rules_for_path("crates/sim/src/runner.rs").unwrap();
+        assert!(sink.p1 && sink.d2 && !sink.d1);
+        // Tests and benches: suppression hygiene only.
+        assert_eq!(
+            rules_for_path("tests/conformance.rs"),
+            Some(RuleSet::none())
+        );
+        assert_eq!(
+            rules_for_path("crates/core/tests/anything.rs"),
+            Some(RuleSet::none())
+        );
+        assert_eq!(
+            rules_for_path("crates/bench/benches/bench_step.rs"),
+            Some(RuleSet::none())
+        );
+        // Vendor and fixtures are skipped outright.
+        assert_eq!(rules_for_path("vendor/rand/src/lib.rs"), None);
+        assert_eq!(
+            rules_for_path("crates/lint/tests/fixtures/d1/violating.rs"),
+            None
+        );
+    }
+}

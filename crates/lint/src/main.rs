@@ -1,0 +1,42 @@
+//! CLI entry point: `cargo run -p od-lint [-- <root>...]`.
+//!
+//! Lints the workspace's first-party source (default roots: `crates`,
+//! `src`, `tests`) and exits 1 on any unsuppressed finding, 2 on usage
+//! or IO errors. Diagnostics are `path:line: RULE name: message`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // `cargo run -p od-lint` sets CARGO_MANIFEST_DIR to crates/lint at
+    // runtime; the workspace root is two levels up. Running the binary
+    // outside cargo falls back to the current directory.
+    let workspace_root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .and_then(|p| Some(p.parent()?.parent()?.to_path_buf()))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let args: Vec<PathBuf> = std::env::args_os().skip(1).map(PathBuf::from).collect();
+    let roots = if args.is_empty() {
+        vec![
+            PathBuf::from("crates"),
+            PathBuf::from("src"),
+            PathBuf::from("tests"),
+        ]
+    } else {
+        args
+    };
+    match od_lint::lint_workspace(&workspace_root, &roots) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.finding_count() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("od-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn degree_histogram(degrees: &[usize]) -> Vec<(usize, usize)> {
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for &d in degrees {
+        *counts.entry(d).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,8 @@
+// od-lint: allow(D1) — membership-only set; iteration order never escapes
+use std::collections::HashSet;
+
+pub fn has_duplicates(edges: &[(u32, u32)]) -> bool {
+    // od-lint: allow(D1) — membership-only set; iteration order never escapes
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    edges.iter().any(|&e| !seen.insert(e))
+}

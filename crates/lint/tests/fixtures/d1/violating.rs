@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn degree_histogram(degrees: &[usize]) -> Vec<(usize, usize)> {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &d in degrees {
+        *counts.entry(d).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

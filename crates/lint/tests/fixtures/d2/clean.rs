@@ -1,0 +1,7 @@
+pub fn counted_rounds(mut step: impl FnMut() -> bool) -> u64 {
+    let mut rounds = 0u64;
+    while step() {
+        rounds += 1;
+    }
+    rounds
+}

@@ -1,0 +1,9 @@
+// od-lint: allow(D2) — progress line on the console, not a result column
+use std::time::Instant;
+
+pub fn report_progress(mut step: impl FnMut()) {
+    // od-lint: allow(D2) — progress line on the console, not a result column
+    let start = Instant::now();
+    step();
+    eprintln!("done in {:?}", start.elapsed());
+}

@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+pub fn timed_rounds(mut step: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    step();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+pub fn seeded_value(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

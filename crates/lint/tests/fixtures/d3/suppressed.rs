@@ -1,0 +1,6 @@
+use rand::rngs::StdRng;
+
+pub fn restore(state: [u8; 32]) -> StdRng {
+    // od-lint: allow(D3) — checkpoint restore of a stream originally seeded from the manifest
+    StdRng::from_state(state)
+}

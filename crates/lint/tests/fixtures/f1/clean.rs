@@ -1,0 +1,7 @@
+pub fn exact_blend(weight: f64, a: f64, b: f64) -> f64 {
+    let one = 1.0f64.to_bits();
+    if weight.to_bits() == one {
+        return b;
+    }
+    (1.0 - weight) * a + weight * b
+}

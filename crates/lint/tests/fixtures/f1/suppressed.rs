@@ -1,0 +1,9 @@
+pub fn mean(values: &[f64]) -> Option<f64> {
+    let sum: f64 = values.iter().sum();
+    let den = values.len() as f64;
+    // od-lint: allow(F1) — exact sentinel: an empty slice divides by literally 0.0
+    if den == 0.0 {
+        return None;
+    }
+    Some(sum / den)
+}

@@ -1,0 +1,7 @@
+pub fn lossy_blend(weight: f32, a: f64, b: f64) -> f64 {
+    let w = weight as f64;
+    if w == 1.0 {
+        return b;
+    }
+    (1.0 - w) * a + w * b
+}

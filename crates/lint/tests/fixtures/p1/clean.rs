@@ -1,0 +1,9 @@
+pub fn parse_request(line: &str) -> Result<(u64, u64), String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let [n, k] = words.as_slice() else {
+        return Err(format!("malformed request '{line}'"));
+    };
+    let n = n.parse::<u64>().map_err(|e| e.to_string())?;
+    let k = k.parse::<u64>().map_err(|e| e.to_string())?;
+    Ok((n, k))
+}

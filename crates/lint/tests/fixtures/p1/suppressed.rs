@@ -1,0 +1,6 @@
+use std::sync::Mutex;
+
+pub fn read_counter(counter: &Mutex<u64>) -> u64 {
+    // od-lint: allow(P1) — lock poisoning is recovered at every other site; this read-only lock cannot observe a torn value
+    *counter.lock().unwrap()
+}

@@ -1,0 +1,9 @@
+pub fn parse_request(line: &str) -> (u64, u64) {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    if words.len() > 9 {
+        panic!("request too long");
+    }
+    let n = words[0].parse::<u64>().unwrap();
+    let k = words[1].parse::<u64>().expect("bad k");
+    (n, k)
+}

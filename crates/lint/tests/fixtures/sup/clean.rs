@@ -1,0 +1,7 @@
+// od-lint: allow(D1) — lookup-only cache; never iterated
+use std::collections::HashMap;
+
+// od-lint: allow(D1) — lookup-only cache; never iterated
+pub fn cached_lookup(cache: &HashMap<u64, f64>, key: u64) -> Option<f64> {
+    cache.get(&key).copied()
+}

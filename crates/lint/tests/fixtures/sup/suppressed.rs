@@ -1,0 +1,5 @@
+// A reasoned allow(SUP) can even cover a deliberately reason-less allow
+// kept around as documentation of the syntax.
+// od-lint: allow(SUP) — the line below documents the bare form rejected by SUP
+// od-lint: allow(D2)
+pub fn nothing() {}

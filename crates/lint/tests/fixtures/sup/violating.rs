@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+pub fn cached_lookup(cache: &HashMap<u64, f64>, key: u64) -> Option<f64> {
+    // od-lint: allow(D1)
+    cache.get(&key).copied()
+}

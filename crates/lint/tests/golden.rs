@@ -1,0 +1,157 @@
+//! Golden fixture tests: every rule family has a violating, a clean and
+//! a suppressed fixture under `tests/fixtures/<rule>/`, linted here with
+//! a forced profile (the workspace walk skips `tests/fixtures/`
+//! entirely — the violations are deliberate).
+
+use od_lint::rules::lint_source;
+use od_lint::{Rule, RuleSet};
+use std::path::{Path, PathBuf};
+
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Lints `tests/fixtures/<family>` under `rules` and asserts the
+/// violating/clean/suppressed triple behaves as a triple should.
+fn check_family(family: &str, rule: Rule, rules: RuleSet) {
+    let violating = lint_source(&fixture(&format!("{family}/violating.rs")), rules);
+    assert!(
+        !violating.findings.is_empty(),
+        "{family}/violating.rs must produce findings"
+    );
+    assert!(
+        violating.findings.iter().all(|f| f.rule == rule),
+        "{family}/violating.rs findings must all be {}: {:?}",
+        rule.id(),
+        violating.findings
+    );
+
+    let clean = lint_source(&fixture(&format!("{family}/clean.rs")), rules);
+    assert!(
+        clean.findings.is_empty(),
+        "{family}/clean.rs must be clean, got {:?}",
+        clean.findings
+    );
+
+    let suppressed = lint_source(&fixture(&format!("{family}/suppressed.rs")), rules);
+    assert!(
+        suppressed.findings.is_empty(),
+        "{family}/suppressed.rs must have every finding suppressed, got {:?}",
+        suppressed.findings
+    );
+    assert!(
+        !suppressed.suppressed.is_empty(),
+        "{family}/suppressed.rs must record honoured suppressions"
+    );
+    assert!(
+        suppressed.suppressed.iter().all(|s| !s.reason.is_empty()),
+        "honoured suppressions carry their reasons"
+    );
+}
+
+#[test]
+fn d1_hash_order_triple() {
+    check_family("d1", Rule::D1, RuleSet::engine());
+}
+
+#[test]
+fn d2_wall_clock_triple() {
+    check_family("d2", Rule::D2, RuleSet::boundary());
+}
+
+#[test]
+fn d3_rng_discipline_triple() {
+    check_family("d3", Rule::D3, RuleSet::boundary());
+}
+
+#[test]
+fn p1_panic_safety_triple() {
+    check_family("p1", Rule::P1, RuleSet::service());
+}
+
+#[test]
+fn f1_float_hygiene_triple() {
+    check_family("f1", Rule::F1, RuleSet::engine());
+}
+
+#[test]
+fn sup_reasonless_allow_triple() {
+    // SUP is always on, even with every other rule off.
+    check_family("sup", Rule::Sup, RuleSet::none());
+}
+
+#[test]
+fn p1_violating_flags_every_construct() {
+    let report = lint_source(&fixture("p1/violating.rs"), RuleSet::service());
+    let lines: Vec<u32> = report.findings.iter().map(|f| f.line).collect();
+    // panic!, words[0], unwrap, words[1], expect — one finding each.
+    assert_eq!(lines, vec![4, 6, 6, 7, 7], "{:?}", report.findings);
+}
+
+#[test]
+fn reasonless_allow_does_not_suppress() {
+    // The bare allow in sup/violating.rs sits directly above a HashMap
+    // use: under the engine profile both the D1 finding AND the SUP
+    // finding must surface — a reason-less allow suppresses nothing.
+    let report = lint_source(&fixture("sup/violating.rs"), RuleSet::engine());
+    let rules: Vec<Rule> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&Rule::Sup), "{rules:?}");
+    assert!(rules.contains(&Rule::D1), "{rules:?}");
+}
+
+#[test]
+fn workspace_walk_skips_fixture_violations() {
+    // The shipped tree must lint clean *including* this crate, whose
+    // fixtures are full of deliberate violations: the role table skips
+    // `tests/fixtures/` outright.
+    assert_eq!(
+        od_lint::rules_for_path("crates/lint/tests/fixtures/p1/violating.rs"),
+        None
+    );
+}
+
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    // The self-check: the exact run CI does, as a library call. A
+    // regression anywhere in the workspace fails this test with the
+    // rendered diagnostics.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let roots = [
+        PathBuf::from("crates"),
+        PathBuf::from("src"),
+        PathBuf::from("tests"),
+    ];
+    let report = od_lint::lint_workspace(root, &roots).expect("lint walk");
+    assert!(report.files.len() > 50, "walk found the workspace");
+    assert_eq!(report.finding_count(), 0, "\n{}", report.render());
+}
+
+#[test]
+fn cli_exits_nonzero_on_violations() {
+    // Drive the real binary against a staged mini-workspace whose
+    // `crates/core/src/bad.rs` is the D1 violating fixture: exit 1 and a
+    // D1 diagnostic on stdout.
+    let dir = std::env::temp_dir().join(format!("od-lint-golden-{}", std::process::id()));
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("staging dir");
+    std::fs::write(src.join("bad.rs"), fixture("d1/violating.rs")).expect("staging file");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_od-lint"))
+        .arg("crates")
+        .env("CARGO_MANIFEST_DIR", dir.join("crates/lint"))
+        .output()
+        .expect("run od-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("crates/core/src/bad.rs:1: D1 hash-order"),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

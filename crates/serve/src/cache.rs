@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use od_core::WindowCheckpoint;
 use od_sim::TrialResult;
@@ -90,25 +90,29 @@ impl StoredCell {
         let mut trials = Vec::new();
         for line in lines {
             let words: Vec<&str> = line.split_whitespace().collect();
-            if words.len() != 7 || words[0] != "trial" {
+            // Slice pattern, not indexing: a short line is a parse
+            // error, never a panic — this path reads untrusted files.
+            let ["trial", steps, converged, potential, estimate, winner, mutations] =
+                words.as_slice()
+            else {
                 return Err(format!("malformed trial line '{line}'"));
-            }
+            };
             let bits = |w: &str| {
                 u64::from_str_radix(w, 16)
                     .map(f64::from_bits)
                     .map_err(|_| format!("malformed float bits '{w}'"))
             };
             trials.push(TrialResult {
-                steps: words[1].parse().map_err(|_| "malformed steps")?,
-                converged: words[2] != "0",
-                potential: bits(words[3])?,
-                estimate: bits(words[4])?,
-                winner: if words[5] == "-" {
+                steps: steps.parse().map_err(|_| "malformed steps")?,
+                converged: *converged != "0",
+                potential: bits(potential)?,
+                estimate: bits(estimate)?,
+                winner: if *winner == "-" {
                     None
                 } else {
-                    Some(words[5].parse().map_err(|_| "malformed winner")?)
+                    Some(winner.parse().map_err(|_| "malformed winner")?)
                 },
-                mutations: words[6].parse().map_err(|_| "malformed mutations")?,
+                mutations: mutations.parse().map_err(|_| "malformed mutations")?,
             });
         }
         Ok((key, StoredCell { engine, trials }))
@@ -147,6 +151,15 @@ pub struct MemoCache {
 }
 
 impl MemoCache {
+    /// Locks the table, recovering from poison: the map holds only
+    /// completed cells behind `Arc`s and every mutation is a single
+    /// `insert`, so a poisoned guard still fronts a structurally valid
+    /// map — a worker panic must degrade to an `ERR` response, not
+    /// take the cache (and with it the daemon) down.
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Arc<StoredCell>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty in-memory cache, or — with `dir` — a persistent one
     /// preloaded with every `.cell` file already in the directory
     /// (malformed files are skipped, not fatal).
@@ -178,7 +191,7 @@ impl MemoCache {
 
     /// The cached cell for `key`, if any.
     pub fn get(&self, key: &str) -> Option<Arc<StoredCell>> {
-        self.map.lock().expect("cache lock").get(key).cloned()
+        self.lock().get(key).cloned()
     }
 
     /// Inserts a completed cell, persisting it when a directory is
@@ -193,16 +206,13 @@ impl MemoCache {
             let _ = std::fs::remove_file(dir.join(format!("{}.window", key_stem(key))));
         }
         let cell = Arc::new(cell);
-        self.map
-            .lock()
-            .expect("cache lock")
-            .insert(key.to_string(), Arc::clone(&cell));
+        self.lock().insert(key.to_string(), Arc::clone(&cell));
         cell
     }
 
     /// Number of cached cells.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.lock().len()
     }
 
     /// Whether the cache is empty.

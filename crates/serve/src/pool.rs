@@ -3,7 +3,8 @@
 //! execution substrate.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::io;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -17,6 +18,16 @@ struct PoolState {
 struct Shared {
     state: Mutex<PoolState>,
     wake: Condvar,
+}
+
+impl Shared {
+    /// Locks the pool state, recovering from poison: jobs run *outside*
+    /// the lock, so a panicking job can never tear the queue — the
+    /// `VecDeque` behind a poisoned guard is still structurally valid,
+    /// and the daemon must keep serving rather than die.
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A fixed-size pool of worker threads executing submitted jobs in FIFO
@@ -36,35 +47,61 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads (at least 1).
-    pub fn new(workers: usize) -> WorkerPool {
+    ///
+    /// # Errors
+    ///
+    /// The OS error if a worker thread cannot be spawned; threads
+    /// already spawned are shut down cleanly on the error path.
+    pub fn new(workers: usize) -> io::Result<WorkerPool> {
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState::default()),
             wake: Condvar::new(),
         });
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("od-serve-worker-{i}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let mut state = shared.state.lock().expect("pool lock");
-                            loop {
-                                if let Some(job) = state.queue.pop_front() {
-                                    break job;
-                                }
-                                if state.shutdown {
-                                    return;
-                                }
-                                state = shared.wake.wait(state).expect("pool lock");
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("od-serve-worker-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut state = worker_shared.lock();
+                        loop {
+                            if let Some(job) = state.queue.pop_front() {
+                                break job;
                             }
-                        };
-                        job();
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { shared, workers }
+                            if state.shutdown {
+                                return;
+                            }
+                            state = worker_shared
+                                .wake
+                                .wait(state)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    };
+                    // A panicking job must not kill the worker: the
+                    // daemon degrades that submission to an `ERR`
+                    // response (its result sender is dropped in the
+                    // unwind), the thread lives on to serve the next
+                    // job. Queue state is consistent: the job ran
+                    // entirely outside the lock.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    let mut partial = WorkerPool {
+                        shared,
+                        workers: handles,
+                    };
+                    partial.shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(WorkerPool {
+            shared,
+            workers: handles,
+        })
     }
 
     /// Number of worker threads.
@@ -74,7 +111,7 @@ impl WorkerPool {
 
     /// Enqueues a job. Silently dropped after shutdown.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
-        let mut state = self.shared.state.lock().expect("pool lock");
+        let mut state = self.shared.lock();
         if state.shutdown {
             return;
         }
@@ -86,7 +123,7 @@ impl WorkerPool {
     /// Stops accepting jobs, lets the queue drain, and joins every
     /// worker.
     pub fn shutdown(&mut self) {
-        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.lock().shutdown = true;
         self.shared.wake.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -108,7 +145,7 @@ mod tests {
 
     #[test]
     fn pool_runs_all_jobs_across_workers() {
-        let pool = WorkerPool::new(3);
+        let pool = WorkerPool::new(3).unwrap();
         assert_eq!(pool.workers(), 3);
         let counter = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel();
@@ -127,8 +164,27 @@ mod tests {
     }
 
     #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            pool.submit(|| panic!("job panicked on purpose"));
+        }
+        // Jobs after the panics must still run: the pool recovered.
+        for _ in 0..8 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+    }
+
+    #[test]
     fn shutdown_drains_queue_and_rejects_new_jobs() {
-        let mut pool = WorkerPool::new(1);
+        let mut pool = WorkerPool::new(1).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..10 {
             let counter = Arc::clone(&counter);

@@ -104,7 +104,7 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             cache,
-            pool: WorkerPool::new(workers),
+            pool: WorkerPool::new(workers)?,
             stats: Stats::default(),
             stop: AtomicBool::new(false),
             addr,
@@ -251,7 +251,7 @@ fn handle_submit(text: &str, shared: &Arc<Shared>, writer: &mut impl Write) -> i
         .iter()
         .map(|cell| cell.spec.canonical_key())
         .collect();
-    let mut results: Vec<Option<Arc<StoredCell>>> =
+    let results: Vec<Option<Arc<StoredCell>>> =
         keys.iter().map(|key| shared.cache.get(key)).collect();
     let hits = results.iter().filter(|r| r.is_some()).count() as u64;
     shared.stats.cache_hits.fetch_add(hits, Ordering::SeqCst);
@@ -300,6 +300,7 @@ fn handle_submit(text: &str, shared: &Arc<Shared>, writer: &mut impl Write) -> i
     // Stream in cell order: emit cell i as soon as it and every earlier
     // cell have finished, wherever in the pool they actually ran.
     let mut finished: HashMap<String, Result<Arc<StoredCell>, String>> = HashMap::new();
+    let mut emitted: Vec<Arc<StoredCell>> = Vec::with_capacity(plan.cells.len());
     for (i, cell) in plan.cells.iter().enumerate() {
         let stored = loop {
             if let Some(stored) = &results[i] {
@@ -350,18 +351,23 @@ fn handle_submit(text: &str, shared: &Arc<Shared>, writer: &mut impl Write) -> i
             cell.label,
         )?;
         writer.flush()?;
-        results[i] = Some(stored);
+        emitted.push(stored);
     }
     // Paired contrasts against cell 0, mirroring
     // `SweepReport::contrasts`: CRN sweeps with ≥ 2 cells only; cells
-    // with unequal replica counts are reported unpaired.
-    if plan.crn && results.len() >= 2 {
+    // with unequal replica counts are reported unpaired. `emitted`
+    // holds every cell in order by construction of the loop above, so
+    // no unwrapping: a missing baseline just skips the contrasts.
+    if plan.crn && emitted.len() == plan.cells.len() && emitted.len() >= 2 {
         let steps_of = |stored: &StoredCell| -> Vec<f64> {
             stored.trials.iter().map(|t| t.steps as f64).collect()
         };
-        let baseline = steps_of(results[0].as_ref().expect("emitted above"));
-        for (i, stored) in results.iter().enumerate().skip(1) {
-            let steps = steps_of(stored.as_ref().expect("emitted above"));
+        let Some(first) = emitted.first() else {
+            return writeln!(writer, "DONE");
+        };
+        let baseline = steps_of(first);
+        for (i, stored) in emitted.iter().enumerate().skip(1) {
+            let steps = steps_of(stored);
             let label = &plan.cells[i].label;
             if steps.len() == baseline.len() && steps.len() >= 2 {
                 let contrast = paired_t_ci(&steps, &baseline);

@@ -15,7 +15,7 @@
 //! [`monte_carlo`].
 
 use od_stats::{SeedSequence, Welford};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Runs `trials` independent trials of `f` (given the per-trial seed) in
 /// parallel, returning all results in trial order.
@@ -27,7 +27,9 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    monte_carlo_batched(trials, seeds, 1, |_, chunk| vec![f(chunk[0])])
+    monte_carlo_batched(trials, seeds, 1, |_, chunk| {
+        chunk.iter().map(|&seed| f(seed)).collect()
+    })
 }
 
 /// Runs `trials` trials in parallel, `batch` at a time: the closure
@@ -106,11 +108,18 @@ where
                     local.push((start, out));
                     chunk += threads;
                 }
-                results.lock().expect("result mutex poisoned").extend(local);
+                // Poison recovery is sound here: a panicking trial
+                // closure never holds the lock, and `thread::scope`
+                // re-raises any worker panic before results are read —
+                // recovering the guard can't surface a partial run.
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend(local);
             });
         }
     });
-    let mut collected = results.into_inner().expect("result mutex poisoned");
+    let mut collected = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     collected.sort_by_key(|(start, _)| *start);
     collected.into_iter().flat_map(|(_, out)| out).collect()
 }

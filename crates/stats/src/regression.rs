@@ -41,6 +41,7 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "linear_fit: all x values identical");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
+    // od-lint: allow(F1) — exact sentinel: syy == 0.0 means every y is identical, a perfect fit by definition
     let r_squared = if syy == 0.0 {
         1.0
     } else {

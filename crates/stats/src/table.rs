@@ -139,6 +139,7 @@ impl Table {
 /// Formats a float with engineering-friendly precision: scientific notation
 /// for very small/large magnitudes, fixed otherwise.
 pub fn fmt_float(x: f64) -> String {
+    // od-lint: allow(F1) — exact sentinel: formatting the literal zero
     if x == 0.0 {
         "0".to_string()
     } else if x.abs() >= 1e5 || x.abs() < 1e-3 {

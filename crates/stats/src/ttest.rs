@@ -51,6 +51,8 @@ impl Contrast {
 ///
 /// Panics if the slices differ in length, have fewer than two pairs, or
 /// contain NaN.
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 pub fn paired_t_ci(a: &[f64], b: &[f64]) -> Contrast {
     assert_eq!(a.len(), b.len(), "paired contrast needs equal lengths");
     assert!(a.len() >= 2, "paired contrast needs at least two pairs");
@@ -79,6 +81,8 @@ pub fn paired_t_ci(a: &[f64], b: &[f64]) -> Contrast {
 ///
 /// Panics if either sample has fewer than two observations, both sample
 /// variances are zero, or the data contain NaN.
+// Invariant-backed: the `expect` messages state why each cannot fire.
+#[allow(clippy::expect_used)]
 pub fn welch_t_ci(a: &[f64], b: &[f64]) -> Contrast {
     assert!(
         a.len() >= 2 && b.len() >= 2,
@@ -87,10 +91,10 @@ pub fn welch_t_ci(a: &[f64], b: &[f64]) -> Contrast {
     let wa: Welford = a.iter().copied().collect();
     let wb: Welford = b.iter().copied().collect();
     let (na, nb) = (a.len() as f64, b.len() as f64);
-    let mean = wa.mean().unwrap() - wb.mean().unwrap();
+    let mean = wa.mean().expect("n >= 2") - wb.mean().expect("n >= 2");
     let (va, vb) = (
-        wa.sample_variance().unwrap() / na,
-        wb.sample_variance().unwrap() / nb,
+        wa.sample_variance().expect("n >= 2") / na,
+        wb.sample_variance().expect("n >= 2") / nb,
     );
     assert!(mean.is_finite() && (va + vb).is_finite(), "NaN in contrast");
     assert!(va + vb > 0.0, "welch contrast of two constant samples");

@@ -1,4 +1,4 @@
-//! Offline, dependency-free stand-in for the subset of the [`criterion`]
+//! Offline, dependency-free stand-in for the subset of the `criterion`
 //! benchmarking API that this workspace uses.
 //!
 //! The build environment has no access to crates.io, so the workspace vendors

@@ -103,7 +103,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Size specification for [`vec`]: an exact length or a length range.
+    /// Size specification for [`vec()`]: an exact length or a length range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
